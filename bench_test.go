@@ -1,0 +1,216 @@
+// The paper-experiment benchmarks: one testing.B benchmark per table and
+// figure of the evaluation, each delegating to internal/bench and printing
+// the regenerated table through b.Log so `go test -bench=. -benchmem`
+// reproduces the full evaluation.
+package snb_test
+
+import (
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+
+	"ldbcsnb/internal/bench"
+)
+
+// benchPersons scales the benchmark environment; override with
+// SNB_BENCH_PERSONS.
+func benchPersons() int {
+	if v := os.Getenv("SNB_BENCH_PERSONS"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return bench.DefaultPersons
+}
+
+var (
+	envOnce sync.Once
+	env     *bench.Env
+	envErr  error
+)
+
+func sharedEnv(b *testing.B) *bench.Env {
+	b.Helper()
+	envOnce.Do(func() {
+		env, envErr = bench.NewEnv(benchPersons(), 42)
+	})
+	if envErr != nil {
+		b.Fatal(envErr)
+	}
+	return env
+}
+
+func BenchmarkTable2FirstNameCorrelation(b *testing.B) {
+	e := sharedEnv(b)
+	var res *bench.Result
+	for i := 0; i < b.N; i++ {
+		res = bench.Table2(e)
+	}
+	b.Log("\n" + res.Render())
+}
+
+func BenchmarkTable3DatasetStatistics(b *testing.B) {
+	var res *bench.Result
+	for i := 0; i < b.N; i++ {
+		res = bench.Table3([]int{100, 200, 400}, 42)
+	}
+	b.Log("\n" + res.Render())
+}
+
+func BenchmarkTable4QueryMix(b *testing.B) {
+	e := sharedEnv(b)
+	var res *bench.Result
+	for i := 0; i < b.N; i++ {
+		res = bench.Table4(e)
+	}
+	b.Log("\n" + res.Render())
+}
+
+func BenchmarkTable5DriverScalability(b *testing.B) {
+	e := sharedEnv(b)
+	var res *bench.Result
+	for i := 0; i < b.N; i++ {
+		res = bench.Table5(e, []int{1, 2, 4, 8})
+	}
+	b.Log("\n" + res.Render())
+}
+
+// interactiveOnce shares one mixed-workload run between Tables 6, 7, 9.
+var (
+	interOnce sync.Once
+	interRep  interactiveRep
+)
+
+type interactiveRep struct {
+	t6, t7, t9 *bench.Result
+}
+
+func interactive(b *testing.B) interactiveRep {
+	e := sharedEnv(b)
+	interOnce.Do(func() {
+		rep := bench.RunInteractive(e, 3)
+		interRep = interactiveRep{bench.Table6(rep), bench.Table7(rep), bench.Table9(rep)}
+	})
+	return interRep
+}
+
+func BenchmarkTable6ComplexReads(b *testing.B) {
+	var r interactiveRep
+	for i := 0; i < b.N; i++ {
+		r = interactive(b)
+	}
+	b.Log("\n" + r.t6.Render())
+}
+
+func BenchmarkTable7ShortReads(b *testing.B) {
+	var r interactiveRep
+	for i := 0; i < b.N; i++ {
+		r = interactive(b)
+	}
+	b.Log("\n" + r.t7.Render())
+}
+
+func BenchmarkTable8StorageSizes(b *testing.B) {
+	e := sharedEnv(b)
+	var res *bench.Result
+	for i := 0; i < b.N; i++ {
+		res = bench.Table8(e)
+	}
+	b.Log("\n" + res.Render())
+}
+
+func BenchmarkTable9Updates(b *testing.B) {
+	var r interactiveRep
+	for i := 0; i < b.N; i++ {
+		r = interactive(b)
+	}
+	b.Log("\n" + r.t9.Render())
+}
+
+func BenchmarkFigure2aPostDensity(b *testing.B) {
+	var res *bench.Result
+	for i := 0; i < b.N; i++ {
+		res = bench.Figure2a(200, 42)
+	}
+	b.Log("\n" + res.Render())
+}
+
+func BenchmarkFigure2bDegreePercentiles(b *testing.B) {
+	var res *bench.Result
+	for i := 0; i < b.N; i++ {
+		res = bench.Figure2b()
+	}
+	b.Log("\n" + res.Render())
+}
+
+func BenchmarkFigure3aDegreeDistribution(b *testing.B) {
+	e := sharedEnv(b)
+	var res *bench.Result
+	for i := 0; i < b.N; i++ {
+		res = bench.Figure3a(e)
+	}
+	b.Log("\n" + res.Render())
+}
+
+func BenchmarkFigure3bDatagenScaleup(b *testing.B) {
+	var res *bench.Result
+	for i := 0; i < b.N; i++ {
+		res = bench.Figure3b([]int{100, 200, 400}, []int{1, 2, 4}, 42)
+	}
+	b.Log("\n" + res.Render())
+}
+
+func BenchmarkFigure4JoinTypeAblation(b *testing.B) {
+	e := sharedEnv(b)
+	var res *bench.Result
+	for i := 0; i < b.N; i++ {
+		res = bench.Figure4(e, 3)
+	}
+	b.Log("\n" + res.Render())
+}
+
+func BenchmarkFigure5aTwoHopDistribution(b *testing.B) {
+	e := sharedEnv(b)
+	var res *bench.Result
+	for i := 0; i < b.N; i++ {
+		res = bench.Figure5a(e)
+	}
+	b.Log("\n" + res.Render())
+}
+
+func BenchmarkFigure5bParameterCuration(b *testing.B) {
+	e := sharedEnv(b)
+	var res *bench.Result
+	for i := 0; i < b.N; i++ {
+		res = bench.Figure5b(e, 20)
+	}
+	b.Log("\n" + res.Render())
+}
+
+func BenchmarkAblationWindowedExecution(b *testing.B) {
+	e := sharedEnv(b)
+	var res *bench.Result
+	for i := 0; i < b.N; i++ {
+		res = bench.AblationWindowed(e, 4)
+	}
+	b.Log("\n" + res.Render())
+}
+
+func BenchmarkAblationTimeOrderedIDs(b *testing.B) {
+	e := sharedEnv(b)
+	var res *bench.Result
+	for i := 0; i < b.N; i++ {
+		res = bench.AblationTimeOrderedIDs(e, 5)
+	}
+	b.Log("\n" + res.Render())
+}
+
+func BenchmarkAblationCuratedMixStability(b *testing.B) {
+	e := sharedEnv(b)
+	var res *bench.Result
+	for i := 0; i < b.N; i++ {
+		res = bench.AblationCuratedMix(e, 15)
+	}
+	b.Log("\n" + res.Render())
+}

@@ -1,0 +1,72 @@
+// snb-run executes the SNB Interactive benchmark end to end: generate (or
+// reload) a dataset, bulk-load the store, replay the update stream with
+// dependency tracking while running the read mix, and report the
+// per-query latency tables and throughput — the §5 evaluation flow.
+//
+// Usage:
+//
+//	snb-run -sf 0.05 [-streams 4] [-readclients 2] [-pertype 3] [-uniform]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"ldbcsnb/internal/bench"
+	"ldbcsnb/internal/datagen"
+	"ldbcsnb/internal/driver"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("snb-run: ")
+
+	sf := flag.Float64("sf", 0.05, "scale factor")
+	personsFlag := flag.Int("persons", 0, "explicit person count (overrides -sf)")
+	seed := flag.Uint64("seed", 42, "generator seed")
+	streams := flag.Int("streams", 4, "update stream partitions")
+	readClients := flag.Int("readclients", 2, "concurrent read clients")
+	perType := flag.Int("pertype", 3, "complex query executions per type (base)")
+	uniform := flag.Bool("uniform", false, "use uniform instead of curated Q5 parameters (Figure 5b ablation)")
+	flag.Parse()
+
+	persons := *personsFlag
+	if persons == 0 {
+		persons = datagen.PersonsForSF(*sf)
+	}
+
+	fmt.Printf("building environment: %d persons...\n", persons)
+	env, err := bench.NewEnv(persons, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c := env.Bulk.Counts()
+	fmt.Printf("bulk-loaded %d persons, %d messages, %d forums; %d updates pending\n",
+		c.Persons, c.Messages(), c.Forums, len(env.Updates))
+
+	rep := driver.RunMixed(driver.MixedConfig{
+		Store:          env.Store,
+		Dataset:        env.Full,
+		Updates:        env.Updates,
+		Streams:        *streams,
+		ReadClients:    *readClients,
+		ComplexPerType: *perType,
+		Seed:           *seed,
+		UniformParams:  *uniform,
+	})
+
+	fmt.Println()
+	fmt.Print(bench.Table6(rep).Render())
+	fmt.Println()
+	fmt.Print(bench.Table7(rep).Render())
+	fmt.Println()
+	fmt.Print(bench.Table9(rep).Render())
+	fmt.Println()
+	fmt.Printf("wall time: %v   throughput: %.0f ops/s   errors: %d\n",
+		rep.Wall.Round(1000000), rep.Throughput, rep.Errors)
+	if rep.Errors > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,51 @@
+// Driverscale: the §4.2 dependency-tracking scalability experiment
+// (Table 5) — replay a real update stream through the driver with a
+// sleeping dummy connector and report ops/second as the partition count
+// grows, for 1ms and 100µs simulated transaction latencies.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"ldbcsnb/internal/datagen"
+	"ldbcsnb/internal/driver"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	out := datagen.Generate(datagen.Config{Seed: 21, Persons: 400, Workers: 2})
+	_, updates := datagen.Split(out.Data, datagen.UpdateCut)
+	if len(updates) > 6000 {
+		updates = updates[:6000]
+	}
+	persons := 0
+	for i := range updates {
+		if updates[i].IsDependency() {
+			persons++
+		}
+	}
+	fmt.Printf("update stream: %d operations (%d dependency ops)\n\n", len(updates), persons)
+
+	fmt.Printf("%-8s", "sleep")
+	partitions := []int{1, 2, 4, 8, 12}
+	for _, p := range partitions {
+		fmt.Printf("%10d", p)
+	}
+	fmt.Println("\n" + "------------------------------------------------------------------")
+	for _, sleep := range []time.Duration{time.Millisecond, 100 * time.Microsecond} {
+		fmt.Printf("%-8s", sleep)
+		for _, p := range partitions {
+			conn := &driver.SleepConnector{Sleep: sleep}
+			rep := driver.Run(
+				driver.Config{Connector: conn, Streams: p, Mode: driver.ModeUnpaced},
+				driver.Partition(updates, p))
+			fmt.Printf("%10.0f", rep.OpsPerSec)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\npaper (12-core Xeon): 997 -> 11298 ops/s at 1ms, 9745 -> 110837 at 100µs;")
+	fmt.Println("sleeping is not CPU-bound, so near-linear scaling holds even on one core.")
+}

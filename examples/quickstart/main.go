@@ -1,0 +1,78 @@
+// Quickstart: generate a tiny social network, load it into the store, and
+// run two Interactive queries (Q2 "friends' newest messages" and Q9
+// "latest posts in the 2-hop environment") for one person.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"ldbcsnb/internal/datagen"
+	"ldbcsnb/internal/ids"
+	"ldbcsnb/internal/schema"
+	"ldbcsnb/internal/store"
+	"ldbcsnb/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. Generate a deterministic 150-person network.
+	out := datagen.Generate(datagen.Config{Seed: 1, Persons: 150, Workers: 2})
+	c := out.Data.Counts()
+	fmt.Printf("generated %d persons, %d friendships, %d messages\n",
+		c.Persons, c.Friendships, c.Messages())
+
+	// 2. Load it into the transactional graph store.
+	st := store.New()
+	schema.RegisterIndexes(st)
+	if err := schema.LoadDimensions(st); err != nil {
+		log.Fatal(err)
+	}
+	if err := schema.Load(st, out.Data); err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Pick the best-connected person.
+	deg := map[ids.ID]int{}
+	for _, k := range out.Data.Knows {
+		deg[k.A]++
+		deg[k.B]++
+	}
+	var start ids.ID
+	best := -1
+	for p, d := range deg {
+		if d > best {
+			start, best = p, d
+		}
+	}
+
+	// 4. Run Q2 and Q9 in one read-only snapshot transaction.
+	st.View(func(tx *store.Txn) {
+		name := tx.Prop(start, store.PropFirstName).Str() + " " +
+			tx.Prop(start, store.PropLastName).Str()
+		fmt.Printf("\nstart person: %s (%d friends)\n\n", name, best)
+
+		fmt.Println("Q2 — newest messages from direct friends:")
+		for i, row := range workload.Q2(tx, start, datagen.SimEnd) {
+			who := tx.Prop(row.Creator, store.PropFirstName).Str()
+			fmt.Printf("  %2d. %s at %s (%v)\n", i+1, who,
+				time.UnixMilli(row.CreationDate).UTC().Format("2006-01-02 15:04"),
+				row.Message.Kind())
+			if i == 4 {
+				break
+			}
+		}
+
+		fmt.Println("\nQ9 — latest posts from friends and friends-of-friends:")
+		for i, row := range workload.Q9(tx, start, datagen.SimEnd) {
+			who := tx.Prop(row.Creator, store.PropFirstName).Str()
+			fmt.Printf("  %2d. %s at %s\n", i+1, who,
+				time.UnixMilli(row.CreationDate).UTC().Format("2006-01-02 15:04"))
+			if i == 4 {
+				break
+			}
+		}
+	})
+}

@@ -1,0 +1,93 @@
+// Trending: the event-driven activity simulation of §2.2 (Figure 2a) —
+// generate the same network with and without events, chart the monthly
+// post volume, and list the biggest simulated events with the observed
+// spike around each.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	"ldbcsnb/internal/datagen"
+	"ldbcsnb/internal/dict"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	base := datagen.Config{Seed: 11, Persons: 250, Workers: 2}
+	uniform := datagen.Generate(base)
+	withEvents := base
+	withEvents.Events = true
+	spiky := datagen.Generate(withEvents)
+
+	const month = 30 * 24 * 3600 * 1000
+	nMonths := int((datagen.SimEnd-datagen.SimStart)/month) + 1
+	bucket := func(posts []int64) []int {
+		out := make([]int, nMonths)
+		for _, t := range posts {
+			if i := int((t - datagen.SimStart) / month); i >= 0 && i < nMonths {
+				out[i]++
+			}
+		}
+		return out
+	}
+	var ut, st []int64
+	for i := range uniform.Data.Posts {
+		ut = append(ut, uniform.Data.Posts[i].CreationDate)
+	}
+	for i := range spiky.Data.Posts {
+		st = append(st, spiky.Data.Posts[i].CreationDate)
+	}
+	ub, sb := bucket(ut), bucket(st)
+
+	maxV := 1
+	for _, v := range sb {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	fmt.Println("30-day-bucket post volume (u = uniform, # = event-driven):")
+	for i := 0; i < nMonths; i++ {
+		t := time.UnixMilli(datagen.SimStart + int64(i)*month).UTC()
+		nS := sb[i] * 40 / maxV
+		nU := ub[i] * 40 / maxV
+		fmt.Printf("%3d %s  %5d |%s\n", i+1, t.Format("2006-01-02"), sb[i], bar(nS, '#'))
+		fmt.Printf("               %5d |%s\n", ub[i], bar(nU, 'u'))
+	}
+
+	// Largest events and their observed spikes.
+	events := append([]datagen.Event(nil), spiky.Events...)
+	sort.Slice(events, func(i, j int) bool { return events[i].Magnitude > events[j].Magnitude })
+	fmt.Println("\ntop events (topic, time, observed posts about topic within decay window):")
+	for i, e := range events {
+		if i == 5 {
+			break
+		}
+		hits := 0
+		for j := range spiky.Data.Posts {
+			p := &spiky.Data.Posts[j]
+			if p.Topic == e.Tag && p.CreationDate > e.Time-int64(e.Decay) &&
+				p.CreationDate < e.Time+3*int64(e.Decay) {
+				hits++
+			}
+		}
+		fmt.Printf("  %-14s %s  magnitude %4.1f  posts in window: %d\n",
+			dict.Tags[e.Tag].Name,
+			time.UnixMilli(e.Time).UTC().Format("2006-01-02"),
+			e.Magnitude, hits)
+	}
+}
+
+func bar(n int, c byte) string {
+	if n < 0 {
+		n = 0
+	}
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = c
+	}
+	return string(out)
+}

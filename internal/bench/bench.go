@@ -1,0 +1,102 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (§5 plus the figures of §2 and §4.1), using the scaled-down
+// datasets DESIGN.md documents. Each experiment returns a Result that
+// renders as an ASCII table; bench_test.go exposes one testing.B benchmark
+// per experiment and cmd/snb-report prints them all.
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"ldbcsnb/internal/datagen"
+	"ldbcsnb/internal/schema"
+	"ldbcsnb/internal/store"
+)
+
+// Result is one regenerated table or figure.
+type Result struct {
+	ID     string // e.g. "Table 6", "Figure 5b"
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  string // expected shape vs the paper, caveats
+}
+
+// Render formats the result as an ASCII table.
+func (r *Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s — %s ==\n", r.ID, r.Title)
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(r.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range r.Rows {
+		line(row)
+	}
+	if r.Notes != "" {
+		fmt.Fprintf(&b, "note: %s\n", r.Notes)
+	}
+	return b.String()
+}
+
+// Env is a generated-and-loaded benchmark environment shared by the
+// experiments that need a populated store.
+type Env struct {
+	Cfg     datagen.Config
+	Out     *datagen.Output
+	Full    *schema.Dataset
+	Bulk    *schema.Dataset
+	Updates []schema.Update
+	Store   *store.Store
+}
+
+// DefaultPersons is the default environment scale: large enough for every
+// query to touch meaningful data, small enough for laptop benchmarking.
+const DefaultPersons = 400
+
+// NewEnv generates a dataset (with events enabled), splits it at the
+// 32-month cut and bulk-loads the store.
+func NewEnv(persons int, seed uint64) (*Env, error) {
+	if persons <= 0 {
+		persons = DefaultPersons
+	}
+	cfg := datagen.Config{Seed: seed, Persons: persons, Workers: 2, Events: true}
+	out := datagen.Generate(cfg)
+	bulk, updates := datagen.Split(out.Data, datagen.UpdateCut)
+	st := store.New()
+	schema.RegisterIndexes(st)
+	if err := schema.LoadDimensions(st); err != nil {
+		return nil, err
+	}
+	if err := schema.Load(st, bulk); err != nil {
+		return nil, err
+	}
+	return &Env{Cfg: cfg, Out: out, Full: out.Data, Bulk: bulk, Updates: updates, Store: st}, nil
+}
+
+func ms(d float64) string { return fmt.Sprintf("%.3f", d) }

@@ -1,0 +1,298 @@
+package bench
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	envOnce sync.Once
+	envVal  *Env
+	envErr  error
+)
+
+func testEnv(t *testing.T) *Env {
+	t.Helper()
+	envOnce.Do(func() {
+		envVal, envErr = NewEnv(250, 7)
+	})
+	if envErr != nil {
+		t.Fatal(envErr)
+	}
+	return envVal
+}
+
+func TestRenderTable(t *testing.T) {
+	r := &Result{
+		ID: "Table X", Title: "demo",
+		Header: []string{"a", "bb"},
+		Rows:   [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:  "shape",
+	}
+	s := r.Render()
+	for _, want := range []string{"Table X", "demo", "a", "bb", "333", "note: shape"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("render missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	env := testEnv(t)
+	res := Table2(env)
+	if len(res.Rows) != 10 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// German typical names must lead the Germany column.
+	joined := ""
+	for _, row := range res.Rows[:3] {
+		joined += row[1] + " "
+	}
+	found := 0
+	for _, n := range []string{"Karl", "Hans", "Wolfgang", "Fritz", "Rudolf", "Walter", "Franz", "Paul", "Otto", "Wilhelm"} {
+		if strings.Contains(joined, n) {
+			found++
+		}
+	}
+	if found == 0 {
+		t.Fatalf("no German typical names in top-3: %q", joined)
+	}
+}
+
+func TestTable3Scaling(t *testing.T) {
+	res := Table3([]int{100, 200}, 3)
+	if len(res.Rows) != 2 {
+		t.Fatal("rows")
+	}
+	// Messages scale superlinearly-ish in persons (degree grows too).
+	m0, _ := strconv.Atoi(res.Rows[0][4])
+	m1, _ := strconv.Atoi(res.Rows[1][4])
+	if m1 <= m0 {
+		t.Fatalf("messages must grow with scale: %d -> %d", m0, m1)
+	}
+	// Friends/person grows with scale (the avg-degree formula).
+	f0, _ := strconv.ParseFloat(res.Rows[0][7], 64)
+	f1, _ := strconv.ParseFloat(res.Rows[1][7], 64)
+	if f1 <= f0*0.8 {
+		t.Fatalf("degree should not shrink with scale: %v -> %v", f0, f1)
+	}
+}
+
+func TestTable4(t *testing.T) {
+	env := testEnv(t)
+	res := Table4(env)
+	if len(res.Rows) != 14 {
+		t.Fatal("need 14 queries")
+	}
+	if res.Rows[0][1] != "132" || res.Rows[7][1] != "13" {
+		t.Fatalf("paper frequencies wrong: %v", res.Rows[0])
+	}
+}
+
+func TestTable5Scaling(t *testing.T) {
+	env := testEnv(t)
+	res := Table5(env, []int{1, 4})
+	if len(res.Rows) != 2 {
+		t.Fatal("rows")
+	}
+	for _, row := range res.Rows {
+		t1, _ := strconv.ParseFloat(row[1], 64)
+		t4, _ := strconv.ParseFloat(row[2], 64)
+		if t4 < 2*t1 {
+			t.Fatalf("sleep connector scaling too weak: %s -> 1p %.0f, 4p %.0f", row[0], t1, t4)
+		}
+	}
+}
+
+func TestInteractiveTables(t *testing.T) {
+	env := testEnv(t)
+	rep := RunInteractive(env, 1)
+	t6, t7, t9 := Table6(rep), Table7(rep), Table9(rep)
+	if len(t6.Rows) != 14 || len(t7.Rows) != 7 || len(t9.Rows) != 8 {
+		t.Fatalf("table sizes: %d %d %d", len(t6.Rows), len(t7.Rows), len(t9.Rows))
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("interactive errors: %d", rep.Errors)
+	}
+	// Table 9 counts must cover the replayed updates.
+	total := 0
+	for _, row := range t9.Rows {
+		n, _ := strconv.Atoi(row[2])
+		total += n
+	}
+	if total == 0 {
+		t.Fatal("no updates measured")
+	}
+}
+
+func TestTable8Shape(t *testing.T) {
+	env := testEnv(t)
+	res := Table8(env)
+	if len(res.Rows) == 0 {
+		t.Fatal("no storage rows")
+	}
+	// Largest table should be a message table (posts or comments), like
+	// the paper's `post`.
+	first := res.Rows[0][1]
+	if first != "Post" && first != "Comment" && first != "hasCreator" && first != "hasTag" && first != "likes" {
+		t.Fatalf("unexpected largest table %q", first)
+	}
+}
+
+func TestFigure2aStructure(t *testing.T) {
+	// The spike property itself (event-topic clustering) is asserted in
+	// datagen's TestEventDrivenSpikes; here we validate the figure's
+	// structure: full month coverage and populated series.
+	res := Figure2a(200, 5)
+	if len(res.Rows) < 30 {
+		t.Fatalf("months = %d", len(res.Rows))
+	}
+	sumU, sumE := 0, 0
+	for _, row := range res.Rows {
+		u, err := strconv.Atoi(row[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := strconv.Atoi(row[2])
+		if err != nil {
+			t.Fatal(err)
+		}
+		sumU += u
+		sumE += e
+	}
+	if sumU == 0 || sumE == 0 {
+		t.Fatalf("empty series: uniform %d event %d", sumU, sumE)
+	}
+	// Both runs share the config except events, so volumes are comparable.
+	if sumE < sumU/3 || sumE > sumU*3 {
+		t.Fatalf("series volumes diverge: uniform %d event %d", sumU, sumE)
+	}
+}
+
+func TestFigure2bMonotone(t *testing.T) {
+	res := Figure2b()
+	prev := -1
+	for _, row := range res.Rows {
+		v, _ := strconv.Atoi(row[1])
+		if v < prev {
+			t.Fatal("degree curve not monotone")
+		}
+		prev = v
+	}
+	last, _ := strconv.Atoi(res.Rows[len(res.Rows)-1][1])
+	if last != 5000 {
+		t.Fatalf("cap = %d", last)
+	}
+}
+
+func TestFigure3aHeavyTail(t *testing.T) {
+	env := testEnv(t)
+	res := Figure3a(env)
+	if len(res.Rows) < 3 {
+		t.Fatalf("buckets = %d", len(res.Rows))
+	}
+	// More mass in mid buckets than the last bucket (tail is thin but long).
+	first, _ := strconv.Atoi(res.Rows[1][1])
+	last, _ := strconv.Atoi(res.Rows[len(res.Rows)-1][1])
+	if last > first {
+		t.Fatalf("tail bucket (%d) heavier than head (%d)", last, first)
+	}
+}
+
+func TestFigure3bRuns(t *testing.T) {
+	res := Figure3b([]int{60, 120}, []int{1, 2}, 4)
+	if len(res.Rows) != 2 || len(res.Rows[0]) != 3 {
+		t.Fatal("shape")
+	}
+}
+
+func TestFigure4JoinAblation(t *testing.T) {
+	env := testEnv(t)
+	res := Figure4(env, 2)
+	if len(res.Rows) != 4 {
+		t.Fatal("plans")
+	}
+	intended, _ := strconv.ParseFloat(res.Rows[0][1], 64)
+	wrong1, _ := strconv.ParseFloat(res.Rows[1][1], 64)
+	if wrong1 <= intended {
+		t.Fatalf("hash-expand (%.3fms) should cost more than intended plan (%.3fms)", wrong1, intended)
+	}
+}
+
+func TestFigure5aSpread(t *testing.T) {
+	env := testEnv(t)
+	res := Figure5a(env)
+	p10, _ := strconv.Atoi(res.Rows[1][1])
+	p90, _ := strconv.Atoi(res.Rows[5][1])
+	if p90 < p10*2 {
+		t.Fatalf("2-hop spread too narrow: p10=%d p90=%d", p10, p90)
+	}
+}
+
+func TestFigure5bCurationCollapsesVariance(t *testing.T) {
+	// Wall-clock comparison on a shared single-core host: retry a few
+	// times and require the property to hold at least once, failing only
+	// when it is consistently inverted (which would indicate a real
+	// curation defect, not timing noise).
+	env := testEnv(t)
+	var last string
+	for attempt := 0; attempt < 3; attempt++ {
+		res := Figure5b(env, 15)
+		if len(res.Rows) != 2 {
+			t.Fatal("rows")
+		}
+		uStd, _ := strconv.ParseFloat(res.Rows[0][2], 64)
+		cStd, _ := strconv.ParseFloat(res.Rows[1][2], 64)
+		if cStd <= uStd {
+			return
+		}
+		last = res.Render()
+	}
+	t.Fatalf("curated stddev above uniform in 3 consecutive attempts:\n%s", last)
+}
+
+func TestAblationWindowed(t *testing.T) {
+	env := testEnv(t)
+	res := AblationWindowed(env, 4)
+	if len(res.Rows) != 2 {
+		t.Fatal("rows")
+	}
+	par, _ := strconv.ParseFloat(res.Rows[0][1], 64)
+	win, _ := strconv.ParseFloat(res.Rows[1][1], 64)
+	if par <= 0 || win <= 0 {
+		t.Fatal("throughput missing")
+	}
+	// Windowed coalesces synchronisation; it must stay within 40% of
+	// parallel (usually it is at least as fast).
+	if win < 0.6*par {
+		t.Fatalf("windowed %.0f much slower than parallel %.0f", win, par)
+	}
+}
+
+func TestAblationTimeOrderedIDs(t *testing.T) {
+	env := testEnv(t)
+	res := AblationTimeOrderedIDs(env, 10)
+	o, _ := strconv.ParseFloat(res.Rows[0][1], 64)
+	s, _ := strconv.ParseFloat(res.Rows[1][1], 64)
+	if o <= 0 || s <= 0 {
+		t.Fatal("timings missing")
+	}
+	if s < o {
+		t.Fatalf("property re-sort (%.1fµs) should not beat stamp order (%.1fµs)", s, o)
+	}
+}
+
+func TestAblationCuratedMix(t *testing.T) {
+	env := testEnv(t)
+	res := AblationCuratedMix(env, 10)
+	if len(res.Rows) != 2 {
+		t.Fatal("rows")
+	}
+	// Curated rows use the same deterministic selection twice: drift must
+	// be small (timing noise only).
+	if res.Rows[1][1] == "0.000" {
+		t.Fatal("curated run measured nothing")
+	}
+}

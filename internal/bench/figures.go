@@ -1,0 +1,278 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"time"
+
+	"ldbcsnb/internal/datagen"
+	"ldbcsnb/internal/distr"
+	"ldbcsnb/internal/ids"
+	"ldbcsnb/internal/params"
+	"ldbcsnb/internal/store"
+	"ldbcsnb/internal/workload"
+	"ldbcsnb/internal/xrand"
+)
+
+// Figure2a — post density over time, uniform vs event-driven generation.
+// Rendered as monthly bucket counts plus an ASCII sparkline per series.
+func Figure2a(persons int, seed uint64) *Result {
+	base := datagen.Config{Seed: seed, Persons: persons, Workers: 2}
+	uniform := datagen.Generate(base)
+	withEv := base
+	withEv.Events = true
+	spiky := datagen.Generate(withEv)
+
+	const month = 30 * 24 * 3600 * 1000
+	buckets := func(d []int64) []int {
+		n := int((datagen.SimEnd-datagen.SimStart)/month) + 1
+		out := make([]int, n)
+		for _, t := range d {
+			i := int((t - datagen.SimStart) / month)
+			if i >= 0 && i < n {
+				out[i]++
+			}
+		}
+		return out
+	}
+	var uts, sts []int64
+	for i := range uniform.Data.Posts {
+		uts = append(uts, uniform.Data.Posts[i].CreationDate)
+	}
+	for i := range spiky.Data.Posts {
+		sts = append(sts, spiky.Data.Posts[i].CreationDate)
+	}
+	ub, sb := buckets(uts), buckets(sts)
+
+	res := &Result{
+		ID:     "Figure 2a",
+		Title:  "Post density over time: uniform vs event-driven (monthly buckets)",
+		Header: []string{"month", "uniform", "event-driven", "spark"},
+		Notes:  "event-driven series must show spikes (high max/median ratio) where uniform is smooth",
+	}
+	maxS := 1
+	for _, v := range sb {
+		if v > maxS {
+			maxS = v
+		}
+	}
+	for i := range ub {
+		bar := sparkBar(sb[i], maxS, 24)
+		res.Rows = append(res.Rows, []string{
+			strconv.Itoa(i + 1), strconv.Itoa(ub[i]), strconv.Itoa(sb[i]), bar,
+		})
+	}
+	return res
+}
+
+func sparkBar(v, max, width int) string {
+	n := v * width / max
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = '#'
+	}
+	return string(out)
+}
+
+// Figure2b — maximum degree of each percentile of the (digitised)
+// Facebook degree curve used by the generator.
+func Figure2b() *Result {
+	res := &Result{
+		ID:     "Figure 2b",
+		Title:  "Maximum degree per percentile (Facebook curve driving DATAGEN)",
+		Header: []string{"percentile", "max degree"},
+		Notes:  "log-scale straight line from ~10 to 1000 with a tail upturn to the 5000 cap",
+	}
+	for p := 0; p <= 100; p += 5 {
+		res.Rows = append(res.Rows, []string{strconv.Itoa(p), strconv.Itoa(distr.MaxDegreeAtPercentile(p))})
+	}
+	return res
+}
+
+// Figure3a — friendship degree distribution of the generated graph,
+// log-spaced histogram.
+func Figure3a(env *Env) *Result {
+	deg := map[ids.ID]int{}
+	for _, k := range env.Full.Knows {
+		deg[k.A]++
+		deg[k.B]++
+	}
+	// Log-spaced buckets 1,2,4,8,...
+	counts := map[int]int{}
+	maxB := 0
+	for _, d := range deg {
+		b := 0
+		for v := d; v > 1; v /= 2 {
+			b++
+		}
+		counts[b]++
+		if b > maxB {
+			maxB = b
+		}
+	}
+	res := &Result{
+		ID:     "Figure 3a",
+		Title:  "Friendship degree distribution (log-spaced buckets)",
+		Header: []string{"degree range", "persons"},
+		Notes:  "heavy tail: bucket counts decay roughly geometrically, max degree >> mean",
+	}
+	for b := 0; b <= maxB; b++ {
+		lo := 1 << b
+		hi := 1<<(b+1) - 1
+		res.Rows = append(res.Rows, []string{
+			fmt.Sprintf("%d-%d", lo, hi), strconv.Itoa(counts[b]),
+		})
+	}
+	return res
+}
+
+// Figure3b — DATAGEN scale-up: generation wall time at several scales and
+// worker counts (the paper's single-node vs cluster plot, scaled down).
+func Figure3b(scales []int, workers []int, seed uint64) *Result {
+	res := &Result{
+		ID:     "Figure 3b",
+		Title:  "DATAGEN generation time (ms) by scale and workers",
+		Header: append([]string{"persons"}, intsToStrings(workers)...),
+		Notes:  "generation time grows ~linearly with scale; workers reduce wall time on multi-core hardware (single-core here, so expect flat)",
+	}
+	for _, n := range scales {
+		row := []string{strconv.Itoa(n)}
+		for _, w := range workers {
+			t0 := time.Now()
+			datagen.Generate(datagen.Config{Seed: seed, Persons: n, Workers: w})
+			row = append(row, strconv.FormatInt(time.Since(t0).Milliseconds(), 10))
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// Figure4 — the §3 join-type choke point: Query 9 under the four physical
+// plans. The intended plan (INL expand + INL message fetch) must beat
+// plans that hash-build the wrong side.
+func Figure4(env *Env, reps int) *Result {
+	if reps <= 0 {
+		reps = 5
+	}
+	q9 := params.BuildQ9Table(env.Full)
+	var people []ids.ID
+	for _, p := range q9.Curate(10) {
+		people = append(people, ids.ID(p))
+	}
+	maxDate := datagen.UpdateCut
+	plans := []struct {
+		name string
+		plan workload.Q9Plan
+	}{
+		{"INL+INL (intended)", workload.Q9Plan{FriendExpand: workload.JoinINL, MessageJoin: workload.JoinINL}},
+		{"Hash+INL (wrong join1)", workload.Q9Plan{FriendExpand: workload.JoinHash, MessageJoin: workload.JoinINL}},
+		{"INL+Hash (scan join3)", workload.Q9Plan{FriendExpand: workload.JoinINL, MessageJoin: workload.JoinHash}},
+		{"Hash+Hash", workload.Q9Plan{FriendExpand: workload.JoinHash, MessageJoin: workload.JoinHash}},
+	}
+	res := &Result{
+		ID:     "Figure 4",
+		Title:  "Query 9 join-type ablation (mean ms over curated persons)",
+		Header: []string{"plan", "mean ms", "vs intended"},
+		Notes:  "paper: wrong join type in join1 costs ~50% in HyPer; here hash-building the full knows/message relations must be clearly slower",
+	}
+	var baseline float64
+	for _, pl := range plans {
+		start := time.Now()
+		env.Store.View(func(tx *store.Txn) {
+			for r := 0; r < reps; r++ {
+				for _, p := range people {
+					workload.Q9Join(tx, p, maxDate, pl.plan)
+				}
+			}
+		})
+		mean := float64(time.Since(start).Microseconds()) / 1000 / float64(reps*len(people))
+		if baseline == 0 {
+			baseline = mean
+		}
+		res.Rows = append(res.Rows, []string{
+			pl.name, ms(mean), fmt.Sprintf("%.2fx", mean/baseline),
+		})
+	}
+	return res
+}
+
+// Figure5a — distribution of the 2-hop friend environment size.
+func Figure5a(env *Env) *Result {
+	sizes := params.TwoHopSizes(env.Full)
+	res := &Result{
+		ID:     "Figure 5a",
+		Title:  "Distribution of 2-hop friend environment size",
+		Header: []string{"percentile", "2-hop size"},
+		Notes:  "wide multimodal spread: p10 and p90 differ by a large factor (the reason uniform parameters fail)",
+	}
+	for _, p := range []int{0, 10, 25, 50, 75, 90, 99, 100} {
+		i := p * (len(sizes) - 1) / 100
+		res.Rows = append(res.Rows, []string{strconv.Itoa(p), strconv.Itoa(sizes[i])})
+	}
+	return res
+}
+
+// Figure5b — Query 5 runtime distribution under uniform vs curated
+// parameter selection: the defining experiment of Parameter Curation.
+func Figure5b(env *Env, k int) *Result {
+	if k <= 0 {
+		k = 20
+	}
+	tab := params.BuildQ5Table(env.Full)
+	r := xrand.New(env.Cfg.Seed, xrand.PurposeShortRead, 999)
+	uniform := tab.UniformSample(k, r.Uint64)
+	curated := tab.Curate(k)
+
+	run := func(sel []uint64) (meanMs, stddevMs, minMs, maxMs float64) {
+		var samples []float64
+		env.Store.View(func(tx *store.Txn) {
+			for _, p := range sel {
+				// Best of three repetitions per binding: scheduler noise on
+				// shared/single-core hosts would otherwise dominate the
+				// microsecond-scale curated runtimes.
+				best := math.Inf(1)
+				for rep := 0; rep < 3; rep++ {
+					t0 := time.Now()
+					workload.Q5(tx, ids.ID(p), datagen.SimStart)
+					if v := float64(time.Since(t0).Microseconds()) / 1000; v < best {
+						best = v
+					}
+				}
+				samples = append(samples, best)
+			}
+		})
+		sort.Float64s(samples)
+		sum := 0.0
+		for _, s := range samples {
+			sum += s
+		}
+		mean := sum / float64(len(samples))
+		v := 0.0
+		for _, s := range samples {
+			v += (s - mean) * (s - mean)
+		}
+		v /= float64(len(samples))
+		return mean, math.Sqrt(v), samples[0], samples[len(samples)-1]
+	}
+	um, us, umin, umax := run(uniform)
+	cm, cs, cmin, cmax := run(curated)
+
+	res := &Result{
+		ID:     "Figure 5b",
+		Title:  "Q5 runtime distribution: uniform vs curated parameters (ms)",
+		Header: []string{"selection", "mean", "stddev", "min", "max", "max/min"},
+		Notes:  "paper: uniform parameters give >100x spread between fastest and slowest run; curation collapses the variance",
+	}
+	res.Rows = append(res.Rows, []string{"uniform", ms(um), ms(us), ms(umin), ms(umax), ratioStr(umax, umin)})
+	res.Rows = append(res.Rows, []string{"curated", ms(cm), ms(cs), ms(cmin), ms(cmax), ratioStr(cmax, cmin)})
+	return res
+}
+
+func ratioStr(a, b float64) string {
+	if b <= 0 {
+		return "inf"
+	}
+	return fmt.Sprintf("%.1fx", a/b)
+}

@@ -1,0 +1,408 @@
+// Package bi implements a working draft of the SNB Business Intelligence
+// workload, which §1 of the paper describes as "a set of queries that
+// access a large percentage of all entities in the dataset (the 'fact
+// tables'), and groups these in various dimensions ... the distinguishing
+// factor is the presence of graph traversal predicates and recursion",
+// akin to TPC-H/TPC-DS with graph flavour. The paper marks SNB-BI as a
+// working draft; the eight queries here cover its stated dimensions:
+// full-fact-table scans, time/geography/tag group-bys, and traversal
+// predicates over the friendship graph and the tag-class hierarchy.
+package bi
+
+import (
+	"sort"
+	"time"
+
+	"ldbcsnb/internal/ids"
+	"ldbcsnb/internal/store"
+)
+
+// monthOf buckets a simulation timestamp into (year, month).
+func monthOf(millis int64) (int, time.Month) {
+	t := time.UnixMilli(millis).UTC()
+	return t.Year(), t.Month()
+}
+
+// allMessages streams every post and comment ID with its creation date.
+func allMessages(tx *store.Txn, fn func(id ids.ID, created int64)) {
+	for _, kind := range []ids.Kind{ids.KindPost, ids.KindComment} {
+		for _, m := range tx.NodesOfKind(kind) {
+			fn(m, tx.Prop(m, store.PropCreationDate).Int())
+		}
+	}
+}
+
+// BI1Row is a posting-summary group.
+type BI1Row struct {
+	Year         int
+	Month        time.Month
+	IsComment    bool
+	LengthClass  int // 0 short (<40), 1 medium (<120), 2 long
+	MessageCount int
+	AvgLength    float64
+}
+
+// BI1 — posting summary: group all messages by (year, month, kind, length
+// class) with counts and average length; the full-fact-table scan +
+// multi-dimension group-by of the BI workload.
+func BI1(tx *store.Txn) []BI1Row {
+	type key struct {
+		y  int
+		m  time.Month
+		c  bool
+		lc int
+	}
+	counts := map[key]*BI1Row{}
+	allMessages(tx, func(id ids.ID, created int64) {
+		length := int(tx.Prop(id, store.PropLength).Int())
+		lc := 0
+		switch {
+		case length >= 120:
+			lc = 2
+		case length >= 40:
+			lc = 1
+		}
+		y, m := monthOf(created)
+		k := key{y, m, id.Kind() == ids.KindComment, lc}
+		row := counts[k]
+		if row == nil {
+			row = &BI1Row{Year: y, Month: m, IsComment: k.c, LengthClass: lc}
+			counts[k] = row
+		}
+		row.MessageCount++
+		row.AvgLength += float64(length)
+	})
+	out := make([]BI1Row, 0, len(counts))
+	for _, r := range counts {
+		r.AvgLength /= float64(r.MessageCount)
+		out = append(out, *r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Year != b.Year {
+			return a.Year < b.Year
+		}
+		if a.Month != b.Month {
+			return a.Month < b.Month
+		}
+		if a.IsComment != b.IsComment {
+			return !a.IsComment
+		}
+		return a.LengthClass < b.LengthClass
+	})
+	return out
+}
+
+// BI2Row is a tag-evolution entry.
+type BI2Row struct {
+	Tag        ids.ID
+	Name       string
+	CountA     int
+	CountB     int
+	Difference int // |CountA - CountB|
+}
+
+// BI2 — tag evolution: compare tag usage between two consecutive windows
+// and rank by absolute change (trending topics at BI granularity).
+func BI2(tx *store.Txn, windowStart, windowLen int64, limit int) []BI2Row {
+	countIn := func(lo, hi int64) map[ids.ID]int {
+		counts := map[ids.ID]int{}
+		allMessages(tx, func(id ids.ID, created int64) {
+			if created < lo || created >= hi {
+				return
+			}
+			for _, te := range tx.Out(id, store.EdgeHasTag) {
+				counts[te.To]++
+			}
+		})
+		return counts
+	}
+	a := countIn(windowStart, windowStart+windowLen)
+	b := countIn(windowStart+windowLen, windowStart+2*windowLen)
+	tags := map[ids.ID]bool{}
+	for t := range a {
+		tags[t] = true
+	}
+	for t := range b {
+		tags[t] = true
+	}
+	var out []BI2Row
+	for t := range tags {
+		diff := a[t] - b[t]
+		if diff < 0 {
+			diff = -diff
+		}
+		out = append(out, BI2Row{
+			Tag: t, Name: tx.Prop(t, store.PropName).Str(),
+			CountA: a[t], CountB: b[t], Difference: diff,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Difference != out[j].Difference {
+			return out[i].Difference > out[j].Difference
+		}
+		return out[i].Name < out[j].Name
+	})
+	if len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+// BI3Row is a per-country topic entry.
+type BI3Row struct {
+	Country int
+	Tag     ids.ID
+	Count   int
+}
+
+// BI3 — popular topics by country: group message tags by the message's
+// country dimension; top tag per country.
+func BI3(tx *store.Txn) []BI3Row {
+	type key struct {
+		country int
+		tag     ids.ID
+	}
+	counts := map[key]int{}
+	allMessages(tx, func(id ids.ID, created int64) {
+		country := int(tx.Prop(id, store.PropCountry).Int())
+		for _, te := range tx.Out(id, store.EdgeHasTag) {
+			counts[key{country, te.To}]++
+		}
+	})
+	best := map[int]BI3Row{}
+	for k, c := range counts {
+		cur, ok := best[k.country]
+		if !ok || c > cur.Count || (c == cur.Count && k.tag < cur.Tag) {
+			best[k.country] = BI3Row{Country: k.country, Tag: k.tag, Count: c}
+		}
+	}
+	out := make([]BI3Row, 0, len(best))
+	for _, r := range best {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Country < out[j].Country })
+	return out
+}
+
+// BI4Row ranks persons by engagement.
+type BI4Row struct {
+	Person   ids.ID
+	Messages int
+	Likes    int // likes received on their messages
+	Replies  int // replies received
+	Score    int
+}
+
+// BI4 — engagement ranking: for every person, aggregate message count,
+// likes received and replies received; score = messages + 2*likes +
+// 2*replies. A whole-graph aggregation joining three fact relations.
+func BI4(tx *store.Txn, limit int) []BI4Row {
+	rows := map[ids.ID]*BI4Row{}
+	get := func(p ids.ID) *BI4Row {
+		r := rows[p]
+		if r == nil {
+			r = &BI4Row{Person: p}
+			rows[p] = r
+		}
+		return r
+	}
+	allMessages(tx, func(id ids.ID, created int64) {
+		creators := tx.Out(id, store.EdgeHasCreator)
+		if len(creators) == 0 {
+			return
+		}
+		r := get(creators[0].To)
+		r.Messages++
+		r.Likes += len(tx.In(id, store.EdgeLikes))
+		r.Replies += len(tx.In(id, store.EdgeReplyOf))
+	})
+	out := make([]BI4Row, 0, len(rows))
+	for _, r := range rows {
+		r.Score = r.Messages + 2*r.Likes + 2*r.Replies
+		out = append(out, *r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Person < out[j].Person
+	})
+	if len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+// BI5Row is a tag-class rollup.
+type BI5Row struct {
+	Class    ids.ID
+	Name     string
+	Messages int
+}
+
+// BI5 — tag-class rollup: count messages per tag class, rolling counts up
+// the isSubclassOf hierarchy to the roots (the recursion dimension of the
+// BI workload).
+func BI5(tx *store.Txn) []BI5Row {
+	// Direct counts per class.
+	direct := map[ids.ID]int{}
+	allMessages(tx, func(id ids.ID, created int64) {
+		for _, te := range tx.Out(id, store.EdgeHasTag) {
+			types := tx.Out(te.To, store.EdgeHasType)
+			if len(types) > 0 {
+				direct[types[0].To]++
+			}
+		}
+	})
+	// Roll up: every class adds its count to all ancestors.
+	total := map[ids.ID]int{}
+	for _, cls := range tx.NodesOfKind(ids.KindTagClass) {
+		c := direct[cls]
+		cur := cls
+		for depth := 0; depth < 32; depth++ {
+			total[cur] += c
+			parents := tx.Out(cur, store.EdgeIsSubclassOf)
+			if len(parents) == 0 {
+				break
+			}
+			cur = parents[0].To
+		}
+	}
+	out := make([]BI5Row, 0, len(total))
+	for cls, c := range total {
+		if c == 0 {
+			continue
+		}
+		out = append(out, BI5Row{Class: cls, Name: tx.Prop(cls, store.PropName).Str(), Messages: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Messages != out[j].Messages {
+			return out[i].Messages > out[j].Messages
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// BI6Row is a zombie-detection entry.
+type BI6Row struct {
+	Person     ids.ID
+	Messages   int
+	LikesGiven int
+}
+
+// BI6 — "zombies": persons created before a date with fewer than k
+// messages, reported with their like activity (lurkers skew engagement
+// metrics; a selective full-person scan).
+func BI6(tx *store.Txn, createdBefore int64, maxMessages int) []BI6Row {
+	likesGiven := map[ids.ID]int{}
+	msgs := map[ids.ID]int{}
+	for _, p := range tx.NodesOfKind(ids.KindPerson) {
+		likesGiven[p] = len(tx.Out(p, store.EdgeLikes))
+		msgs[p] = len(tx.In(p, store.EdgeHasCreator))
+	}
+	var out []BI6Row
+	for _, p := range tx.NodesOfKind(ids.KindPerson) {
+		if tx.Prop(p, store.PropCreationDate).Int() >= createdBefore {
+			continue
+		}
+		if msgs[p] >= maxMessages {
+			continue
+		}
+		out = append(out, BI6Row{Person: p, Messages: msgs[p], LikesGiven: likesGiven[p]})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Messages != out[j].Messages {
+			return out[i].Messages < out[j].Messages
+		}
+		return out[i].Person < out[j].Person
+	})
+	return out
+}
+
+// BI7Row scores a forum by the reach of its member network.
+type BI7Row struct {
+	Forum   ids.ID
+	Title   string
+	Members int
+	Reach   int // distinct persons within one knows-hop of the members
+}
+
+// BI7 — forum reach: for the largest forums, the size of the 1-hop
+// friendship neighbourhood of the membership (graph traversal predicate
+// over a group-by result).
+func BI7(tx *store.Txn, limit int) []BI7Row {
+	forums := tx.NodesOfKind(ids.KindForum)
+	type fm struct {
+		forum   ids.ID
+		members []store.Edge
+	}
+	all := make([]fm, 0, len(forums))
+	for _, f := range forums {
+		all = append(all, fm{f, tx.Out(f, store.EdgeHasMember)})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if len(all[i].members) != len(all[j].members) {
+			return len(all[i].members) > len(all[j].members)
+		}
+		return all[i].forum < all[j].forum
+	})
+	if len(all) > limit {
+		all = all[:limit]
+	}
+	out := make([]BI7Row, 0, len(all))
+	for _, f := range all {
+		reach := map[ids.ID]bool{}
+		for _, m := range f.members {
+			reach[m.To] = true
+			for _, e := range tx.Out(m.To, store.EdgeKnows) {
+				reach[e.To] = true
+			}
+		}
+		out = append(out, BI7Row{
+			Forum: f.forum, Title: tx.Prop(f.forum, store.PropTitle).Str(),
+			Members: len(f.members), Reach: len(reach),
+		})
+	}
+	return out
+}
+
+// BI8Row is a conversation-depth histogram bucket.
+type BI8Row struct {
+	Depth    int
+	Comments int
+}
+
+// BI8 — thread depth histogram: the distribution of reply depths over all
+// comments (recursive traversal of the reply trees; "trees made by replies
+// to posts" is a §3 choke point).
+func BI8(tx *store.Txn) []BI8Row {
+	depth := map[ids.ID]int{}
+	var resolve func(id ids.ID) int
+	resolve = func(id ids.ID) int {
+		if id.Kind() == ids.KindPost {
+			return 0
+		}
+		if d, ok := depth[id]; ok {
+			return d
+		}
+		parents := tx.Out(id, store.EdgeReplyOf)
+		if len(parents) == 0 {
+			return 0
+		}
+		d := resolve(parents[0].To) + 1
+		depth[id] = d
+		return d
+	}
+	hist := map[int]int{}
+	for _, c := range tx.NodesOfKind(ids.KindComment) {
+		hist[resolve(c)]++
+	}
+	out := make([]BI8Row, 0, len(hist))
+	for d, n := range hist {
+		out = append(out, BI8Row{Depth: d, Comments: n})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Depth < out[j].Depth })
+	return out
+}

@@ -1,0 +1,239 @@
+// Package btree implements an in-memory B+tree keyed by (int64, uint64)
+// composite keys, used by the store for ordered secondary indexes such as
+// the creationDate indexes the paper's choke-point analysis calls out
+// ("handling scattered index access patterns", §3; the l_creationdate /
+// ps_content indexes of Table 8).
+//
+// Keys are (Key, Sub) pairs: Key is the ordering attribute (e.g. a
+// timestamp, negated for descending scans) and Sub disambiguates entries
+// with equal attribute values (e.g. the entity ID). Values are uint64
+// payloads (entity IDs).
+package btree
+
+import "sort"
+
+const (
+	// degree is the maximum number of keys per leaf/branch node. 32 keeps
+	// nodes within a couple of cache lines while bounding depth.
+	degree = 32
+	minLen = degree / 2
+)
+
+// Entry is one index entry.
+type Entry struct {
+	Key int64
+	Sub uint64
+	Val uint64
+}
+
+// less orders entries by (Key, Sub).
+func less(aK int64, aS uint64, bK int64, bS uint64) bool {
+	if aK != bK {
+		return aK < bK
+	}
+	return aS < bS
+}
+
+type node struct {
+	// leaf nodes: entries holds data, next links the leaf chain.
+	// branch nodes: children holds degree+1 subtrees, keys[i] is the
+	// smallest entry key in children[i+1].
+	leaf     bool
+	entries  []Entry
+	keys     []Entry // branch separators (Val unused)
+	children []*node
+	next     *node
+}
+
+// Tree is a B+tree. The zero value is an empty tree ready for use.
+type Tree struct {
+	root *node
+	size int
+}
+
+// Len returns the number of entries.
+func (t *Tree) Len() int { return t.size }
+
+// Insert adds an entry. Duplicate (Key, Sub) pairs overwrite the value.
+func (t *Tree) Insert(key int64, sub, val uint64) {
+	if t.root == nil {
+		t.root = &node{leaf: true}
+	}
+	replaced := t.root.insert(Entry{key, sub, val})
+	if !replaced {
+		t.size++
+	}
+	if t.overflowed(t.root) {
+		left := t.root
+		mid, right := t.split(left)
+		t.root = &node{
+			keys:     []Entry{mid},
+			children: []*node{left, right},
+		}
+	}
+}
+
+func (t *Tree) overflowed(n *node) bool {
+	if n.leaf {
+		return len(n.entries) > degree
+	}
+	return len(n.children) > degree+1
+}
+
+// split divides an overflowed node, returning the separator and new right
+// sibling.
+func (t *Tree) split(n *node) (Entry, *node) {
+	if n.leaf {
+		mid := len(n.entries) / 2
+		right := &node{leaf: true, entries: append([]Entry(nil), n.entries[mid:]...), next: n.next}
+		n.entries = n.entries[:mid]
+		n.next = right
+		return Entry{right.entries[0].Key, right.entries[0].Sub, 0}, right
+	}
+	midIdx := len(n.keys) / 2
+	sep := n.keys[midIdx]
+	right := &node{
+		keys:     append([]Entry(nil), n.keys[midIdx+1:]...),
+		children: append([]*node(nil), n.children[midIdx+1:]...),
+	}
+	n.keys = n.keys[:midIdx]
+	n.children = n.children[:midIdx+1]
+	return sep, right
+}
+
+// insert descends to the leaf; reports whether an existing entry was
+// replaced. Children that overflow are split on the way back up.
+func (n *node) insert(e Entry) bool {
+	if n.leaf {
+		i := sort.Search(len(n.entries), func(i int) bool {
+			return !less(n.entries[i].Key, n.entries[i].Sub, e.Key, e.Sub)
+		})
+		if i < len(n.entries) && n.entries[i].Key == e.Key && n.entries[i].Sub == e.Sub {
+			n.entries[i].Val = e.Val
+			return true
+		}
+		n.entries = append(n.entries, Entry{})
+		copy(n.entries[i+1:], n.entries[i:])
+		n.entries[i] = e
+		return false
+	}
+	ci := sort.Search(len(n.keys), func(i int) bool {
+		return less(e.Key, e.Sub, n.keys[i].Key, n.keys[i].Sub)
+	})
+	child := n.children[ci]
+	replaced := child.insert(e)
+	if (child.leaf && len(child.entries) > degree) || (!child.leaf && len(child.children) > degree+1) {
+		var tr Tree
+		sep, right := tr.split(child)
+		n.keys = append(n.keys, Entry{})
+		copy(n.keys[ci+1:], n.keys[ci:])
+		n.keys[ci] = sep
+		n.children = append(n.children, nil)
+		copy(n.children[ci+2:], n.children[ci+1:])
+		n.children[ci+1] = right
+		return replaced
+	}
+	return replaced
+}
+
+// Delete removes the entry with the given (key, sub), reporting whether it
+// existed. Underflowed nodes are left in place (lazy deletion); for the
+// workload's insert-heavy update stream this keeps Delete O(log n) without
+// rebalancing complexity, at a bounded space cost.
+func (t *Tree) Delete(key int64, sub uint64) bool {
+	n := t.root
+	if n == nil {
+		return false
+	}
+	for !n.leaf {
+		ci := sort.Search(len(n.keys), func(i int) bool {
+			return less(key, sub, n.keys[i].Key, n.keys[i].Sub)
+		})
+		n = n.children[ci]
+	}
+	i := sort.Search(len(n.entries), func(i int) bool {
+		return !less(n.entries[i].Key, n.entries[i].Sub, key, sub)
+	})
+	if i < len(n.entries) && n.entries[i].Key == key && n.entries[i].Sub == sub {
+		n.entries = append(n.entries[:i], n.entries[i+1:]...)
+		t.size--
+		return true
+	}
+	return false
+}
+
+// Get returns the value for (key, sub).
+func (t *Tree) Get(key int64, sub uint64) (uint64, bool) {
+	n := t.root
+	if n == nil {
+		return 0, false
+	}
+	for !n.leaf {
+		ci := sort.Search(len(n.keys), func(i int) bool {
+			return less(key, sub, n.keys[i].Key, n.keys[i].Sub)
+		})
+		n = n.children[ci]
+	}
+	i := sort.Search(len(n.entries), func(i int) bool {
+		return !less(n.entries[i].Key, n.entries[i].Sub, key, sub)
+	})
+	if i < len(n.entries) && n.entries[i].Key == key && n.entries[i].Sub == sub {
+		return n.entries[i].Val, true
+	}
+	return 0, false
+}
+
+// Ascend calls fn for every entry with key >= fromKey in ascending order,
+// stopping when fn returns false.
+func (t *Tree) Ascend(fromKey int64, fromSub uint64, fn func(Entry) bool) {
+	n := t.root
+	if n == nil {
+		return
+	}
+	for !n.leaf {
+		ci := sort.Search(len(n.keys), func(i int) bool {
+			return less(fromKey, fromSub, n.keys[i].Key, n.keys[i].Sub)
+		})
+		n = n.children[ci]
+	}
+	i := sort.Search(len(n.entries), func(i int) bool {
+		return !less(n.entries[i].Key, n.entries[i].Sub, fromKey, fromSub)
+	})
+	for n != nil {
+		for ; i < len(n.entries); i++ {
+			if !fn(n.entries[i]) {
+				return
+			}
+		}
+		n = n.next
+		i = 0
+	}
+}
+
+// AscendRange calls fn for entries with fromKey <= key < toKey.
+func (t *Tree) AscendRange(fromKey, toKey int64, fn func(Entry) bool) {
+	t.Ascend(fromKey, 0, func(e Entry) bool {
+		if e.Key >= toKey {
+			return false
+		}
+		return fn(e)
+	})
+}
+
+// Min returns the smallest entry, if any.
+func (t *Tree) Min() (Entry, bool) {
+	n := t.root
+	if n == nil {
+		return Entry{}, false
+	}
+	for !n.leaf {
+		n = n.children[0]
+	}
+	for n != nil {
+		if len(n.entries) > 0 {
+			return n.entries[0], true
+		}
+		n = n.next
+	}
+	return Entry{}, false
+}

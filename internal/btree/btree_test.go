@@ -1,0 +1,256 @@
+package btree
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"ldbcsnb/internal/xrand"
+)
+
+func TestEmptyTree(t *testing.T) {
+	var tr Tree
+	if tr.Len() != 0 {
+		t.Fatal("empty tree length")
+	}
+	if _, ok := tr.Get(1, 1); ok {
+		t.Fatal("Get on empty tree")
+	}
+	if _, ok := tr.Min(); ok {
+		t.Fatal("Min on empty tree")
+	}
+	if tr.Delete(1, 1) {
+		t.Fatal("Delete on empty tree")
+	}
+	tr.Ascend(0, 0, func(Entry) bool { t.Fatal("unexpected entry"); return false })
+}
+
+func TestInsertGet(t *testing.T) {
+	var tr Tree
+	for i := int64(0); i < 1000; i++ {
+		tr.Insert(i*3, uint64(i), uint64(i*10))
+	}
+	if tr.Len() != 1000 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	for i := int64(0); i < 1000; i++ {
+		v, ok := tr.Get(i*3, uint64(i))
+		if !ok || v != uint64(i*10) {
+			t.Fatalf("Get(%d) = %d,%v", i*3, v, ok)
+		}
+	}
+	if _, ok := tr.Get(1, 0); ok {
+		t.Fatal("phantom key")
+	}
+}
+
+func TestInsertOverwrite(t *testing.T) {
+	var tr Tree
+	tr.Insert(5, 1, 100)
+	tr.Insert(5, 1, 200)
+	if tr.Len() != 1 {
+		t.Fatalf("overwrite changed Len: %d", tr.Len())
+	}
+	v, _ := tr.Get(5, 1)
+	if v != 200 {
+		t.Fatalf("overwrite lost: %d", v)
+	}
+}
+
+func TestAscendOrder(t *testing.T) {
+	var tr Tree
+	r := xrand.New(3)
+	const n = 5000
+	keys := make([]int64, n)
+	for i := range keys {
+		keys[i] = r.Int63() % 100000
+		tr.Insert(keys[i], uint64(i), uint64(i))
+	}
+	var got []int64
+	tr.Ascend(-1<<62, 0, func(e Entry) bool {
+		got = append(got, e.Key)
+		return true
+	})
+	if len(got) != n {
+		t.Fatalf("Ascend visited %d of %d", len(got), n)
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatal("Ascend out of order")
+	}
+}
+
+func TestAscendFrom(t *testing.T) {
+	var tr Tree
+	for i := int64(0); i < 100; i++ {
+		tr.Insert(i, 0, uint64(i))
+	}
+	var got []int64
+	tr.Ascend(42, 0, func(e Entry) bool {
+		got = append(got, e.Key)
+		return len(got) < 5
+	})
+	want := []int64{42, 43, 44, 45, 46}
+	if len(got) != 5 {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+}
+
+func TestAscendRange(t *testing.T) {
+	var tr Tree
+	for i := int64(0); i < 100; i++ {
+		tr.Insert(i, 0, uint64(i))
+	}
+	count := 0
+	tr.AscendRange(10, 20, func(e Entry) bool {
+		if e.Key < 10 || e.Key >= 20 {
+			t.Fatalf("key %d outside [10,20)", e.Key)
+		}
+		count++
+		return true
+	})
+	if count != 10 {
+		t.Fatalf("range count %d", count)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	var tr Tree
+	for i := int64(0); i < 2000; i++ {
+		tr.Insert(i, 0, uint64(i))
+	}
+	for i := int64(0); i < 2000; i += 2 {
+		if !tr.Delete(i, 0) {
+			t.Fatalf("Delete(%d) failed", i)
+		}
+	}
+	if tr.Len() != 1000 {
+		t.Fatalf("Len after deletes = %d", tr.Len())
+	}
+	for i := int64(0); i < 2000; i++ {
+		_, ok := tr.Get(i, 0)
+		if want := i%2 == 1; ok != want {
+			t.Fatalf("Get(%d) = %v, want %v", i, ok, want)
+		}
+	}
+	if tr.Delete(0, 0) {
+		t.Fatal("double delete succeeded")
+	}
+}
+
+func TestMin(t *testing.T) {
+	var tr Tree
+	tr.Insert(50, 0, 1)
+	tr.Insert(10, 0, 2)
+	tr.Insert(99, 0, 3)
+	e, ok := tr.Min()
+	if !ok || e.Key != 10 {
+		t.Fatalf("Min = %v,%v", e, ok)
+	}
+}
+
+func TestDuplicateKeysDistinctSubs(t *testing.T) {
+	var tr Tree
+	for s := uint64(0); s < 500; s++ {
+		tr.Insert(7, s, s)
+	}
+	if tr.Len() != 500 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	count := 0
+	tr.Ascend(7, 0, func(e Entry) bool {
+		if e.Key != 7 {
+			return false
+		}
+		if e.Sub != uint64(count) {
+			t.Fatalf("sub order broken at %d: %d", count, e.Sub)
+		}
+		count++
+		return true
+	})
+	if count != 500 {
+		t.Fatalf("visited %d", count)
+	}
+}
+
+// TestQuickAgainstMap is the model-based property test: the tree must agree
+// with a reference map under arbitrary insert/delete workloads.
+func TestQuickAgainstMap(t *testing.T) {
+	type op struct {
+		Key    int8 // small domains to force collisions and overwrites
+		Sub    uint8
+		Val    uint16
+		Delete bool
+	}
+	err := quick.Check(func(ops []op) bool {
+		var tr Tree
+		ref := map[[2]int64]uint64{}
+		for _, o := range ops {
+			k, s := int64(o.Key), uint64(o.Sub)
+			if o.Delete {
+				want := false
+				if _, ok := ref[[2]int64{k, int64(s)}]; ok {
+					want = true
+					delete(ref, [2]int64{k, int64(s)})
+				}
+				if tr.Delete(k, s) != want {
+					return false
+				}
+			} else {
+				tr.Insert(k, s, uint64(o.Val))
+				ref[[2]int64{k, int64(s)}] = uint64(o.Val)
+			}
+		}
+		if tr.Len() != len(ref) {
+			return false
+		}
+		for ks, v := range ref {
+			got, ok := tr.Get(ks[0], uint64(ks[1]))
+			if !ok || got != v {
+				return false
+			}
+		}
+		// Full scan must be sorted and complete.
+		n := 0
+		var pk int64 = -1 << 62
+		var ps uint64
+		ok := true
+		tr.Ascend(-1<<62, 0, func(e Entry) bool {
+			if e.Key < pk || (e.Key == pk && e.Sub <= ps && n > 0) {
+				ok = false
+				return false
+			}
+			pk, ps = e.Key, e.Sub
+			n++
+			return true
+		})
+		return ok && n == len(ref)
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	var tr Tree
+	r := xrand.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(r.Int63()%1000000, uint64(i), uint64(i))
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	var tr Tree
+	for i := int64(0); i < 100000; i++ {
+		tr.Insert(i, 0, uint64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Get(int64(i%100000), 0)
+	}
+}

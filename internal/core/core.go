@@ -1,0 +1,177 @@
+// Package core is the top-level façade of the benchmark: it wires the
+// generator, store, workload, parameter curation and driver into the run
+// protocol of §4 "Rules and Metrics" — pick a scale and an acceleration
+// factor, bulk-load 32 months, replay the rest as transactional updates
+// concurrent with the read mix, check the run kept up with the chosen
+// acceleration and that complex-read p99 latencies stayed stable, and
+// report the benchmark metric.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"ldbcsnb/internal/datagen"
+	"ldbcsnb/internal/driver"
+	"ldbcsnb/internal/schema"
+	"ldbcsnb/internal/store"
+	"ldbcsnb/internal/workload"
+)
+
+// Options parameterises a benchmark run. The zero value is usable: SF
+// defaults to a smoke-test scale.
+type Options struct {
+	// ScaleFactor sets the dataset size (1.0 ≈ 6000 persons). Ignored if
+	// Persons > 0.
+	ScaleFactor float64
+	// Persons overrides the scale factor with an explicit person count.
+	Persons int
+	// Seed makes the whole benchmark reproducible.
+	Seed uint64
+	// Acceleration is the target simulation-time / real-time ratio for the
+	// update stream (0 = replay unpaced, as fast as dependencies allow).
+	Acceleration float64
+	// Streams is the update partition count.
+	Streams int
+	// ReadClients is the number of concurrent read executors.
+	ReadClients int
+	// ComplexPerType caps complex-query executions per template.
+	ComplexPerType int
+	// UniformParams disables parameter curation for Q5 (ablation).
+	UniformParams bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Persons == 0 {
+		if o.ScaleFactor == 0 {
+			o.ScaleFactor = 0.05
+		}
+		o.Persons = datagen.PersonsForSF(o.ScaleFactor)
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	if o.Streams <= 0 {
+		o.Streams = 4
+	}
+	if o.ReadClients <= 0 {
+		o.ReadClients = 2
+	}
+	if o.ComplexPerType <= 0 {
+		o.ComplexPerType = 3
+	}
+	return o
+}
+
+// Report is the §4 benchmark outcome.
+type Report struct {
+	// Valid reports whether the run satisfied the §4 validity rules
+	// (sustained acceleration, stable p99); Reason explains a failure.
+	Valid  bool
+	Reason string
+	// AccelerationAchieved is simulation-time replayed / real time — the
+	// headline metric ("this acceleration-factor ... correlates with
+	// throughput of the system").
+	AccelerationAchieved float64
+	// Mixed carries the per-query latency tables (Tables 6/7/9).
+	Mixed *driver.MixedReport
+	// Counts summarises the loaded dataset.
+	Counts schema.Counts
+	// LoadWall is the bulk-load duration.
+	LoadWall time.Duration
+	// UpdateSpan is the simulation time covered by the update stream.
+	UpdateSpan time.Duration
+}
+
+// Benchmark is a prepared benchmark instance: generated dataset, loaded
+// store, pending update stream.
+type Benchmark struct {
+	Opts    Options
+	Store   *store.Store
+	Full    *schema.Dataset
+	Bulk    *schema.Dataset
+	Updates []schema.Update
+	Events  []datagen.Event
+	load    time.Duration
+}
+
+// Prepare generates the dataset and bulk-loads the store (the benchmark
+// start state: 32 months loaded, 4 months pending as updates).
+func Prepare(opts Options) (*Benchmark, error) {
+	opts = opts.withDefaults()
+	out := datagen.Generate(datagen.Config{
+		Seed: opts.Seed, Persons: opts.Persons, Workers: opts.Streams, Events: true,
+	})
+	bulk, updates := datagen.Split(out.Data, datagen.UpdateCut)
+	st := store.New()
+	schema.RegisterIndexes(st)
+	t0 := time.Now()
+	if err := schema.LoadDimensions(st); err != nil {
+		return nil, fmt.Errorf("load dimensions: %w", err)
+	}
+	if err := schema.Load(st, bulk); err != nil {
+		return nil, fmt.Errorf("bulk load: %w", err)
+	}
+	return &Benchmark{
+		Opts: opts, Store: st, Full: out.Data, Bulk: bulk,
+		Updates: updates, Events: out.Events, load: time.Since(t0),
+	}, nil
+}
+
+// Run executes the Interactive workload and validates the run.
+func (b *Benchmark) Run() *Report {
+	rep := &Report{Counts: b.Full.Counts(), LoadWall: b.load}
+	var span int64
+	if n := len(b.Updates); n > 0 {
+		span = b.Updates[n-1].DueTime - b.Updates[0].DueTime
+	}
+	rep.UpdateSpan = time.Duration(span) * time.Millisecond
+
+	mixed := driver.RunMixed(driver.MixedConfig{
+		Store:          b.Store,
+		Dataset:        b.Full,
+		Updates:        b.Updates,
+		Streams:        b.Opts.Streams,
+		ReadClients:    b.Opts.ReadClients,
+		ComplexPerType: b.Opts.ComplexPerType,
+		Seed:           b.Opts.Seed,
+		UniformParams:  b.Opts.UniformParams,
+	})
+	rep.Mixed = mixed
+	if mixed.Wall > 0 {
+		rep.AccelerationAchieved = float64(span) / float64(mixed.Wall.Milliseconds())
+	}
+
+	rep.Valid, rep.Reason = b.validate(mixed, rep.AccelerationAchieved)
+	return rep
+}
+
+// validate applies the §4 run rules: no execution errors; if an
+// acceleration target was set, the run must sustain it; complex-read
+// latencies must be stable, measured as p99 within a sane multiple of the
+// mean per query ("it is required that latencies of the complex read-only
+// queries are stable as measured by a maximum latency on the 99th
+// percentile").
+func (b *Benchmark) validate(m *driver.MixedReport, achieved float64) (bool, string) {
+	if m.Errors > 0 {
+		return false, fmt.Sprintf("%d execution errors", m.Errors)
+	}
+	if b.Opts.Acceleration > 0 && achieved < b.Opts.Acceleration {
+		return false, fmt.Sprintf("sustained acceleration %.2f below target %.2f",
+			achieved, b.Opts.Acceleration)
+	}
+	for q := 0; q < workload.NumComplexQueries; q++ {
+		s := &m.Complex[q]
+		if s.Count < 2 {
+			continue
+		}
+		mean := s.Mean()
+		if mean == 0 {
+			continue
+		}
+		if p99 := s.Percentile(99); p99 > 100*mean {
+			return false, fmt.Sprintf("Q%d p99 %v unstable vs mean %v", q+1, p99, mean)
+		}
+	}
+	return true, ""
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"testing"
+
+	"ldbcsnb/internal/workload"
+)
+
+func TestPrepareDefaults(t *testing.T) {
+	b, err := Prepare(Options{Persons: 150, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Store == nil || b.Full == nil || len(b.Updates) == 0 {
+		t.Fatal("incomplete benchmark state")
+	}
+	c := b.Bulk.Counts()
+	if c.Persons == 0 || c.Messages() == 0 {
+		t.Fatal("bulk not loaded")
+	}
+	if b.Opts.Streams != 4 || b.Opts.ReadClients != 2 {
+		t.Fatalf("defaults not applied: %+v", b.Opts)
+	}
+}
+
+func TestRunProducesValidReport(t *testing.T) {
+	b, err := Prepare(Options{Persons: 150, Seed: 5, ComplexPerType: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := b.Run()
+	if !rep.Valid {
+		t.Fatalf("run invalid: %s", rep.Reason)
+	}
+	if rep.AccelerationAchieved <= 0 {
+		t.Fatal("no acceleration measured")
+	}
+	for q := 0; q < workload.NumComplexQueries; q++ {
+		if rep.Mixed.Complex[q].Count == 0 {
+			t.Fatalf("Q%d not executed", q+1)
+		}
+	}
+	if rep.Counts.Persons != 150 {
+		t.Fatalf("counts: %+v", rep.Counts)
+	}
+	if rep.UpdateSpan <= 0 {
+		t.Fatal("no update span")
+	}
+}
+
+func TestRunFailsUnreachableAcceleration(t *testing.T) {
+	b, err := Prepare(Options{Persons: 120, Seed: 6, ComplexPerType: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An absurd target (1e12 x real time) cannot be sustained.
+	b.Opts.Acceleration = 1e12
+	rep := b.Run()
+	if rep.Valid {
+		t.Fatal("run should be invalid at unreachable acceleration")
+	}
+	if rep.Reason == "" {
+		t.Fatal("missing reason")
+	}
+}
+
+func TestScaleFactorOption(t *testing.T) {
+	o := Options{ScaleFactor: 0.02}.withDefaults()
+	if o.Persons != 120 {
+		t.Fatalf("persons = %d", o.Persons)
+	}
+	o2 := Options{Persons: 99, ScaleFactor: 5}.withDefaults()
+	if o2.Persons != 99 {
+		t.Fatal("explicit persons must win")
+	}
+}

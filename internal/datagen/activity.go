@@ -1,0 +1,466 @@
+package datagen
+
+import (
+	"sort"
+	"strconv"
+
+	"ldbcsnb/internal/dict"
+	"ldbcsnb/internal/ids"
+	"ldbcsnb/internal/schema"
+	"ldbcsnb/internal/xrand"
+)
+
+// Person-activity generation (§2.4, step 3): filling the forums with posts,
+// comments and likes. The data is tree-structured and parallelised by the
+// person who owns the forum; each worker needs the owner's attributes
+// (interests influence post topics) and the friend list with friendship
+// creation timestamps (only friends post comments and likes, and only
+// after the friendship was created). Workers operate independently.
+
+// forumDraft, postDraft, commentDraft and likeDraft are pre-ID entities;
+// references are pointers, resolved to time-ordered IDs after a global
+// sort.
+type forumDraft struct {
+	id        ids.ID
+	title     string
+	moderator ids.ID
+	created   int64
+	tags      []int
+	uniq      uint64
+	// members with join dates; index-aligned pair of slices.
+	members []ids.ID
+	joins   []int64
+}
+
+type postDraft struct {
+	id      ids.ID
+	forum   *forumDraft
+	creator ids.ID
+	country int
+	ip      string
+	browser string
+	created int64
+	topic   int
+	tags    []int
+	content string
+	image   string
+	lang    string
+	length  int
+	uniq    uint64
+}
+
+type commentDraft struct {
+	id            ids.ID
+	post          *postDraft
+	parentComment *commentDraft // nil = replies directly to the post
+	creator       ids.ID
+	country       int
+	ip            string
+	browser       string
+	created       int64
+	content       string
+	length        int
+	tags          []int
+	uniq          uint64
+}
+
+type likeDraft struct {
+	person  ids.ID
+	post    *postDraft
+	comment *commentDraft // nil for post likes
+	created int64
+}
+
+// activitySet collects one worker's drafts.
+type activitySet struct {
+	forums   []*forumDraft
+	posts    []*postDraft
+	comments []*commentDraft
+	likes    []*likeDraft
+}
+
+// friendEdge is one adjacency entry with its creation date.
+type friendEdge struct {
+	other ids.ID
+	date  int64
+}
+
+// buildAdjacency indexes friendships per person.
+func buildAdjacency(knows []schema.Knows) map[ids.ID][]friendEdge {
+	adj := make(map[ids.ID][]friendEdge)
+	for _, k := range knows {
+		adj[k.A] = append(adj[k.A], friendEdge{k.B, k.CreationDate})
+		adj[k.B] = append(adj[k.B], friendEdge{k.A, k.CreationDate})
+	}
+	return adj
+}
+
+// generateActivity runs step 3 for all persons and resolves IDs.
+func generateActivity(cfg Config, drafts []personDraft, knows []schema.Knows, events []Event) (
+	[]schema.Forum, []schema.Membership, []schema.Post, []schema.Comment, []schema.Like) {
+
+	adj := buildAdjacency(knows)
+	var evIdx *eventIndex
+	if cfg.Events {
+		evIdx = newEventIndex(events)
+	}
+
+	sets := make([]activitySet, cfg.Workers)
+	parallelChunks(cfg.Workers, len(drafts), func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			generatePersonActivity(cfg, &drafts[i], adj[drafts[i].person.ID], evIdx, &sets[w])
+		}
+	})
+
+	// Merge worker outputs.
+	var all activitySet
+	for i := range sets {
+		all.forums = append(all.forums, sets[i].forums...)
+		all.posts = append(all.posts, sets[i].posts...)
+		all.comments = append(all.comments, sets[i].comments...)
+		all.likes = append(all.likes, sets[i].likes...)
+	}
+
+	// Time-ordered ID assignment (§2.4 footnote 3): sort each entity kind
+	// by creation time (uniq stream value breaks ties deterministically)
+	// and allocate IDs in that order.
+	sort.Slice(all.forums, func(i, j int) bool {
+		if all.forums[i].created != all.forums[j].created {
+			return all.forums[i].created < all.forums[j].created
+		}
+		return all.forums[i].uniq < all.forums[j].uniq
+	})
+	fAlloc := ids.NewAllocator(ids.KindForum)
+	for _, f := range all.forums {
+		f.id = fAlloc.Alloc(f.created - cfg.Start)
+	}
+	sort.Slice(all.posts, func(i, j int) bool {
+		if all.posts[i].created != all.posts[j].created {
+			return all.posts[i].created < all.posts[j].created
+		}
+		return all.posts[i].uniq < all.posts[j].uniq
+	})
+	pAlloc := ids.NewAllocator(ids.KindPost)
+	for _, p := range all.posts {
+		p.id = pAlloc.Alloc(p.created - cfg.Start)
+	}
+	sort.Slice(all.comments, func(i, j int) bool {
+		if all.comments[i].created != all.comments[j].created {
+			return all.comments[i].created < all.comments[j].created
+		}
+		return all.comments[i].uniq < all.comments[j].uniq
+	})
+	cAlloc := ids.NewAllocator(ids.KindComment)
+	for _, c := range all.comments {
+		c.id = cAlloc.Alloc(c.created - cfg.Start)
+	}
+
+	// Materialise schema entities.
+	forums := make([]schema.Forum, 0, len(all.forums))
+	var memberships []schema.Membership
+	for _, f := range all.forums {
+		forums = append(forums, schema.Forum{
+			ID: f.id, Title: f.title, Moderator: f.moderator,
+			CreationDate: f.created, Tags: f.tags,
+		})
+		for i, m := range f.members {
+			memberships = append(memberships, schema.Membership{
+				Forum: f.id, Person: m, JoinDate: f.joins[i],
+			})
+		}
+	}
+	posts := make([]schema.Post, 0, len(all.posts))
+	for _, p := range all.posts {
+		posts = append(posts, schema.Post{
+			ID: p.id, Creator: p.creator, Forum: p.forum.id,
+			CreationDate: p.created, Content: p.content, ImageFile: p.image,
+			Length: p.length, Language: p.lang, Tags: p.tags, Topic: p.topic,
+			Country: p.country, LocationIP: p.ip, Browser: p.browser,
+		})
+	}
+	comments := make([]schema.Comment, 0, len(all.comments))
+	for _, c := range all.comments {
+		parent := c.post.id
+		if c.parentComment != nil {
+			parent = c.parentComment.id
+		}
+		comments = append(comments, schema.Comment{
+			ID: c.id, Creator: c.creator, ReplyOf: parent, Root: c.post.id,
+			Forum: c.post.forum.id, CreationDate: c.created, Content: c.content,
+			Length: c.length, Tags: c.tags, Topic: c.post.topic,
+			Country: c.country, LocationIP: c.ip, Browser: c.browser,
+		})
+	}
+	likes := make([]schema.Like, 0, len(all.likes))
+	for _, l := range all.likes {
+		msg := l.post.id
+		forum := l.post.forum.id
+		isPost := true
+		if l.comment != nil {
+			msg = l.comment.id
+			isPost = false
+		}
+		likes = append(likes, schema.Like{
+			Person: l.person, Message: msg, Forum: forum,
+			CreationDate: l.created, IsPost: isPost,
+		})
+	}
+	// Likes carry no IDs; order them deterministically by (time, person).
+	sort.Slice(likes, func(i, j int) bool {
+		if likes[i].CreationDate != likes[j].CreationDate {
+			return likes[i].CreationDate < likes[j].CreationDate
+		}
+		if likes[i].Person != likes[j].Person {
+			return likes[i].Person < likes[j].Person
+		}
+		return likes[i].Message < likes[j].Message
+	})
+	sort.Slice(memberships, func(i, j int) bool {
+		if memberships[i].JoinDate != memberships[j].JoinDate {
+			return memberships[i].JoinDate < memberships[j].JoinDate
+		}
+		if memberships[i].Forum != memberships[j].Forum {
+			return memberships[i].Forum < memberships[j].Forum
+		}
+		return memberships[i].Person < memberships[j].Person
+	})
+	return forums, memberships, posts, comments, likes
+}
+
+const (
+	day  = 24 * 3600 * 1000
+	hour = 3600 * 1000
+)
+
+// generatePersonActivity creates the forums owned by one person and their
+// discussion trees.
+func generatePersonActivity(cfg Config, owner *personDraft, friends []friendEdge, evIdx *eventIndex, out *activitySet) {
+	p := &owner.person
+	r := xrand.New(cfg.Seed, xrand.PurposeForum, uint64(p.ID))
+
+	// Wall forum.
+	var forums []*forumDraft
+	wallCreated := p.CreationDate + SafeTime + int64(r.Exp(2*day))
+	if wallCreated < cfg.End-2*SafeTime {
+		wall := &forumDraft{
+			title:     "Wall of " + p.FirstName + " " + p.LastName,
+			moderator: p.ID,
+			created:   wallCreated,
+			tags:      headTags(p.Interests, 3),
+			uniq:      r.Uint64(),
+		}
+		addMembers(cfg, r, wall, friends, 1.0)
+		forums = append(forums, wall)
+	}
+
+	// Interest-group forums (brings the forum/person ratio toward the
+	// Table 3 value of ~10).
+	nGroups := int(r.Exp(groupForumsPerPerson))
+	if nGroups > 30 {
+		nGroups = 30
+	}
+	for g := 0; g < nGroups; g++ {
+		created := r.UniformTime(p.CreationDate+SafeTime, cfg.End-2*SafeTime)
+		if created >= cfg.End-2*SafeTime {
+			continue
+		}
+		topic := p.Interests[r.Intn(len(p.Interests))]
+		f := &forumDraft{
+			title:     "Group for " + dict.Tags[topic].Name + " by " + p.FirstName,
+			moderator: p.ID,
+			created:   created,
+			tags:      []int{topic},
+			uniq:      r.Uint64(),
+		}
+		addMembers(cfg, r, f, friends, memberSampleOfFriends)
+		forums = append(forums, f)
+	}
+	if len(forums) == 0 {
+		return
+	}
+	out.forums = append(out.forums, forums...)
+
+	// Message budget scales with the friendship degree (§2: "people having
+	// more friends are likely more active and post more messages").
+	degree := len(friends)
+	if degree == 0 {
+		degree = 1 // isolated people still talk to themselves occasionally
+	}
+	postsPerFriend := baseMessagesPerFriend / (1 + commentsPerPost)
+	nPosts := int(postsPerFriend * float64(degree) * (0.25 + r.Exp(0.75)))
+	if nPosts < 1 {
+		nPosts = 1
+	}
+
+	rp := xrand.New(cfg.Seed, xrand.PurposePost, uint64(p.ID))
+	for i := 0; i < nPosts; i++ {
+		f := forums[0]
+		if len(forums) > 1 && rp.Bool(0.5) {
+			f = forums[1+rp.Intn(len(forums)-1)]
+		}
+		post := generatePost(cfg, rp, owner, f, evIdx)
+		if post == nil {
+			continue
+		}
+		out.posts = append(out.posts, post)
+		generateThread(cfg, rp, post, out)
+	}
+}
+
+// headTags returns up to n leading interests.
+func headTags(interests []int, n int) []int {
+	if len(interests) < n {
+		n = len(interests)
+	}
+	return append([]int(nil), interests[:n]...)
+}
+
+// addMembers fills a forum with (a sample of) the owner's friends. Members
+// join after both the forum creation and the friendship creation
+// (Table 1's time-correlation rules), leaving SafeTime headroom.
+func addMembers(cfg Config, r *xrand.Rand, f *forumDraft, friends []friendEdge, fraction float64) {
+	for _, fr := range friends {
+		if fraction < 1.0 && !r.Bool(fraction) {
+			continue
+		}
+		base := f.created
+		if fr.date > base {
+			base = fr.date
+		}
+		join := base + SafeTime + int64(r.Exp(2*day))
+		if join >= cfg.End-2*SafeTime {
+			continue
+		}
+		f.members = append(f.members, fr.other)
+		f.joins = append(f.joins, join)
+	}
+}
+
+// pickAuthor returns a forum participant (member or moderator) who had
+// joined by time t, together with the earliest time they may write.
+func pickAuthor(r *xrand.Rand, f *forumDraft, moderatorJoin int64) (ids.ID, int64) {
+	if len(f.members) == 0 || r.Bool(0.3) {
+		return f.moderator, moderatorJoin
+	}
+	i := r.Intn(len(f.members))
+	return f.members[i], f.joins[i]
+}
+
+// generatePost creates one post draft, or nil if no legal time slot exists.
+func generatePost(cfg Config, r *xrand.Rand, owner *personDraft, f *forumDraft, evIdx *eventIndex) *postDraft {
+	creator, joined := pickAuthor(r, f, f.created)
+	lo := joined + SafeTime
+	hi := cfg.End - 2*SafeTime
+	if lo >= hi {
+		return nil
+	}
+	var created int64
+	topic := owner.person.Interests[r.Intn(len(owner.person.Interests))]
+	if evIdx != nil {
+		// Event-driven: posts cluster around trending events (§2.2).
+		ev := evIdx.pick(r, owner.person.Interests)
+		if ev != nil {
+			created = ev.postTime(r)
+			if created >= lo && created < hi {
+				topic = ev.Tag
+			} else {
+				created = r.UniformTime(lo, hi)
+			}
+		} else {
+			created = r.UniformTime(lo, hi)
+		}
+	} else {
+		created = r.UniformTime(lo, hi)
+	}
+
+	post := &postDraft{
+		forum:   f,
+		creator: creator,
+		country: owner.person.Country,
+		ip:      owner.person.LocationIP,
+		browser: owner.person.Browser,
+		created: created,
+		topic:   topic,
+		tags:    []int{topic},
+		uniq:    r.Uint64(),
+	}
+	// Extra tags co-occur with the topic.
+	for _, t := range owner.person.Interests {
+		if t != topic && r.Bool(0.15) && len(post.tags) < 4 {
+			post.tags = append(post.tags, t)
+		}
+	}
+	if r.Bool(photoFraction) {
+		post.image = "photo" + strconv.FormatUint(post.uniq%1000000, 10) + ".jpg"
+	} else {
+		post.length = 20 + r.SkewedIndex(480, 0.2)
+		post.content = dict.MessageText(r, topic, post.length)
+		post.lang = owner.person.Languages[r.Intn(len(owner.person.Languages))]
+	}
+	return post
+}
+
+// generateThread grows the reply tree and likes of one post. Comments form
+// large discussion trees: each reply attaches to the root or to an earlier
+// comment; replies and likes come from forum participants only.
+func generateThread(cfg Config, r *xrand.Rand, post *postDraft, out *activitySet) {
+	nComments := int(r.Exp(commentsPerPost))
+	if nComments > 40 {
+		nComments = 40
+	}
+	thread := make([]*commentDraft, 0, nComments)
+	for i := 0; i < nComments; i++ {
+		// Parent: the root post, or an earlier comment (deeper trees the
+		// longer the thread runs).
+		var parent *commentDraft
+		parentTime := post.created
+		if len(thread) > 0 && r.Bool(0.55) {
+			parent = thread[r.Intn(len(thread))]
+			parentTime = parent.created
+		}
+		created := parentTime + SafeTime + int64(r.Exp(6*hour))
+		if created >= cfg.End-SafeTime {
+			continue
+		}
+		creator, joined := pickAuthor(r, post.forum, post.forum.created)
+		if joined+SafeTime > created {
+			continue // this participant hadn't joined yet
+		}
+		length := 10 + r.SkewedIndex(180, 0.2)
+		c := &commentDraft{
+			post:          post,
+			parentComment: parent,
+			creator:       creator,
+			country:       post.country,
+			ip:            post.ip,
+			browser:       post.browser,
+			created:       created,
+			content:       dict.MessageText(r, post.topic, length),
+			length:        length,
+			tags:          headTags(post.tags, 2),
+			uniq:          r.Uint64(),
+		}
+		thread = append(thread, c)
+		out.comments = append(out.comments, c)
+	}
+
+	// Likes on the post and its comments.
+	like := func(p *postDraft, c *commentDraft, msgTime int64) {
+		n := int(r.Exp(likesPerMessage))
+		if n > 12 {
+			n = 12
+		}
+		for i := 0; i < n; i++ {
+			liker, joined := pickAuthor(r, post.forum, post.forum.created)
+			created := msgTime + SafeTime + int64(r.Exp(1*day))
+			if created >= cfg.End || joined+SafeTime > created {
+				continue
+			}
+			out.likes = append(out.likes, &likeDraft{person: liker, post: p, comment: c, created: created})
+		}
+	}
+	like(post, nil, post.created)
+	for _, c := range thread {
+		like(post, c, c.created)
+	}
+}

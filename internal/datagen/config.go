@@ -1,0 +1,96 @@
+// Package datagen implements the SNB data generator (DATAGEN, §2 of the
+// paper): correlated person attributes, the three-stage sliding-window
+// friendship generator, per-forum activity generation with discussion
+// trees, event-driven spiking trends, and the bulk/update-stream split.
+//
+// Like the paper's Hadoop implementation, generation is deterministic with
+// respect to the degree of parallelism: every random decision derives from
+// (seed, entity, purpose) via splitmix64 streams, and workers only
+// partition loops whose outputs are order-independent or re-sorted.
+package datagen
+
+import (
+	"math"
+	"time"
+)
+
+// Simulation window constants. The paper: "a standard scale factor covers
+// three years. Of this 32 months are bulkloaded at benchmark start, whereas
+// the data from the last 4 months is added using individual DML
+// statements." Figure 2(a) shows Feb'10 - Feb'13.
+var (
+	// SimStart is the start of the simulated three-year window.
+	SimStart = time.Date(2010, 1, 1, 0, 0, 0, 0, time.UTC).UnixMilli()
+	// SimEnd is the end of the window.
+	SimEnd = time.Date(2013, 1, 1, 0, 0, 0, 0, time.UTC).UnixMilli()
+	// UpdateCut is the bulk/update split: 32 months after SimStart.
+	UpdateCut = time.Date(2012, 9, 1, 0, 0, 0, 0, time.UTC).UnixMilli()
+)
+
+// SafeTime (T_SAFE, §4.2) is the minimum simulation-time gap DATAGEN
+// guarantees between an operation and anything depending on it (person
+// creation → first friendship/post; message creation → first reply/like).
+// Windowed execution relies on this bound.
+const SafeTime = 10 * 60 * 1000 // 10 simulation minutes in millis
+
+// personsPerSF calibrates scale factors: the paper's Table 3 has 0.18M
+// persons at SF30, i.e. 6000 persons per unit of scale factor (1 GB CSV).
+const personsPerSF = 6000
+
+// Config parameterises one generation run.
+type Config struct {
+	// Seed makes runs reproducible; equal seeds give identical datasets.
+	Seed uint64
+	// Persons is the network size. Use PersonsForSF for paper-aligned
+	// scale factors.
+	Persons int
+	// Workers bounds generation parallelism. Output is identical for any
+	// value >= 1 (the §2.4 determinism guarantee).
+	Workers int
+	// Events enables event-driven post generation (spiking trends, §2.2).
+	// When false, post times are uniform — the "uniform" series of Fig 2a.
+	Events bool
+	// Start/End/Cut override the simulation window when non-zero (tests).
+	Start, End, Cut int64
+}
+
+// PersonsForSF returns the person count for a scale factor (SF1 = 1 GB).
+func PersonsForSF(sf float64) int {
+	return int(math.Round(sf * personsPerSF))
+}
+
+// withDefaults fills in unset fields.
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.Start == 0 {
+		c.Start = SimStart
+	}
+	if c.End == 0 {
+		c.End = SimEnd
+	}
+	if c.Cut == 0 {
+		c.Cut = UpdateCut
+	}
+	return c
+}
+
+// Generation tuning constants, chosen to reproduce the Table 3 entity
+// ratios at scale: at SF30 the paper reports per person ≈ 79 friendship
+// edge-endpoints (14.2M/0.18M... counted per row: 14.2M friendship rows for
+// 0.18M persons ≈ 79 rows/person), ≈ 541 messages and ≈ 10 forums per
+// 1000 persons... (1.8M forums / 0.18M persons = 10 forums/person).
+const (
+	// wallForumsPerPerson: every person moderates their wall; additional
+	// interest-group forums bring the average to ~10 per person at scale
+	// (Table 3: forums/persons ≈ 10).
+	groupForumsPerPerson = 9.0
+	// groupForumProb is the probability a person creates a group forum on
+	// one of their interests.
+	baseMessagesPerFriend = 7.0 // messages scale with friendships (§2)
+	commentsPerPost       = 1.8
+	likesPerMessage       = 0.5
+	photoFraction         = 0.12
+	memberSampleOfFriends = 0.7
+)

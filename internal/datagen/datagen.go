@@ -1,0 +1,55 @@
+package datagen
+
+import (
+	"sort"
+
+	"ldbcsnb/internal/distr"
+	"ldbcsnb/internal/schema"
+)
+
+// Output is the result of one generation run.
+type Output struct {
+	Data   *schema.Dataset
+	Events []Event // the simulated event timeline (empty if cfg.Events off)
+}
+
+// Generate runs the full three-step DATAGEN pipeline (§2.4): person
+// generation, three-stage friendship generation, and person-activity
+// generation. The output is a deterministic function of cfg.Seed and
+// cfg.Persons only — Workers changes wall-clock time, never content.
+func Generate(cfg Config) *Output {
+	cfg = cfg.withDefaults()
+	model := distr.NewDegreeModel(cfg.Persons)
+
+	// Step 1: persons.
+	drafts := generatePersons(cfg, model)
+
+	// Step 2: friendships over three correlation dimensions.
+	knows := generateFriendships(cfg, drafts)
+
+	// Step 3: forums, posts, comments, likes.
+	var events []Event
+	if cfg.Events {
+		events = generateEvents(cfg)
+	}
+	forums, memberships, posts, comments, likes := generateActivity(cfg, drafts, knows, events)
+
+	persons := make([]schema.Person, len(drafts))
+	for i := range drafts {
+		persons[i] = drafts[i].person
+	}
+	sort.Slice(persons, func(i, j int) bool { return persons[i].ID < persons[j].ID })
+
+	return &Output{
+		Data: &schema.Dataset{
+			Persons:     persons,
+			Knows:       knows,
+			Forums:      forums,
+			Memberships: memberships,
+			Posts:       posts,
+			Comments:    comments,
+			Likes:       likes,
+		},
+		Events: events,
+	}
+}

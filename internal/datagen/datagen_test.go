@@ -1,0 +1,419 @@
+package datagen
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"ldbcsnb/internal/dict"
+	"ldbcsnb/internal/ids"
+	"ldbcsnb/internal/schema"
+)
+
+// testCfg generates a small but structurally complete network.
+func testCfg() Config {
+	return Config{Seed: 42, Persons: 300, Workers: 1}
+}
+
+var cachedOut *Output
+
+func genOnce(t *testing.T) *Output {
+	t.Helper()
+	if cachedOut == nil {
+		cachedOut = Generate(testCfg())
+	}
+	return cachedOut
+}
+
+func TestPersonsForSF(t *testing.T) {
+	if PersonsForSF(1) != 6000 {
+		t.Fatalf("SF1 = %d persons", PersonsForSF(1))
+	}
+	if PersonsForSF(30) != 180000 { // Table 3: 0.18M persons at SF30
+		t.Fatalf("SF30 = %d persons", PersonsForSF(30))
+	}
+	if PersonsForSF(0.05) != 300 {
+		t.Fatalf("SF0.05 = %d persons", PersonsForSF(0.05))
+	}
+}
+
+func TestGenerateBasicShape(t *testing.T) {
+	out := genOnce(t)
+	d := out.Data
+	if len(d.Persons) != 300 {
+		t.Fatalf("persons = %d", len(d.Persons))
+	}
+	if len(d.Knows) == 0 || len(d.Forums) == 0 || len(d.Posts) == 0 ||
+		len(d.Comments) == 0 || len(d.Likes) == 0 || len(d.Memberships) == 0 {
+		t.Fatalf("empty entity class: %+v", d.Counts())
+	}
+	// Messages scale with friendships (§2): several messages per
+	// friendship edge endpoint.
+	c := d.Counts()
+	perFriend := float64(c.Messages()) / float64(2*c.Friendships)
+	if perFriend < 1 || perFriend > 20 {
+		t.Fatalf("messages per friendship endpoint = %v", perFriend)
+	}
+}
+
+func TestDeterminismAcrossWorkerCounts(t *testing.T) {
+	// The §2.4 guarantee: identical output regardless of parallelism.
+	cfg := Config{Seed: 7, Persons: 120}
+	cfg.Workers = 1
+	a := Generate(cfg)
+	cfg.Workers = 4
+	b := Generate(cfg)
+	if !reflect.DeepEqual(a.Data, b.Data) {
+		t.Fatal("dataset differs between 1 and 4 workers")
+	}
+}
+
+func TestDeterminismSameSeed(t *testing.T) {
+	a := Generate(Config{Seed: 9, Persons: 80, Workers: 2})
+	b := Generate(Config{Seed: 9, Persons: 80, Workers: 2})
+	if !reflect.DeepEqual(a.Data, b.Data) {
+		t.Fatal("same seed, different data")
+	}
+	c := Generate(Config{Seed: 10, Persons: 80, Workers: 2})
+	if reflect.DeepEqual(a.Data.Knows, c.Data.Knows) {
+		t.Fatal("different seeds produced identical friendships")
+	}
+}
+
+func TestPersonIDsTimeOrdered(t *testing.T) {
+	d := genOnce(t).Data
+	for i := 1; i < len(d.Persons); i++ {
+		if d.Persons[i].ID <= d.Persons[i-1].ID {
+			t.Fatal("person IDs not strictly increasing")
+		}
+		if d.Persons[i].CreationDate < d.Persons[i-1].CreationDate {
+			t.Fatal("person ID order violates creation-time order")
+		}
+	}
+}
+
+func TestMessageIDsTimeOrdered(t *testing.T) {
+	d := genOnce(t).Data
+	for i := 1; i < len(d.Posts); i++ {
+		if d.Posts[i].ID <= d.Posts[i-1].ID || d.Posts[i].CreationDate < d.Posts[i-1].CreationDate {
+			t.Fatal("post IDs not time-ordered")
+		}
+	}
+	for i := 1; i < len(d.Comments); i++ {
+		if d.Comments[i].ID <= d.Comments[i-1].ID || d.Comments[i].CreationDate < d.Comments[i-1].CreationDate {
+			t.Fatal("comment IDs not time-ordered")
+		}
+	}
+}
+
+// TestTimeCorrelationRules verifies the temporal correlations of Table 1:
+// events in the network follow a logical order, with SafeTime slack.
+func TestTimeCorrelationRules(t *testing.T) {
+	d := genOnce(t).Data
+	pc := map[ids.ID]int64{}
+	for i := range d.Persons {
+		p := &d.Persons[i]
+		pc[p.ID] = p.CreationDate
+		if p.CreationDate <= p.Birthday {
+			t.Fatal("person joined before being born")
+		}
+	}
+	for _, k := range d.Knows {
+		if k.CreationDate < pc[k.A]+SafeTime || k.CreationDate < pc[k.B]+SafeTime {
+			t.Fatal("friendship precedes person creation + SafeTime")
+		}
+	}
+	fc := map[ids.ID]int64{}
+	for i := range d.Forums {
+		f := &d.Forums[i]
+		fc[f.ID] = f.CreationDate
+		if f.CreationDate < pc[f.Moderator]+SafeTime {
+			t.Fatal("forum precedes moderator + SafeTime")
+		}
+	}
+	joins := map[ids.ID]map[ids.ID]int64{}
+	for _, m := range d.Memberships {
+		if m.JoinDate < fc[m.Forum]+SafeTime || m.JoinDate < pc[m.Person]+SafeTime {
+			t.Fatal("membership precedes forum or person + SafeTime")
+		}
+		if joins[m.Forum] == nil {
+			joins[m.Forum] = map[ids.ID]int64{}
+		}
+		joins[m.Forum][m.Person] = m.JoinDate
+	}
+	mc := map[ids.ID]int64{}
+	mForum := map[ids.ID]ids.ID{}
+	for i := range d.Posts {
+		p := &d.Posts[i]
+		mc[p.ID] = p.CreationDate
+		mForum[p.ID] = p.Forum
+		if p.CreationDate < fc[p.Forum]+SafeTime {
+			t.Fatal("post precedes forum + SafeTime")
+		}
+		if p.CreationDate < pc[p.Creator]+SafeTime {
+			t.Fatal("post precedes creator + SafeTime")
+		}
+		// Non-moderator creators must have joined before posting.
+		if j, ok := joins[p.Forum][p.Creator]; ok {
+			if p.CreationDate < j+SafeTime {
+				t.Fatal("post precedes author's join + SafeTime")
+			}
+		}
+	}
+	for i := range d.Comments {
+		c := &d.Comments[i]
+		mc[c.ID] = c.CreationDate
+		if c.CreationDate < mc[c.ReplyOf]+SafeTime {
+			t.Fatal("comment precedes its parent + SafeTime")
+		}
+		if mc[c.Root] == 0 {
+			t.Fatal("comment root is not a known post")
+		}
+	}
+	for _, l := range d.Likes {
+		if l.CreationDate < mc[l.Message]+SafeTime {
+			t.Fatal("like precedes message + SafeTime")
+		}
+		if l.Forum != mForum[l.Message] && !l.IsPost {
+			// comment likes: forum of the root post
+			continue
+		}
+	}
+}
+
+func TestFriendshipDegreeDistribution(t *testing.T) {
+	// Figure 3(a): heavy-tailed degree distribution with the right mean.
+	d := genOnce(t).Data
+	deg := map[ids.ID]int{}
+	for _, k := range d.Knows {
+		deg[k.A]++
+		deg[k.B]++
+	}
+	sum, maxD := 0, 0
+	for _, v := range deg {
+		sum += v
+		if v > maxD {
+			maxD = v
+		}
+	}
+	mean := float64(sum) / float64(len(d.Persons))
+	// distr.AvgDegree(300) ≈ 300^(0.512-0.028*2.477) ≈ 12.4; allow generous
+	// slack for dedupe losses and window effects.
+	if mean < 4 || mean > 25 {
+		t.Fatalf("mean degree %v out of range", mean)
+	}
+	if float64(maxD) < 2.5*mean {
+		t.Fatalf("degree tail too light: max %d, mean %v", maxD, mean)
+	}
+}
+
+// TestHomophily verifies the structure correlation of §2.3: persons sharing
+// a university or an interest are friends far more often than random pairs.
+func TestHomophily(t *testing.T) {
+	d := genOnce(t).Data
+	persons := map[ids.ID]*schema.Person{}
+	for i := range d.Persons {
+		persons[d.Persons[i].ID] = &d.Persons[i]
+	}
+	sameUni, sameInterest := 0, 0
+	for _, k := range d.Knows {
+		a, b := persons[k.A], persons[k.B]
+		if a.University >= 0 && a.University == b.University {
+			sameUni++
+		}
+		ints := map[int]bool{}
+		for _, t := range a.Interests {
+			ints[t] = true
+		}
+		for _, t := range b.Interests {
+			if ints[t] {
+				sameInterest++
+				break
+			}
+		}
+	}
+	fracUni := float64(sameUni) / float64(len(d.Knows))
+	fracInt := float64(sameInterest) / float64(len(d.Knows))
+	// Baseline probability of sharing a university across ~70 universities
+	// and 25 countries is a few percent; with homophily it must be much
+	// higher.
+	if fracUni < 0.10 {
+		t.Fatalf("same-university friend fraction %v too low for homophily", fracUni)
+	}
+	if fracInt < 0.30 {
+		t.Fatalf("shared-interest friend fraction %v too low", fracInt)
+	}
+}
+
+func TestNameCountryCorrelationInDataset(t *testing.T) {
+	// The Table 2 effect visible in generated persons: Chinese top names
+	// dominate among persons located in China.
+	big := Generate(Config{Seed: 1, Persons: 2000, Workers: 2})
+	cn := dict.CountryByName("China")
+	counts := map[string]int{}
+	total := 0
+	for i := range big.Data.Persons {
+		p := &big.Data.Persons[i]
+		if p.Country == cn && p.Gender == dict.GenderMale {
+			counts[p.FirstName]++
+			total++
+		}
+	}
+	if total < 100 {
+		t.Fatalf("too few Chinese men to test: %d", total)
+	}
+	head := counts["Yang"] + counts["Chen"] + counts["Wei"] + counts["Lei"] + counts["Jun"]
+	if float64(head) < 0.25*float64(total) {
+		t.Fatalf("typical-name mass too low: %d of %d", head, total)
+	}
+}
+
+func TestEventDrivenSpikes(t *testing.T) {
+	// Figure 2(a): with events on, the post-time density has spikes; with
+	// events off it is near-uniform. Compare max/mean weekly bucket counts.
+	base := Config{Seed: 5, Persons: 250, Workers: 2}
+	uniform := Generate(base)
+	withEv := base
+	withEv.Events = true
+	spiky := Generate(withEv)
+	if len(spiky.Events) == 0 {
+		t.Fatal("no events generated")
+	}
+
+	// A post "belongs to a spike" when its topic matches an event tag and
+	// its time falls within the event's activity window. With event-driven
+	// generation that fraction must be far higher than the coincidental
+	// rate of the uniform run.
+	spikeFraction := func(posts []schema.Post, events []Event) float64 {
+		hits := 0
+		for i := range posts {
+			p := &posts[i]
+			for j := range events {
+				e := &events[j]
+				if p.Topic == e.Tag &&
+					p.CreationDate > e.Time-int64(e.Decay) &&
+					p.CreationDate < e.Time+3*int64(e.Decay) {
+					hits++
+					break
+				}
+			}
+		}
+		return float64(hits) / float64(len(posts))
+	}
+	fu := spikeFraction(uniform.Data.Posts, spiky.Events)
+	fs := spikeFraction(spiky.Data.Posts, spiky.Events)
+	if fs < 3*fu || fs < 0.05 {
+		t.Fatalf("event clustering too weak: spiky %v vs uniform %v", fs, fu)
+	}
+}
+
+func TestSplit(t *testing.T) {
+	out := genOnce(t)
+	bulk, updates := Split(out.Data, UpdateCut)
+	c, bc := out.Data.Counts(), bulk.Counts()
+	if bc.Persons+countType(updates, schema.UpdateAddPerson) != c.Persons {
+		t.Fatal("person split loses entities")
+	}
+	if bc.Posts+countType(updates, schema.UpdateAddPost) != c.Posts {
+		t.Fatal("post split loses entities")
+	}
+	if bc.Comments+countType(updates, schema.UpdateAddComment) != c.Comments {
+		t.Fatal("comment split loses entities")
+	}
+	likes := countType(updates, schema.UpdateAddLikePost) + countType(updates, schema.UpdateAddLikeComment)
+	if bc.Likes+likes != c.Likes {
+		t.Fatal("like split loses entities")
+	}
+	if len(updates) == 0 {
+		t.Fatal("no updates generated; cut too late")
+	}
+	// 4 months of 36 → updates should be a visible but minor share.
+	frac := float64(len(updates)) / float64(c.Persons+c.Friendships+c.Forums+c.Messages()+c.Likes+c.Memberships)
+	if frac < 0.02 || frac > 0.5 {
+		t.Fatalf("update fraction %v implausible", frac)
+	}
+	// Ordering and dependency sanity.
+	var prev int64
+	for i := range updates {
+		u := &updates[i]
+		if u.DueTime < prev {
+			t.Fatal("updates not ordered by due time")
+		}
+		prev = u.DueTime
+		if u.DueTime < UpdateCut {
+			t.Fatal("update before the cut")
+		}
+		if u.IsDependent() && u.DueTime < u.DepTime+SafeTime {
+			t.Fatalf("update %v violates SafeTime: due %d dep %d", u.Type, u.DueTime, u.DepTime)
+		}
+	}
+}
+
+func countType(us []schema.Update, t schema.UpdateType) int {
+	n := 0
+	for i := range us {
+		if us[i].Type == t {
+			n++
+		}
+	}
+	return n
+}
+
+func TestTwoHopDistribution(t *testing.T) {
+	// Figure 5(a): the 2-hop environment size has high variance (multimodal
+	// from the power-law degree distribution).
+	d := genOnce(t).Data
+	adj := buildAdjacency(d.Knows)
+	var sizes []float64
+	for id := range adj {
+		seen := map[ids.ID]bool{}
+		for _, f := range adj[id] {
+			if f.other != id {
+				seen[f.other] = true
+			}
+		}
+		for _, f := range adj[id] {
+			for _, ff := range adj[f.other] {
+				if ff.other != id {
+					seen[ff.other] = true
+				}
+			}
+		}
+		sizes = append(sizes, float64(len(seen)))
+	}
+	mean, sd := meanStd(sizes)
+	if sd/mean < 0.2 {
+		t.Fatalf("2-hop sizes too uniform: mean %v sd %v", mean, sd)
+	}
+}
+
+func meanStd(xs []float64) (float64, float64) {
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	m := sum / float64(len(xs))
+	v := 0.0
+	for _, x := range xs {
+		v += (x - m) * (x - m)
+	}
+	return m, math.Sqrt(v / float64(len(xs)))
+}
+
+func TestParallelRangeHelpers(t *testing.T) {
+	// Coverage for chunking edge cases.
+	var hits []int
+	parallelChunks(1, 5, func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			hits = append(hits, i)
+		}
+	})
+	if len(hits) != 5 {
+		t.Fatal("parallelChunks single worker")
+	}
+	n := 0
+	parallelChunks(8, 0, func(w, lo, hi int) { n++ })
+	if n != 0 {
+		t.Fatal("zero-length chunks should not launch work")
+	}
+}

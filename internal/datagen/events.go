@@ -1,0 +1,97 @@
+package datagen
+
+import (
+	"sort"
+
+	"ldbcsnb/internal/dict"
+	"ldbcsnb/internal/xrand"
+)
+
+// Event-driven post generation (§2.2, Figure 2a): real-world events make
+// the volume of posts about the event's topic spike, especially among
+// persons interested in that topic. Events have different levels of
+// importance; the activity volume around an event follows the rise-decay
+// shape proposed by the meme-tracking work the paper cites [7] —
+// approximated here by a sharp ramp-up and exponential decay.
+
+// Event is one simulated real-world event.
+type Event struct {
+	Time      int64   // peak time
+	Tag       int     // topic that trends
+	Magnitude float64 // importance in [1, ~20]; scales the spike volume
+	Decay     float64 // mean of the post-time decay, millis
+}
+
+// generateEvents draws the event timeline for a run. The count scales
+// gently with network size so small datasets still show visible spikes.
+func generateEvents(cfg Config) []Event {
+	n := 6 + cfg.Persons/400
+	if n > 60 {
+		n = 60
+	}
+	r := xrand.New(cfg.Seed, xrand.PurposeEvent)
+	events := make([]Event, n)
+	for i := range events {
+		// Magnitudes are Zipf-like: a few huge events, many small ones.
+		mag := 1.0 + 19.0/float64(1+r.Zipf(20, 1.4))
+		events[i] = Event{
+			Time:      r.UniformTime(cfg.Start+30*24*3600*1000, cfg.End-30*24*3600*1000),
+			Tag:       r.Zipf(dict.NumTags, 1.3),
+			Magnitude: mag,
+			Decay:     float64(2+r.Intn(5)) * 24 * 3600 * 1000, // 2-6 days
+		}
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i].Time < events[j].Time })
+	return events
+}
+
+// eventIndex supports fast "events about one of these tags" lookups.
+type eventIndex struct {
+	events []Event
+	byTag  map[int][]int
+	// totalMag is the cumulative magnitude, for weighted sampling.
+	cumMag []float64
+}
+
+func newEventIndex(events []Event) *eventIndex {
+	idx := &eventIndex{events: events, byTag: make(map[int][]int)}
+	acc := 0.0
+	for i, e := range events {
+		idx.byTag[e.Tag] = append(idx.byTag[e.Tag], i)
+		acc += e.Magnitude
+		idx.cumMag = append(idx.cumMag, acc)
+	}
+	return idx
+}
+
+// pick samples an event weighted by magnitude, preferring events about one
+// of the given interest tags when any exist (interested persons spike
+// hardest, §2.2). Returns nil when there are no events.
+func (idx *eventIndex) pick(r *xrand.Rand, interests []int) *Event {
+	if len(idx.events) == 0 {
+		return nil
+	}
+	var matching []int
+	for _, tag := range interests {
+		matching = append(matching, idx.byTag[tag]...)
+	}
+	if len(matching) > 0 && r.Bool(0.75) {
+		return &idx.events[matching[r.Intn(len(matching))]]
+	}
+	u := r.Float64() * idx.cumMag[len(idx.cumMag)-1]
+	i := sort.SearchFloat64s(idx.cumMag, u)
+	if i >= len(idx.events) {
+		i = len(idx.events) - 1
+	}
+	return &idx.events[i]
+}
+
+// postTime draws the creation time of a post around the event: a short
+// anticipation ramp before the peak and an exponential decay after it.
+func (e *Event) postTime(r *xrand.Rand) int64 {
+	if r.Bool(0.2) {
+		// Build-up before the event peak.
+		return e.Time - int64(r.Exp(e.Decay/4))
+	}
+	return e.Time + int64(r.Exp(e.Decay))
+}

@@ -1,0 +1,205 @@
+package datagen
+
+import (
+	"sort"
+
+	"ldbcsnb/internal/distr"
+	"ldbcsnb/internal/ids"
+	"ldbcsnb/internal/schema"
+	"ldbcsnb/internal/xrand"
+)
+
+// Friendship generation (§2.3): a multi-stage edge-generation process over
+// correlation dimensions. In each stage persons are re-sorted by one
+// dimension — (1) studied location, (2) interests, (3) random — and each
+// person picks friends from a sliding window behind its sort position with
+// geometrically decaying probability, spending 45%/45%/10% of its target
+// degree in the three stages.
+//
+// Workers process disjoint ranges of the sorted order; every pick derives
+// from the initiating person's own stream, so output is independent of the
+// partitioning (the paper's Hadoop determinism).
+
+// windowSize is the sliding-window width in persons. The connection
+// probability is zero outside the window ("the generator is not even
+// capable of generating a friendship to data dropped from its window").
+const windowSize = 100
+
+// geoP is the geometric decay of the in-window pick distribution; mean
+// offset = (1-p)/p ≈ 19 positions.
+const geoP = 0.05
+
+// friendshipStage enumerates the three correlation dimensions.
+type friendshipStage int
+
+const (
+	stageStudy friendshipStage = iota
+	stageInterest
+	stageRandom
+	numStages
+)
+
+// stageBudget returns how many friendships person d initiates in a stage.
+// Each initiated edge raises the degree of both endpoints, so initiating
+// half the dimension share keeps the realised mean near the target.
+func stageBudget(d *personDraft, s friendshipStage) int {
+	study, interest, random := distr.SplitDegree(d.targetDegree)
+	var share int
+	switch s {
+	case stageStudy:
+		share = study
+	case stageInterest:
+		share = interest
+	default:
+		share = random
+	}
+	return (share + 1) / 2
+}
+
+// sortForStage returns the person order of one stage: indices into drafts
+// sorted by the stage's correlation key, with person ID as deterministic
+// tie-break.
+func sortForStage(drafts []personDraft, s friendshipStage) []int {
+	order := make([]int, len(drafts))
+	for i := range order {
+		order[i] = i
+	}
+	key := func(i int) uint64 {
+		d := &drafts[i]
+		switch s {
+		case stageStudy:
+			return uint64(d.studyKey)
+		case stageInterest:
+			return uint64(d.interestKey)
+		default:
+			return d.randomKey
+		}
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ka, kb := key(order[a]), key(order[b])
+		if ka != kb {
+			return ka < kb
+		}
+		return drafts[order[a]].person.ID < drafts[order[b]].person.ID
+	})
+	return order
+}
+
+// edgeKey canonicalises an undirected friendship.
+type edgeKey struct{ a, b ids.ID }
+
+func makeEdgeKey(a, b ids.ID) edgeKey {
+	if a > b {
+		a, b = b, a
+	}
+	return edgeKey{a, b}
+}
+
+// generateFriendships runs the three stages and returns deduplicated,
+// deterministically ordered friendship edges.
+func generateFriendships(cfg Config, drafts []personDraft) []schema.Knows {
+	type cand struct {
+		key   edgeKey
+		stamp int64
+	}
+	workerOut := make([][]cand, cfg.Workers)
+
+	for s := friendshipStage(0); s < numStages; s++ {
+		order := sortForStage(drafts, s)
+		n := len(order)
+		parallelChunks(cfg.Workers, n, func(w, lo, hi int) {
+			out := workerOut[w]
+			for pos := lo; pos < hi; pos++ {
+				me := &drafts[order[pos]]
+				budget := stageBudget(me, s)
+				if budget == 0 {
+					continue
+				}
+				r := xrand.New(cfg.Seed, xrand.PurposeFriendPick, uint64(me.person.ID), uint64(s))
+				attempts := budget * 4
+				made := 0
+				seen := map[int]bool{} // window offsets already taken this stage
+				for t := 0; t < attempts && made < budget; t++ {
+					off := 1 + r.Geometric(geoP)
+					if off > windowSize {
+						continue // zero probability outside the window
+					}
+					j := pos + off
+					if j >= n {
+						continue
+					}
+					if seen[j] {
+						continue
+					}
+					seen[j] = true
+					other := &drafts[order[j]]
+					// Friendship begins after both joined (Table 1 time
+					// correlation), at least SafeTime after the later one.
+					base := me.person.CreationDate
+					if other.person.CreationDate > base {
+						base = other.person.CreationDate
+					}
+					stamp := base + SafeTime + int64(r.Exp(30*24*3600*1000))
+					if stamp > cfg.End-2*SafeTime {
+						continue // no room left for dependent activity
+					}
+					out = append(out, cand{makeEdgeKey(me.person.ID, other.person.ID), stamp})
+					made++
+				}
+			}
+			workerOut[w] = out
+		})
+	}
+
+	// Merge + dedupe deterministically: earliest stamp wins; order by
+	// (a, b).
+	best := make(map[edgeKey]int64)
+	for _, out := range workerOut {
+		for _, c := range out {
+			if prev, ok := best[c.key]; !ok || c.stamp < prev {
+				best[c.key] = c.stamp
+			}
+		}
+	}
+	edges := make([]schema.Knows, 0, len(best))
+	for k, stamp := range best {
+		edges = append(edges, schema.Knows{A: k.a, B: k.b, CreationDate: stamp})
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].A != edges[j].A {
+			return edges[i].A < edges[j].A
+		}
+		return edges[i].B < edges[j].B
+	})
+	return edges
+}
+
+// parallelChunks splits [0, n) into w contiguous chunks, invoking fn with
+// the worker index so each worker can own an output slice.
+func parallelChunks(w, n int, fn func(worker, lo, hi int)) {
+	if w <= 1 {
+		fn(0, 0, n)
+		return
+	}
+	chunk := (n + w - 1) / w
+	done := make(chan struct{}, w)
+	launched := 0
+	for i := 0; i < w; i++ {
+		lo := i * chunk
+		if lo >= n {
+			break
+		}
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		launched++
+		go func(i, lo, hi int) {
+			fn(i, lo, hi)
+			done <- struct{}{}
+		}(i, lo, hi)
+	}
+	for i := 0; i < launched; i++ {
+		<-done
+	}
+}

@@ -1,0 +1,180 @@
+package datagen
+
+import (
+	"sort"
+	"time"
+
+	"ldbcsnb/internal/dict"
+	"ldbcsnb/internal/distr"
+	"ldbcsnb/internal/ids"
+	"ldbcsnb/internal/schema"
+	"ldbcsnb/internal/xrand"
+)
+
+// personDraft is a person before ID assignment, carrying generator-internal
+// attributes (target degree, correlation keys).
+type personDraft struct {
+	idx          int // person index in [0, Persons)
+	person       schema.Person
+	targetDegree int
+	studyKey     ids.StudyKey
+	interestKey  uint32
+	randomKey    uint64
+}
+
+var birthdayLo = time.Date(1955, 1, 1, 0, 0, 0, 0, time.UTC).UnixMilli()
+var birthdayHi = time.Date(1995, 1, 1, 0, 0, 0, 0, time.UTC).UnixMilli()
+
+// pickCountry samples a country by population weight using one uniform
+// draw over the cumulative weights.
+func pickCountry(r *xrand.Rand) int {
+	total := 0.0
+	for i := range dict.Countries {
+		total += dict.Countries[i].Weight
+	}
+	u := r.Float64() * total
+	acc := 0.0
+	for i := range dict.Countries {
+		acc += dict.Countries[i].Weight
+		if u < acc {
+			return i
+		}
+	}
+	return len(dict.Countries) - 1
+}
+
+// generatePersons runs step 1 of DATAGEN ("person generation", §2.4): each
+// worker generates a disjoint index range; every attribute derives from the
+// person's own streams so the output is partition-independent. Persons are
+// then sorted by creation date and assigned time-ordered IDs.
+func generatePersons(cfg Config, model *distr.DegreeModel) []personDraft {
+	drafts := make([]personDraft, cfg.Persons)
+	parallelRange(cfg.Workers, cfg.Persons, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			drafts[i] = generatePerson(cfg, model, i)
+		}
+	})
+
+	// Assign time-ordered IDs (§2.4 footnote: IDs follow the time
+	// dimension). Sort by (creationDate, idx) — idx breaks ties
+	// deterministically — then allocate sequential IDs.
+	sort.Slice(drafts, func(i, j int) bool {
+		if drafts[i].person.CreationDate != drafts[j].person.CreationDate {
+			return drafts[i].person.CreationDate < drafts[j].person.CreationDate
+		}
+		return drafts[i].idx < drafts[j].idx
+	})
+	alloc := ids.NewAllocator(ids.KindPerson)
+	for i := range drafts {
+		drafts[i].person.ID = alloc.Alloc(drafts[i].person.CreationDate - cfg.Start)
+	}
+	return drafts
+}
+
+// generatePerson draws every attribute of person i from its own streams.
+// The correlation chain of Table 1 is explicit: country drives names,
+// university, company, languages and interests; interests drive the
+// interest correlation key; city+university+classYear form the study key.
+func generatePerson(cfg Config, model *distr.DegreeModel, i int) personDraft {
+	ui := uint64(i)
+	rp := xrand.New(cfg.Seed, xrand.PurposePerson, ui)
+
+	var p schema.Person
+	country := pickCountry(rp)
+	c := &dict.Countries[country]
+	p.Country = country
+	p.Gender = rp.Intn(2)
+	p.Birthday = rp.UniformTime(birthdayLo, birthdayHi)
+	// Join date: uniform over the window, leaving room for activity before
+	// the end (people who join in the last days produce almost nothing).
+	p.CreationDate = rp.UniformTime(cfg.Start, cfg.End-4*SafeTime)
+
+	p.FirstName = dict.FirstName(xrand.New(cfg.Seed, xrand.PurposeFirstName, ui), country, p.Gender)
+	p.LastName = dict.LastName(xrand.New(cfg.Seed, xrand.PurposeLastName, ui), country)
+	p.City = c.CityStart + rp.Intn(c.CityCount)
+	p.LocationIP = dict.IP(xrand.New(cfg.Seed, xrand.PurposeIP, ui), country)
+	p.Browser = dict.Browser(xrand.New(cfg.Seed, xrand.PurposeBrowser, ui))
+	p.Languages = append([]string(nil), c.Languages...)
+	if p.Languages[0] != "en" && rp.Bool(0.4) {
+		p.Languages = append(p.Languages, "en") // lingua franca of the net
+	}
+
+	// Interests: count skewed 3..24, correlated with country (Table 1).
+	ri := xrand.New(cfg.Seed, xrand.PurposeInterests, ui)
+	nInterests := 3 + ri.SkewedIndex(22, 0.3)
+	p.Interests = dict.Interests(ri, country, nInterests)
+
+	// University (nearby, i.e. in-country): 70% of persons studied.
+	ru := xrand.New(cfg.Seed, xrand.PurposeUniversity, ui)
+	p.University = -1
+	if ru.Bool(0.7) {
+		p.University = c.UniStart + ru.Intn(c.UniCount)
+		age18 := p.Birthday + 18*365*24*3600*1000
+		year := time.UnixMilli(age18).UTC().Year() + ru.Intn(4)
+		p.ClassYear = year
+	}
+	// Company (in country): 60% of persons work.
+	rw := xrand.New(cfg.Seed, xrand.PurposeCompany, ui)
+	p.Company = -1
+	if rw.Bool(0.6) {
+		p.Company = c.CompStart + rw.Intn(c.CompCount)
+		p.WorkFrom = 2000 + rw.Intn(12)
+	}
+	// Emails at employer/university domain (Table 1), else a generic one.
+	org := "mail"
+	if p.Company >= 0 {
+		org = dict.Companies[p.Company].Name
+	} else if p.University >= 0 {
+		org = dict.Universities[p.University].Name
+	}
+	p.Emails = []string{dict.Email(p.FirstName, p.LastName, org)}
+
+	// Correlation keys for the three friendship stages (§2.3).
+	d := personDraft{idx: i, person: p}
+	d.targetDegree = model.TargetDegree(xrand.New(cfg.Seed, xrand.PurposeDegree, ui))
+
+	cityForKey := p.City
+	uniForKey := 0xFFF // "no university" sorts to the top end
+	yearForKey := 0
+	if p.University >= 0 {
+		cityForKey = dict.Universities[p.University].City
+		uniForKey = p.University
+		yearForKey = p.ClassYear
+	}
+	city := &dict.Cities[cityForKey]
+	z := ids.ZOrder8(city.GridX, city.GridY)
+	d.studyKey = ids.MakeStudyKey(z, uint16(uniForKey), uint16(yearForKey-1950))
+	// Interest key: the main (first-drawn, most-preferred) interest,
+	// refined by the second one to cluster like-minded people.
+	second := 0
+	if len(p.Interests) > 1 {
+		second = p.Interests[1]
+	}
+	d.interestKey = uint32(p.Interests[0])<<16 | uint32(second)
+	d.randomKey = xrand.Mix(cfg.Seed, xrand.PurposeFriendPick, ui)
+	return d
+}
+
+// parallelRange splits [0, n) over w goroutines. Each chunk's work must be
+// independent; results land in pre-sized slices so no ordering is imposed.
+func parallelRange(w, n int, fn func(lo, hi int)) {
+	if w <= 1 || n < 256 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + w - 1) / w
+	done := make(chan struct{}, w)
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		go func(lo, hi int) {
+			fn(lo, hi)
+			done <- struct{}{}
+		}(lo, hi)
+	}
+	for lo := 0; lo < n; lo += chunk {
+		<-done
+	}
+}

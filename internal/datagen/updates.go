@@ -1,0 +1,124 @@
+package datagen
+
+import (
+	"sort"
+
+	"ldbcsnb/internal/ids"
+	"ldbcsnb/internal/schema"
+)
+
+// Bulk/update split (§4): "DATAGEN can divide its output in two parts,
+// splitting all data at one particular timestamp: all data before this
+// point is output in the requested bulk-load format, the data with a
+// timestamp after the split is formatted as input files for the query
+// driver", becoming the transactional update stream.
+
+// Split partitions a generated dataset at the cut timestamp. Entities
+// created before cut form the bulk-load dataset; the rest become update
+// operations ordered by due time, each annotated with T_DEP (§4.2) — the
+// creation time of the latest *person* it depends on. Dependencies on
+// other forum content (a comment's parent message, a membership's forum)
+// are deliberately not encoded: they stay inside one forum, and the driver
+// guarantees them by executing each forum's stream sequentially in due
+// order; encoding them here would create the false global dependencies
+// §4.2 warns about.
+func Split(d *schema.Dataset, cut int64) (*schema.Dataset, []schema.Update) {
+	bulk := &schema.Dataset{}
+	var updates []schema.Update
+
+	// Creation-time lookup for dependency computation.
+	personCreated := make(map[ids.ID]int64, len(d.Persons))
+	for i := range d.Persons {
+		personCreated[d.Persons[i].ID] = d.Persons[i].CreationDate
+	}
+
+	for i := range d.Persons {
+		p := &d.Persons[i]
+		if p.CreationDate < cut {
+			bulk.Persons = append(bulk.Persons, *p)
+		} else {
+			updates = append(updates, schema.Update{
+				Type: schema.UpdateAddPerson, DueTime: p.CreationDate, Person: p,
+			})
+		}
+	}
+	for i := range d.Knows {
+		k := &d.Knows[i]
+		if k.CreationDate < cut {
+			bulk.Knows = append(bulk.Knows, *k)
+		} else {
+			dep := personCreated[k.A]
+			if personCreated[k.B] > dep {
+				dep = personCreated[k.B]
+			}
+			updates = append(updates, schema.Update{
+				Type: schema.UpdateAddFriendship, DueTime: k.CreationDate,
+				DepTime: dep, Friendship: k,
+			})
+		}
+	}
+	for i := range d.Forums {
+		f := &d.Forums[i]
+		if f.CreationDate < cut {
+			bulk.Forums = append(bulk.Forums, *f)
+		} else {
+			updates = append(updates, schema.Update{
+				Type: schema.UpdateAddForum, DueTime: f.CreationDate,
+				DepTime: personCreated[f.Moderator], Forum: f,
+			})
+		}
+	}
+	for i := range d.Memberships {
+		m := &d.Memberships[i]
+		if m.JoinDate < cut {
+			bulk.Memberships = append(bulk.Memberships, *m)
+		} else {
+			updates = append(updates, schema.Update{
+				Type: schema.UpdateAddMembership, DueTime: m.JoinDate,
+				DepTime: personCreated[m.Person], Membership: m,
+			})
+		}
+	}
+	for i := range d.Posts {
+		p := &d.Posts[i]
+		if p.CreationDate < cut {
+			bulk.Posts = append(bulk.Posts, *p)
+		} else {
+			updates = append(updates, schema.Update{
+				Type: schema.UpdateAddPost, DueTime: p.CreationDate,
+				DepTime: personCreated[p.Creator], Post: p,
+			})
+		}
+	}
+	for i := range d.Comments {
+		c := &d.Comments[i]
+		if c.CreationDate < cut {
+			bulk.Comments = append(bulk.Comments, *c)
+		} else {
+			updates = append(updates, schema.Update{
+				Type: schema.UpdateAddComment, DueTime: c.CreationDate,
+				DepTime: personCreated[c.Creator], Comment: c,
+			})
+		}
+	}
+	for i := range d.Likes {
+		l := &d.Likes[i]
+		if l.CreationDate < cut {
+			bulk.Likes = append(bulk.Likes, *l)
+		} else {
+			t := schema.UpdateAddLikeComment
+			if l.IsPost {
+				t = schema.UpdateAddLikePost
+			}
+			updates = append(updates, schema.Update{
+				Type: t, DueTime: l.CreationDate,
+				DepTime: personCreated[l.Person], Like: l,
+			})
+		}
+	}
+
+	sort.SliceStable(updates, func(i, j int) bool {
+		return updates[i].DueTime < updates[j].DueTime
+	})
+	return bulk, updates
+}

@@ -1,0 +1,269 @@
+package dict
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"ldbcsnb/internal/xrand"
+)
+
+func TestDimensionTablesConsistent(t *testing.T) {
+	if len(Countries) == 0 || len(Cities) == 0 || len(Universities) == 0 || len(Companies) == 0 {
+		t.Fatal("dimension tables empty")
+	}
+	for _, c := range Countries {
+		if c.CityCount <= 0 || c.UniCount <= 0 || c.CompCount <= 0 {
+			t.Fatalf("country %s missing sub-entities", c.Name)
+		}
+		for i := c.CityStart; i < c.CityStart+c.CityCount; i++ {
+			if Cities[i].Country != c.ID {
+				t.Fatalf("city %d misowned", i)
+			}
+		}
+		for i := c.UniStart; i < c.UniStart+c.UniCount; i++ {
+			if Universities[i].Country != c.ID {
+				t.Fatalf("university %d misowned", i)
+			}
+			city := Universities[i].City
+			if city < c.CityStart || city >= c.CityStart+c.CityCount {
+				t.Fatalf("university %d in foreign city", i)
+			}
+		}
+		if len(c.Languages) == 0 {
+			t.Fatalf("country %s has no languages", c.Name)
+		}
+	}
+}
+
+func TestCountryByName(t *testing.T) {
+	if CountryByName("Germany") < 0 {
+		t.Fatal("Germany missing")
+	}
+	if CountryByName("Atlantis") != -1 {
+		t.Fatal("unexpected country")
+	}
+}
+
+// TestTable2FirstNames reproduces the mechanism behind the paper's Table 2:
+// the top-10 first names for persons located in Germany must be the German
+// typical names, and for China the Chinese ones, under the shared skewed
+// draw.
+func TestTable2FirstNames(t *testing.T) {
+	for _, tc := range []struct {
+		country string
+		want    []string
+	}{
+		{"Germany", []string{"Karl", "Hans", "Wolfgang", "Fritz", "Rudolf", "Walter", "Franz", "Paul", "Otto", "Wilhelm"}},
+		{"China", []string{"Yang", "Chen", "Wei", "Lei", "Jun", "Jie", "Li", "Hao", "Lin", "Peng"}},
+	} {
+		ci := CountryByName(tc.country)
+		counts := map[string]int{}
+		r := xrand.New(42, xrand.PurposeFirstName, uint64(ci))
+		for i := 0; i < 20000; i++ {
+			counts[FirstName(r, ci, GenderMale)]++
+		}
+		type nc struct {
+			n string
+			c int
+		}
+		var all []nc
+		for n, c := range counts {
+			all = append(all, nc{n, c})
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i].c > all[j].c })
+		top := map[string]bool{}
+		for i := 0; i < 10 && i < len(all); i++ {
+			top[all[i].n] = true
+		}
+		missing := 0
+		for _, w := range tc.want {
+			if !top[w] {
+				missing++
+			}
+		}
+		// The skewed draw makes the head dominate; allow one swap at the tail.
+		if missing > 1 {
+			t.Fatalf("%s: %d typical names missing from top-10 (%v)", tc.country, missing, all[:10])
+		}
+	}
+}
+
+func TestFirstNameCrossCountryLeakage(t *testing.T) {
+	// Germans with Chinese names exist but are infrequent (§2.1).
+	de := CountryByName("Germany")
+	r := xrand.New(7, xrand.PurposeFirstName)
+	chinese := map[string]bool{}
+	for _, n := range typicalFirst["China"][GenderMale] {
+		chinese[n] = true
+	}
+	hits := 0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		if chinese[FirstName(r, de, GenderMale)] {
+			hits++
+		}
+	}
+	if hits == 0 {
+		t.Skip("no leakage observed; generic pools disjoint from typical heads")
+	}
+	if hits > n/10 {
+		t.Fatalf("cross-country names too frequent: %d/%d", hits, n)
+	}
+}
+
+func TestLastNameCorrelation(t *testing.T) {
+	cn := CountryByName("China")
+	r := xrand.New(11, xrand.PurposeLastName)
+	counts := map[string]int{}
+	for i := 0; i < 10000; i++ {
+		counts[LastName(r, cn)]++
+	}
+	if counts["Wang"] == 0 || counts["Li"] == 0 {
+		t.Fatal("typical Chinese last names absent")
+	}
+	if counts["Wang"] < counts["Mueller"] {
+		t.Fatalf("Wang (%d) should outnumber Mueller (%d) in China", counts["Wang"], counts["Mueller"])
+	}
+}
+
+func TestTagOntology(t *testing.T) {
+	if len(TagClasses) != len(tagClassNames) {
+		t.Fatal("tag class table size")
+	}
+	for _, tc := range TagClasses {
+		if tc.Parent >= tc.ID {
+			t.Fatalf("class %d parent %d not earlier in table", tc.ID, tc.Parent)
+		}
+	}
+	if len(Tags) != NumTags {
+		t.Fatalf("want %d tags, got %d", NumTags, len(Tags))
+	}
+	names := map[string]bool{}
+	for _, tg := range Tags {
+		if names[tg.Name] {
+			t.Fatalf("duplicate tag name %q", tg.Name)
+		}
+		names[tg.Name] = true
+	}
+}
+
+func TestTagsOfClassSubtree(t *testing.T) {
+	// MusicalArtist (3) is under Artist (2) under Person (1) under Thing (0).
+	musical := TagsOfClass(3)
+	artist := TagsOfClass(2)
+	person := TagsOfClass(1)
+	thing := TagsOfClass(0)
+	if len(musical) == 0 {
+		t.Fatal("no musical tags")
+	}
+	if !(len(musical) <= len(artist) && len(artist) <= len(person) && len(person) <= len(thing)) {
+		t.Fatalf("subtree sizes not monotone: %d %d %d %d", len(musical), len(artist), len(person), len(thing))
+	}
+	if len(thing) != NumTags {
+		t.Fatalf("Thing subtree should cover all tags, got %d", len(thing))
+	}
+}
+
+func TestInterestsDistinct(t *testing.T) {
+	r := xrand.New(3, xrand.PurposeInterests)
+	in := Interests(r, 0, 12)
+	if len(in) != 12 {
+		t.Fatalf("want 12 interests, got %d", len(in))
+	}
+	seen := map[int]bool{}
+	for _, tg := range in {
+		if seen[tg] {
+			t.Fatal("duplicate interest")
+		}
+		seen[tg] = true
+	}
+}
+
+func TestInterestCountryCorrelation(t *testing.T) {
+	// Different countries should have visibly different top interests.
+	top := func(country int) int {
+		r := xrand.New(5, xrand.PurposeInterests, uint64(country))
+		counts := map[int]int{}
+		for i := 0; i < 5000; i++ {
+			counts[InterestTag(r, country)]++
+		}
+		best, bestC := -1, -1
+		for tg, c := range counts {
+			if c > bestC {
+				best, bestC = tg, c
+			}
+		}
+		return best
+	}
+	if top(0) == top(6) {
+		t.Fatal("two distant countries share the same top interest; rotation broken")
+	}
+}
+
+func TestTagViewIsPermutation(t *testing.T) {
+	v := TagView(5)
+	seen := make([]bool, NumTags)
+	for _, id := range v {
+		if id < 0 || id >= NumTags || seen[id] {
+			t.Fatal("TagView not a permutation")
+		}
+		seen[id] = true
+	}
+}
+
+func TestArticleSentenceDeterministic(t *testing.T) {
+	a := ArticleSentence(7, 3)
+	b := ArticleSentence(7, 3)
+	if a != b {
+		t.Fatal("article text not deterministic")
+	}
+	if !strings.HasPrefix(a, Tags[7].Name) {
+		t.Fatalf("sentence should mention topic: %q", a)
+	}
+	if ArticleSentence(7, 4) == a {
+		t.Fatal("distinct sentences expected")
+	}
+}
+
+func TestMessageTextLength(t *testing.T) {
+	r := xrand.New(9, xrand.PurposeText)
+	for _, want := range []int{1, 20, 150, 1000} {
+		s := MessageText(r, 3, want)
+		if len(s) != want {
+			t.Fatalf("MessageText length %d, want %d", len(s), want)
+		}
+	}
+}
+
+func TestIPCountryPrefix(t *testing.T) {
+	r := xrand.New(1, xrand.PurposeIP)
+	a := IP(r, 2)
+	b := IP(r, 2)
+	pa := strings.SplitN(a, ".", 2)[0]
+	pb := strings.SplitN(b, ".", 2)[0]
+	if pa != pb {
+		t.Fatalf("country IP prefix unstable: %s vs %s", a, b)
+	}
+	if len(strings.Split(a, ".")) != 4 {
+		t.Fatalf("not an IPv4 literal: %s", a)
+	}
+}
+
+func TestEmail(t *testing.T) {
+	got := Email("Karl", "Mueller", "Germany_Corp_A")
+	if got != "karl.mueller@germany_corp_a.example.org" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestBrowserSkewed(t *testing.T) {
+	r := xrand.New(2, xrand.PurposeBrowser)
+	counts := map[string]int{}
+	for i := 0; i < 10000; i++ {
+		counts[Browser(r)]++
+	}
+	if counts["Chrome"] <= counts["Opera"] {
+		t.Fatalf("browser skew missing: %v", counts)
+	}
+}

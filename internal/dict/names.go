@@ -1,0 +1,138 @@
+package dict
+
+import "ldbcsnb/internal/xrand"
+
+// First- and last-name dictionaries. Per Table 1, (person.location,
+// person.gender) determines the first-name distribution and
+// person.location the last-name distribution. Per §2.1 the distribution
+// shape is the same everywhere — skewed — and only the value order changes:
+// "there are Germans with Chinese names, but these are infrequent".
+//
+// Realisation: for a given country the ordered dictionary view is
+//
+//	[country-typical names..., generic pool rotated by country...]
+//
+// and the generator draws an index from the shared exponential shape, so
+// typical names dominate but any name remains possible.
+
+// typicalFirst maps a country name to its gender-split typical first names.
+// Germany and China match the paper's Table 2 exactly.
+var typicalFirst = map[string][2][]string{
+	"Germany": {
+		{"Karl", "Hans", "Wolfgang", "Fritz", "Rudolf", "Walter", "Franz", "Paul", "Otto", "Wilhelm"},
+		{"Anna", "Ursula", "Monika", "Petra", "Sabine", "Renate", "Helga", "Karin", "Brigitte", "Ingrid"},
+	},
+	"China": {
+		{"Yang", "Chen", "Wei", "Lei", "Jun", "Jie", "Li", "Hao", "Lin", "Peng"},
+		{"Yan", "Fang", "Na", "Xiu", "Min", "Jing", "Ying", "Hua", "Juan", "Mei"},
+	},
+	"India": {
+		{"Rahul", "Amit", "Raj", "Sanjay", "Vijay", "Arjun", "Ravi", "Anil", "Deepak", "Suresh"},
+		{"Priya", "Anjali", "Pooja", "Neha", "Sunita", "Kavita", "Asha", "Rekha", "Geeta", "Lata"},
+	},
+	"United_States": {
+		{"James", "John", "Robert", "Michael", "William", "David", "Richard", "Joseph", "Thomas", "Charles"},
+		{"Mary", "Patricia", "Jennifer", "Linda", "Elizabeth", "Barbara", "Susan", "Jessica", "Sarah", "Karen"},
+	},
+	"France": {
+		{"Jean", "Pierre", "Michel", "Andre", "Philippe", "Rene", "Louis", "Alain", "Jacques", "Bernard"},
+		{"Marie", "Jeanne", "Francoise", "Monique", "Catherine", "Nathalie", "Isabelle", "Jacqueline", "Anne", "Sylvie"},
+	},
+	"Russia": {
+		{"Aleksandr", "Sergei", "Vladimir", "Andrei", "Dmitri", "Ivan", "Mikhail", "Nikolai", "Alexei", "Pavel"},
+		{"Elena", "Olga", "Natalia", "Tatiana", "Irina", "Svetlana", "Anna", "Maria", "Ekaterina", "Galina"},
+	},
+	"Japan": {
+		{"Hiroshi", "Takashi", "Kenji", "Akira", "Satoshi", "Yuki", "Daiki", "Kaito", "Ren", "Sota"},
+		{"Yuko", "Keiko", "Akiko", "Sakura", "Yui", "Hina", "Aoi", "Rin", "Mio", "Saki"},
+	},
+	"Brazil": {
+		{"Jose", "Joao", "Antonio", "Francisco", "Carlos", "Paulo", "Pedro", "Lucas", "Luiz", "Marcos"},
+		{"Maria", "Ana", "Francisca", "Antonia", "Adriana", "Juliana", "Marcia", "Fernanda", "Patricia", "Aline"},
+	},
+}
+
+// genericFirst is the shared tail pool; index order rotates per country.
+var genericFirst = [2][]string{
+	{
+		"Adam", "Alex", "Ben", "Carlos", "Daniel", "Eric", "Felipe", "George",
+		"Henry", "Igor", "Jack", "Kevin", "Leo", "Martin", "Nathan", "Oscar",
+		"Peter", "Quentin", "Ryan", "Samuel", "Tomas", "Umar", "Victor",
+		"Walid", "Xavier", "Yusuf", "Zane", "Ali", "Bruno", "Cem", "Dario",
+		"Emil", "Farid", "Gustav", "Hasan", "Ilya", "Jonas", "Khalid",
+	},
+	{
+		"Alice", "Bella", "Clara", "Diana", "Emma", "Fiona", "Grace", "Hannah",
+		"Iris", "Julia", "Kira", "Lena", "Mia", "Nora", "Olivia", "Paula",
+		"Queenie", "Rosa", "Sofia", "Tara", "Uma", "Vera", "Wendy", "Xenia",
+		"Yara", "Zoe", "Aisha", "Beatriz", "Carmen", "Dilara", "Elif",
+		"Fatima", "Gina", "Hiba", "Ines", "Jana", "Katya", "Leila",
+	},
+}
+
+var typicalLast = map[string][]string{
+	"Germany":        {"Mueller", "Schmidt", "Schneider", "Fischer", "Weber", "Meyer", "Wagner", "Becker", "Schulz", "Hoffmann"},
+	"China":          {"Wang", "Li", "Zhang", "Liu", "Chen", "Yang", "Huang", "Zhao", "Wu", "Zhou"},
+	"India":          {"Sharma", "Singh", "Kumar", "Patel", "Gupta", "Reddy", "Mehta", "Joshi", "Nair", "Rao"},
+	"United_States":  {"Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller", "Davis", "Rodriguez", "Martinez"},
+	"France":         {"Martin", "Bernard", "Dubois", "Thomas", "Robert", "Richard", "Petit", "Durand", "Leroy", "Moreau"},
+	"Russia":         {"Ivanov", "Smirnov", "Kuznetsov", "Popov", "Vasiliev", "Petrov", "Sokolov", "Mikhailov", "Novikov", "Fedorov"},
+	"Japan":          {"Sato", "Suzuki", "Takahashi", "Tanaka", "Watanabe", "Ito", "Yamamoto", "Nakamura", "Kobayashi", "Kato"},
+	"Brazil":         {"Silva", "Santos", "Oliveira", "Souza", "Lima", "Pereira", "Ferreira", "Costa", "Rodrigues", "Almeida"},
+	"United_Kingdom": {"Taylor", "Wilson", "Evans", "Thompson", "Walker", "White", "Roberts", "Green", "Hall", "Wood"},
+}
+
+var genericLast = []string{
+	"Abbas", "Berg", "Castro", "Dietrich", "Eriksen", "Farkas", "Gomez",
+	"Haddad", "Ibarra", "Jansen", "Koch", "Lund", "Mason", "Novak", "Okafor",
+	"Pavlov", "Quinn", "Rossi", "Stein", "Tran", "Ueda", "Vargas", "Weiss",
+	"Xu", "Yilmaz", "Zimmer", "Andersen", "Bauer", "Calvo", "Dorn",
+}
+
+// Gender values.
+const (
+	GenderMale   = 0
+	GenderFemale = 1
+)
+
+// firstNameMeanFrac controls the skew of the shared name distribution: the
+// expected draw sits well inside the typical head.
+const firstNameMeanFrac = 0.18
+
+// FirstNameView returns the ordered first-name dictionary for a country and
+// gender: the country-typical head followed by the rotated generic pool.
+func FirstNameView(country, gender int) []string {
+	g := gender & 1
+	pool := genericFirst[g]
+	head := typicalFirst[Countries[country].Name][g]
+	rot := Countries[country].NameRotate % len(pool)
+	out := make([]string, 0, len(head)+len(pool))
+	out = append(out, head...)
+	out = append(out, pool[rot:]...)
+	out = append(out, pool[:rot]...)
+	return out
+}
+
+// FirstName draws a first name for (country, gender) from the shared skewed
+// shape over the country-ordered view.
+func FirstName(r *xrand.Rand, country, gender int) string {
+	v := FirstNameView(country, gender)
+	return v[r.SkewedIndex(len(v), firstNameMeanFrac)]
+}
+
+// LastNameView returns the ordered last-name dictionary for a country.
+func LastNameView(country int) []string {
+	head := typicalLast[Countries[country].Name]
+	rot := Countries[country].NameRotate % len(genericLast)
+	out := make([]string, 0, len(head)+len(genericLast))
+	out = append(out, head...)
+	out = append(out, genericLast[rot:]...)
+	out = append(out, genericLast[:rot]...)
+	return out
+}
+
+// LastName draws a last name for a country.
+func LastName(r *xrand.Rand, country int) string {
+	v := LastNameView(country)
+	return v[r.SkewedIndex(len(v), firstNameMeanFrac)]
+}

@@ -1,0 +1,141 @@
+package dict
+
+import (
+	"strconv"
+
+	"ldbcsnb/internal/xrand"
+)
+
+// Tag and TagClass dictionaries. Tags are the "interests" of persons and
+// the topics of posts (Table 1: person.location → person.interests,
+// person.interests → post.topic). Interests are correlated with location:
+// each country prefers a rotated ordering of the global tag list, with
+// popular artists at the head ("popular artist" in Table 1).
+
+// TagClass is a category of tags (substitute for the DBpedia ontology).
+type TagClass struct {
+	ID     int
+	Name   string
+	Parent int // -1 for roots
+}
+
+// Tag is a topic entity.
+type Tag struct {
+	ID    int
+	Name  string
+	Class int
+}
+
+var tagClassNames = []string{
+	"Thing", "Person", "Artist", "MusicalArtist", "Writer", "Politician",
+	"Athlete", "Place", "Country", "City", "Work", "Album", "Film", "Book",
+	"Organisation", "Company", "Event", "Sport", "Science", "Technology",
+}
+
+// tagClassParents encodes a small ontology tree over tagClassNames.
+var tagClassParents = []int{
+	-1, 0, 1, 2, 1, 1,
+	1, 0, 7, 7, 0, 10, 10, 10,
+	0, 14, 0, 16, 0, 18,
+}
+
+var tagStems = []string{
+	"Beatles", "Elvis", "Mozart", "Beethoven", "Dylan", "Queen", "Abba",
+	"Madonna", "Prince", "Bowie", "Tolstoy", "Goethe", "Cervantes",
+	"Shakespeare", "Kafka", "Napoleon", "Lincoln", "Gandhi", "Mandela",
+	"Caesar", "Pele", "Jordan", "Federer", "Bolt", "Ali", "Amazon",
+	"Danube", "Everest", "Sahara", "Pacific", "Jazz", "Opera", "Chess",
+	"Cricket", "Sumo", "Algebra", "Quantum", "Genome", "Fusion", "Robotics",
+}
+
+var (
+	// TagClasses is the tag-class dimension table.
+	TagClasses []TagClass
+	// Tags is the tag dimension table. Index order is global popularity
+	// rank before per-country rotation.
+	Tags []Tag
+)
+
+// NumTags is the size of the tag dictionary.
+const NumTags = 400
+
+func init() {
+	for i, n := range tagClassNames {
+		TagClasses = append(TagClasses, TagClass{ID: i, Name: n, Parent: tagClassParents[i]})
+	}
+	for i := 0; i < NumTags; i++ {
+		stem := tagStems[i%len(tagStems)]
+		name := stem
+		if gen := i / len(tagStems); gen > 0 {
+			name = stem + "_" + strconv.Itoa(gen)
+		}
+		// Spread tags over classes deterministically, biased toward
+		// MusicalArtist for the head (popular artists, per Table 1).
+		class := 3
+		if i >= 24 {
+			class = i % len(TagClasses)
+		}
+		Tags = append(Tags, Tag{ID: i, Name: name, Class: class})
+	}
+}
+
+// tagMeanFrac is the skew of the shared interest distribution.
+const tagMeanFrac = 0.12
+
+// TagView returns the country-ordered tag dictionary: a rotation of the
+// global popularity order so different countries prefer different (but
+// overlapping, still skewed) tag heads.
+func TagView(country int) []int {
+	rot := (country * 17) % NumTags
+	out := make([]int, NumTags)
+	for i := range out {
+		out[i] = (i + rot) % NumTags
+	}
+	return out
+}
+
+// InterestTag draws one interest tag ID for a person in the given country.
+func InterestTag(r *xrand.Rand, country int) int {
+	rot := (country * 17) % NumTags
+	return (r.SkewedIndex(NumTags, tagMeanFrac) + rot) % NumTags
+}
+
+// Interests draws a set of k distinct interest tags for a country.
+func Interests(r *xrand.Rand, country, k int) []int {
+	if k > NumTags {
+		k = NumTags
+	}
+	seen := make(map[int]bool, k)
+	out := make([]int, 0, k)
+	for len(out) < k {
+		t := InterestTag(r, country)
+		if !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// TagsOfClass returns all tag IDs whose class is c or a descendant of c.
+func TagsOfClass(c int) []int {
+	inSub := make(map[int]bool)
+	inSub[c] = true
+	// The ontology is small; fixed-point over parent links.
+	for changed := true; changed; {
+		changed = false
+		for _, tc := range TagClasses {
+			if !inSub[tc.ID] && tc.Parent >= 0 && inSub[tc.Parent] {
+				inSub[tc.ID] = true
+				changed = true
+			}
+		}
+	}
+	var out []int
+	for _, t := range Tags {
+		if inSub[t.Class] {
+			out = append(out, t.ID)
+		}
+	}
+	return out
+}

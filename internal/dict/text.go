@@ -1,0 +1,111 @@
+package dict
+
+import (
+	"strings"
+
+	"ldbcsnb/internal/xrand"
+)
+
+// Message text synthesis. The paper uses "text taken from DBpedia pages
+// closely related to a topic" for post and comment content (Table 1:
+// post.topic → post.text, post.comment.text). The substitution here keeps
+// the property the workload needs: text is a deterministic function of the
+// topic tag, so messages about the same topic share vocabulary, and text
+// length is skewed (short comments, longer posts).
+
+var textWords = []string{
+	"about", "after", "against", "album", "ancient", "army", "author",
+	"band", "battle", "became", "between", "born", "career", "century",
+	"champion", "city", "classic", "concert", "country", "culture", "debut",
+	"during", "early", "empire", "famous", "festival", "final", "first",
+	"following", "formed", "founded", "great", "history", "influence",
+	"known", "later", "league", "legend", "match", "modern", "movement",
+	"music", "national", "novel", "opera", "original", "period", "player",
+	"popular", "record", "region", "released", "revolution", "river",
+	"season", "second", "series", "song", "stage", "story", "style",
+	"success", "team", "theory", "title", "tour", "tradition", "victory",
+	"winner", "world", "years",
+}
+
+// ArticleSentence returns the i-th sentence of the synthetic "article" for
+// a tag: a deterministic pseudo-sentence mentioning the tag name.
+func ArticleSentence(tag, i int) string {
+	r := xrand.New(uint64(tag)*1000003+uint64(i), xrand.PurposeText)
+	n := 6 + r.Intn(8)
+	var b strings.Builder
+	b.WriteString(Tags[tag].Name)
+	for j := 0; j < n; j++ {
+		b.WriteByte(' ')
+		b.WriteString(textWords[r.Intn(len(textWords))])
+	}
+	b.WriteByte('.')
+	return b.String()
+}
+
+// MessageText builds message content about a topic tag with roughly the
+// requested length in characters, by concatenating article sentences
+// starting at a random offset.
+func MessageText(r *xrand.Rand, tag, length int) string {
+	if length <= 0 {
+		length = 1
+	}
+	start := r.Intn(64)
+	var b strings.Builder
+	for i := 0; b.Len() < length; i++ {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(ArticleSentence(tag, start+i))
+	}
+	s := b.String()
+	if len(s) > length {
+		s = s[:length]
+	}
+	return s
+}
+
+// Browsers and IP classes, used by message metadata.
+var Browsers = []string{"Chrome", "Firefox", "Safari", "Internet Explorer", "Opera"}
+
+// Browser draws a browser name with a skewed distribution.
+func Browser(r *xrand.Rand) string {
+	return Browsers[r.SkewedIndex(len(Browsers), 0.4)]
+}
+
+// IP synthesises an IPv4 literal whose first octet is country-correlated
+// (locationIP in the SNB schema correlates with person.location).
+func IP(r *xrand.Rand, country int) string {
+	var b strings.Builder
+	writeOctet := func(v int) {
+		b.WriteString(itoa(v))
+	}
+	writeOctet(20 + country*8%200)
+	b.WriteByte('.')
+	writeOctet(r.Intn(256))
+	b.WriteByte('.')
+	writeOctet(r.Intn(256))
+	b.WriteByte('.')
+	writeOctet(1 + r.Intn(254))
+	return b.String()
+}
+
+// itoa is a tiny non-allocating-ish int formatter for small values.
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [4]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// Email builds a person e-mail at their employer or university domain
+// (Table 1: person.employer → person.email).
+func Email(first, last, org string) string {
+	return strings.ToLower(first) + "." + strings.ToLower(last) + "@" + strings.ToLower(org) + ".example.org"
+}

@@ -1,0 +1,136 @@
+package distr
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ldbcsnb/internal/xrand"
+)
+
+func TestPercentileTableShape(t *testing.T) {
+	// Figure 2(b): monotone non-decreasing, ~10 at p=0, capped at 5000.
+	prev := 0
+	for p := 0; p <= 100; p++ {
+		d := MaxDegreeAtPercentile(p)
+		if d < prev {
+			t.Fatalf("percentile table not monotone at %d: %d < %d", p, d, prev)
+		}
+		prev = d
+	}
+	if MaxDegreeAtPercentile(0) < 5 || MaxDegreeAtPercentile(0) > 20 {
+		t.Fatalf("p0 degree %d outside ~10", MaxDegreeAtPercentile(0))
+	}
+	if MaxDegreeAtPercentile(100) != 5000 {
+		t.Fatalf("p100 degree %d, want 5000 cap", MaxDegreeAtPercentile(100))
+	}
+	if MaxDegreeAtPercentile(-5) != MaxDegreeAtPercentile(0) || MaxDegreeAtPercentile(200) != MaxDegreeAtPercentile(100) {
+		t.Fatal("clamping broken")
+	}
+}
+
+func TestAvgDegreeFormula(t *testing.T) {
+	// §2.3: at Facebook size (700M persons) the average degree is ~200.
+	got := AvgDegree(700_000_000)
+	if got < 150 || got > 260 {
+		t.Fatalf("AvgDegree(700M) = %v, want ~200", got)
+	}
+	// Smaller networks have (somewhat) lower average degree.
+	if !(AvgDegree(1000) < AvgDegree(100000) && AvgDegree(100000) < AvgDegree(10000000)) {
+		t.Fatal("AvgDegree not increasing in n")
+	}
+	if AvgDegree(1) != 0 {
+		t.Fatal("degenerate network should have degree 0")
+	}
+}
+
+func TestFacebookAvgDegreePlausible(t *testing.T) {
+	if FacebookAvgDegree < 100 || FacebookAvgDegree > 400 {
+		t.Fatalf("implied Facebook mean degree %v implausible", FacebookAvgDegree)
+	}
+}
+
+func TestTargetDegreeBounds(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		m := NewDegreeModel(500)
+		r := xrand.New(seed, xrand.PurposeDegree)
+		for i := 0; i < 50; i++ {
+			d := m.TargetDegree(r)
+			if d < 1 || d > 499 {
+				return false
+			}
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTargetDegreeMeanTracksFormula(t *testing.T) {
+	const n = 20000
+	m := NewDegreeModel(n)
+	r := xrand.New(13, xrand.PurposeDegree)
+	sum := 0.0
+	const samples = 50000
+	for i := 0; i < samples; i++ {
+		sum += float64(m.TargetDegree(r))
+	}
+	mean := sum / samples
+	want := AvgDegree(n)
+	if math.Abs(mean-want)/want > 0.25 {
+		t.Fatalf("mean target degree %v, want ~%v", mean, want)
+	}
+}
+
+func TestTargetDegreeHeavyTail(t *testing.T) {
+	// A power-law-ish distribution: max sampled degree far exceeds the mean.
+	m := NewDegreeModel(100000)
+	r := xrand.New(17, xrand.PurposeDegree)
+	maxD, sum := 0, 0
+	const samples = 20000
+	for i := 0; i < samples; i++ {
+		d := m.TargetDegree(r)
+		sum += d
+		if d > maxD {
+			maxD = d
+		}
+	}
+	mean := float64(sum) / samples
+	if float64(maxD) < 5*mean {
+		t.Fatalf("tail too light: max %d vs mean %v", maxD, mean)
+	}
+}
+
+func TestSplitDegreeSums(t *testing.T) {
+	err := quick.Check(func(raw uint16) bool {
+		target := int(raw) % 2000
+		s, i, r := SplitDegree(target)
+		return s >= 0 && i >= 0 && r >= 0 && s+i+r == target
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitDegreeShares(t *testing.T) {
+	s, i, r := SplitDegree(1000)
+	if s != 450 || i != 450 || r != 100 {
+		t.Fatalf("SplitDegree(1000) = %d,%d,%d; want 450,450,100", s, i, r)
+	}
+	// Tiny degrees must still sum exactly.
+	for target := 0; target <= 5; target++ {
+		a, b, c := SplitDegree(target)
+		if a+b+c != target {
+			t.Fatalf("SplitDegree(%d) parts sum to %d", target, a+b+c)
+		}
+	}
+}
+
+func TestZeroPersonModel(t *testing.T) {
+	m := NewDegreeModel(1)
+	r := xrand.New(1, xrand.PurposeDegree)
+	if m.TargetDegree(r) != 0 {
+		t.Fatal("one-person network cannot have friends")
+	}
+}

@@ -1,0 +1,321 @@
+// Package driver implements the SNB workload driver (§4.2 of the paper):
+// dependency-tracked parallel execution of the update stream, per-forum
+// sequential execution, windowed execution, due-time pacing with an
+// acceleration factor, and the latency/throughput metrics the benchmark
+// reports.
+package driver
+
+import (
+	"container/heap"
+	"math"
+	"sync"
+)
+
+// Dependency tracking (Figure 7). Every operation has a Due Time (T_DUE,
+// simulation time). Operations in the Dependencies set are registered in
+// the Initiated Times multiset (IT) before execution and moved to
+// Completed Times (CT) after; Local/Global Dependency Services expose:
+//
+//	T_LI — lowest timestamp in IT (or last known when IT is empty);
+//	       monotonically increasing;
+//	T_LC — point behind which every op of this stream has completed;
+//	T_GI — min of T_LI over streams;
+//	T_GC — point behind which every op of every stream has completed.
+//
+// One refinement the paper describes in prose ("T_LI communicates that no
+// lower value will be submitted in the future"): because each stream
+// consumes its operations in due-time order, a stream whose IT is empty can
+// advance its T_LI (and T_LC) to its current stream position. Without this,
+// a stream containing no Dependencies operations would pin T_GI at zero and
+// deadlock every dependent.
+
+// int64Heap is a min-heap of timestamps.
+type int64Heap []int64
+
+func (h int64Heap) Len() int            { return len(h) }
+func (h int64Heap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h int64Heap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *int64Heap) Push(x interface{}) { *h = append(*h, x.(int64)) }
+func (h *int64Heap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}
+
+// LDS is the Local Dependency Service of one update stream. Methods are
+// safe for the owning stream plus concurrent TLI/TLC readers.
+//
+// Because the driver pre-partitions the update stream, each LDS may be
+// given the *schedule* of its future Dependencies operations
+// (SetSchedule). T_LI then reflects the earliest dependency this stream
+// will ever initiate — not merely the earliest already initiated — which
+// lets T_GC advance past the positions of streams that are between
+// dependency operations. This realises the paper's statement that T_LI
+// "communicates that no lower value will be submitted in the future"
+// using the driver's full knowledge of its own streams.
+type LDS struct {
+	mu sync.Mutex
+	// it holds initiated-but-not-completed due times; lazy deletion via
+	// the removed multiset keeps removal O(log n) amortised.
+	it      int64Heap
+	removed map[int64]int
+	itLen   int
+	// ct holds completed times not yet folded into tlc, as a min-heap so
+	// the consecutive prefix below TLI can be drained in order.
+	ct  int64Heap
+	tli int64
+	tlc int64
+	// schedule holds the due times of future Dependencies operations of
+	// this stream, sorted ascending; schedIdx is the next unreached one.
+	// hasSchedule distinguishes "announced empty schedule" (the stream
+	// will never initiate dependencies — release it entirely) from "no
+	// schedule given" (fall back to Figure 7 last-known semantics).
+	schedule    []int64
+	schedIdx    int
+	hasSchedule bool
+}
+
+// NewLDS returns a service with both watermarks at zero.
+func NewLDS() *LDS {
+	return &LDS{removed: make(map[int64]int)}
+}
+
+// SetSchedule announces the due times of every Dependencies operation the
+// stream will initiate, sorted ascending. Call before the stream starts.
+func (l *LDS) SetSchedule(dues []int64) {
+	l.mu.Lock()
+	l.schedule = dues
+	l.schedIdx = 0
+	l.hasSchedule = true
+	l.refreshLocked()
+	l.mu.Unlock()
+}
+
+// Initiate registers a Dependencies operation about to execute. Due times
+// must be non-decreasing per stream (streams consume ops in due order).
+func (l *LDS) Initiate(due int64) {
+	l.mu.Lock()
+	heap.Push(&l.it, due)
+	l.itLen++
+	l.refreshLocked()
+	l.mu.Unlock()
+}
+
+// Complete registers a Dependencies operation that finished executing.
+func (l *LDS) Complete(due int64) {
+	l.mu.Lock()
+	l.removed[due]++
+	l.itLen--
+	heap.Push(&l.ct, due)
+	// Advance past this dependency in the announced schedule.
+	for l.schedIdx < len(l.schedule) && l.schedule[l.schedIdx] <= due {
+		l.schedIdx++
+	}
+	l.refreshLocked()
+	l.mu.Unlock()
+}
+
+// Progress tells the service the stream has consumed all operations with
+// due time <= due (call it after executing a non-dependency operation, or
+// when the stream ends). With an empty IT this advances both watermarks.
+func (l *LDS) Progress(due int64) {
+	l.mu.Lock()
+	if l.itLen == 0 {
+		if due > l.tli {
+			l.tli = due
+		}
+		if due > l.tlc {
+			l.tlc = due
+		}
+	}
+	l.refreshLocked()
+	l.mu.Unlock()
+}
+
+// Finish marks the stream as drained: no further operations will ever be
+// submitted, releasing its hold on global progress.
+func (l *LDS) Finish() {
+	l.Progress(math.MaxInt64)
+}
+
+// refreshLocked recomputes TLI and TLC per Figure 7.
+func (l *LDS) refreshLocked() {
+	// Drop lazily removed heap heads.
+	for len(l.it) > 0 {
+		if c := l.removed[l.it[0]]; c > 0 {
+			if c == 1 {
+				delete(l.removed, l.it[0])
+			} else {
+				l.removed[l.it[0]] = c - 1
+			}
+			heap.Pop(&l.it)
+			continue
+		}
+		break
+	}
+	// TLI = earliest dependency this stream still owes: the lowest
+	// initiated-but-incomplete time, or — with a schedule — the next
+	// dependency it will ever initiate. Monotonic.
+	cand := int64(math.MaxInt64)
+	if len(l.it) > 0 {
+		cand = l.it[0]
+	}
+	if l.hasSchedule {
+		if l.schedIdx < len(l.schedule) {
+			if s := l.schedule[l.schedIdx]; s < cand {
+				cand = s
+			}
+		}
+	} else if len(l.it) == 0 {
+		cand = l.tli // no lookahead: keep last known lowest
+	}
+	if cand != math.MaxInt64 && cand > l.tli {
+		l.tli = cand
+	}
+	if l.hasSchedule && l.schedIdx >= len(l.schedule) && len(l.it) == 0 {
+		// No dependencies remain: release the stream's hold entirely.
+		l.tli = math.MaxInt64
+	}
+	// TLC: largest completed time c < TLI such that everything below c is
+	// also complete. Because the stream consumes ops in due order, the
+	// completed heap's consecutive prefix below TLI is exactly that.
+	for len(l.ct) > 0 && l.ct[0] < l.tli {
+		if l.ct[0] > l.tlc {
+			l.tlc = l.ct[0]
+		}
+		heap.Pop(&l.ct)
+	}
+}
+
+// TLI returns the Local Initiation Time.
+func (l *LDS) TLI() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.tli
+}
+
+// TLC returns the Local Completion Time.
+func (l *LDS) TLC() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.tlc
+}
+
+// Service is a dependency-watermark source the GDS can aggregate: an LDS,
+// or another GDS — "the rationale for exposing T_GI is to make GDS
+// composable ... enabling dependency tracking in a hierarchical/
+// distributed setting" (§4.2). A Service promises that every dependency it
+// will ever initiate has a due time >= TLI().
+type Service interface {
+	TLI() int64
+}
+
+// GDS is the Global Dependency Service: it aggregates Services exactly as
+// an LDS aggregates operations.
+type GDS struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	children []Service
+	lds      []*LDS // non-nil entries when built with NewGDS
+	tgc      int64
+	tgi      int64
+}
+
+// NewGDS builds the global service over n fresh LDS instances.
+func NewGDS(n int) *GDS {
+	g := &GDS{}
+	g.cond = sync.NewCond(&g.mu)
+	for i := 0; i < n; i++ {
+		l := NewLDS()
+		g.lds = append(g.lds, l)
+		g.children = append(g.children, l)
+	}
+	return g
+}
+
+// NewGDSOver builds a hierarchical service over existing children (LDS or
+// GDS instances).
+func NewGDSOver(children ...Service) *GDS {
+	g := &GDS{children: children}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// Stream returns the LDS of stream i (only for services built by NewGDS).
+func (g *GDS) Stream(i int) *LDS { return g.lds[i] }
+
+// TLI exposes the Global Initiation Time under the Service interface, so
+// a GDS can be a child of another GDS.
+func (g *GDS) TLI() int64 { return g.TGI() }
+
+// SetFloor raises every watermark to at least t: dependencies older than t
+// (e.g. bulk-loaded entities) count as completed.
+func (g *GDS) SetFloor(t int64) {
+	for _, l := range g.lds {
+		l.Progress(t)
+	}
+	g.mu.Lock()
+	if t > g.tgi {
+		g.tgi = t
+	}
+	if t > g.tgc {
+		g.tgc = t
+		g.cond.Broadcast()
+	}
+	g.mu.Unlock()
+}
+
+// Refresh recomputes TGI/TGC from the streams and wakes waiting
+// dependents when TGC advanced. Streams call it after every LDS change.
+//
+// TGC is computed as TGI-1, which is sharper than Figure 7's
+// max(TLC < TGI) and sound under the same assumptions the paper states:
+// IT additions are monotonically increasing per stream (and, with
+// SetSchedule, TLI already reflects every future dependency), so any
+// dependency operation that is incomplete — pending or not yet submitted —
+// has a due time >= its stream's TLI >= TGI. Everything strictly below TGI
+// has therefore completed. The sharper bound matters for windowed
+// execution, whose wait targets fall *between* dependency due times and
+// would never be reached by a completed-times maximum.
+func (g *GDS) Refresh() {
+	g.mu.Lock()
+	tgi := int64(math.MaxInt64)
+	for _, c := range g.children {
+		if v := c.TLI(); v < tgi {
+			tgi = v
+		}
+	}
+	if tgi > g.tgi {
+		g.tgi = tgi
+	}
+	if g.tgi-1 > g.tgc {
+		g.tgc = g.tgi - 1
+		g.cond.Broadcast()
+	}
+	g.mu.Unlock()
+}
+
+// TGI returns the Global Initiation Time.
+func (g *GDS) TGI() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.tgi
+}
+
+// TGC returns the Global Completion Time.
+func (g *GDS) TGC() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.tgc
+}
+
+// WaitUntil blocks until TGC >= dep (the Figure 8 dependent wait).
+func (g *GDS) WaitUntil(dep int64) {
+	g.mu.Lock()
+	for g.tgc < dep {
+		g.cond.Wait()
+	}
+	g.mu.Unlock()
+}

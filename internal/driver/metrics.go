@@ -1,0 +1,83 @@
+package driver
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// LatencyStats accumulates latency samples for one query type. The
+// benchmark reports mean latencies (Tables 6, 7, 9) and requires stable
+// 99th-percentile latencies for a valid run (§4 "Rules and Metrics").
+type LatencyStats struct {
+	Count   int
+	Sum     time.Duration
+	Max     time.Duration
+	samples []time.Duration
+}
+
+// maxSamples bounds per-type sample retention; enough for exact p99 at the
+// scales this repo runs.
+const maxSamples = 1 << 18
+
+// Add records one sample.
+func (s *LatencyStats) Add(d time.Duration) {
+	s.Count++
+	s.Sum += d
+	if d > s.Max {
+		s.Max = d
+	}
+	if len(s.samples) < maxSamples {
+		s.samples = append(s.samples, d)
+	}
+}
+
+// Mean returns the mean latency.
+func (s *LatencyStats) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / time.Duration(s.Count)
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100) of retained
+// samples.
+func (s *LatencyStats) Percentile(p float64) time.Duration {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), s.samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// Stddev returns the standard deviation of retained samples — Figure 5(b)
+// visualises this spread for Query 5 under uniform vs curated parameters.
+func (s *LatencyStats) Stddev() time.Duration {
+	n := len(s.samples)
+	if n == 0 {
+		return 0
+	}
+	mean := 0.0
+	for _, d := range s.samples {
+		mean += float64(d)
+	}
+	mean /= float64(n)
+	v := 0.0
+	for _, d := range s.samples {
+		diff := float64(d) - mean
+		v += diff * diff
+	}
+	v /= float64(n)
+	return time.Duration(math.Sqrt(v))
+}
+
+// Samples returns the retained raw samples (read-only).
+func (s *LatencyStats) Samples() []time.Duration { return s.samples }

@@ -1,0 +1,398 @@
+package driver
+
+import (
+	"sync"
+	"time"
+
+	"ldbcsnb/internal/ids"
+	"ldbcsnb/internal/params"
+	"ldbcsnb/internal/schema"
+	"ldbcsnb/internal/store"
+	"ldbcsnb/internal/workload"
+	"ldbcsnb/internal/xrand"
+)
+
+// Mixed-workload execution: the full Interactive benchmark of §4 — update
+// streams with dependency tracking, complex read-only queries at the
+// Table 4 relative frequencies with curated parameters, and the short-read
+// random walk seeded by complex-query results.
+
+// MixedConfig parameterises a full Interactive run.
+type MixedConfig struct {
+	Store   *store.Store
+	Dataset *schema.Dataset // full dataset; used for parameter curation
+	Updates []schema.Update
+	Streams int
+	// ReadClients is the number of concurrent read-query executors.
+	ReadClients int
+	// ComplexPerType caps how many executions of each complex query
+	// template the run performs (0 = derive from Table 4 frequencies and
+	// the update count).
+	ComplexPerType int
+	// Seed drives parameter selection and the short-read walk.
+	Seed uint64
+	// Mix is the short-read random walk configuration.
+	Mix workload.ShortReadMix
+	// UniformParams switches Q5 parameter selection from curated to
+	// uniform (the Figure 5(b) ablation).
+	UniformParams bool
+}
+
+// MixedReport is the outcome of a mixed run: the per-query latency tables
+// of the paper's §5 evaluation.
+type MixedReport struct {
+	Complex [workload.NumComplexQueries]LatencyStats // Table 6
+	Short   [7]LatencyStats                          // Table 7
+	Update  [schema.NumUpdateTypes]LatencyStats      // Table 9
+	Wall    time.Duration
+	// Throughput is total executed operations per second (the §5 metric
+	// alongside the acceleration factor).
+	Throughput float64
+	Errors     int
+}
+
+// queryParams holds curated parameter pools for the complex queries.
+type queryParams struct {
+	persons     []ids.ID // curated person IDs (by Q9 cost profile)
+	personsQ5   []ids.ID // curated by the Q5 profile (or uniform)
+	firstNames  []string
+	tags        []ids.ID
+	tagClasses  []ids.ID
+	countryA    int
+	countryB    int
+	maxDate     int64
+	midDate     int64
+	windowMilli int64
+}
+
+// prepareParams runs the parameter-curation pipeline (§4.1) over the
+// dataset: PC tables per query template, greedy window selection, plus
+// value pools for the non-person parameters.
+func prepareParams(cfg *MixedConfig) *queryParams {
+	r := xrand.New(cfg.Seed, xrand.PurposeShortRead, 1)
+	qp := &queryParams{
+		countryA:    0,
+		countryB:    1,
+		maxDate:     simEndOf(cfg.Dataset),
+		windowMilli: 120 * 24 * 3600 * 1000,
+	}
+	qp.midDate = qp.maxDate - qp.windowMilli
+
+	q9 := params.BuildQ9Table(cfg.Dataset)
+	for _, p := range q9.Curate(40) {
+		qp.persons = append(qp.persons, ids.ID(p))
+	}
+	q5 := params.BuildQ5Table(cfg.Dataset)
+	var sel []uint64
+	if cfg.UniformParams {
+		sel = q5.UniformSample(40, r.Uint64)
+	} else {
+		sel = q5.Curate(40)
+	}
+	for _, p := range sel {
+		qp.personsQ5 = append(qp.personsQ5, ids.ID(p))
+	}
+
+	seen := map[string]bool{}
+	for i := range cfg.Dataset.Persons {
+		n := cfg.Dataset.Persons[i].FirstName
+		if !seen[n] {
+			seen[n] = true
+			qp.firstNames = append(qp.firstNames, n)
+		}
+	}
+	for i := 0; i < 40; i++ {
+		qp.tags = append(qp.tags, schema.TagNodeID(r.Intn(400)))
+		qp.tagClasses = append(qp.tagClasses, ids.DimensionID(ids.KindTagClass, uint32(r.Intn(20))))
+	}
+	return qp
+}
+
+func simEndOf(d *schema.Dataset) int64 {
+	var end int64
+	for i := range d.Posts {
+		if d.Posts[i].CreationDate > end {
+			end = d.Posts[i].CreationDate
+		}
+	}
+	return end
+}
+
+// RunMixed executes the full Interactive workload and reports per-query
+// latencies and throughput.
+func RunMixed(cfg MixedConfig) *MixedReport {
+	if cfg.Streams <= 0 {
+		cfg.Streams = 1
+	}
+	if cfg.ReadClients <= 0 {
+		cfg.ReadClients = 1
+	}
+	if cfg.Mix.P == 0 {
+		cfg.Mix = workload.DefaultShortReadMix
+	}
+	qp := prepareParams(&cfg)
+	rep := &MixedReport{}
+	var mu sync.Mutex // guards rep during concurrent execution
+
+	start := time.Now()
+
+	// Update streams run exactly as in Run, while read clients interleave.
+	var wg sync.WaitGroup
+	if len(cfg.Updates) > 0 {
+		streams := Partition(cfg.Updates, cfg.Streams)
+		conn := &StoreConnector{Store: cfg.Store}
+		gds := NewGDS(len(streams))
+		simStart := cfg.Updates[0].DueTime
+		gds.SetFloor(simStart - 1)
+		for i, s := range streams {
+			gds.Stream(i).SetSchedule(dependencySchedule(s))
+		}
+		gds.Refresh()
+		for i := range streams {
+			wg.Add(1)
+			go func(idx int) {
+				defer wg.Done()
+				lds := gds.Stream(idx)
+				for j := range streams[idx] {
+					op := &streams[idx][j]
+					isDep := op.Type == schema.UpdateAddPerson
+					if isDep {
+						lds.Initiate(op.DueTime)
+						gds.Refresh()
+					}
+					if op.DepTime > 0 {
+						gds.WaitUntil(op.DepTime)
+					}
+					t0 := time.Now()
+					err := conn.Execute(op)
+					lat := time.Since(t0)
+					mu.Lock()
+					if err != nil {
+						rep.Errors++
+					} else {
+						rep.Update[op.Type-1].Add(lat)
+					}
+					mu.Unlock()
+					if isDep {
+						lds.Complete(op.DueTime)
+						gds.Refresh()
+					}
+				}
+				lds.Finish()
+				gds.Refresh()
+			}(i)
+		}
+	}
+
+	// Read clients: cycle the complex queries at Table 4 proportions.
+	// Within one pass each query type runs once per its proportion slot;
+	// cheaper (more frequent) queries therefore execute more often, like
+	// the real mix.
+	perType := cfg.ComplexPerType
+	if perType == 0 {
+		perType = 5
+	}
+	n := len(cfg.Dataset.Persons)
+	schedule := buildSchedule(perType, n)
+	for c := 0; c < cfg.ReadClients; c++ {
+		wg.Add(1)
+		go func(client int) {
+			defer wg.Done()
+			r := xrand.New(cfg.Seed, xrand.PurposeShortRead, uint64(client)+100)
+			for si := client; si < len(schedule); si += cfg.ReadClients {
+				q := schedule[si]
+				var lat time.Duration
+				var seedPersons, seedMessages []ids.ID
+				cfg.Store.View(func(tx *store.Txn) {
+					t0 := time.Now()
+					seedPersons, seedMessages = runComplex(tx, q, qp, r)
+					lat = time.Since(t0)
+				})
+				mu.Lock()
+				rep.Complex[q-1].Add(lat)
+				mu.Unlock()
+				// Short-read random walk seeded by the results (§4).
+				cfg.Store.View(func(tx *store.Txn) {
+					runShortWalk(tx, cfg.Mix, r, seedPersons, seedMessages, rep, &mu)
+				})
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	rep.Wall = time.Since(start)
+	total := len(cfg.Updates)
+	for i := range rep.Complex {
+		total += rep.Complex[i].Count
+	}
+	for i := range rep.Short {
+		total += rep.Short[i].Count
+	}
+	if rep.Wall > 0 {
+		rep.Throughput = float64(total) / rep.Wall.Seconds()
+	}
+	return rep
+}
+
+// buildSchedule expands the Table 4 mix into a concrete query sequence:
+// query q appears inversely proportional to its scaled frequency (a query
+// that runs once per 132 updates appears ~4x more often than one that runs
+// once per 550).
+func buildSchedule(perType, persons int) []int {
+	minFreq := workload.ScaledFrequency(1, persons)
+	for q := 2; q <= workload.NumComplexQueries; q++ {
+		if f := workload.ScaledFrequency(q, persons); f < minFreq {
+			minFreq = f
+		}
+	}
+	var schedule []int
+	for rep := 0; rep < perType; rep++ {
+		for q := 1; q <= workload.NumComplexQueries; q++ {
+			// Weight ∝ minFreq/freq, at least one slot per pass.
+			weight := 1
+			if f := workload.ScaledFrequency(q, persons); f > 0 {
+				weight = 1 + (8*minFreq)/f
+			}
+			for w := 0; w < weight; w++ {
+				schedule = append(schedule, q)
+			}
+		}
+	}
+	return schedule
+}
+
+// runComplex executes one complex query template with curated parameters,
+// returning result entities to seed the short-read walk.
+func runComplex(tx *store.Txn, q int, qp *queryParams, r *xrand.Rand) (persons, messages []ids.ID) {
+	person := qp.persons[r.Intn(len(qp.persons))]
+	switch q {
+	case 1:
+		for _, row := range workload.Q1(tx, person, qp.firstNames[r.Intn(len(qp.firstNames))]) {
+			persons = append(persons, row.Person)
+		}
+	case 2:
+		for _, row := range workload.Q2(tx, person, qp.maxDate) {
+			persons = append(persons, row.Creator)
+			messages = append(messages, row.Message)
+		}
+	case 3:
+		for _, row := range workload.Q3(tx, person, qp.countryA, qp.countryB, qp.midDate, qp.windowMilli) {
+			persons = append(persons, row.Person)
+		}
+	case 4:
+		workload.Q4(tx, person, qp.midDate, qp.windowMilli)
+	case 5:
+		p5 := qp.personsQ5[r.Intn(len(qp.personsQ5))]
+		workload.Q5(tx, p5, qp.midDate)
+	case 6:
+		workload.Q6(tx, person, qp.tags[r.Intn(len(qp.tags))])
+	case 7:
+		for _, row := range workload.Q7(tx, person) {
+			persons = append(persons, row.Liker)
+			messages = append(messages, row.Message)
+		}
+	case 8:
+		for _, row := range workload.Q8(tx, person) {
+			persons = append(persons, row.Replier)
+			messages = append(messages, row.Comment)
+		}
+	case 9:
+		for _, row := range workload.Q9(tx, person, qp.maxDate) {
+			persons = append(persons, row.Creator)
+			messages = append(messages, row.Message)
+		}
+	case 10:
+		for _, row := range workload.Q10(tx, person, r.Intn(12)) {
+			persons = append(persons, row.Person)
+		}
+	case 11:
+		for _, row := range workload.Q11(tx, person, r.Intn(25), 2013) {
+			persons = append(persons, row.Person)
+		}
+	case 12:
+		for _, row := range workload.Q12(tx, person, qp.tagClasses[r.Intn(len(qp.tagClasses))]) {
+			persons = append(persons, row.Person)
+		}
+	case 13:
+		other := qp.persons[r.Intn(len(qp.persons))]
+		workload.Q13(tx, person, other)
+	case 14:
+		other := qp.persons[r.Intn(len(qp.persons))]
+		workload.Q14(tx, person, other)
+	}
+	if len(persons) == 0 {
+		persons = append(persons, person)
+	}
+	return persons, messages
+}
+
+// runShortWalk executes the short-read chain, attributing per-type
+// latencies to the report. It re-implements the walk of workload.ShortReadMix
+// with timing instrumentation.
+func runShortWalk(tx *store.Txn, mix workload.ShortReadMix, r *xrand.Rand, persons, messages []ids.ID, rep *MixedReport, mu *sync.Mutex) {
+	p := mix.P
+	for step := 0; ; step++ {
+		if len(persons) == 0 && len(messages) == 0 {
+			return
+		}
+		if !r.Bool(p) {
+			return
+		}
+		p -= mix.Delta
+		if p < 0 {
+			p = 0
+		}
+		var kind int
+		t0 := time.Now()
+		if len(persons) > 0 && (step%2 == 0 || len(messages) == 0) {
+			person := persons[r.Intn(len(persons))]
+			switch r.Intn(3) {
+			case 0:
+				workload.S1(tx, person)
+				kind = 0
+			case 1:
+				for _, row := range workload.S2(tx, person) {
+					messages = append(messages, row.Message)
+				}
+				kind = 1
+			default:
+				for _, row := range workload.S3(tx, person) {
+					persons = append(persons, row.Friend)
+				}
+				kind = 2
+			}
+		} else {
+			msg := messages[r.Intn(len(messages))]
+			switch r.Intn(4) {
+			case 0:
+				workload.S4(tx, msg)
+				kind = 3
+			case 1:
+				if res, ok := workload.S5(tx, msg); ok {
+					persons = append(persons, res.Creator)
+				}
+				kind = 4
+			case 2:
+				if res, ok := workload.S6(tx, msg); ok && res.Moderator != 0 {
+					persons = append(persons, res.Moderator)
+				}
+				kind = 5
+			default:
+				for _, row := range workload.S7(tx, msg) {
+					messages = append(messages, row.Comment)
+				}
+				kind = 6
+			}
+		}
+		lat := time.Since(t0)
+		mu.Lock()
+		rep.Short[kind].Add(lat)
+		mu.Unlock()
+		if len(persons) > 256 {
+			persons = persons[len(persons)-256:]
+		}
+		if len(messages) > 256 {
+			messages = messages[len(messages)-256:]
+		}
+	}
+}

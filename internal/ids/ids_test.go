@@ -1,0 +1,175 @@
+package ids
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestComposeRoundTrip(t *testing.T) {
+	err := quick.Check(func(bucketRaw uint32, seqRaw uint16) bool {
+		bucket := int64(bucketRaw) // < 2^32 < 2^40
+		id := Compose(KindPost, bucket, uint32(seqRaw))
+		return id.Kind() == KindPost &&
+			id.MinuteBucket() == bucket &&
+			id.Seq() == uint32(seqRaw)
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComposePanicsOnOverflow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on seq overflow")
+		}
+	}()
+	Compose(KindPost, 1, 1<<SeqBits)
+}
+
+func TestIDTimeOrdering(t *testing.T) {
+	// IDs of the same kind must sort by creation time: the property Query 9
+	// relies on (date filters become ID-range filters).
+	a := NewAllocator(KindComment)
+	var prev ID
+	for minute := int64(0); minute < 1000; minute += 7 {
+		id := a.Alloc(minute * 60000)
+		if id <= prev {
+			t.Fatalf("IDs not increasing: %d after %d", id, prev)
+		}
+		prev = id
+	}
+}
+
+func TestAllocatorSequenceWithinBucket(t *testing.T) {
+	a := NewAllocator(KindPost)
+	id1 := a.Alloc(60000)
+	id2 := a.Alloc(60000)
+	id3 := a.Alloc(120000)
+	if id1.Seq() != 0 || id2.Seq() != 1 {
+		t.Fatalf("bad sequences: %d %d", id1.Seq(), id2.Seq())
+	}
+	if id3.Seq() != 0 {
+		t.Fatalf("sequence should reset at new bucket, got %d", id3.Seq())
+	}
+	if !(id1 < id2 && id2 < id3) {
+		t.Fatal("ordering violated")
+	}
+}
+
+func TestWorkerAllocatorDisjoint(t *testing.T) {
+	// Two workers allocating in the same minute bucket must never collide,
+	// and the union of their sequences must be dense.
+	const workers = 4
+	seen := map[ID]bool{}
+	for w := 0; w < workers; w++ {
+		a := NewWorkerAllocator(KindPost, w, workers)
+		for i := 0; i < 100; i++ {
+			id := a.Alloc(60000)
+			if seen[id] {
+				t.Fatalf("worker collision at id %d", id)
+			}
+			seen[id] = true
+		}
+	}
+	if len(seen) != workers*100 {
+		t.Fatalf("expected %d distinct ids, got %d", workers*100, len(seen))
+	}
+	// Density: collected sequence numbers are exactly 0..399.
+	seqs := make([]int, 0, len(seen))
+	for id := range seen {
+		seqs = append(seqs, int(id.Seq()))
+	}
+	sort.Ints(seqs)
+	for i, s := range seqs {
+		if s != i {
+			t.Fatalf("sequence numbers not dense at %d: %d", i, s)
+		}
+	}
+}
+
+func TestWorkerAllocatorValidation(t *testing.T) {
+	for _, bad := range [][2]int{{0, 0}, {-1, 4}, {4, 4}, {5, 4}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("expected panic for worker=%d workers=%d", bad[0], bad[1])
+				}
+			}()
+			NewWorkerAllocator(KindPost, bad[0], bad[1])
+		}()
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindPerson.String() != "Person" {
+		t.Fatalf("got %q", KindPerson.String())
+	}
+	if Kind(200).String() != "Unknown" {
+		t.Fatalf("got %q", Kind(200).String())
+	}
+}
+
+func TestDimensionID(t *testing.T) {
+	id := DimensionID(KindTag, 1234)
+	if id.Kind() != KindTag || id.Seq() != 1234 || id.MinuteBucket() != 0 {
+		t.Fatalf("bad dimension id: %v %d %d", id.Kind(), id.Seq(), id.MinuteBucket())
+	}
+}
+
+func TestStudyKeyRoundTrip(t *testing.T) {
+	err := quick.Check(func(z uint8, uni, year uint16) bool {
+		k := MakeStudyKey(z, uni, year)
+		return k.CityZ() == z && k.University() == uni&0xFFF && k.ClassYear() == year&0xFFF
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStudyKeyOrderingPriority(t *testing.T) {
+	// City dominates university dominates year, matching the bit layout.
+	low := MakeStudyKey(1, 4095, 4095)
+	high := MakeStudyKey(2, 0, 0)
+	if !(low < high) {
+		t.Fatal("city component must dominate ordering")
+	}
+	lowU := MakeStudyKey(1, 5, 4095)
+	highU := MakeStudyKey(1, 6, 0)
+	if !(lowU < highU) {
+		t.Fatal("university component must dominate year")
+	}
+}
+
+func TestZOrderLocality(t *testing.T) {
+	// Adjacent grid cells should have nearby Z codes more often than distant
+	// cells; sanity-check the interleave on exact small values.
+	if got := ZOrder8(0, 0); got != 0 {
+		t.Fatalf("ZOrder8(0,0)=%d", got)
+	}
+	if got := ZOrder8(1, 0); got != 1 {
+		t.Fatalf("ZOrder8(1,0)=%d", got)
+	}
+	if got := ZOrder8(0, 1); got != 2 {
+		t.Fatalf("ZOrder8(0,1)=%d", got)
+	}
+	if got := ZOrder8(3, 3); got != 15 {
+		t.Fatalf("ZOrder8(3,3)=%d", got)
+	}
+}
+
+func TestZOrder16RoundTripBits(t *testing.T) {
+	err := quick.Check(func(x, y uint8) bool {
+		v := ZOrder16(x, y)
+		var gx, gy uint8
+		for i := 0; i < 8; i++ {
+			gx |= uint8(v>>(2*i)&1) << i
+			gy |= uint8(v>>(2*i+1)&1) << i
+		}
+		return gx == x && gy == y
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}

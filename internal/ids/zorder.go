@@ -1,0 +1,56 @@
+package ids
+
+// Z-order (Morton) encoding and the studied-location composite sort key of
+// §2.3. The composite packs, in one uint32:
+//
+//	bits 31-24  Z-order of the university's city location (8 bits)
+//	bits 23-12  university ID (12 bits)
+//	bits 11-0   studied year (12 bits)
+//
+// Sorting persons by this key clusters them by (city, university, year),
+// which is what the first friendship-generation stage slides its window
+// over (Figure 1 of the paper).
+
+// interleave4 spreads the low 4 bits of v so they occupy even positions.
+func interleave4(v uint32) uint32 {
+	v &= 0xF
+	v = (v | v<<2) & 0x33
+	v = (v | v<<1) & 0x55
+	return v
+}
+
+// ZOrder8 interleaves two 4-bit coordinates into an 8-bit Morton code.
+// City coordinates are quantised to a 16x16 grid; locality in the grid
+// becomes locality in the code, so geographically close cities sort near
+// each other.
+func ZOrder8(x, y uint8) uint8 {
+	return uint8(interleave4(uint32(x)) | interleave4(uint32(y))<<1)
+}
+
+// ZOrder16 interleaves two 8-bit coordinates into a 16-bit Morton code.
+func ZOrder16(x, y uint8) uint16 {
+	v := uint32(0)
+	for i := 0; i < 8; i++ {
+		v |= (uint32(x) >> i & 1) << (2 * i)
+		v |= (uint32(y) >> i & 1) << (2*i + 1)
+	}
+	return uint16(v)
+}
+
+// StudyKey is the first-stage friendship correlation dimension.
+type StudyKey uint32
+
+// MakeStudyKey packs the city Z-order, university and class year into the
+// composite key. Arguments are masked to their field widths.
+func MakeStudyKey(cityZ uint8, universityID uint16, classYear uint16) StudyKey {
+	return StudyKey(uint32(cityZ)<<24 | uint32(universityID&0xFFF)<<12 | uint32(classYear&0xFFF))
+}
+
+// CityZ returns the 8-bit city Z-order component.
+func (k StudyKey) CityZ() uint8 { return uint8(k >> 24) }
+
+// University returns the 12-bit university ID component.
+func (k StudyKey) University() uint16 { return uint16(k>>12) & 0xFFF }
+
+// ClassYear returns the 12-bit studied-year component.
+func (k StudyKey) ClassYear() uint16 { return uint16(k) & 0xFFF }

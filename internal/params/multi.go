@@ -1,0 +1,104 @@
+package params
+
+import (
+	"math"
+	"sort"
+)
+
+// Multi-parameter curation (§4.1 "Parameter Curation for multiple
+// parameters"): the paper generalises the greedy procedure to pick jointly
+// well-behaved combinations, e.g. (Person, Timestamp) for Query 2 — a
+// discrete parameter whose PC row carries intermediate counts, crossed
+// with a bucketed continuous parameter whose bucket frequency acts as the
+// count column.
+
+// Pair is one curated (primary, secondary) parameter binding.
+type Pair struct {
+	Primary   uint64
+	Secondary uint64
+}
+
+// CuratePairs selects k (primary, secondary) bindings such that the total
+// variance of intermediate results is small across both dimensions: the
+// primary values come from the primary table's minimum-variance window,
+// and each is paired with a secondary value whose bucket count sits in the
+// secondary table's own minimum-variance window. Cross-products are
+// enumerated deterministically.
+func CuratePairs(primary *Table, secondary *Table, k int) []Pair {
+	if k <= 0 {
+		return nil
+	}
+	// Primary window: curate sqrt-ish share so the cross product fills k.
+	pk := k
+	sk := 1
+	if len(secondary.Rows) > 1 {
+		pk = (k + 1) / 2
+		sk = (k + pk - 1) / pk
+	}
+	prim := primary.Curate(pk)
+	sec := secondary.Curate(sk)
+	if len(prim) == 0 {
+		return nil
+	}
+	if len(sec) == 0 {
+		sec = []uint64{0}
+	}
+	out := make([]Pair, 0, k)
+	for _, s := range sec {
+		for _, p := range prim {
+			out = append(out, Pair{Primary: p, Secondary: s})
+			if len(out) == k {
+				sortPairs(out)
+				return out
+			}
+		}
+	}
+	sortPairs(out)
+	return out
+}
+
+func sortPairs(ps []Pair) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].Primary != ps[j].Primary {
+			return ps[i].Primary < ps[j].Primary
+		}
+		return ps[i].Secondary < ps[j].Secondary
+	})
+}
+
+// PairSpread reports the combined cost dispersion of pair selections: the
+// primary cost plus the secondary bucket count, per pair.
+func PairSpread(primary, secondary *Table, sel []Pair) Spread {
+	pc := make(map[uint64]int, len(primary.Rows))
+	for _, r := range primary.Rows {
+		pc[r.Param] = r.Cost()
+	}
+	sc := make(map[uint64]int, len(secondary.Rows))
+	for _, r := range secondary.Rows {
+		sc[r.Param] = r.Cost()
+	}
+	if len(sel) == 0 {
+		return Spread{}
+	}
+	costs := make([]float64, 0, len(sel))
+	s := Spread{Min: 1<<62 - 1}
+	sum := 0.0
+	for _, p := range sel {
+		c := pc[p.Primary] + sc[p.Secondary]
+		costs = append(costs, float64(c))
+		if c < s.Min {
+			s.Min = c
+		}
+		if c > s.Max {
+			s.Max = c
+		}
+		sum += float64(c)
+	}
+	s.Mean = sum / float64(len(costs))
+	v := 0.0
+	for _, c := range costs {
+		v += (c - s.Mean) * (c - s.Mean)
+	}
+	s.Stddev = math.Sqrt(v / float64(len(costs)))
+	return s
+}

@@ -1,0 +1,238 @@
+// Package params implements Parameter Curation (§4.1 of the paper, and
+// [Gubichev & Boncz, TPCTC'14]): selecting query-parameter bindings whose
+// queries have (P1) bounded runtime variance, (P2) stable runtime
+// distributions across samples and (P3) one optimal logical plan.
+//
+// The two-step heuristic of the paper:
+//
+//	Step 1 — Preprocessing: materialise a Parameter-Count (PC) table whose
+//	rows are parameter values and whose columns are the de-facto
+//	intermediate-result cardinalities of each join of the intended plan.
+//	SNB obtains these counts as a by-product of data generation; we compute
+//	them from the generated dataset the same way.
+//
+//	Step 2 — Greedy selection: find windows of rows with the smallest
+//	variance in the first column, refine each window on the next column,
+//	and so on; emit the parameter values of the refined windows.
+package params
+
+import (
+	"math"
+	"sort"
+)
+
+// Row is one PC-table row: a parameter value (e.g. a PersonID) and the
+// intermediate result counts for each subplan of the intended query plan.
+type Row struct {
+	Param  uint64
+	Counts []int
+}
+
+// Table is a Parameter-Count table: all rows share the same column layout.
+type Table struct {
+	Cols []string // column names, e.g. ["|⋈1|", "|⋈2|"]
+	Rows []Row
+}
+
+// Cost returns a row's total intermediate-result count (the C_out proxy
+// the paper uses: runtime correlates with the amount of intermediate
+// results produced).
+func (r Row) Cost() int {
+	total := 0
+	for _, c := range r.Counts {
+		total += c
+	}
+	return total
+}
+
+// variance computes the variance of one column over rows[lo:hi].
+func variance(rows []Row, col, lo, hi int) float64 {
+	n := float64(hi - lo)
+	if n <= 0 {
+		return 0
+	}
+	sum := 0.0
+	for i := lo; i < hi; i++ {
+		sum += float64(rows[i].Counts[col])
+	}
+	mean := sum / n
+	v := 0.0
+	for i := lo; i < hi; i++ {
+		d := float64(rows[i].Counts[col]) - mean
+		v += d * d
+	}
+	return v / n
+}
+
+// Curate selects k parameter bindings with minimal total variance of
+// intermediate results across all columns, using the greedy window
+// refinement of §4.1. It returns fewer than k values only when the table
+// itself is smaller than k.
+func (t *Table) Curate(k int) []uint64 {
+	if k <= 0 || len(t.Rows) == 0 {
+		return nil
+	}
+	rows := make([]Row, len(t.Rows))
+	copy(rows, t.Rows)
+	if len(rows) <= k {
+		out := make([]uint64, len(rows))
+		for i, r := range rows {
+			out[i] = r.Param
+		}
+		return out
+	}
+	// Sort rows by the first column (ties by subsequent columns, then by
+	// parameter for determinism).
+	sort.Slice(rows, func(i, j int) bool {
+		for c := range rows[i].Counts {
+			if rows[i].Counts[c] != rows[j].Counts[c] {
+				return rows[i].Counts[c] < rows[j].Counts[c]
+			}
+		}
+		return rows[i].Param < rows[j].Param
+	})
+
+	// Find the k-row window minimising variance column by column: first
+	// locate the best window of size w >= k on column 0, then refine
+	// within it on column 1, etc.
+	lo, hi := 0, len(rows)
+	nCols := len(t.Cols)
+	for col := 0; col < nCols; col++ {
+		// Window size shrinks toward k as we refine.
+		remaining := nCols - col - 1
+		w := k
+		for i := 0; i < remaining; i++ {
+			w *= 2 // leave room for later refinements
+		}
+		if w > hi-lo {
+			w = hi - lo
+		}
+		if w < k {
+			w = k
+		}
+		// Rows inside [lo,hi) are sorted by earlier columns; re-sort the
+		// segment by this column to make contiguous windows meaningful.
+		seg := rows[lo:hi]
+		sort.SliceStable(seg, func(i, j int) bool {
+			return seg[i].Counts[col] < seg[j].Counts[col]
+		})
+		// Among windows whose variance is (near-)minimal, prefer the one
+		// whose values sit closest to the segment median: P1 asks that
+		// "the average runtime should correspond to the behavior of the
+		// majority of the queries", so representative-cost windows beat
+		// equally-tight windows at the extremes of the distribution.
+		median := float64(rows[lo+(hi-lo)/2].Counts[col])
+		type cand struct {
+			lo   int
+			v    float64
+			dist float64
+		}
+		best := cand{lo, math.Inf(1), math.Inf(1)}
+		for s := lo; s+w <= hi; s++ {
+			v := variance(rows, col, s, s+w)
+			mid := float64(rows[s+w/2].Counts[col])
+			dist := math.Abs(mid - median)
+			better := v < best.v*0.95 ||
+				(v <= best.v*1.05 && dist < best.dist)
+			if better {
+				best = cand{s, v, dist}
+			}
+		}
+		lo, hi = best.lo, best.lo+w
+	}
+	// Emit the k rows of the final window with the smallest last-column
+	// variance: the window is already minimal, take its first k rows.
+	out := make([]uint64, 0, k)
+	for i := lo; i < hi && len(out) < k; i++ {
+		out = append(out, rows[i].Param)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// UniformSample returns k parameter values sampled uniformly (without
+// replacement when possible) — the conventional TPC-H/BSBM approach that
+// Figure 5(b) contrasts with curation. next is a random source returning
+// uniform uint64s.
+func (t *Table) UniformSample(k int, next func() uint64) []uint64 {
+	if k <= 0 || len(t.Rows) == 0 {
+		return nil
+	}
+	if len(t.Rows) <= k {
+		out := make([]uint64, len(t.Rows))
+		for i, r := range t.Rows {
+			out[i] = r.Param
+		}
+		return out
+	}
+	seen := make(map[int]bool, k)
+	out := make([]uint64, 0, k)
+	for len(out) < k {
+		i := int(next() % uint64(len(t.Rows)))
+		if seen[i] {
+			continue
+		}
+		seen[i] = true
+		out = append(out, t.Rows[i].Param)
+	}
+	return out
+}
+
+// Spread is the dispersion of total cost over a parameter selection — the
+// quantity Parameter Curation minimises (P1) and Figure 5(b) visualises.
+type Spread struct {
+	Min, Max int
+	Mean     float64
+	Stddev   float64
+}
+
+// CostSpread reports the cost dispersion of a set of parameter values.
+func (t *Table) CostSpread(sel []uint64) Spread {
+	byParam := make(map[uint64]int, len(t.Rows))
+	for _, r := range t.Rows {
+		byParam[r.Param] = r.Cost()
+	}
+	if len(sel) == 0 {
+		return Spread{}
+	}
+	s := Spread{Min: math.MaxInt}
+	sum := 0.0
+	for _, p := range sel {
+		c := byParam[p]
+		if c < s.Min {
+			s.Min = c
+		}
+		if c > s.Max {
+			s.Max = c
+		}
+		sum += float64(c)
+	}
+	s.Mean = sum / float64(len(sel))
+	v := 0.0
+	for _, p := range sel {
+		d := float64(byParam[p]) - s.Mean
+		v += d * d
+	}
+	s.Stddev = math.Sqrt(v / float64(len(sel)))
+	return s
+}
+
+// BucketTimestamps groups a continuous timestamp domain into buckets of
+// the given width (the paper buckets Timestamp parameters by month),
+// returning representative bucket-start values with their frequencies as a
+// PC table keyed by bucket start.
+func BucketTimestamps(stamps []int64, width int64) *Table {
+	if width <= 0 || len(stamps) == 0 {
+		return &Table{Cols: []string{"count"}}
+	}
+	counts := map[int64]int{}
+	for _, s := range stamps {
+		counts[s/width*width]++
+	}
+	t := &Table{Cols: []string{"count"}}
+	for b, c := range counts {
+		t.Rows = append(t.Rows, Row{Param: uint64(b), Counts: []int{c}})
+	}
+	sort.Slice(t.Rows, func(i, j int) bool { return t.Rows[i].Param < t.Rows[j].Param })
+	return t
+}

@@ -1,0 +1,251 @@
+package params
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ldbcsnb/internal/datagen"
+	"ldbcsnb/internal/xrand"
+)
+
+func syntheticTable(n int) *Table {
+	// Rows with cost clusters: param i has counts (i/10, i%10) so there
+	// are clear minimum-variance windows.
+	t := &Table{Cols: []string{"c1", "c2"}}
+	for i := 0; i < n; i++ {
+		t.Rows = append(t.Rows, Row{Param: uint64(i), Counts: []int{i / 10, i % 10}})
+	}
+	return t
+}
+
+func TestCurateReturnsK(t *testing.T) {
+	tab := syntheticTable(200)
+	for _, k := range []int{1, 5, 10, 50} {
+		got := tab.Curate(k)
+		if len(got) != k {
+			t.Fatalf("Curate(%d) returned %d", k, len(got))
+		}
+		seen := map[uint64]bool{}
+		for _, p := range got {
+			if seen[p] {
+				t.Fatal("duplicate parameter")
+			}
+			seen[p] = true
+		}
+	}
+}
+
+func TestCurateSmallTable(t *testing.T) {
+	tab := syntheticTable(3)
+	if got := tab.Curate(10); len(got) != 3 {
+		t.Fatalf("undersized table should return all rows, got %d", len(got))
+	}
+	if got := tab.Curate(0); got != nil {
+		t.Fatal("k=0 should return nil")
+	}
+	empty := &Table{Cols: []string{"c"}}
+	if got := empty.Curate(5); got != nil {
+		t.Fatal("empty table should return nil")
+	}
+}
+
+func TestCurateBeatsUniformVariance(t *testing.T) {
+	// The defining property (P1): curated parameters have (much) lower
+	// cost dispersion than a uniform sample.
+	tab := syntheticTable(500)
+	curated := tab.Curate(20)
+	r := xrand.New(1)
+	uniform := tab.UniformSample(20, r.Uint64)
+	cur := tab.CostSpread(curated)
+	uni := tab.CostSpread(uniform)
+	if cur.Stddev >= uni.Stddev {
+		t.Fatalf("curated stddev %v not below uniform stddev %v", cur.Stddev, uni.Stddev)
+	}
+	if cur.Max-cur.Min >= uni.Max-uni.Min {
+		t.Fatalf("curated range [%d,%d] not tighter than uniform [%d,%d]",
+			cur.Min, cur.Max, uni.Min, uni.Max)
+	}
+}
+
+func TestCurateDeterministic(t *testing.T) {
+	tab := syntheticTable(300)
+	a := tab.Curate(15)
+	b := tab.Curate(15)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Curate not deterministic")
+		}
+	}
+}
+
+func TestUniformSample(t *testing.T) {
+	tab := syntheticTable(100)
+	r := xrand.New(2)
+	s := tab.UniformSample(30, r.Uint64)
+	if len(s) != 30 {
+		t.Fatalf("sample size %d", len(s))
+	}
+	seen := map[uint64]bool{}
+	for _, p := range s {
+		if seen[p] {
+			t.Fatal("duplicate in uniform sample")
+		}
+		seen[p] = true
+	}
+	if got := tab.UniformSample(200, r.Uint64); len(got) != 100 {
+		t.Fatal("oversized uniform sample should return all")
+	}
+}
+
+func TestCostSpreadEmpty(t *testing.T) {
+	tab := syntheticTable(10)
+	s := tab.CostSpread(nil)
+	if s.Min != 0 || s.Max != 0 || s.Stddev != 0 {
+		t.Fatal("empty selection spread")
+	}
+}
+
+func TestBucketTimestamps(t *testing.T) {
+	stamps := []int64{5, 15, 18, 25, 95}
+	tab := BucketTimestamps(stamps, 10)
+	if len(tab.Rows) != 4 {
+		t.Fatalf("buckets = %d", len(tab.Rows))
+	}
+	if tab.Rows[0].Param != 0 || tab.Rows[0].Counts[0] != 1 {
+		t.Fatalf("bucket 0 = %+v", tab.Rows[0])
+	}
+	if tab.Rows[1].Param != 10 || tab.Rows[1].Counts[0] != 2 {
+		t.Fatalf("bucket 10 = %+v", tab.Rows[1])
+	}
+	if got := BucketTimestamps(nil, 10); len(got.Rows) != 0 {
+		t.Fatal("empty input")
+	}
+	if got := BucketTimestamps(stamps, 0); len(got.Rows) != 0 {
+		t.Fatal("zero width")
+	}
+}
+
+func TestVarianceProperty(t *testing.T) {
+	// Property: a window of identical values has zero variance; adding a
+	// different value makes it positive.
+	err := quick.Check(func(v uint8, n uint8) bool {
+		rows := make([]Row, int(n)%20+2)
+		for i := range rows {
+			rows[i] = Row{Param: uint64(i), Counts: []int{int(v)}}
+		}
+		if variance(rows, 0, 0, len(rows)) != 0 {
+			return false
+		}
+		rows[0].Counts[0] = int(v) + 7
+		return variance(rows, 0, 0, len(rows)) > 0
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSNBTables builds the real PC tables from a generated dataset and
+// verifies the Figure 5(b) property end to end at the cost level.
+func TestSNBTables(t *testing.T) {
+	out := datagen.Generate(datagen.Config{Seed: 3, Persons: 250, Workers: 2})
+	d := out.Data
+
+	for name, tab := range map[string]*Table{
+		"Q2": BuildQ2Table(d),
+		"Q5": BuildQ5Table(d),
+		"Q9": BuildQ9Table(d),
+	} {
+		if len(tab.Rows) != len(d.Persons) {
+			t.Fatalf("%s: %d rows for %d persons", name, len(tab.Rows), len(d.Persons))
+		}
+		curated := tab.Curate(20)
+		if len(curated) != 20 {
+			t.Fatalf("%s: curated %d", name, len(curated))
+		}
+		r := xrand.New(9)
+		uniform := tab.UniformSample(20, r.Uint64)
+		cur := tab.CostSpread(curated)
+		uni := tab.CostSpread(uniform)
+		if cur.Stddev >= uni.Stddev {
+			t.Fatalf("%s: curated stddev %v >= uniform stddev %v", name, cur.Stddev, uni.Stddev)
+		}
+	}
+}
+
+func TestTwoHopSizesSortedAndVaried(t *testing.T) {
+	out := datagen.Generate(datagen.Config{Seed: 4, Persons: 200, Workers: 2})
+	sizes := TwoHopSizes(out.Data)
+	if len(sizes) != 200 {
+		t.Fatalf("sizes = %d", len(sizes))
+	}
+	for i := 1; i < len(sizes); i++ {
+		if sizes[i] < sizes[i-1] {
+			t.Fatal("not sorted")
+		}
+	}
+	if sizes[0] == sizes[len(sizes)-1] {
+		t.Fatal("2-hop sizes should vary (Fig 5a)")
+	}
+}
+
+func TestCuratePairs(t *testing.T) {
+	prim := syntheticTable(200)
+	stamps := make([]int64, 0, 600)
+	for i := 0; i < 600; i++ {
+		stamps = append(stamps, int64(i%40)*100) // 40 buckets, equal mass
+	}
+	sec := BucketTimestamps(stamps, 100)
+	pairs := CuratePairs(prim, sec, 20)
+	if len(pairs) != 20 {
+		t.Fatalf("pairs = %d", len(pairs))
+	}
+	seen := map[Pair]bool{}
+	for _, p := range pairs {
+		if seen[p] {
+			t.Fatal("duplicate pair")
+		}
+		seen[p] = true
+	}
+	// Deterministic.
+	again := CuratePairs(prim, sec, 20)
+	for i := range pairs {
+		if pairs[i] != again[i] {
+			t.Fatal("CuratePairs not deterministic")
+		}
+	}
+	// Joint spread must beat a uniform cross sample.
+	r := xrand.New(3)
+	var uniform []Pair
+	for i := 0; i < 20; i++ {
+		uniform = append(uniform, Pair{
+			Primary:   prim.Rows[r.Intn(len(prim.Rows))].Param,
+			Secondary: sec.Rows[r.Intn(len(sec.Rows))].Param,
+		})
+	}
+	cur := PairSpread(prim, sec, pairs)
+	uni := PairSpread(prim, sec, uniform)
+	if cur.Stddev >= uni.Stddev {
+		t.Fatalf("curated pair stddev %v >= uniform %v", cur.Stddev, uni.Stddev)
+	}
+}
+
+func TestCuratePairsEdgeCases(t *testing.T) {
+	prim := syntheticTable(10)
+	empty := &Table{Cols: []string{"c"}}
+	if got := CuratePairs(prim, empty, 5); len(got) != 5 {
+		t.Fatalf("empty secondary should still yield primaries: %d", len(got))
+	}
+	if got := CuratePairs(empty, prim, 5); got != nil {
+		t.Fatal("empty primary must yield nil")
+	}
+	if got := CuratePairs(prim, prim, 0); got != nil {
+		t.Fatal("k=0")
+	}
+}
+
+func TestPairSpreadEmpty(t *testing.T) {
+	prim := syntheticTable(5)
+	if s := PairSpread(prim, prim, nil); s.Stddev != 0 || s.Max != 0 {
+		t.Fatal("empty pair spread")
+	}
+}

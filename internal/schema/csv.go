@@ -1,0 +1,409 @@
+package schema
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"ldbcsnb/internal/ids"
+)
+
+// CSV bulk format (§2.4: the scale factor is defined as GB of uncompressed
+// CSV). One file per entity, pipe-separated integer/string fields, header
+// row first — matching the layout of the reference DATAGEN output closely
+// enough for size accounting and reload.
+
+func itoa(v int64) string    { return strconv.FormatInt(v, 10) }
+func idstr(id ids.ID) string { return strconv.FormatUint(uint64(id), 10) }
+
+func parseID(s string) (ids.ID, error) {
+	v, err := strconv.ParseUint(s, 10, 64)
+	return ids.ID(v), err
+}
+
+func tagsStr(tags []int) string {
+	parts := make([]string, len(tags))
+	for i, t := range tags {
+		parts[i] = strconv.Itoa(t)
+	}
+	return strings.Join(parts, ";")
+}
+
+func parseTags(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ";")
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func newWriter(w io.Writer) *csv.Writer {
+	cw := csv.NewWriter(w)
+	cw.Comma = '|'
+	return cw
+}
+
+// WriteCSVDir writes the dataset as CSV files under dir, creating it if
+// needed, and returns the total bytes written (the "scale factor" size).
+func WriteCSVDir(d *Dataset, dir string) (int64, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, err
+	}
+	var total int64
+	write := func(name string, fn func(*csv.Writer) error) error {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		cw := newWriter(f)
+		if err := fn(cw); err != nil {
+			f.Close()
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		cw.Flush()
+		if err := cw.Error(); err != nil {
+			f.Close()
+			return err
+		}
+		st, err := f.Stat()
+		if err == nil {
+			total += st.Size()
+		}
+		return f.Close()
+	}
+
+	if err := write("person.csv", func(w *csv.Writer) error {
+		if err := w.Write([]string{"id", "firstName", "lastName", "gender", "birthday", "creationDate", "country", "city", "locationIP", "browserUsed", "languages", "emails", "interests", "university", "classYear", "company", "workFrom"}); err != nil {
+			return err
+		}
+		for i := range d.Persons {
+			p := &d.Persons[i]
+			if err := w.Write([]string{
+				idstr(p.ID), p.FirstName, p.LastName, strconv.Itoa(p.Gender),
+				itoa(p.Birthday), itoa(p.CreationDate), strconv.Itoa(p.Country),
+				strconv.Itoa(p.City), p.LocationIP, p.Browser,
+				strings.Join(p.Languages, ";"), strings.Join(p.Emails, ";"),
+				tagsStr(p.Interests), strconv.Itoa(p.University),
+				strconv.Itoa(p.ClassYear), strconv.Itoa(p.Company), strconv.Itoa(p.WorkFrom),
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return 0, err
+	}
+
+	if err := write("knows.csv", func(w *csv.Writer) error {
+		if err := w.Write([]string{"a", "b", "creationDate"}); err != nil {
+			return err
+		}
+		for i := range d.Knows {
+			k := &d.Knows[i]
+			if err := w.Write([]string{idstr(k.A), idstr(k.B), itoa(k.CreationDate)}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return 0, err
+	}
+
+	if err := write("forum.csv", func(w *csv.Writer) error {
+		if err := w.Write([]string{"id", "title", "moderator", "creationDate", "tags"}); err != nil {
+			return err
+		}
+		for i := range d.Forums {
+			f := &d.Forums[i]
+			if err := w.Write([]string{idstr(f.ID), f.Title, idstr(f.Moderator), itoa(f.CreationDate), tagsStr(f.Tags)}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return 0, err
+	}
+
+	if err := write("membership.csv", func(w *csv.Writer) error {
+		if err := w.Write([]string{"forum", "person", "joinDate"}); err != nil {
+			return err
+		}
+		for i := range d.Memberships {
+			m := &d.Memberships[i]
+			if err := w.Write([]string{idstr(m.Forum), idstr(m.Person), itoa(m.JoinDate)}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return 0, err
+	}
+
+	if err := write("post.csv", func(w *csv.Writer) error {
+		if err := w.Write([]string{"id", "creator", "forum", "creationDate", "content", "imageFile", "length", "language", "tags", "topic", "country", "locationIP", "browserUsed"}); err != nil {
+			return err
+		}
+		for i := range d.Posts {
+			p := &d.Posts[i]
+			if err := w.Write([]string{
+				idstr(p.ID), idstr(p.Creator), idstr(p.Forum), itoa(p.CreationDate),
+				p.Content, p.ImageFile, strconv.Itoa(p.Length), p.Language,
+				tagsStr(p.Tags), strconv.Itoa(p.Topic), strconv.Itoa(p.Country),
+				p.LocationIP, p.Browser,
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return 0, err
+	}
+
+	if err := write("comment.csv", func(w *csv.Writer) error {
+		if err := w.Write([]string{"id", "creator", "replyOf", "root", "forum", "creationDate", "content", "length", "tags", "topic", "country", "locationIP", "browserUsed"}); err != nil {
+			return err
+		}
+		for i := range d.Comments {
+			c := &d.Comments[i]
+			if err := w.Write([]string{
+				idstr(c.ID), idstr(c.Creator), idstr(c.ReplyOf), idstr(c.Root),
+				idstr(c.Forum), itoa(c.CreationDate), c.Content,
+				strconv.Itoa(c.Length), tagsStr(c.Tags), strconv.Itoa(c.Topic),
+				strconv.Itoa(c.Country), c.LocationIP, c.Browser,
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return 0, err
+	}
+
+	if err := write("like.csv", func(w *csv.Writer) error {
+		if err := w.Write([]string{"person", "message", "forum", "creationDate", "isPost"}); err != nil {
+			return err
+		}
+		for i := range d.Likes {
+			l := &d.Likes[i]
+			isPost := "0"
+			if l.IsPost {
+				isPost = "1"
+			}
+			if err := w.Write([]string{idstr(l.Person), idstr(l.Message), idstr(l.Forum), itoa(l.CreationDate), isPost}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return 0, err
+	}
+
+	return total, nil
+}
+
+// ReadCSVDir reads a dataset previously written by WriteCSVDir.
+func ReadCSVDir(dir string) (*Dataset, error) {
+	d := &Dataset{}
+	read := func(name string, fn func([]string) error) error {
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r := csv.NewReader(f)
+		r.Comma = '|'
+		r.FieldsPerRecord = -1
+		rows, err := r.ReadAll()
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		for i, row := range rows {
+			if i == 0 {
+				continue // header
+			}
+			if err := fn(row); err != nil {
+				return fmt.Errorf("%s row %d: %w", name, i, err)
+			}
+		}
+		return nil
+	}
+
+	if err := read("person.csv", func(row []string) error {
+		var p Person
+		var err error
+		if p.ID, err = parseID(row[0]); err != nil {
+			return err
+		}
+		p.FirstName, p.LastName = row[1], row[2]
+		p.Gender, _ = strconv.Atoi(row[3])
+		p.Birthday, _ = strconv.ParseInt(row[4], 10, 64)
+		p.CreationDate, _ = strconv.ParseInt(row[5], 10, 64)
+		p.Country, _ = strconv.Atoi(row[6])
+		p.City, _ = strconv.Atoi(row[7])
+		p.LocationIP, p.Browser = row[8], row[9]
+		if row[10] != "" {
+			p.Languages = strings.Split(row[10], ";")
+		}
+		if row[11] != "" {
+			p.Emails = strings.Split(row[11], ";")
+		}
+		if p.Interests, err = parseTags(row[12]); err != nil {
+			return err
+		}
+		p.University, _ = strconv.Atoi(row[13])
+		p.ClassYear, _ = strconv.Atoi(row[14])
+		p.Company, _ = strconv.Atoi(row[15])
+		p.WorkFrom, _ = strconv.Atoi(row[16])
+		d.Persons = append(d.Persons, p)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	if err := read("knows.csv", func(row []string) error {
+		var k Knows
+		var err error
+		if k.A, err = parseID(row[0]); err != nil {
+			return err
+		}
+		if k.B, err = parseID(row[1]); err != nil {
+			return err
+		}
+		k.CreationDate, _ = strconv.ParseInt(row[2], 10, 64)
+		d.Knows = append(d.Knows, k)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	if err := read("forum.csv", func(row []string) error {
+		var f Forum
+		var err error
+		if f.ID, err = parseID(row[0]); err != nil {
+			return err
+		}
+		f.Title = row[1]
+		if f.Moderator, err = parseID(row[2]); err != nil {
+			return err
+		}
+		f.CreationDate, _ = strconv.ParseInt(row[3], 10, 64)
+		if f.Tags, err = parseTags(row[4]); err != nil {
+			return err
+		}
+		d.Forums = append(d.Forums, f)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	if err := read("membership.csv", func(row []string) error {
+		var m Membership
+		var err error
+		if m.Forum, err = parseID(row[0]); err != nil {
+			return err
+		}
+		if m.Person, err = parseID(row[1]); err != nil {
+			return err
+		}
+		m.JoinDate, _ = strconv.ParseInt(row[2], 10, 64)
+		d.Memberships = append(d.Memberships, m)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	if err := read("post.csv", func(row []string) error {
+		var p Post
+		var err error
+		if p.ID, err = parseID(row[0]); err != nil {
+			return err
+		}
+		if p.Creator, err = parseID(row[1]); err != nil {
+			return err
+		}
+		if p.Forum, err = parseID(row[2]); err != nil {
+			return err
+		}
+		p.CreationDate, _ = strconv.ParseInt(row[3], 10, 64)
+		p.Content, p.ImageFile = row[4], row[5]
+		p.Length, _ = strconv.Atoi(row[6])
+		p.Language = row[7]
+		if p.Tags, err = parseTags(row[8]); err != nil {
+			return err
+		}
+		p.Topic, _ = strconv.Atoi(row[9])
+		p.Country, _ = strconv.Atoi(row[10])
+		p.LocationIP, p.Browser = row[11], row[12]
+		d.Posts = append(d.Posts, p)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	if err := read("comment.csv", func(row []string) error {
+		var c Comment
+		var err error
+		if c.ID, err = parseID(row[0]); err != nil {
+			return err
+		}
+		if c.Creator, err = parseID(row[1]); err != nil {
+			return err
+		}
+		if c.ReplyOf, err = parseID(row[2]); err != nil {
+			return err
+		}
+		if c.Root, err = parseID(row[3]); err != nil {
+			return err
+		}
+		if c.Forum, err = parseID(row[4]); err != nil {
+			return err
+		}
+		c.CreationDate, _ = strconv.ParseInt(row[5], 10, 64)
+		c.Content = row[6]
+		c.Length, _ = strconv.Atoi(row[7])
+		if c.Tags, err = parseTags(row[8]); err != nil {
+			return err
+		}
+		c.Topic, _ = strconv.Atoi(row[9])
+		c.Country, _ = strconv.Atoi(row[10])
+		c.LocationIP, c.Browser = row[11], row[12]
+		d.Comments = append(d.Comments, c)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	if err := read("like.csv", func(row []string) error {
+		var l Like
+		var err error
+		if l.Person, err = parseID(row[0]); err != nil {
+			return err
+		}
+		if l.Message, err = parseID(row[1]); err != nil {
+			return err
+		}
+		if l.Forum, err = parseID(row[2]); err != nil {
+			return err
+		}
+		l.CreationDate, _ = strconv.ParseInt(row[3], 10, 64)
+		l.IsPost = row[4] == "1"
+		d.Likes = append(d.Likes, l)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	return d, nil
+}

@@ -1,0 +1,137 @@
+// Package schema defines the SNB dataset schema — 11 entities connected by
+// 20 relations (§2 of the paper) — together with its CSV bulk format, the
+// update-stream event encoding, and the bulk loader into the store.
+package schema
+
+import "ldbcsnb/internal/ids"
+
+// Person is a member of the social network.
+type Person struct {
+	ID           ids.ID
+	FirstName    string
+	LastName     string
+	Gender       int   // dict.GenderMale / dict.GenderFemale
+	Birthday     int64 // sim millis
+	CreationDate int64 // sim millis (joined the network)
+	Country      int   // dict.Countries index
+	City         int   // dict.Cities index
+	LocationIP   string
+	Browser      string
+	Languages    []string
+	Emails       []string
+	Interests    []int // dict.Tags indices
+	University   int   // dict.Universities index, -1 if none
+	ClassYear    int   // graduation year, 0 if none
+	Company      int   // dict.Companies index, -1 if none
+	WorkFrom     int   // year started, 0 if none
+}
+
+// Knows is a friendship edge; symmetric, stored once with A.ID < B.ID.
+type Knows struct {
+	A, B         ids.ID
+	CreationDate int64
+}
+
+// Forum is a discussion container owned (moderated) by a person.
+type Forum struct {
+	ID           ids.ID
+	Title        string
+	Moderator    ids.ID
+	CreationDate int64
+	Tags         []int
+}
+
+// Membership is a person joining a forum.
+type Membership struct {
+	Forum    ids.ID
+	Person   ids.ID
+	JoinDate int64
+}
+
+// Post is a top-level message in a forum. Photos are posts with an
+// ImageFile and empty content.
+type Post struct {
+	ID           ids.ID
+	Creator      ids.ID
+	Forum        ids.ID
+	CreationDate int64
+	Content      string
+	ImageFile    string
+	Length       int
+	Language     string
+	Tags         []int
+	Topic        int // main topic tag (drives content; denormalised)
+	Country      int
+	LocationIP   string
+	Browser      string
+}
+
+// Comment is a reply to a post or to another comment.
+type Comment struct {
+	ID           ids.ID
+	Creator      ids.ID
+	ReplyOf      ids.ID // parent message (post or comment)
+	Root         ids.ID // root post of the thread
+	Forum        ids.ID
+	CreationDate int64
+	Content      string
+	Length       int
+	Tags         []int
+	Topic        int
+	Country      int
+	LocationIP   string
+	Browser      string
+}
+
+// Like is a person liking a message.
+type Like struct {
+	Person       ids.ID
+	Message      ids.ID // post or comment
+	Forum        ids.ID // forum containing the message (for stream routing)
+	CreationDate int64
+	IsPost       bool
+}
+
+// Dataset is a fully generated social network: the bulk-load part plus
+// (separately produced) update streams.
+type Dataset struct {
+	Persons     []Person
+	Knows       []Knows
+	Forums      []Forum
+	Memberships []Membership
+	Posts       []Post
+	Comments    []Comment
+	Likes       []Like
+}
+
+// Counts summarises entity cardinalities (the Table 3 statistics).
+type Counts struct {
+	Persons, Friendships, Forums, Posts, Comments, Likes, Memberships int
+}
+
+// Counts returns the dataset's entity cardinalities.
+func (d *Dataset) Counts() Counts {
+	return Counts{
+		Persons:     len(d.Persons),
+		Friendships: len(d.Knows),
+		Forums:      len(d.Forums),
+		Posts:       len(d.Posts),
+		Comments:    len(d.Comments),
+		Likes:       len(d.Likes),
+		Memberships: len(d.Memberships),
+	}
+}
+
+// Messages returns the total message count (posts + comments).
+func (c Counts) Messages() int { return c.Posts + c.Comments }
+
+// Nodes approximates the total node count of the graph representation
+// (persons, forums, messages; dimension tables excluded as they do not
+// scale, §2).
+func (c Counts) Nodes() int { return c.Persons + c.Forums + c.Messages() }
+
+// EdgesApprox approximates the total edge count (friendships counted once,
+// plus authorship, containment, likes and memberships).
+func (c Counts) EdgesApprox() int {
+	return c.Friendships + c.Messages() + c.Posts + c.Comments + c.Likes + c.Memberships
+}

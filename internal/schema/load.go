@@ -1,0 +1,377 @@
+package schema
+
+import (
+	"fmt"
+	"strings"
+
+	"ldbcsnb/internal/dict"
+	"ldbcsnb/internal/ids"
+	"ldbcsnb/internal/store"
+)
+
+// RegisterIndexes installs the secondary indexes the Interactive workload
+// expects on a store: ordered creationDate indexes on messages (the
+// l_creationdate-style indexes of Table 8) and a hash index on person
+// first names (Query 1).
+func RegisterIndexes(st *store.Store) {
+	st.RegisterOrderedIndex(ids.KindPost, store.PropCreationDate)
+	st.RegisterOrderedIndex(ids.KindComment, store.PropCreationDate)
+	st.RegisterHashIndex(ids.KindPerson, store.PropFirstName)
+}
+
+// LoadDimensions bulk-loads the dimension tables (tags, tag classes,
+// places, organisations) shared by every dataset.
+func LoadDimensions(st *store.Store) error {
+	tx := st.Begin()
+	for _, tc := range dict.TagClasses {
+		id := ids.DimensionID(ids.KindTagClass, uint32(tc.ID))
+		if err := tx.CreateNode(id, store.Props{{Key: store.PropName, Val: store.String(tc.Name)}}); err != nil {
+			return err
+		}
+		if tc.Parent >= 0 {
+			parent := ids.DimensionID(ids.KindTagClass, uint32(tc.Parent))
+			if err := tx.AddEdge(id, store.EdgeIsSubclassOf, parent, 0); err != nil {
+				return err
+			}
+		}
+	}
+	for _, tg := range dict.Tags {
+		id := ids.DimensionID(ids.KindTag, uint32(tg.ID))
+		if err := tx.CreateNode(id, store.Props{{Key: store.PropName, Val: store.String(tg.Name)}}); err != nil {
+			return err
+		}
+		if err := tx.AddEdge(id, store.EdgeHasType, ids.DimensionID(ids.KindTagClass, uint32(tg.Class)), 0); err != nil {
+			return err
+		}
+	}
+	for _, c := range dict.Countries {
+		id := ids.DimensionID(ids.KindPlace, uint32(c.ID))
+		if err := tx.CreateNode(id, store.Props{{Key: store.PropName, Val: store.String(c.Name)}}); err != nil {
+			return err
+		}
+	}
+	for _, u := range dict.Universities {
+		id := ids.DimensionID(ids.KindOrganisation, uint32(u.ID))
+		if err := tx.CreateNode(id, store.Props{{Key: store.PropName, Val: store.String(u.Name)}}); err != nil {
+			return err
+		}
+		if err := tx.AddEdge(id, store.EdgeIsLocatedIn, ids.DimensionID(ids.KindPlace, uint32(u.Country)), 0); err != nil {
+			return err
+		}
+	}
+	for _, c := range dict.Companies {
+		// Companies share the Organisation kind; offset their sequence
+		// past the university range.
+		id := CompanyNodeID(c.ID)
+		if err := tx.CreateNode(id, store.Props{{Key: store.PropName, Val: store.String(c.Name)}}); err != nil {
+			return err
+		}
+		if err := tx.AddEdge(id, store.EdgeIsLocatedIn, ids.DimensionID(ids.KindPlace, uint32(c.Country)), 0); err != nil {
+			return err
+		}
+	}
+	return tx.Commit()
+}
+
+// CompanyNodeID maps a dict company index to its store node ID (companies
+// and universities share the Organisation kind).
+func CompanyNodeID(companyIdx int) ids.ID {
+	return ids.DimensionID(ids.KindOrganisation, uint32(len(dict.Universities)+companyIdx))
+}
+
+// TagNodeID maps a dict tag index to its store node ID.
+func TagNodeID(tagIdx int) ids.ID { return ids.DimensionID(ids.KindTag, uint32(tagIdx)) }
+
+// PlaceNodeID maps a dict country index to its store node ID.
+func PlaceNodeID(countryIdx int) ids.ID { return ids.DimensionID(ids.KindPlace, uint32(countryIdx)) }
+
+// loadBatch is the number of entities per bulk-load transaction: large
+// enough to amortise commit cost, small enough to bound txn buffers.
+const loadBatch = 2000
+
+// Load bulk-loads a dataset into the store. Call RegisterIndexes and
+// LoadDimensions first.
+func Load(st *store.Store, d *Dataset) error {
+	if err := loadPersons(st, d.Persons); err != nil {
+		return fmt.Errorf("load persons: %w", err)
+	}
+	if err := loadKnows(st, d.Knows); err != nil {
+		return fmt.Errorf("load knows: %w", err)
+	}
+	if err := loadForums(st, d.Forums, d.Memberships); err != nil {
+		return fmt.Errorf("load forums: %w", err)
+	}
+	if err := loadPosts(st, d.Posts); err != nil {
+		return fmt.Errorf("load posts: %w", err)
+	}
+	if err := loadComments(st, d.Comments); err != nil {
+		return fmt.Errorf("load comments: %w", err)
+	}
+	if err := loadLikes(st, d.Likes); err != nil {
+		return fmt.Errorf("load likes: %w", err)
+	}
+	return nil
+}
+
+// PersonProps builds the store property list for a person.
+func PersonProps(p *Person) store.Props {
+	return store.Props{
+		{Key: store.PropFirstName, Val: store.String(p.FirstName)},
+		{Key: store.PropLastName, Val: store.String(p.LastName)},
+		{Key: store.PropGender, Val: store.Int64(int64(p.Gender))},
+		{Key: store.PropBirthday, Val: store.Int64(p.Birthday)},
+		{Key: store.PropCreationDate, Val: store.Int64(p.CreationDate)},
+		{Key: store.PropLocationIP, Val: store.String(p.LocationIP)},
+		{Key: store.PropBrowserUsed, Val: store.String(p.Browser)},
+		{Key: store.PropSpeaks, Val: store.String(strings.Join(p.Languages, ";"))},
+		{Key: store.PropEmail, Val: store.String(strings.Join(p.Emails, ";"))},
+		{Key: store.PropCountry, Val: store.Int64(int64(p.Country))},
+	}
+}
+
+// AddPerson writes a person (node plus its dimension edges) into an open
+// transaction; shared between the bulk loader and update U1.
+func AddPerson(tx *store.Txn, p *Person) error {
+	if err := tx.CreateNode(p.ID, PersonProps(p)); err != nil {
+		return err
+	}
+	if err := tx.AddEdge(p.ID, store.EdgeIsLocatedIn, PlaceNodeID(p.Country), 0); err != nil {
+		return err
+	}
+	for _, tag := range p.Interests {
+		if err := tx.AddEdge(p.ID, store.EdgeHasInterest, TagNodeID(tag), 0); err != nil {
+			return err
+		}
+	}
+	if p.University >= 0 {
+		uni := ids.DimensionID(ids.KindOrganisation, uint32(p.University))
+		if err := tx.AddEdge(p.ID, store.EdgeStudyAt, uni, int64(p.ClassYear)); err != nil {
+			return err
+		}
+	}
+	if p.Company >= 0 {
+		if err := tx.AddEdge(p.ID, store.EdgeWorkAt, CompanyNodeID(p.Company), int64(p.WorkFrom)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func loadPersons(st *store.Store, persons []Person) error {
+	for lo := 0; lo < len(persons); lo += loadBatch {
+		hi := min(lo+loadBatch, len(persons))
+		tx := st.Begin()
+		for i := lo; i < hi; i++ {
+			if err := AddPerson(tx, &persons[i]); err != nil {
+				return err
+			}
+		}
+		if err := tx.Commit(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func loadKnows(st *store.Store, knows []Knows) error {
+	for lo := 0; lo < len(knows); lo += loadBatch {
+		hi := min(lo+loadBatch, len(knows))
+		tx := st.Begin()
+		for i := lo; i < hi; i++ {
+			k := &knows[i]
+			if err := tx.AddKnows(k.A, k.B, k.CreationDate); err != nil {
+				return err
+			}
+		}
+		if err := tx.Commit(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AddForum writes a forum into an open transaction (bulk load and U4).
+func AddForum(tx *store.Txn, f *Forum) error {
+	err := tx.CreateNode(f.ID, store.Props{
+		{Key: store.PropTitle, Val: store.String(f.Title)},
+		{Key: store.PropCreationDate, Val: store.Int64(f.CreationDate)},
+	})
+	if err != nil {
+		return err
+	}
+	if err := tx.AddEdge(f.ID, store.EdgeHasModerator, f.Moderator, 0); err != nil {
+		return err
+	}
+	for _, tag := range f.Tags {
+		if err := tx.AddEdge(f.ID, store.EdgeHasTag, TagNodeID(tag), 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func loadForums(st *store.Store, forums []Forum, memberships []Membership) error {
+	for lo := 0; lo < len(forums); lo += loadBatch {
+		hi := min(lo+loadBatch, len(forums))
+		tx := st.Begin()
+		for i := lo; i < hi; i++ {
+			if err := AddForum(tx, &forums[i]); err != nil {
+				return err
+			}
+		}
+		if err := tx.Commit(); err != nil {
+			return err
+		}
+	}
+	for lo := 0; lo < len(memberships); lo += loadBatch {
+		hi := min(lo+loadBatch, len(memberships))
+		tx := st.Begin()
+		for i := lo; i < hi; i++ {
+			m := &memberships[i]
+			if err := tx.AddEdge(m.Forum, store.EdgeHasMember, m.Person, m.JoinDate); err != nil {
+				return err
+			}
+		}
+		if err := tx.Commit(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PostProps builds the store property list for a post.
+func PostProps(p *Post) store.Props {
+	props := store.Props{
+		{Key: store.PropCreationDate, Val: store.Int64(p.CreationDate)},
+		{Key: store.PropLength, Val: store.Int64(int64(p.Length))},
+		{Key: store.PropBrowserUsed, Val: store.String(p.Browser)},
+		{Key: store.PropLocationIP, Val: store.String(p.LocationIP)},
+		{Key: store.PropCountry, Val: store.Int64(int64(p.Country))},
+		{Key: store.PropTopic, Val: store.Int64(int64(p.Topic))},
+	}
+	if p.ImageFile != "" {
+		props = append(props, store.Prop{Key: store.PropImageFile, Val: store.String(p.ImageFile)})
+	} else {
+		props = append(props,
+			store.Prop{Key: store.PropContent, Val: store.String(p.Content)},
+			store.Prop{Key: store.PropLanguage, Val: store.String(p.Language)},
+		)
+	}
+	return props
+}
+
+// AddPost writes a post into an open transaction (bulk load and U6).
+func AddPost(tx *store.Txn, p *Post) error {
+	if err := tx.CreateNode(p.ID, PostProps(p)); err != nil {
+		return err
+	}
+	// hasCreator carries the message creationDate as its stamp: this is the
+	// materialised "messages of a person ordered by time" neighbourhood
+	// that queries like Q2/Q9 navigate.
+	if err := tx.AddEdge(p.ID, store.EdgeHasCreator, p.Creator, p.CreationDate); err != nil {
+		return err
+	}
+	if err := tx.AddEdge(p.Forum, store.EdgeContainerOf, p.ID, p.CreationDate); err != nil {
+		return err
+	}
+	if err := tx.AddEdge(p.ID, store.EdgeIsLocatedIn, PlaceNodeID(p.Country), 0); err != nil {
+		return err
+	}
+	for _, tag := range p.Tags {
+		if err := tx.AddEdge(p.ID, store.EdgeHasTag, TagNodeID(tag), 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func loadPosts(st *store.Store, posts []Post) error {
+	for lo := 0; lo < len(posts); lo += loadBatch {
+		hi := min(lo+loadBatch, len(posts))
+		tx := st.Begin()
+		for i := lo; i < hi; i++ {
+			if err := AddPost(tx, &posts[i]); err != nil {
+				return err
+			}
+		}
+		if err := tx.Commit(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CommentProps builds the store property list for a comment.
+func CommentProps(c *Comment) store.Props {
+	return store.Props{
+		{Key: store.PropCreationDate, Val: store.Int64(c.CreationDate)},
+		{Key: store.PropContent, Val: store.String(c.Content)},
+		{Key: store.PropLength, Val: store.Int64(int64(c.Length))},
+		{Key: store.PropBrowserUsed, Val: store.String(c.Browser)},
+		{Key: store.PropLocationIP, Val: store.String(c.LocationIP)},
+		{Key: store.PropCountry, Val: store.Int64(int64(c.Country))},
+		{Key: store.PropTopic, Val: store.Int64(int64(c.Topic))},
+	}
+}
+
+// AddComment writes a comment into an open transaction (bulk load and U7).
+func AddComment(tx *store.Txn, c *Comment) error {
+	if err := tx.CreateNode(c.ID, CommentProps(c)); err != nil {
+		return err
+	}
+	if err := tx.AddEdge(c.ID, store.EdgeHasCreator, c.Creator, c.CreationDate); err != nil {
+		return err
+	}
+	if err := tx.AddEdge(c.ID, store.EdgeReplyOf, c.ReplyOf, c.CreationDate); err != nil {
+		return err
+	}
+	if err := tx.AddEdge(c.ID, store.EdgeIsLocatedIn, PlaceNodeID(c.Country), 0); err != nil {
+		return err
+	}
+	for _, tag := range c.Tags {
+		if err := tx.AddEdge(c.ID, store.EdgeHasTag, TagNodeID(tag), 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func loadComments(st *store.Store, comments []Comment) error {
+	for lo := 0; lo < len(comments); lo += loadBatch {
+		hi := min(lo+loadBatch, len(comments))
+		tx := st.Begin()
+		for i := lo; i < hi; i++ {
+			if err := AddComment(tx, &comments[i]); err != nil {
+				return err
+			}
+		}
+		if err := tx.Commit(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func loadLikes(st *store.Store, likes []Like) error {
+	for lo := 0; lo < len(likes); lo += loadBatch {
+		hi := min(lo+loadBatch, len(likes))
+		tx := st.Begin()
+		for i := lo; i < hi; i++ {
+			l := &likes[i]
+			if err := tx.AddEdge(l.Person, store.EdgeLikes, l.Message, l.CreationDate); err != nil {
+				return err
+			}
+		}
+		if err := tx.Commit(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,95 @@
+package schema
+
+import "ldbcsnb/internal/ids"
+
+// UpdateType enumerates the 8 transactional update queries of the
+// Interactive workload (§4, Table 9): add person, add like to post, add
+// like to comment, add forum, add forum membership, add post, add comment,
+// add friendship.
+type UpdateType uint8
+
+// Update kinds, numbered as in Table 9.
+const (
+	UpdateAddPerson      UpdateType = iota + 1 // U1
+	UpdateAddLikePost                          // U2
+	UpdateAddLikeComment                       // U3
+	UpdateAddForum                             // U4
+	UpdateAddMembership                        // U5
+	UpdateAddPost                              // U6
+	UpdateAddComment                           // U7
+	UpdateAddFriendship                        // U8
+
+	NumUpdateTypes = 8
+)
+
+var updateNames = map[UpdateType]string{
+	UpdateAddPerson:      "addPerson",
+	UpdateAddLikePost:    "addLikePost",
+	UpdateAddLikeComment: "addLikeComment",
+	UpdateAddForum:       "addForum",
+	UpdateAddMembership:  "addMembership",
+	UpdateAddPost:        "addPost",
+	UpdateAddComment:     "addComment",
+	UpdateAddFriendship:  "addFriendship",
+}
+
+// String returns the update name.
+func (t UpdateType) String() string {
+	if s, ok := updateNames[t]; ok {
+		return s
+	}
+	return "unknownUpdate"
+}
+
+// Update is one event of the transactional update stream. DueTime is the
+// simulation time at which the driver schedules it (T_DUE of §4.2);
+// DepTime is the creation time of the latest operation it depends on
+// (T_DEP), 0 if none. Exactly one payload pointer is non-nil, matching
+// Type.
+type Update struct {
+	Type    UpdateType
+	DueTime int64
+	DepTime int64
+
+	Person     *Person
+	Like       *Like
+	Forum      *Forum
+	Membership *Membership
+	Post       *Post
+	Comment    *Comment
+	Friendship *Knows
+}
+
+// ForumOf returns the forum whose discussion tree the update belongs to,
+// or 0 when the update is not forum-partitionable (person/friendship
+// updates touch the non-partitionable friendship graph, §4.2).
+func (u *Update) ForumOf() ids.ID {
+	switch u.Type {
+	case UpdateAddForum:
+		return u.Forum.ID
+	case UpdateAddMembership:
+		return u.Membership.Forum
+	case UpdateAddPost:
+		return u.Post.Forum
+	case UpdateAddComment:
+		return u.Comment.Forum
+	case UpdateAddLikePost, UpdateAddLikeComment:
+		return u.Like.Forum
+	default:
+		return 0
+	}
+}
+
+// IsDependency reports whether other operations may depend on this one
+// (it creates an entity others reference): the Dependencies set of §4.2.
+func (u *Update) IsDependency() bool {
+	switch u.Type {
+	case UpdateAddPerson, UpdateAddForum, UpdateAddPost, UpdateAddComment:
+		return true
+	}
+	return false
+}
+
+// IsDependent reports whether this operation depends on an earlier one
+// (the Dependents set of §4.2).
+func (u *Update) IsDependent() bool { return u.DepTime > 0 }

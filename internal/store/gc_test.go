@@ -1,0 +1,96 @@
+package store
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGCPrunesOldVersions(t *testing.T) {
+	s := New()
+	id := personID(700)
+	tx := s.Begin()
+	tx.CreateNode(id, Props{{PropFirstName, String("v0")}})
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 9; i++ {
+		tx := s.Begin()
+		tx.SetProp(id, PropFirstName, String("v"+string(rune('1'+i))))
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.VersionCount(); got != 10 {
+		t.Fatalf("versions before GC: %d", got)
+	}
+	mid := s.Begin() // snapshot at the newest commit
+	horizon := mid.Snapshot()
+	reclaimed := s.GC(horizon)
+	if reclaimed != 9 {
+		t.Fatalf("reclaimed %d, want 9", reclaimed)
+	}
+	if got := s.VersionCount(); got != 1 {
+		t.Fatalf("versions after GC: %d", got)
+	}
+	// The horizon snapshot still reads the correct value.
+	if got := mid.Prop(id, PropFirstName).Str(); got != "v9" {
+		t.Fatalf("post-GC read %q", got)
+	}
+}
+
+func TestGCKeepsVersionsAboveHorizon(t *testing.T) {
+	s := New()
+	id := personID(701)
+	tx := s.Begin()
+	tx.CreateNode(id, Props{{PropFirstName, String("old")}})
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	oldSnap := s.Begin() // must keep seeing "old"
+	horizon := oldSnap.Snapshot()
+	tx = s.Begin()
+	tx.SetProp(id, PropFirstName, String("new"))
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if reclaimed := s.GC(horizon); reclaimed != 0 {
+		t.Fatalf("reclaimed %d versions still visible to the horizon", reclaimed)
+	}
+	if got := oldSnap.Prop(id, PropFirstName).Str(); got != "old" {
+		t.Fatalf("old snapshot reads %q after GC", got)
+	}
+}
+
+func TestGCQuickInvariant(t *testing.T) {
+	// Property: after GC at the current watermark, every node has exactly
+	// one version and reads are unchanged.
+	err := quick.Check(func(nUpdates uint8) bool {
+		s := New()
+		id := personID(702)
+		tx := s.Begin()
+		tx.CreateNode(id, Props{{PropLength, Int64(0)}})
+		if tx.Commit() != nil {
+			return false
+		}
+		n := int(nUpdates % 20)
+		for i := 1; i <= n; i++ {
+			tx := s.Begin()
+			tx.SetProp(id, PropLength, Int64(int64(i)))
+			if tx.Commit() != nil {
+				return false
+			}
+		}
+		var want int64
+		s.View(func(tx *Txn) { want = tx.Prop(id, PropLength).Int() })
+		s.GC(s.LastCommit())
+		if s.VersionCount() != 1 {
+			return false
+		}
+		var got int64
+		s.View(func(tx *Txn) { got = tx.Prop(id, PropLength).Int() })
+		return got == want
+	}, &quick.Config{MaxCount: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

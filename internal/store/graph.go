@@ -1,0 +1,103 @@
+package store
+
+import (
+	"fmt"
+
+	"ldbcsnb/internal/ids"
+)
+
+// EdgeType identifies one of the SNB schema's relations.
+type EdgeType uint8
+
+// SNB relations. Directions follow the schema: Knows is symmetric and
+// stored in both directions; all others are stored as directed edges with
+// reverse adjacency maintained automatically.
+const (
+	EdgeKnows        EdgeType = iota + 1 // Person  -> Person   (creationDate stamp)
+	EdgeHasCreator                       // Message -> Person
+	EdgeContainerOf                      // Forum   -> Post
+	EdgeReplyOf                          // Comment -> Message
+	EdgeLikes                            // Person  -> Message  (creationDate stamp)
+	EdgeHasMember                        // Forum   -> Person   (joinDate stamp)
+	EdgeHasModerator                     // Forum   -> Person
+	EdgeHasTag                           // Message/Forum -> Tag
+	EdgeHasInterest                      // Person  -> Tag
+	EdgeIsLocatedIn                      // Person/Message/Org -> Place
+	EdgeIsPartOf                         // Place   -> Place
+	EdgeStudyAt                          // Person  -> Organisation (classYear stamp)
+	EdgeWorkAt                           // Person  -> Organisation (workFrom stamp)
+	EdgeHasType                          // Tag     -> TagClass
+	EdgeIsSubclassOf                     // TagClass-> TagClass
+
+	edgeTypeMax
+)
+
+var edgeNames = [edgeTypeMax]string{
+	EdgeKnows: "knows", EdgeHasCreator: "hasCreator", EdgeContainerOf: "containerOf",
+	EdgeReplyOf: "replyOf", EdgeLikes: "likes", EdgeHasMember: "hasMember",
+	EdgeHasModerator: "hasModerator", EdgeHasTag: "hasTag", EdgeHasInterest: "hasInterest",
+	EdgeIsLocatedIn: "isLocatedIn", EdgeIsPartOf: "isPartOf", EdgeStudyAt: "studyAt",
+	EdgeWorkAt: "workAt", EdgeHasType: "hasType", EdgeIsSubclassOf: "isSubclassOf",
+}
+
+// String returns the schema name of the edge type.
+func (t EdgeType) String() string {
+	if int(t) < len(edgeNames) && edgeNames[t] != "" {
+		return edgeNames[t]
+	}
+	return fmt.Sprintf("edge(%d)", uint8(t))
+}
+
+// Edge is one adjacency entry as seen by queries: the peer node and the
+// edge's timestamp-like attribute (creationDate for knows/likes, joinDate
+// for hasMember, classYear for studyAt, workFrom for workAt; 0 otherwise).
+type Edge struct {
+	To    ids.ID
+	Stamp int64
+}
+
+// edgeRec is the stored adjacency entry: Edge plus MVCC visibility.
+type edgeRec struct {
+	peer   ids.ID
+	stamp  int64
+	commit int64 // commit timestamp; math.MaxInt64 while uncommitted
+}
+
+// nodeVersion is one MVCC version of a node's property list.
+type nodeVersion struct {
+	commit int64
+	props  Props
+}
+
+// adjacency holds the typed in/out edge lists of one node. Lists are
+// append-ordered; commit timestamps gate visibility.
+type adjacency struct {
+	out [edgeTypeMax][]edgeRec
+	in  [edgeTypeMax][]edgeRec
+}
+
+// nodeRec is one stored node: a version chain (newest last) plus adjacency.
+// The owning shard's lock guards all fields.
+type nodeRec struct {
+	id       ids.ID
+	versions []nodeVersion
+	adj      adjacency
+}
+
+// visibleProps returns the newest version visible at snapshot ts, or nil.
+func (n *nodeRec) visibleProps(ts int64) (Props, bool) {
+	for i := len(n.versions) - 1; i >= 0; i-- {
+		if n.versions[i].commit <= ts {
+			return n.versions[i].props, true
+		}
+	}
+	return nil, false
+}
+
+// createdAt returns the commit timestamp of the first version.
+func (n *nodeRec) createdAt() int64 {
+	if len(n.versions) == 0 {
+		return 0
+	}
+	return n.versions[0].commit
+}

@@ -1,0 +1,115 @@
+package store
+
+import (
+	"sort"
+
+	"ldbcsnb/internal/ids"
+)
+
+// TableStat describes the approximate in-memory footprint of one logical
+// "table" (node kind or edge type), for the Table 8 experiment.
+type TableStat struct {
+	Name  string
+	Rows  int
+	Bytes int64
+}
+
+// IndexStat describes one secondary index.
+type IndexStat struct {
+	Name    string
+	Entries int
+	Bytes   int64
+}
+
+// Stats is a storage-size report.
+type Stats struct {
+	Nodes   int
+	Edges   int
+	Tables  []TableStat // sorted by Bytes descending
+	Indexes []IndexStat // sorted by Bytes descending
+}
+
+const (
+	nodeOverheadBytes = 64 // map entry + record header + version header
+	edgeBytes         = 24 // edgeRec: peer + stamp + commit
+	indexEntryBytes   = 24 // btree.Entry
+)
+
+// ComputeStats scans the store and reports per-table and per-index sizes.
+// It takes shard read locks briefly per shard; sizes are approximate heap
+// footprints (the analogue of Virtuoso's allocated database pages in
+// Table 8).
+func (s *Store) ComputeStats() Stats {
+	kindRows := map[ids.Kind]int{}
+	kindBytes := map[ids.Kind]int64{}
+	edgeRows := map[EdgeType]int{}
+	edgeBytesBy := map[EdgeType]int64{}
+	totalNodes, totalEdges := 0, 0
+
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for id, rec := range sh.nodes {
+			totalNodes++
+			k := id.Kind()
+			kindRows[k]++
+			b := int64(nodeOverheadBytes)
+			for _, v := range rec.versions {
+				b += int64(v.props.bytes())
+			}
+			kindBytes[k] += b
+			for t := EdgeType(1); t < edgeTypeMax; t++ {
+				n := len(rec.adj.out[t])
+				if n > 0 {
+					totalEdges += n
+					edgeRows[t] += n
+					edgeBytesBy[t] += int64(n * edgeBytes)
+				}
+				// In-edges are the reverse adjacency of the same logical
+				// edge; count their space under the same table.
+				if m := len(rec.adj.in[t]); m > 0 {
+					edgeBytesBy[t] += int64(m * edgeBytes)
+				}
+			}
+		}
+		sh.mu.RUnlock()
+	}
+
+	var st Stats
+	st.Nodes = totalNodes
+	st.Edges = totalEdges
+	for k, rows := range kindRows {
+		st.Tables = append(st.Tables, TableStat{Name: k.String(), Rows: rows, Bytes: kindBytes[k]})
+	}
+	for t, rows := range edgeRows {
+		st.Tables = append(st.Tables, TableStat{Name: t.String(), Rows: rows, Bytes: edgeBytesBy[t]})
+	}
+	sort.Slice(st.Tables, func(i, j int) bool { return st.Tables[i].Bytes > st.Tables[j].Bytes })
+
+	for _, oi := range s.ordered {
+		oi.mu.RLock()
+		n := oi.tree.Len()
+		oi.mu.RUnlock()
+		st.Indexes = append(st.Indexes, IndexStat{
+			Name:    oi.kind.String() + "." + oi.prop.String(),
+			Entries: n,
+			Bytes:   int64(n * indexEntryBytes),
+		})
+	}
+	for _, hi := range s.hashed {
+		hi.mu.RLock()
+		n, b := 0, int64(0)
+		for key, list := range hi.m {
+			n += len(list)
+			b += int64(len(key)) + int64(len(list)*8) + 48
+		}
+		hi.mu.RUnlock()
+		st.Indexes = append(st.Indexes, IndexStat{
+			Name:    hi.kind.String() + "." + hi.prop.String(),
+			Entries: n,
+			Bytes:   b,
+		})
+	}
+	sort.Slice(st.Indexes, func(i, j int) bool { return st.Indexes[i].Bytes > st.Indexes[j].Bytes })
+	return st
+}

@@ -1,0 +1,138 @@
+package store
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"ldbcsnb/internal/btree"
+	"ldbcsnb/internal/ids"
+)
+
+const shardCount = 64
+
+// shard holds a partition of the node map. The shard lock guards the map
+// and every nodeRec it owns (property versions and adjacency lists).
+type shard struct {
+	mu    sync.RWMutex
+	nodes map[ids.ID]*nodeRec
+}
+
+// orderedIndex is a B+tree secondary index over an int64 node property.
+type orderedIndex struct {
+	kind ids.Kind
+	prop PropKey
+	mu   sync.RWMutex
+	tree btree.Tree
+}
+
+// hashIndex is an equality index over a string node property.
+type hashIndex struct {
+	kind ids.Kind
+	prop PropKey
+	mu   sync.RWMutex
+	m    map[string][]ids.ID
+}
+
+// Store is the graph database. Construct with New; a Store must not be
+// copied after first use.
+type Store struct {
+	shards [shardCount]shard
+
+	// commitMu serialises the commit protocol: validation, installation
+	// and watermark advance happen atomically with respect to other
+	// commits. Readers never take it.
+	commitMu sync.Mutex
+	// clock is the last fully committed timestamp; snapshots read it.
+	clock atomic.Int64
+
+	kindMu sync.RWMutex
+	byKind map[ids.Kind][]ids.ID
+
+	ordered []*orderedIndex
+	hashed  []*hashIndex
+
+	commits atomic.Int64
+	aborts  atomic.Int64
+
+	// wal, when attached, receives a redo record per committed
+	// transaction, in commit order (appends happen under commitMu).
+	wal *walWriter
+}
+
+// New returns an empty store.
+func New() *Store {
+	s := &Store{byKind: make(map[ids.Kind][]ids.ID)}
+	for i := range s.shards {
+		s.shards[i].nodes = make(map[ids.ID]*nodeRec)
+	}
+	return s
+}
+
+func (s *Store) shardFor(id ids.ID) *shard {
+	return &s.shards[uint64(id)%shardCount]
+}
+
+// RegisterOrderedIndex adds a B+tree index over an int64 property of one
+// node kind (e.g. Post.creationDate). Must be called before data is loaded.
+func (s *Store) RegisterOrderedIndex(kind ids.Kind, prop PropKey) {
+	s.ordered = append(s.ordered, &orderedIndex{kind: kind, prop: prop})
+}
+
+// RegisterHashIndex adds an equality index over a string property of one
+// node kind (e.g. Person.firstName). Must be called before data is loaded.
+func (s *Store) RegisterHashIndex(kind ids.Kind, prop PropKey) {
+	s.hashed = append(s.hashed, &hashIndex{kind: kind, prop: prop, m: make(map[string][]ids.ID)})
+}
+
+// Commits returns the number of committed transactions.
+func (s *Store) Commits() int64 { return s.commits.Load() }
+
+// Aborts returns the number of aborted transactions (conflicts + explicit).
+func (s *Store) Aborts() int64 { return s.aborts.Load() }
+
+// LastCommit returns the current snapshot watermark.
+func (s *Store) LastCommit() int64 { return s.clock.Load() }
+
+// Begin starts a read-write transaction at the current snapshot.
+func (s *Store) Begin() *Txn {
+	return &Txn{s: s, snapshot: s.clock.Load()}
+}
+
+// View runs fn in a read-only transaction. Read-only transactions never
+// conflict and need no commit.
+func (s *Store) View(fn func(*Txn)) {
+	tx := s.Begin()
+	tx.readonly = true
+	fn(tx)
+}
+
+// NodesOfKind returns the IDs of all nodes of a kind visible at snapshot
+// ts, in insertion order. The returned slice is fresh and owned by the
+// caller.
+func (s *Store) nodesOfKind(kind ids.Kind, ts int64) []ids.ID {
+	s.kindMu.RLock()
+	list := s.byKind[kind]
+	// The per-kind list is append-only; entries are appended in commit
+	// order, so the visible prefix is a prefix of the slice. Copy under
+	// the read lock, then filter by visibility.
+	snap := make([]ids.ID, len(list))
+	copy(snap, list)
+	s.kindMu.RUnlock()
+
+	out := snap[:0]
+	for _, id := range snap {
+		sh := s.shardFor(id)
+		sh.mu.RLock()
+		rec := sh.nodes[id]
+		ok := rec != nil && func() bool { _, v := rec.visibleProps(ts); return v }()
+		sh.mu.RUnlock()
+		if ok {
+			out = append(out, id)
+		} else {
+			// Lists are commit-ordered: the first invisible entry ends the
+			// visible prefix.
+			break
+		}
+	}
+	return out
+}

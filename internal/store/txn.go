@@ -1,0 +1,467 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"ldbcsnb/internal/btree"
+	"ldbcsnb/internal/ids"
+)
+
+// ErrConflict is returned by Commit when first-committer-wins validation
+// fails (another transaction committed a conflicting write after this
+// transaction's snapshot).
+var ErrConflict = errors.New("store: write-write conflict")
+
+// ErrExists is returned when creating a node whose ID is already taken.
+var ErrExists = errors.New("store: node already exists")
+
+// pendingNode is a buffered node creation.
+type pendingNode struct {
+	id    ids.ID
+	props Props
+}
+
+// pendingProp is a buffered property update on an existing node.
+type pendingProp struct {
+	id  ids.ID
+	key PropKey
+	val Value
+}
+
+// pendingEdge is a buffered edge insertion.
+type pendingEdge struct {
+	from, to ids.ID
+	t        EdgeType
+	stamp    int64
+	sym      bool // also insert the mirrored edge (knows)
+}
+
+// Txn is a transaction. Reads observe the snapshot taken at Begin plus the
+// transaction's own writes. Txn is not safe for concurrent use by multiple
+// goroutines.
+type Txn struct {
+	s        *Store
+	snapshot int64
+	readonly bool
+	done     bool
+
+	newNodes  map[ids.ID]*pendingNode
+	propSets  []pendingProp
+	newEdges  []pendingEdge
+	edgeIndex map[ids.ID][]int // from-node -> indices into newEdges, for own-write reads
+}
+
+// Snapshot returns the transaction's snapshot timestamp.
+func (tx *Txn) Snapshot() int64 { return tx.snapshot }
+
+// CreateNode buffers creation of a node with the given properties. The
+// node's creationDate property, if present, should match the workload's
+// simulation time; the store itself only assigns the commit timestamp.
+func (tx *Txn) CreateNode(id ids.ID, props Props) error {
+	if tx.readonly {
+		return errors.New("store: write in read-only transaction")
+	}
+	if tx.newNodes == nil {
+		tx.newNodes = make(map[ids.ID]*pendingNode)
+	}
+	if _, ok := tx.newNodes[id]; ok {
+		return fmt.Errorf("%w: %v created twice in transaction", ErrExists, id)
+	}
+	tx.newNodes[id] = &pendingNode{id: id, props: props}
+	return nil
+}
+
+// SetProp buffers a property update on an existing node (creates a new
+// MVCC version at commit).
+func (tx *Txn) SetProp(id ids.ID, key PropKey, val Value) error {
+	if tx.readonly {
+		return errors.New("store: write in read-only transaction")
+	}
+	if n, ok := tx.newNodes[id]; ok {
+		n.props = n.props.with(key, val)
+		return nil
+	}
+	tx.propSets = append(tx.propSets, pendingProp{id, key, val})
+	return nil
+}
+
+// AddEdge buffers insertion of a directed edge with a stamp attribute.
+func (tx *Txn) AddEdge(from ids.ID, t EdgeType, to ids.ID, stamp int64) error {
+	return tx.addEdge(from, t, to, stamp, false)
+}
+
+// AddKnows buffers a symmetric knows edge between two persons.
+func (tx *Txn) AddKnows(a, b ids.ID, stamp int64) error {
+	return tx.addEdge(a, EdgeKnows, b, stamp, true)
+}
+
+func (tx *Txn) addEdge(from ids.ID, t EdgeType, to ids.ID, stamp int64, sym bool) error {
+	if tx.readonly {
+		return errors.New("store: write in read-only transaction")
+	}
+	if tx.edgeIndex == nil {
+		tx.edgeIndex = make(map[ids.ID][]int)
+	}
+	idx := len(tx.newEdges)
+	tx.newEdges = append(tx.newEdges, pendingEdge{from: from, to: to, t: t, stamp: stamp, sym: sym})
+	tx.edgeIndex[from] = append(tx.edgeIndex[from], idx)
+	if sym {
+		tx.edgeIndex[to] = append(tx.edgeIndex[to], idx)
+	}
+	return nil
+}
+
+// Exists reports whether a node is visible.
+func (tx *Txn) Exists(id ids.ID) bool {
+	if _, ok := tx.newNodes[id]; ok {
+		return true
+	}
+	sh := tx.s.shardFor(id)
+	sh.mu.RLock()
+	rec := sh.nodes[id]
+	ok := rec != nil && func() bool { _, v := rec.visibleProps(tx.snapshot); return v }()
+	sh.mu.RUnlock()
+	return ok
+}
+
+// Prop returns one property of a node (zero Value if the node or property
+// is absent).
+func (tx *Txn) Prop(id ids.ID, key PropKey) Value {
+	if n, ok := tx.newNodes[id]; ok {
+		return n.props.Get(key)
+	}
+	sh := tx.s.shardFor(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	rec := sh.nodes[id]
+	if rec == nil {
+		return Value{}
+	}
+	ps, ok := rec.visibleProps(tx.snapshot)
+	if !ok {
+		return Value{}
+	}
+	// Own buffered SetProps overlay the snapshot.
+	for i := len(tx.propSets) - 1; i >= 0; i-- {
+		if tx.propSets[i].id == id && tx.propSets[i].key == key {
+			return tx.propSets[i].val
+		}
+	}
+	return ps.Get(key)
+}
+
+// Props returns a copy of all visible properties of a node.
+func (tx *Txn) Props(id ids.ID) (Props, bool) {
+	if n, ok := tx.newNodes[id]; ok {
+		return append(Props(nil), n.props...), true
+	}
+	sh := tx.s.shardFor(id)
+	sh.mu.RLock()
+	rec := sh.nodes[id]
+	var ps Props
+	ok := false
+	if rec != nil {
+		if vis, v := rec.visibleProps(tx.snapshot); v {
+			ps, ok = append(Props(nil), vis...), true
+		}
+	}
+	sh.mu.RUnlock()
+	if !ok {
+		return nil, false
+	}
+	for _, set := range tx.propSets {
+		if set.id == id {
+			ps = ps.with(set.key, set.val)
+		}
+	}
+	return ps, true
+}
+
+// Out returns the visible outgoing edges of a node for one edge type, in
+// insertion order, including the transaction's own buffered edges.
+func (tx *Txn) Out(id ids.ID, t EdgeType) []Edge {
+	return tx.neighbours(id, t, false)
+}
+
+// In returns the visible incoming edges of a node for one edge type.
+func (tx *Txn) In(id ids.ID, t EdgeType) []Edge {
+	return tx.neighbours(id, t, true)
+}
+
+// OutDegree returns the number of visible outgoing edges without
+// materialising them.
+func (tx *Txn) OutDegree(id ids.ID, t EdgeType) int {
+	n := 0
+	sh := tx.s.shardFor(id)
+	sh.mu.RLock()
+	if rec := sh.nodes[id]; rec != nil {
+		for _, e := range rec.adj.out[t] {
+			if e.commit <= tx.snapshot {
+				n++
+			}
+		}
+	}
+	sh.mu.RUnlock()
+	for _, ei := range tx.edgeIndex[id] {
+		pe := tx.newEdges[ei]
+		if pe.t == t && (pe.from == id || (pe.sym && pe.to == id)) {
+			n++
+		}
+	}
+	return n
+}
+
+func (tx *Txn) neighbours(id ids.ID, t EdgeType, in bool) []Edge {
+	var out []Edge
+	sh := tx.s.shardFor(id)
+	sh.mu.RLock()
+	if rec := sh.nodes[id]; rec != nil {
+		var list []edgeRec
+		if in {
+			list = rec.adj.in[t]
+		} else {
+			list = rec.adj.out[t]
+		}
+		out = make([]Edge, 0, len(list))
+		for _, e := range list {
+			if e.commit <= tx.snapshot {
+				out = append(out, Edge{To: e.peer, Stamp: e.stamp})
+			}
+		}
+	}
+	sh.mu.RUnlock()
+	// Overlay own buffered edges.
+	for _, ei := range tx.edgeIndex[id] {
+		pe := tx.newEdges[ei]
+		if pe.t != t {
+			continue
+		}
+		switch {
+		case !in && pe.from == id:
+			out = append(out, Edge{To: pe.to, Stamp: pe.stamp})
+		case !in && pe.sym && pe.to == id:
+			out = append(out, Edge{To: pe.from, Stamp: pe.stamp})
+		case in && pe.to == id:
+			out = append(out, Edge{To: pe.from, Stamp: pe.stamp})
+		case in && pe.sym && pe.from == id:
+			out = append(out, Edge{To: pe.to, Stamp: pe.stamp})
+		}
+	}
+	return out
+}
+
+// NodesOfKind returns the IDs of all nodes of a kind visible to the
+// transaction (committed only; buffered creations of this transaction are
+// excluded, matching scan semantics of a snapshot).
+func (tx *Txn) NodesOfKind(kind ids.Kind) []ids.ID {
+	return tx.s.nodesOfKind(kind, tx.snapshot)
+}
+
+// AscendIndex iterates an ordered secondary index from fromKey upward,
+// calling fn with (property value, node ID) for visible nodes until fn
+// returns false. Registering the index is the caller's responsibility.
+func (tx *Txn) AscendIndex(kind ids.Kind, prop PropKey, fromKey int64, fn func(key int64, id ids.ID) bool) error {
+	var oi *orderedIndex
+	for _, idx := range tx.s.ordered {
+		if idx.kind == kind && idx.prop == prop {
+			oi = idx
+			break
+		}
+	}
+	if oi == nil {
+		return fmt.Errorf("store: no ordered index on %v.%v", kind, prop)
+	}
+	// Stream under the index read lock; visibility checks take shard read
+	// locks, which are always acquired after index locks (writers never
+	// hold both), so the order is deadlock-free. fn must not write.
+	oi.mu.RLock()
+	defer oi.mu.RUnlock()
+	oi.tree.Ascend(fromKey, 0, func(e btree.Entry) bool {
+		id := ids.ID(e.Val)
+		if !tx.Exists(id) {
+			return true
+		}
+		return fn(e.Key, id)
+	})
+	return nil
+}
+
+// LookupHash returns the visible node IDs with the given string property
+// value, using a registered hash index.
+func (tx *Txn) LookupHash(kind ids.Kind, prop PropKey, val string) ([]ids.ID, error) {
+	for _, hi := range tx.s.hashed {
+		if hi.kind == kind && hi.prop == prop {
+			hi.mu.RLock()
+			list := append([]ids.ID(nil), hi.m[val]...)
+			hi.mu.RUnlock()
+			out := list[:0]
+			for _, id := range list {
+				if tx.Exists(id) {
+					out = append(out, id)
+				}
+			}
+			return out, nil
+		}
+	}
+	return nil, fmt.Errorf("store: no hash index on %v.%v", kind, prop)
+}
+
+// Abort discards the transaction.
+func (tx *Txn) Abort() {
+	if !tx.done {
+		tx.done = true
+		tx.s.aborts.Add(1)
+	}
+}
+
+// Commit validates and installs the transaction's writes atomically,
+// returning ErrConflict under first-committer-wins validation failure and
+// ErrExists if a created node ID was concurrently taken.
+func (tx *Txn) Commit() error {
+	if tx.done {
+		return errors.New("store: transaction finished")
+	}
+	tx.done = true
+	if tx.readonly || (len(tx.newNodes) == 0 && len(tx.propSets) == 0 && len(tx.newEdges) == 0) {
+		tx.s.commits.Add(1)
+		return nil
+	}
+	s := tx.s
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
+
+	// Validation.
+	for id := range tx.newNodes {
+		sh := s.shardFor(id)
+		sh.mu.RLock()
+		_, exists := sh.nodes[id]
+		sh.mu.RUnlock()
+		if exists {
+			s.aborts.Add(1)
+			return fmt.Errorf("%w: %v", ErrExists, id)
+		}
+	}
+	for _, set := range tx.propSets {
+		sh := s.shardFor(set.id)
+		sh.mu.RLock()
+		rec := sh.nodes[set.id]
+		var conflict bool
+		if rec == nil {
+			conflict = true // node vanished / never existed
+		} else if rec.versions[len(rec.versions)-1].commit > tx.snapshot {
+			conflict = true // someone updated it after our snapshot
+		}
+		sh.mu.RUnlock()
+		if conflict {
+			s.aborts.Add(1)
+			return fmt.Errorf("%w: node %v", ErrConflict, set.id)
+		}
+	}
+
+	ts := s.clock.Load() + 1
+
+	// Install node creations in deterministic ID order so the per-kind
+	// scan lists are reproducible.
+	created := make([]*pendingNode, 0, len(tx.newNodes))
+	for _, n := range tx.newNodes {
+		created = append(created, n)
+	}
+	sort.Slice(created, func(i, j int) bool { return created[i].id < created[j].id })
+	for _, n := range created {
+		sh := s.shardFor(n.id)
+		sh.mu.Lock()
+		sh.nodes[n.id] = &nodeRec{id: n.id, versions: []nodeVersion{{commit: ts, props: n.props}}}
+		sh.mu.Unlock()
+	}
+	if len(created) > 0 {
+		s.kindMu.Lock()
+		for _, n := range created {
+			s.byKind[n.id.Kind()] = append(s.byKind[n.id.Kind()], n.id)
+		}
+		s.kindMu.Unlock()
+	}
+
+	// Property updates: append new versions.
+	for _, set := range tx.propSets {
+		sh := s.shardFor(set.id)
+		sh.mu.Lock()
+		rec := sh.nodes[set.id]
+		last := rec.versions[len(rec.versions)-1]
+		rec.versions = append(rec.versions, nodeVersion{commit: ts, props: last.props.with(set.key, set.val)})
+		sh.mu.Unlock()
+	}
+
+	// Edge insertions. Auto-create is not supported: dangling endpoints
+	// are a programming error surfaced at load time by the workload layer,
+	// but here we tolerate missing peers by creating bare records so the
+	// adjacency stays navigable (mirrors how column stores keep FK rows).
+	for _, pe := range tx.newEdges {
+		tx.installEdge(pe.from, pe.t, pe.to, pe.stamp, ts, false)
+		if pe.sym {
+			tx.installEdge(pe.to, pe.t, pe.from, pe.stamp, ts, false)
+		} else {
+			tx.installEdge(pe.to, pe.t, pe.from, pe.stamp, ts, true)
+		}
+	}
+
+	// Secondary index maintenance for created nodes.
+	for _, n := range created {
+		for _, oi := range s.ordered {
+			if oi.kind != n.id.Kind() {
+				continue
+			}
+			if v := n.props.Get(oi.prop); !v.IsZero() {
+				oi.mu.Lock()
+				oi.tree.Insert(v.Int(), uint64(n.id), uint64(n.id))
+				oi.mu.Unlock()
+			}
+		}
+		for _, hi := range s.hashed {
+			if hi.kind != n.id.Kind() {
+				continue
+			}
+			if v := n.props.Get(hi.prop); !v.IsZero() {
+				hi.mu.Lock()
+				hi.m[v.Str()] = append(hi.m[v.Str()], n.id)
+				hi.mu.Unlock()
+			}
+		}
+	}
+
+	// Append the redo record before publishing the commit (still under
+	// commitMu, so the log preserves commit order).
+	if s.wal != nil {
+		if err := s.logCommit(ts, created, tx.propSets, tx.newEdges); err != nil {
+			// The in-memory install already happened; surface the log
+			// failure but keep the store consistent.
+			s.clock.Store(ts)
+			s.commits.Add(1)
+			return fmt.Errorf("store: commit logged partially: %w", err)
+		}
+	}
+
+	// Advance the watermark: the transaction becomes visible atomically.
+	s.clock.Store(ts)
+	s.commits.Add(1)
+	return nil
+}
+
+// installEdge appends one adjacency entry; reverse=true stores it in the
+// peer's in-list instead of the out-list.
+func (tx *Txn) installEdge(from ids.ID, t EdgeType, to ids.ID, stamp, ts int64, reverse bool) {
+	sh := tx.s.shardFor(from)
+	sh.mu.Lock()
+	rec := sh.nodes[from]
+	if rec == nil {
+		rec = &nodeRec{id: from, versions: []nodeVersion{{commit: ts, props: nil}}}
+		sh.nodes[from] = rec
+	}
+	if reverse {
+		rec.adj.in[t] = append(rec.adj.in[t], edgeRec{peer: to, stamp: stamp, commit: ts})
+	} else {
+		rec.adj.out[t] = append(rec.adj.out[t], edgeRec{peer: to, stamp: stamp, commit: ts})
+	}
+	sh.mu.Unlock()
+}

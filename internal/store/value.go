@@ -1,0 +1,173 @@
+// Package store implements the transactional property-graph engine used as
+// the System Under Test for the SNB Interactive workload.
+//
+// The engine provides what §4 of the paper requires of a SUT: transactional
+// updates running concurrently with queries under at-least-read-committed
+// semantics. It implements snapshot isolation with first-committer-wins
+// write-write conflict detection; the paper notes that "given the nature of
+// the update workload, systems providing snapshot isolation behave
+// identically to serializable".
+//
+// Design, in the spirit of the two vendor systems of §5:
+//   - property graph data model (nodes with typed properties, typed directed
+//     edges carrying one timestamp-like attribute), like Sparksee;
+//   - hash primary indexes plus ordered (B+tree) secondary indexes on
+//     date-like attributes, like Virtuoso's l_creationdate index (Table 8);
+//   - adjacency lists per (node, edge type, direction) — the materialised
+//     neighbourhoods §5 mentions for Sparksee.
+package store
+
+import "fmt"
+
+// PropKey identifies a node property. Properties are stored as small
+// (key, value) slices — SNB entities have at most ~12 properties.
+type PropKey uint8
+
+// Node property keys for the SNB schema.
+const (
+	PropFirstName PropKey = iota + 1
+	PropLastName
+	PropGender
+	PropBirthday
+	PropCreationDate
+	PropLocationIP
+	PropBrowserUsed
+	PropContent
+	PropLength
+	PropLanguage
+	PropImageFile
+	PropTitle
+	PropName
+	PropSpeaks
+	PropEmail
+	PropCountry // denormalised country ID for persons and messages
+	PropTopic   // denormalised main topic tag of a message
+)
+
+var propNames = map[PropKey]string{
+	PropFirstName:    "firstName",
+	PropLastName:     "lastName",
+	PropGender:       "gender",
+	PropBirthday:     "birthday",
+	PropCreationDate: "creationDate",
+	PropLocationIP:   "locationIP",
+	PropBrowserUsed:  "browserUsed",
+	PropContent:      "content",
+	PropLength:       "length",
+	PropLanguage:     "language",
+	PropImageFile:    "imageFile",
+	PropTitle:        "title",
+	PropName:         "name",
+	PropSpeaks:       "speaks",
+	PropEmail:        "email",
+	PropCountry:      "country",
+	PropTopic:        "topic",
+}
+
+// String returns the schema name of the property.
+func (k PropKey) String() string {
+	if s, ok := propNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("prop(%d)", uint8(k))
+}
+
+type valueKind uint8
+
+const (
+	kindNone valueKind = iota
+	kindInt
+	kindString
+)
+
+// Value is a compact tagged union of the property value types the SNB
+// schema needs (64-bit integers — including all timestamps — and strings).
+// The zero Value is "absent".
+type Value struct {
+	str string
+	i   int64
+	k   valueKind
+}
+
+// Int64 wraps an integer value.
+func Int64(v int64) Value { return Value{i: v, k: kindInt} }
+
+// String wraps a string value.
+func String(v string) Value { return Value{str: v, k: kindString} }
+
+// IsZero reports whether the value is absent.
+func (v Value) IsZero() bool { return v.k == kindNone }
+
+// Int returns the integer content (0 for non-integer values).
+func (v Value) Int() int64 {
+	if v.k != kindInt {
+		return 0
+	}
+	return v.i
+}
+
+// Str returns the string content ("" for non-string values).
+func (v Value) Str() string {
+	if v.k != kindString {
+		return ""
+	}
+	return v.str
+}
+
+// GoString formats the value for diagnostics.
+func (v Value) GoString() string {
+	switch v.k {
+	case kindInt:
+		return fmt.Sprintf("Int64(%d)", v.i)
+	case kindString:
+		return fmt.Sprintf("String(%q)", v.str)
+	default:
+		return "Value{}"
+	}
+}
+
+// bytes approximates the heap footprint of the value, for Stats (Table 8).
+func (v Value) bytes() int {
+	const header = 24 // tagged-union struct
+	return header + len(v.str)
+}
+
+// Prop is one (key, value) property pair.
+type Prop struct {
+	Key PropKey
+	Val Value
+}
+
+// Props is the property list of one node version.
+type Props []Prop
+
+// Get returns the value for a key (zero Value if absent).
+func (ps Props) Get(k PropKey) Value {
+	for _, p := range ps {
+		if p.Key == k {
+			return p.Val
+		}
+	}
+	return Value{}
+}
+
+// with returns a copy of ps with key set to v (replacing or appending).
+func (ps Props) with(k PropKey, v Value) Props {
+	out := make(Props, len(ps), len(ps)+1)
+	copy(out, ps)
+	for i := range out {
+		if out[i].Key == k {
+			out[i].Val = v
+			return out
+		}
+	}
+	return append(out, Prop{k, v})
+}
+
+func (ps Props) bytes() int {
+	n := 0
+	for _, p := range ps {
+		n += 1 + p.Val.bytes()
+	}
+	return n
+}

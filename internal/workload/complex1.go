@@ -1,0 +1,370 @@
+package workload
+
+import (
+	"sort"
+
+	"ldbcsnb/internal/ids"
+	"ldbcsnb/internal/store"
+)
+
+// Q1 — Extract description of friends with a given name. Given a person's
+// firstName, return up to 20 people with the same first name, sorted by
+// increasing distance (max 3) from a given person, and within distance by
+// last name then ID. Results include workplaces and places of study.
+
+// Q1Row is one Q1 result.
+type Q1Row struct {
+	Person       ids.ID
+	Distance     int
+	LastName     string
+	Universities []string
+	Companies    []string
+}
+
+// Q1 runs the query for (start person, first name).
+func Q1(tx *store.Txn, start ids.ID, firstName string) []Q1Row {
+	const limit = 20
+	// BFS to distance 3 over knows.
+	dist := map[ids.ID]int{start: 0}
+	frontier := []ids.ID{start}
+	var matches []Q1Row
+	for d := 1; d <= 3; d++ {
+		var next []ids.ID
+		for _, p := range frontier {
+			for _, e := range tx.Out(p, store.EdgeKnows) {
+				if _, ok := dist[e.To]; ok {
+					continue
+				}
+				dist[e.To] = d
+				next = append(next, e.To)
+				if tx.Prop(e.To, store.PropFirstName).Str() == firstName {
+					row := Q1Row{
+						Person:   e.To,
+						Distance: d,
+						LastName: tx.Prop(e.To, store.PropLastName).Str(),
+					}
+					for _, s := range tx.Out(e.To, store.EdgeStudyAt) {
+						row.Universities = append(row.Universities, tx.Prop(s.To, store.PropName).Str())
+					}
+					for _, w := range tx.Out(e.To, store.EdgeWorkAt) {
+						row.Companies = append(row.Companies, tx.Prop(w.To, store.PropName).Str())
+					}
+					matches = append(matches, row)
+				}
+			}
+		}
+		frontier = next
+	}
+	sort.Slice(matches, func(i, j int) bool {
+		if matches[i].Distance != matches[j].Distance {
+			return matches[i].Distance < matches[j].Distance
+		}
+		if matches[i].LastName != matches[j].LastName {
+			return matches[i].LastName < matches[j].LastName
+		}
+		return matches[i].Person < matches[j].Person
+	})
+	if len(matches) > limit {
+		matches = matches[:limit]
+	}
+	return matches
+}
+
+// Q2 — Find the newest 20 posts and comments from your friends, created
+// before (and including) a given date. Sort descending by creation date,
+// ascending by message ID.
+
+// MessageRow is a (message, creator, date) result row shared by Q2/Q9.
+type MessageRow struct {
+	Message      ids.ID
+	Creator      ids.ID
+	CreationDate int64
+}
+
+// Q2 runs the query.
+func Q2(tx *store.Txn, start ids.ID, maxDate int64) []MessageRow {
+	return topMessagesOf(tx, friendsOf(tx, start), maxDate, 20)
+}
+
+// topMessagesOf returns the newest messages of a person set before
+// maxDate, sorted (date desc, id asc), capped at limit. Shared by Q2 (1-hop)
+// and Q9 (2-hop).
+func topMessagesOf(tx *store.Txn, persons []ids.ID, maxDate int64, limit int) []MessageRow {
+	var rows []MessageRow
+	for _, p := range persons {
+		for _, m := range messagesOf(tx, p) {
+			if m.Stamp <= maxDate {
+				rows = append(rows, MessageRow{Message: m.To, Creator: p, CreationDate: m.Stamp})
+			}
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].CreationDate != rows[j].CreationDate {
+			return rows[i].CreationDate > rows[j].CreationDate
+		}
+		return rows[i].Message < rows[j].Message
+	})
+	if len(rows) > limit {
+		rows = rows[:limit]
+	}
+	return rows
+}
+
+// Q3 — Friends within 2 steps that recently travelled to countries X and Y:
+// persons who posted from both foreign countries within the period, not
+// being located in either. Top 20 by total message count descending.
+
+// Q3Row is one Q3 result.
+type Q3Row struct {
+	Person ids.ID
+	CountX int
+	CountY int
+}
+
+// Q3 runs the query; countryX/countryY are dict country indices, the window
+// is [start, start+durationMillis).
+func Q3(tx *store.Txn, start ids.ID, countryX, countryY int, startDate, durationMillis int64) []Q3Row {
+	end := startDate + durationMillis
+	var rows []Q3Row
+	for _, p := range friendsAndFoF(tx, start) {
+		home := int(tx.Prop(p, store.PropCountry).Int())
+		if home == countryX || home == countryY {
+			continue
+		}
+		var cx, cy int
+		for _, m := range messagesOf(tx, p) {
+			if m.Stamp < startDate || m.Stamp >= end {
+				continue
+			}
+			switch int(tx.Prop(m.To, store.PropCountry).Int()) {
+			case countryX:
+				cx++
+			case countryY:
+				cy++
+			}
+		}
+		if cx > 0 && cy > 0 {
+			rows = append(rows, Q3Row{Person: p, CountX: cx, CountY: cy})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		ti, tj := rows[i].CountX+rows[i].CountY, rows[j].CountX+rows[j].CountY
+		if ti != tj {
+			return ti > tj
+		}
+		return rows[i].Person < rows[j].Person
+	})
+	if len(rows) > 20 {
+		rows = rows[:20]
+	}
+	return rows
+}
+
+// Q4 — New topics: the top 10 most popular tags on posts created by the
+// person's friends within the interval, excluding tags that those friends
+// already used on posts before it.
+
+// Q4Row is one Q4 result.
+type Q4Row struct {
+	Tag   ids.ID
+	Name  string
+	Count int
+}
+
+// Q4 runs the query over the window [startDate, startDate+durationMillis).
+func Q4(tx *store.Txn, start ids.ID, startDate, durationMillis int64) []Q4Row {
+	end := startDate + durationMillis
+	counts := map[ids.ID]int{}
+	old := map[ids.ID]bool{}
+	for _, f := range friendsOf(tx, start) {
+		for _, m := range messagesOf(tx, f) {
+			if m.To.Kind() != ids.KindPost {
+				continue
+			}
+			if m.Stamp >= end {
+				continue
+			}
+			for _, te := range tx.Out(m.To, store.EdgeHasTag) {
+				if m.Stamp < startDate {
+					old[te.To] = true
+				} else {
+					counts[te.To]++
+				}
+			}
+		}
+	}
+	var rows []Q4Row
+	for tag, n := range counts {
+		if old[tag] {
+			continue
+		}
+		rows = append(rows, Q4Row{Tag: tag, Name: tx.Prop(tag, store.PropName).Str(), Count: n})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Count != rows[j].Count {
+			return rows[i].Count > rows[j].Count
+		}
+		return rows[i].Name < rows[j].Name
+	})
+	if len(rows) > 10 {
+		rows = rows[:10]
+	}
+	return rows
+}
+
+// Q5 — New groups: forums that the friends and friends of friends joined
+// after a given date, scored by the number of posts in the forum created by
+// any of those persons. Top 20 descending.
+
+// Q5Row is one Q5 result.
+type Q5Row struct {
+	Forum ids.ID
+	Title string
+	Count int
+}
+
+// Q5 runs the query. This is the parameter-curation example of §4.1: its
+// cost tracks the 2-hop environment size.
+func Q5(tx *store.Txn, start ids.ID, minDate int64) []Q5Row {
+	env := friendsAndFoF(tx, start)
+	inEnv := make(map[ids.ID]bool, len(env))
+	for _, p := range env {
+		inEnv[p] = true
+	}
+	// Forums joined after minDate by anyone in the environment.
+	joined := map[ids.ID]bool{}
+	for _, p := range env {
+		for _, fe := range tx.In(p, store.EdgeHasMember) {
+			if fe.Stamp > minDate {
+				joined[fe.To] = true
+			}
+		}
+	}
+	var rows []Q5Row
+	for forum := range joined {
+		count := 0
+		for _, pe := range tx.Out(forum, store.EdgeContainerOf) {
+			for _, ce := range tx.Out(pe.To, store.EdgeHasCreator) {
+				if inEnv[ce.To] {
+					count++
+				}
+			}
+		}
+		rows = append(rows, Q5Row{Forum: forum, Title: tx.Prop(forum, store.PropTitle).Str(), Count: count})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Count != rows[j].Count {
+			return rows[i].Count > rows[j].Count
+		}
+		return rows[i].Forum < rows[j].Forum
+	})
+	if len(rows) > 20 {
+		rows = rows[:20]
+	}
+	return rows
+}
+
+// Q6 — Tag co-occurrence: among posts of friends and friends of friends
+// that carry the given tag, the top 10 other tags by post count.
+
+// Q6Row is one Q6 result.
+type Q6Row struct {
+	Tag   ids.ID
+	Name  string
+	Count int
+}
+
+// Q6 runs the query; tag is a store tag node ID.
+func Q6(tx *store.Txn, start ids.ID, tag ids.ID) []Q6Row {
+	counts := map[ids.ID]int{}
+	for _, p := range friendsAndFoF(tx, start) {
+		for _, m := range messagesOf(tx, p) {
+			if m.To.Kind() != ids.KindPost {
+				continue
+			}
+			tags := tx.Out(m.To, store.EdgeHasTag)
+			has := false
+			for _, te := range tags {
+				if te.To == tag {
+					has = true
+					break
+				}
+			}
+			if !has {
+				continue
+			}
+			for _, te := range tags {
+				if te.To != tag {
+					counts[te.To]++
+				}
+			}
+		}
+	}
+	var rows []Q6Row
+	for t, n := range counts {
+		rows = append(rows, Q6Row{Tag: t, Name: tx.Prop(t, store.PropName).Str(), Count: n})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Count != rows[j].Count {
+			return rows[i].Count > rows[j].Count
+		}
+		return rows[i].Name < rows[j].Name
+	})
+	if len(rows) > 10 {
+		rows = rows[:10]
+	}
+	return rows
+}
+
+// Q7 — Recent likes: the most recent likes on any of the person's
+// messages, one row per like, with the latency between message and like
+// and a flag for likers outside the direct friends. Top 20 by like date
+// descending, then liker ID ascending.
+
+// Q7Row is one Q7 result.
+type Q7Row struct {
+	Liker         ids.ID
+	Message       ids.ID
+	LikeDate      int64
+	LatencyMillis int64
+	IsNew         bool // liker is not a direct friend
+}
+
+// Q7 runs the query.
+func Q7(tx *store.Txn, start ids.ID) []Q7Row {
+	friends := map[ids.ID]bool{}
+	for _, f := range friendsOf(tx, start) {
+		friends[f] = true
+	}
+	// Most recent like per liker.
+	best := map[ids.ID]Q7Row{}
+	for _, m := range messagesOf(tx, start) {
+		for _, le := range tx.In(m.To, store.EdgeLikes) {
+			row := Q7Row{
+				Liker:         le.To,
+				Message:       m.To,
+				LikeDate:      le.Stamp,
+				LatencyMillis: le.Stamp - m.Stamp,
+				IsNew:         !friends[le.To],
+			}
+			if prev, ok := best[le.To]; !ok || row.LikeDate > prev.LikeDate ||
+				(row.LikeDate == prev.LikeDate && row.Message < prev.Message) {
+				best[le.To] = row
+			}
+		}
+	}
+	rows := make([]Q7Row, 0, len(best))
+	for _, r := range best {
+		rows = append(rows, r)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].LikeDate != rows[j].LikeDate {
+			return rows[i].LikeDate > rows[j].LikeDate
+		}
+		return rows[i].Liker < rows[j].Liker
+	})
+	if len(rows) > 20 {
+		rows = rows[:20]
+	}
+	return rows
+}

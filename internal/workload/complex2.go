@@ -1,0 +1,421 @@
+package workload
+
+import (
+	"sort"
+	"time"
+
+	"ldbcsnb/internal/ids"
+	"ldbcsnb/internal/store"
+)
+
+// Q8 — Most recent replies: the 20 most recent reply comments to all the
+// posts and comments of the person, descending by creation date then
+// ascending by comment ID.
+
+// Q8Row is one Q8 result.
+type Q8Row struct {
+	Comment      ids.ID
+	Replier      ids.ID
+	CreationDate int64
+}
+
+// Q8 runs the query.
+func Q8(tx *store.Txn, start ids.ID) []Q8Row {
+	var rows []Q8Row
+	for _, m := range messagesOf(tx, start) {
+		for _, re := range tx.In(m.To, store.EdgeReplyOf) {
+			var replier ids.ID
+			if cs := tx.Out(re.To, store.EdgeHasCreator); len(cs) > 0 {
+				replier = cs[0].To
+			}
+			rows = append(rows, Q8Row{Comment: re.To, Replier: replier, CreationDate: re.Stamp})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].CreationDate != rows[j].CreationDate {
+			return rows[i].CreationDate > rows[j].CreationDate
+		}
+		return rows[i].Comment < rows[j].Comment
+	})
+	if len(rows) > 20 {
+		rows = rows[:20]
+	}
+	return rows
+}
+
+// Q9 — Latest posts: the most recent 20 posts and comments from all
+// friends or friends-of-friends of the person, created before a given
+// date. This is the choke-point example of §3 (Figure 4): the intended
+// plan joins friends ⋈ friends (index nested loop), then persons (index
+// nested loop), then messages (hash / scan).
+
+// Q9 runs the graph-navigation formulation.
+func Q9(tx *store.Txn, start ids.ID, maxDate int64) []MessageRow {
+	return topMessagesOf(tx, friendsAndFoF(tx, start), maxDate, 20)
+}
+
+// Q10 — Friend recommendation: friends of friends (excluding direct
+// friends and the person) whose horoscope sign matches, scored by the
+// difference between their posts about the person's interests and their
+// posts about other topics. Top 10 by score descending, person ID
+// ascending.
+
+// Q10Row is one Q10 result.
+type Q10Row struct {
+	Person     ids.ID
+	Score      int
+	CommonTags int
+}
+
+// Q10 runs the query; sign is a zodiac index 0-11 (see ZodiacSign).
+func Q10(tx *store.Txn, start ids.ID, sign int) []Q10Row {
+	interests := map[ids.ID]bool{}
+	for _, e := range tx.Out(start, store.EdgeHasInterest) {
+		interests[e.To] = true
+	}
+	direct := map[ids.ID]bool{start: true}
+	for _, f := range friendsOf(tx, start) {
+		direct[f] = true
+	}
+	seen := map[ids.ID]bool{}
+	var rows []Q10Row
+	for _, f := range friendsOf(tx, start) {
+		for _, e := range tx.Out(f, store.EdgeKnows) {
+			cand := e.To
+			if direct[cand] || seen[cand] {
+				continue
+			}
+			seen[cand] = true
+			if ZodiacSign(tx.Prop(cand, store.PropBirthday).Int()) != sign {
+				continue
+			}
+			common, uncommon, commonTags := 0, 0, 0
+			for _, m := range messagesOf(tx, cand) {
+				if m.To.Kind() != ids.KindPost {
+					continue
+				}
+				about := false
+				for _, te := range tx.Out(m.To, store.EdgeHasTag) {
+					if interests[te.To] {
+						about = true
+						break
+					}
+				}
+				if about {
+					common++
+				} else {
+					uncommon++
+				}
+			}
+			for _, te := range tx.Out(cand, store.EdgeHasInterest) {
+				if interests[te.To] {
+					commonTags++
+				}
+			}
+			rows = append(rows, Q10Row{Person: cand, Score: common - uncommon, CommonTags: commonTags})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Score != rows[j].Score {
+			return rows[i].Score > rows[j].Score
+		}
+		return rows[i].Person < rows[j].Person
+	})
+	if len(rows) > 10 {
+		rows = rows[:10]
+	}
+	return rows
+}
+
+// ZodiacSign maps a birthday (millis) to a zodiac sign index 0-11
+// (0 = Aquarius starting Jan 21; boundaries approximate).
+func ZodiacSign(birthdayMillis int64) int {
+	t := time.UnixMilli(birthdayMillis).UTC()
+	m, d := int(t.Month()), t.Day()
+	// Sign changes around the 21st of each month.
+	if d >= 21 {
+		return m % 12
+	}
+	return (m + 11) % 12
+}
+
+// Q11 — Job referral: friends or friends of friends who work at a company
+// in the given country, having started before the given year. Top 10 by
+// work-from year ascending, person ID ascending.
+
+// Q11Row is one Q11 result.
+type Q11Row struct {
+	Person   ids.ID
+	Company  string
+	WorkFrom int
+}
+
+// Q11 runs the query; country is a dict country index.
+func Q11(tx *store.Txn, start ids.ID, country int, beforeYear int) []Q11Row {
+	countryNode := ids.DimensionID(ids.KindPlace, uint32(country))
+	var rows []Q11Row
+	for _, p := range friendsAndFoF(tx, start) {
+		for _, we := range tx.Out(p, store.EdgeWorkAt) {
+			if int(we.Stamp) >= beforeYear {
+				continue
+			}
+			located := tx.Out(we.To, store.EdgeIsLocatedIn)
+			if len(located) == 0 || located[0].To != countryNode {
+				continue
+			}
+			rows = append(rows, Q11Row{
+				Person:   p,
+				Company:  tx.Prop(we.To, store.PropName).Str(),
+				WorkFrom: int(we.Stamp),
+			})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].WorkFrom != rows[j].WorkFrom {
+			return rows[i].WorkFrom < rows[j].WorkFrom
+		}
+		return rows[i].Person < rows[j].Person
+	})
+	if len(rows) > 10 {
+		rows = rows[:10]
+	}
+	return rows
+}
+
+// Q12 — Expert search: friends who replied (with comments) to posts whose
+// tags belong to the given tag class (or its descendants). Top 20 by reply
+// count descending, person ID ascending.
+
+// Q12Row is one Q12 result.
+type Q12Row struct {
+	Person  ids.ID
+	Replies int
+}
+
+// Q12 runs the query; tagClass is a store TagClass node ID.
+func Q12(tx *store.Txn, start ids.ID, tagClass ids.ID) []Q12Row {
+	// Tag-class subtree.
+	inClass := map[ids.ID]bool{tagClass: true}
+	queue := []ids.ID{tagClass}
+	for len(queue) > 0 {
+		c := queue[0]
+		queue = queue[1:]
+		for _, sub := range tx.In(c, store.EdgeIsSubclassOf) {
+			if !inClass[sub.To] {
+				inClass[sub.To] = true
+				queue = append(queue, sub.To)
+			}
+		}
+	}
+	var rows []Q12Row
+	for _, f := range friendsOf(tx, start) {
+		replies := 0
+		for _, m := range messagesOf(tx, f) {
+			if m.To.Kind() != ids.KindComment {
+				continue
+			}
+			parents := tx.Out(m.To, store.EdgeReplyOf)
+			if len(parents) == 0 || parents[0].To.Kind() != ids.KindPost {
+				continue
+			}
+			match := false
+			for _, te := range tx.Out(parents[0].To, store.EdgeHasTag) {
+				types := tx.Out(te.To, store.EdgeHasType)
+				if len(types) > 0 && inClass[types[0].To] {
+					match = true
+					break
+				}
+			}
+			if match {
+				replies++
+			}
+		}
+		if replies > 0 {
+			rows = append(rows, Q12Row{Person: f, Replies: replies})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Replies != rows[j].Replies {
+			return rows[i].Replies > rows[j].Replies
+		}
+		return rows[i].Person < rows[j].Person
+	})
+	if len(rows) > 20 {
+		rows = rows[:20]
+	}
+	return rows
+}
+
+// Q13 — Single shortest path: the length of the shortest knows-path
+// between two persons, or -1 if none exists.
+
+// Q13 runs a bidirectional BFS.
+func Q13(tx *store.Txn, a, b ids.ID) int {
+	if a == b {
+		return 0
+	}
+	distA := map[ids.ID]int{a: 0}
+	distB := map[ids.ID]int{b: 0}
+	frontA := []ids.ID{a}
+	frontB := []ids.ID{b}
+	depth := 0
+	for len(frontA) > 0 && len(frontB) > 0 {
+		// Expand the smaller frontier one full layer; the minimum over all
+		// meets found within the layer is the exact shortest length.
+		if len(frontA) > len(frontB) {
+			distA, distB = distB, distA
+			frontA, frontB = frontB, frontA
+		}
+		depth++
+		best := -1
+		var next []ids.ID
+		for _, p := range frontA {
+			for _, e := range tx.Out(p, store.EdgeKnows) {
+				if db, ok := distB[e.To]; ok {
+					if l := distA[p] + 1 + db; best < 0 || l < best {
+						best = l
+					}
+				}
+				if _, ok := distA[e.To]; ok {
+					continue
+				}
+				distA[e.To] = distA[p] + 1
+				next = append(next, e.To)
+			}
+		}
+		if best >= 0 {
+			return best
+		}
+		frontA = next
+		if depth > 64 {
+			break // defensive bound; SNB graphs have tiny diameters
+		}
+	}
+	return -1
+}
+
+// Q14 — Weighted paths: all shortest-length knows-paths between two
+// persons, weighted by the message interaction between consecutive pairs:
+// each comment replying to the other's post adds 1.0, each comment
+// replying to the other's comment adds 0.5. Paths are returned sorted by
+// weight descending.
+
+// Q14Row is one path with its weight.
+type Q14Row struct {
+	Path   []ids.ID
+	Weight float64
+}
+
+// q14PathCap bounds path enumeration on dense graphs.
+const q14PathCap = 256
+
+// Q14 runs the query.
+func Q14(tx *store.Txn, a, b ids.ID) []Q14Row {
+	if a == b {
+		return []Q14Row{{Path: []ids.ID{a}, Weight: 0}}
+	}
+	// BFS from a recording parent layers until b is reached.
+	dist := map[ids.ID]int{a: 0}
+	parents := map[ids.ID][]ids.ID{}
+	frontier := []ids.ID{a}
+	found := false
+	for len(frontier) > 0 && !found {
+		var next []ids.ID
+		for _, p := range frontier {
+			for _, e := range tx.Out(p, store.EdgeKnows) {
+				d, ok := dist[e.To]
+				if !ok {
+					dist[e.To] = dist[p] + 1
+					parents[e.To] = []ids.ID{p}
+					next = append(next, e.To)
+					if e.To == b {
+						found = true
+					}
+				} else if d == dist[p]+1 {
+					parents[e.To] = append(parents[e.To], p)
+				}
+			}
+		}
+		frontier = next
+	}
+	if !found {
+		return nil
+	}
+	// Enumerate shortest paths backward from b.
+	var paths [][]ids.ID
+	var walk func(node ids.ID, acc []ids.ID)
+	walk = func(node ids.ID, acc []ids.ID) {
+		if len(paths) >= q14PathCap {
+			return
+		}
+		acc = append(acc, node)
+		if node == a {
+			path := make([]ids.ID, len(acc))
+			for i := range acc {
+				path[i] = acc[len(acc)-1-i]
+			}
+			paths = append(paths, path)
+			return
+		}
+		for _, p := range parents[node] {
+			walk(p, acc)
+		}
+	}
+	walk(b, nil)
+
+	rows := make([]Q14Row, 0, len(paths))
+	for _, path := range paths {
+		w := 0.0
+		for i := 0; i+1 < len(path); i++ {
+			w += interactionWeight(tx, path[i], path[i+1])
+		}
+		rows = append(rows, Q14Row{Path: path, Weight: w})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Weight != rows[j].Weight {
+			return rows[i].Weight > rows[j].Weight
+		}
+		return lessPath(rows[i].Path, rows[j].Path)
+	})
+	return rows
+}
+
+func lessPath(a, b []ids.ID) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// interactionWeight sums the reply interaction between two persons: 1.0
+// per comment by one replying to a post of the other, 0.5 per comment
+// replying to a comment of the other.
+func interactionWeight(tx *store.Txn, x, y ids.ID) float64 {
+	w := 0.0
+	pair := func(from, to ids.ID) {
+		for _, m := range messagesOf(tx, from) {
+			if m.To.Kind() != ids.KindComment {
+				continue
+			}
+			parents := tx.Out(m.To, store.EdgeReplyOf)
+			if len(parents) == 0 {
+				continue
+			}
+			parent := parents[0].To
+			creators := tx.Out(parent, store.EdgeHasCreator)
+			if len(creators) == 0 || creators[0].To != to {
+				continue
+			}
+			if parent.Kind() == ids.KindPost {
+				w += 1.0
+			} else {
+				w += 0.5
+			}
+		}
+	}
+	pair(x, y)
+	pair(y, x)
+	return w
+}

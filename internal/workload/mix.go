@@ -1,0 +1,134 @@
+package workload
+
+import (
+	"math"
+
+	"ldbcsnb/internal/ids"
+	"ldbcsnb/internal/store"
+	"ldbcsnb/internal/xrand"
+)
+
+// Query mix (§4, Table 4): relative frequencies of the complex read-only
+// queries, expressed as "one execution per N update operations". The mix
+// was calibrated so updates take ~10% of runtime, complex reads ~50% and
+// short reads ~40%, with each query type consuming a roughly equal share.
+
+// NumComplexQueries is the number of complex read-only query templates.
+const NumComplexQueries = 14
+
+// Table4Frequencies[q-1] is the number of updates per one execution of
+// complex query q, exactly as printed in Table 4 of the paper.
+var Table4Frequencies = [NumComplexQueries]int{
+	132, 240, 550, 161, 534, 1615, 144, 13, 1425, 217, 133, 238, 57, 144,
+}
+
+// mixBasePersons is the network size at which Table 4 was calibrated
+// (SF10: 10 GB ≈ 60k persons under our SF calibration; the paper used
+// SF10 for the Sparksee run).
+const mixBasePersons = 60000
+
+// ScaledFrequency returns the update count per execution of query q
+// (1-based) for a network of n persons. Complex reads have complexity
+// O(D^k log n) versus O(log n) for updates (§4 "Scaling the workload"), so
+// their frequency is reduced — the per-execution interval grows — by the
+// logarithmic factor as the dataset grows.
+func ScaledFrequency(q int, n int) int {
+	f := float64(Table4Frequencies[q-1])
+	if n > 1 {
+		f *= math.Log(float64(n)) / math.Log(mixBasePersons)
+	}
+	if f < 1 {
+		f = 1
+	}
+	return int(math.Round(f))
+}
+
+// ShortReadMix holds the random-walk parameters of §4: after a complex
+// query, its result entities seed a chain of simple reads; the chain
+// continues with probability P, decreased by Delta at every step, so it is
+// always finite.
+type ShortReadMix struct {
+	P     float64
+	Delta float64
+}
+
+// DefaultShortReadMix mirrors the calibration goal (short reads ≈ 40% of
+// time): a high initial continuation probability with moderate decay.
+var DefaultShortReadMix = ShortReadMix{P: 0.9, Delta: 0.15}
+
+// ShortReadStats counts executed short reads by type (S1..S7 at index
+// 0..6).
+type ShortReadStats [7]int
+
+// RunShortReadChain performs the random walk of simple reads seeded by the
+// persons and messages a complex query returned ("results of the latter
+// queries become input for simple read-only queries, where Profile lookup
+// provides an input for Post lookup, and vice versa").
+func (m ShortReadMix) RunShortReadChain(tx *store.Txn, r *xrand.Rand, persons, messages []ids.ID) ShortReadStats {
+	var stats ShortReadStats
+	p := m.P
+	for step := 0; ; step++ {
+		if len(persons) == 0 && len(messages) == 0 {
+			return stats
+		}
+		if !r.Bool(p) {
+			return stats
+		}
+		p -= m.Delta
+		if p < 0 {
+			p = 0
+		}
+		// Alternate between the profile family and the post family, each
+		// feeding the other's input pool.
+		if len(persons) > 0 && (step%2 == 0 || len(messages) == 0) {
+			person := persons[r.Intn(len(persons))]
+			switch r.Intn(3) {
+			case 0:
+				S1(tx, person)
+				stats[0]++
+			case 1:
+				for _, row := range S2(tx, person) {
+					messages = append(messages, row.Message)
+				}
+				stats[1]++
+			default:
+				for _, row := range S3(tx, person) {
+					persons = append(persons, row.Friend)
+				}
+				stats[2]++
+			}
+		} else if len(messages) > 0 {
+			msg := messages[r.Intn(len(messages))]
+			switch r.Intn(4) {
+			case 0:
+				S4(tx, msg)
+				stats[3]++
+			case 1:
+				if res, ok := S5(tx, msg); ok {
+					persons = append(persons, res.Creator)
+				}
+				stats[4]++
+			case 2:
+				if res, ok := S6(tx, msg); ok && res.Moderator != 0 {
+					persons = append(persons, res.Moderator)
+				}
+				stats[5]++
+			default:
+				for _, row := range S7(tx, msg) {
+					if row.Author != 0 {
+						persons = append(persons, row.Author)
+					}
+					messages = append(messages, row.Comment)
+				}
+				stats[6]++
+			}
+		}
+		// Bound the walk's working set.
+		if len(persons) > 256 {
+			persons = persons[len(persons)-256:]
+		}
+		if len(messages) > 256 {
+			messages = messages[len(messages)-256:]
+		}
+	}
+}

@@ -1,0 +1,200 @@
+package workload
+
+import (
+	"sort"
+
+	"ldbcsnb/internal/ids"
+	"ldbcsnb/internal/store"
+)
+
+// The 7 simple read-only queries (§4: profile and post views, "the bulk of
+// the user queries"; Table 7). All are point lookups of O(log n)
+// complexity. S1-S3 are the profile-view family, S4-S7 the post-view
+// family; the driver chains them with the random walk of §4.
+
+// S1Result is a person profile view.
+type S1Result struct {
+	FirstName    string
+	LastName     string
+	Birthday     int64
+	LocationIP   string
+	Browser      string
+	Gender       int
+	CreationDate int64
+}
+
+// S1 returns the basic profile of a person.
+func S1(tx *store.Txn, p ids.ID) (S1Result, bool) {
+	props, ok := tx.Props(p)
+	if !ok {
+		return S1Result{}, false
+	}
+	return S1Result{
+		FirstName:    props.Get(store.PropFirstName).Str(),
+		LastName:     props.Get(store.PropLastName).Str(),
+		Birthday:     props.Get(store.PropBirthday).Int(),
+		LocationIP:   props.Get(store.PropLocationIP).Str(),
+		Browser:      props.Get(store.PropBrowserUsed).Str(),
+		Gender:       int(props.Get(store.PropGender).Int()),
+		CreationDate: props.Get(store.PropCreationDate).Int(),
+	}, true
+}
+
+// S2 returns the person's 10 most recent messages (id, creation date),
+// newest first.
+func S2(tx *store.Txn, p ids.ID) []MessageRow {
+	msgs := messagesOf(tx, p)
+	rows := make([]MessageRow, 0, len(msgs))
+	for _, m := range msgs {
+		rows = append(rows, MessageRow{Message: m.To, Creator: p, CreationDate: m.Stamp})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].CreationDate != rows[j].CreationDate {
+			return rows[i].CreationDate > rows[j].CreationDate
+		}
+		return rows[i].Message < rows[j].Message
+	})
+	if len(rows) > 10 {
+		rows = rows[:10]
+	}
+	return rows
+}
+
+// S3Row is one friendship of S3.
+type S3Row struct {
+	Friend       ids.ID
+	CreationDate int64
+}
+
+// S3 returns all friends of a person with the friendship dates, newest
+// friendship first (capped at 20, the paper's profile view cap).
+func S3(tx *store.Txn, p ids.ID) []S3Row {
+	edges := tx.Out(p, store.EdgeKnows)
+	rows := make([]S3Row, 0, len(edges))
+	for _, e := range edges {
+		rows = append(rows, S3Row{Friend: e.To, CreationDate: e.Stamp})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].CreationDate != rows[j].CreationDate {
+			return rows[i].CreationDate > rows[j].CreationDate
+		}
+		return rows[i].Friend < rows[j].Friend
+	})
+	if len(rows) > 20 {
+		rows = rows[:20]
+	}
+	return rows
+}
+
+// S4Result is a message content view.
+type S4Result struct {
+	CreationDate int64
+	Content      string // image file name for photos
+}
+
+// S4 returns a message's content and creation date.
+func S4(tx *store.Txn, m ids.ID) (S4Result, bool) {
+	props, ok := tx.Props(m)
+	if !ok {
+		return S4Result{}, false
+	}
+	content := props.Get(store.PropContent).Str()
+	if content == "" {
+		content = props.Get(store.PropImageFile).Str()
+	}
+	return S4Result{
+		CreationDate: props.Get(store.PropCreationDate).Int(),
+		Content:      content,
+	}, true
+}
+
+// S5Result is a message creator view.
+type S5Result struct {
+	Creator   ids.ID
+	FirstName string
+	LastName  string
+}
+
+// S5 returns the creator of a message.
+func S5(tx *store.Txn, m ids.ID) (S5Result, bool) {
+	cs := tx.Out(m, store.EdgeHasCreator)
+	if len(cs) == 0 {
+		return S5Result{}, false
+	}
+	return S5Result{
+		Creator:   cs[0].To,
+		FirstName: tx.Prop(cs[0].To, store.PropFirstName).Str(),
+		LastName:  tx.Prop(cs[0].To, store.PropLastName).Str(),
+	}, true
+}
+
+// S6Result is a message's forum view.
+type S6Result struct {
+	Forum     ids.ID
+	Title     string
+	Moderator ids.ID
+}
+
+// S6 returns the forum containing a message (walking replyOf up to the
+// root post for comments).
+func S6(tx *store.Txn, m ids.ID) (S6Result, bool) {
+	cur := m
+	for i := 0; i < 64 && cur.Kind() == ids.KindComment; i++ {
+		parents := tx.Out(cur, store.EdgeReplyOf)
+		if len(parents) == 0 {
+			return S6Result{}, false
+		}
+		cur = parents[0].To
+	}
+	containers := tx.In(cur, store.EdgeContainerOf)
+	if len(containers) == 0 {
+		return S6Result{}, false
+	}
+	forum := containers[0].To
+	var moderator ids.ID
+	if ms := tx.Out(forum, store.EdgeHasModerator); len(ms) > 0 {
+		moderator = ms[0].To
+	}
+	return S6Result{
+		Forum:     forum,
+		Title:     tx.Prop(forum, store.PropTitle).Str(),
+		Moderator: moderator,
+	}, true
+}
+
+// S7Row is one reply in S7.
+type S7Row struct {
+	Comment       ids.ID
+	Author        ids.ID
+	CreationDate  int64
+	KnowsOriginal bool // reply author knows the original message author
+}
+
+// S7 returns the direct replies to a message, newest first.
+func S7(tx *store.Txn, m ids.ID) []S7Row {
+	var origAuthor ids.ID
+	if cs := tx.Out(m, store.EdgeHasCreator); len(cs) > 0 {
+		origAuthor = cs[0].To
+	}
+	replies := tx.In(m, store.EdgeReplyOf)
+	rows := make([]S7Row, 0, len(replies))
+	for _, re := range replies {
+		var author ids.ID
+		if cs := tx.Out(re.To, store.EdgeHasCreator); len(cs) > 0 {
+			author = cs[0].To
+		}
+		rows = append(rows, S7Row{
+			Comment:       re.To,
+			Author:        author,
+			CreationDate:  re.Stamp,
+			KnowsOriginal: origAuthor != 0 && author != 0 && isFriend(tx, author, origAuthor),
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].CreationDate != rows[j].CreationDate {
+			return rows[i].CreationDate > rows[j].CreationDate
+		}
+		return rows[i].Comment < rows[j].Comment
+	})
+	return rows
+}

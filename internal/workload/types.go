@@ -1,0 +1,69 @@
+// Package workload implements the SNB Interactive workload: the 14 complex
+// read-only queries (Q1-Q14, Appendix of the paper), the 7 simple read-only
+// queries, and the 8 transactional updates (U1-U8), all executed against
+// the property-graph store.
+//
+// The implementations are graph-navigation programs over the store API (the
+// Sparksee style of §5); Query 9 additionally has an explicit join-operator
+// formulation used for the Figure 4 join-type ablation.
+package workload
+
+import (
+	"ldbcsnb/internal/ids"
+	"ldbcsnb/internal/store"
+)
+
+// friendsOf returns the distinct direct friends of a person.
+func friendsOf(tx *store.Txn, p ids.ID) []ids.ID {
+	edges := tx.Out(p, store.EdgeKnows)
+	out := make([]ids.ID, 0, len(edges))
+	seen := make(map[ids.ID]bool, len(edges))
+	for _, e := range edges {
+		if e.To != p && !seen[e.To] {
+			seen[e.To] = true
+			out = append(out, e.To)
+		}
+	}
+	return out
+}
+
+// friendsAndFoF returns the distinct persons within two knows-hops of p,
+// excluding p itself. This set is the "2-hop environment" whose size
+// distribution Figure 5(a) plots.
+func friendsAndFoF(tx *store.Txn, p ids.ID) []ids.ID {
+	seen := map[ids.ID]bool{p: true}
+	var out []ids.ID
+	for _, e := range tx.Out(p, store.EdgeKnows) {
+		if !seen[e.To] {
+			seen[e.To] = true
+			out = append(out, e.To)
+		}
+	}
+	direct := len(out)
+	for i := 0; i < direct; i++ {
+		for _, e := range tx.Out(out[i], store.EdgeKnows) {
+			if !seen[e.To] {
+				seen[e.To] = true
+				out = append(out, e.To)
+			}
+		}
+	}
+	return out
+}
+
+// messagesOf returns the messages created by a person as (id, creationDate)
+// pairs, exploiting the hasCreator reverse adjacency whose stamps carry the
+// message creation dates.
+func messagesOf(tx *store.Txn, p ids.ID) []store.Edge {
+	return tx.In(p, store.EdgeHasCreator)
+}
+
+// isFriend reports whether a and b are directly connected.
+func isFriend(tx *store.Txn, a, b ids.ID) bool {
+	for _, e := range tx.Out(a, store.EdgeKnows) {
+		if e.To == b {
+			return true
+		}
+	}
+	return false
+}

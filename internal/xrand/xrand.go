@@ -1,0 +1,217 @@
+// Package xrand provides deterministic pseudo-random number streams for the
+// SNB data generator.
+//
+// The paper (§2.4) stresses that DATAGEN is deterministic: the generated
+// dataset is identical regardless of the Hadoop configuration (number of
+// nodes, mappers, reducers). We obtain the same guarantee by deriving every
+// random decision from a pure function of (seed, entity, purpose) rather than
+// from a shared sequential stream. Each entity gets its own splitmix64-seeded
+// generator, so the output is independent of how entities are partitioned
+// across workers.
+package xrand
+
+import "math"
+
+// splitmix64 is the seeding/mixing function from Steele et al. It is used
+// both as a stream deriver and as the core of the Rand generator below
+// (xoshiro-style state initialisation).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Mix deterministically combines a seed with any number of discriminator
+// values (entity IDs, purpose tags...) into a new 64-bit seed.
+func Mix(seed uint64, vs ...uint64) uint64 {
+	h := splitmix64(seed)
+	for _, v := range vs {
+		h = splitmix64(h ^ v)
+	}
+	return h
+}
+
+// Purpose tags name independent random streams derived from one entity.
+// Using distinct constants (rather than magic numbers at call sites) keeps
+// the generator's determinism auditable.
+const (
+	PurposePerson uint64 = iota + 1
+	PurposeFirstName
+	PurposeLastName
+	PurposeGender
+	PurposeBirthday
+	PurposeLocation
+	PurposeUniversity
+	PurposeCompany
+	PurposeLanguages
+	PurposeInterests
+	PurposeCreationDate
+	PurposeDegree
+	PurposeFriendPick
+	PurposeForum
+	PurposePost
+	PurposeComment
+	PurposeLike
+	PurposeMembership
+	PurposeEvent
+	PurposeText
+	PurposeEmail
+	PurposeBrowser
+	PurposeIP
+	PurposePhoto
+	PurposeTagClass
+	PurposeWorkFrom
+	PurposeClassYear
+	PurposeShortRead
+)
+
+// Rand is a small, fast, deterministic PRNG (splitmix64 sequence). The zero
+// value is a valid generator seeded with 0; prefer New.
+type Rand struct {
+	state uint64
+}
+
+// New returns a generator for the stream identified by (seed, discriminators).
+func New(seed uint64, vs ...uint64) *Rand {
+	return &Rand{state: Mix(seed, vs...)}
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	x := r.state
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Int63 returns a non-negative random int64.
+func (r *Rand) Int63() int64 {
+	return int64(r.Uint64() >> 1)
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int64n returns a uniform int64 in [0, n). It panics if n <= 0.
+func (r *Rand) Int64n(n int64) int64 {
+	if n <= 0 {
+		panic("xrand: Int64n with non-positive n")
+	}
+	return int64(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *Rand) Bool(p float64) bool {
+	return r.Float64() < p
+}
+
+// Exp returns an exponentially distributed value with the given mean.
+// SNB uses exponential distributions for most skewed value choices (§1).
+func (r *Rand) Exp(mean float64) float64 {
+	u := r.Float64()
+	if u >= 1 {
+		u = math.Nextafter(1, 0)
+	}
+	return -mean * math.Log(1-u)
+}
+
+// Geometric returns a geometrically distributed integer >= 0 with success
+// probability p. This is the in-window friend-pick distribution of §2.3:
+// the probability of connecting drops geometrically with window distance.
+func (r *Rand) Geometric(p float64) int {
+	if p <= 0 || p >= 1 {
+		panic("xrand: Geometric needs 0 < p < 1")
+	}
+	u := r.Float64()
+	if u == 0 {
+		return 0
+	}
+	return int(math.Floor(math.Log(u) / math.Log(1-p)))
+}
+
+// Gaussian returns a normally distributed value (Box-Muller, one value per
+// call; the spare is discarded to keep the stream position predictable).
+func (r *Rand) Gaussian(mean, stddev float64) float64 {
+	u1 := r.Float64()
+	if u1 < 1e-300 {
+		u1 = 1e-300
+	}
+	u2 := r.Float64()
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	return mean + stddev*z
+}
+
+// SkewedIndex returns an index in [0, n) under a truncated exponential
+// distribution with the given mean fraction (mean*n is the expected index).
+// Index 0 is the most likely value. This is the shared "shape" used by all
+// correlated dictionaries (§2.1): the distribution shape is equal across
+// correlation parameters, only the dictionary order changes.
+func (r *Rand) SkewedIndex(n int, meanFrac float64) int {
+	if n <= 0 {
+		panic("xrand: SkewedIndex with non-positive n")
+	}
+	for {
+		v := int(r.Exp(meanFrac * float64(n)))
+		if v < n {
+			return v
+		}
+	}
+}
+
+// Zipf returns an integer in [0, n) under a Zipf distribution with exponent
+// s > 1, via rejection sampling. Used for tag popularity.
+func (r *Rand) Zipf(n int, s float64) int {
+	if n <= 0 {
+		panic("xrand: Zipf with non-positive n")
+	}
+	if n == 1 {
+		return 0
+	}
+	// Inverse-CDF on the continuous bounding curve (a truncated Pareto on
+	// [1, n]); exact enough for workload purposes and cheap enough to call
+	// per message tag. x falls in [1, n), so rank 1 maps to index 0.
+	oneMinusS := 1 - s
+	u := r.Float64()
+	x := math.Pow(u*(math.Pow(float64(n), oneMinusS)-1)+1, 1/oneMinusS)
+	i := int(x) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	return i
+}
+
+// Perm returns a deterministic pseudo-random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// UniformTime returns a uniform timestamp in [lo, hi). lo==hi returns lo.
+func (r *Rand) UniformTime(lo, hi int64) int64 {
+	if hi <= lo {
+		return lo
+	}
+	return lo + r.Int64n(hi-lo)
+}

@@ -1,0 +1,200 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMixDeterministic(t *testing.T) {
+	a := Mix(42, 1, 2, 3)
+	b := Mix(42, 1, 2, 3)
+	if a != b {
+		t.Fatalf("Mix not deterministic: %d != %d", a, b)
+	}
+}
+
+func TestMixDiscriminates(t *testing.T) {
+	seen := map[uint64]bool{}
+	for i := uint64(0); i < 1000; i++ {
+		v := Mix(7, i)
+		if seen[v] {
+			t.Fatalf("collision in Mix at discriminator %d", i)
+		}
+		seen[v] = true
+	}
+	if Mix(7, 1, 2) == Mix(7, 2, 1) {
+		t.Fatal("Mix should be order-sensitive")
+	}
+}
+
+func TestRandSameSeedSameStream(t *testing.T) {
+	a, b := New(9, PurposePerson, 5), New(9, PurposePerson, 5)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(1)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(17)
+		if v < 0 || v >= 17 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(2)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := New(3)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Exp(5.0)
+	}
+	mean := sum / n
+	if math.Abs(mean-5.0) > 0.1 {
+		t.Fatalf("Exp mean off: got %v want ~5.0", mean)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := New(4)
+	const p = 0.25
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += float64(r.Geometric(p))
+	}
+	mean := sum / n
+	want := (1 - p) / p // mean of geometric starting at 0
+	if math.Abs(mean-want) > 0.1 {
+		t.Fatalf("Geometric mean off: got %v want ~%v", mean, want)
+	}
+}
+
+func TestGaussianMoments(t *testing.T) {
+	r := New(5)
+	const n = 200000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.Gaussian(10, 2)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-10) > 0.05 {
+		t.Fatalf("Gaussian mean off: %v", mean)
+	}
+	if math.Abs(math.Sqrt(variance)-2) > 0.05 {
+		t.Fatalf("Gaussian stddev off: %v", math.Sqrt(variance))
+	}
+}
+
+func TestSkewedIndexSkew(t *testing.T) {
+	r := New(6)
+	counts := make([]int, 100)
+	for i := 0; i < 100000; i++ {
+		counts[r.SkewedIndex(100, 0.15)]++
+	}
+	if counts[0] <= counts[50] {
+		t.Fatalf("SkewedIndex not skewed toward 0: c0=%d c50=%d", counts[0], counts[50])
+	}
+	// Monotone-ish decay over coarse buckets.
+	head := counts[0] + counts[1] + counts[2] + counts[3] + counts[4]
+	tail := counts[95] + counts[96] + counts[97] + counts[98] + counts[99]
+	if head < tail*5 {
+		t.Fatalf("insufficient skew: head=%d tail=%d", head, tail)
+	}
+}
+
+func TestZipfRangeAndSkew(t *testing.T) {
+	r := New(7)
+	counts := make([]int, 50)
+	for i := 0; i < 100000; i++ {
+		v := r.Zipf(50, 1.5)
+		if v < 0 || v >= 50 {
+			t.Fatalf("Zipf out of range: %d", v)
+		}
+		counts[v]++
+	}
+	if counts[0] <= counts[25] {
+		t.Fatalf("Zipf not skewed: c0=%d c25=%d", counts[0], counts[25])
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	err := quick.Check(func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw)%64 + 1
+		p := New(seed).Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUniformTimeBounds(t *testing.T) {
+	err := quick.Check(func(seed uint64, lo int32, span uint16) bool {
+		r := New(seed)
+		l := int64(lo)
+		h := l + int64(span)
+		v := r.UniformTime(l, h)
+		if h == l {
+			return v == l
+		}
+		return v >= l && v < h
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUniformTimeDegenerate(t *testing.T) {
+	r := New(8)
+	if got := r.UniformTime(100, 100); got != 100 {
+		t.Fatalf("degenerate UniformTime = %d, want 100", got)
+	}
+	if got := r.UniformTime(100, 50); got != 100 {
+		t.Fatalf("inverted UniformTime = %d, want 100", got)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}

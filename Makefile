@@ -1,0 +1,25 @@
+# Tier-1 verification is one command: `make check`.
+
+GO ?= go
+
+.PHONY: check fmt vet build test bench
+
+check: fmt vet build test
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# View-vs-txn read-path comparison (allocation counts matter: the view
+# path's adjacency iteration must report 0 allocs/op).
+bench:
+	$(GO) test ./internal/bench/ -run xxx -bench 'BenchmarkView' -benchmem

@@ -66,6 +66,8 @@ func main() {
 	fmt.Println()
 	fmt.Printf("wall time: %v   throughput: %.0f ops/s   errors: %d\n",
 		rep.Wall.Round(1000000), rep.Throughput, rep.Errors)
+	fmt.Printf("view acquire: mean %v over %d reads (includes post-commit rebuilds)\n",
+		rep.ViewAcquire.Mean(), rep.ViewAcquire.Count)
 	if rep.Errors > 0 {
 		os.Exit(1)
 	}

@@ -1,0 +1,3 @@
+module ldbcsnb
+
+go 1.24

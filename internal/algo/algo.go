@@ -17,6 +17,7 @@ import (
 	"math"
 	"sort"
 
+	"ldbcsnb/internal/bitset"
 	"ldbcsnb/internal/ids"
 	"ldbcsnb/internal/store"
 )
@@ -34,40 +35,48 @@ type Graph struct {
 	Targets []int32
 }
 
-// ExtractKnows snapshots the friendship graph from the store.
+// ExtractKnows snapshots the friendship graph from the store's frozen
+// snapshot view: the view's CSR adjacency is already lock-free and
+// allocation-free to iterate, so extraction is two passes over slab
+// subslices with no intermediate per-vertex lists. It piggybacks on the
+// store's cached view — free when the store is also serving reads (the
+// view exists or will be reused); an analytics-only caller pays one full
+// compaction, which covers all edge types, not just knows.
 func ExtractKnows(st *store.Store) *Graph {
+	return ExtractKnowsView(st.CurrentView())
+}
+
+// ExtractKnowsView builds the algorithm graph from an existing view.
+func ExtractKnowsView(v *store.SnapshotView) *Graph {
 	g := &Graph{Index: make(map[ids.ID]int32)}
-	st.View(func(tx *store.Txn) {
-		persons := tx.NodesOfKind(ids.KindPerson)
-		g.IDs = make([]ids.ID, len(persons))
-		copy(g.IDs, persons)
-		sort.Slice(g.IDs, func(i, j int) bool { return g.IDs[i] < g.IDs[j] })
-		for i, id := range g.IDs {
-			g.Index[id] = int32(i)
-		}
-		g.Offsets = make([]int32, len(g.IDs)+1)
-		// First pass: degrees.
-		degs := make([]int32, len(g.IDs))
-		adj := make([][]int32, len(g.IDs))
-		for i, id := range g.IDs {
-			for _, e := range tx.Out(id, store.EdgeKnows) {
-				if j, ok := g.Index[e.To]; ok {
-					adj[i] = append(adj[i], j)
-				}
+	persons := v.NodesOfKind(ids.KindPerson)
+	g.IDs = make([]ids.ID, len(persons))
+	copy(g.IDs, persons)
+	sort.Slice(g.IDs, func(i, j int) bool { return g.IDs[i] < g.IDs[j] })
+	for i, id := range g.IDs {
+		g.Index[id] = int32(i)
+	}
+	g.Offsets = make([]int32, len(g.IDs)+1)
+	// First pass: degrees (only edges to persons in the extracted set).
+	total := int32(0)
+	for i, id := range g.IDs {
+		g.Offsets[i] = total
+		for _, e := range v.Out(id, store.EdgeKnows) {
+			if _, ok := g.Index[e.To]; ok {
+				total++
 			}
-			degs[i] = int32(len(adj[i]))
 		}
-		total := int32(0)
-		for i, d := range degs {
-			g.Offsets[i] = total
-			total += d
+	}
+	g.Offsets[len(g.IDs)] = total
+	// Second pass: fill targets.
+	g.Targets = make([]int32, 0, total)
+	for _, id := range g.IDs {
+		for _, e := range v.Out(id, store.EdgeKnows) {
+			if j, ok := g.Index[e.To]; ok {
+				g.Targets = append(g.Targets, j)
+			}
 		}
-		g.Offsets[len(g.IDs)] = total
-		g.Targets = make([]int32, total)
-		for i, ns := range adj {
-			copy(g.Targets[g.Offsets[i]:], ns)
-		}
-	})
+	}
 	return g
 }
 
@@ -161,15 +170,11 @@ func (g *Graph) PageRank(d float64, eps float64, maxIter int) []float64 {
 func (g *Graph) ClusteringCoefficient() (local []float64, avg float64) {
 	n := g.N()
 	local = make([]float64, n)
-	// Adjacency sets for O(1) membership checks.
-	sets := make([]map[int32]bool, n)
-	for v := 0; v < n; v++ {
-		ns := g.Neighbours(int32(v))
-		sets[v] = make(map[int32]bool, len(ns))
-		for _, w := range ns {
-			sets[v][w] = true
-		}
-	}
+	// One dense bitset, reused across vertices: for each neighbour a of v,
+	// mark a's adjacency and probe the remaining neighbours against it.
+	// This replaces the per-vertex hash sets with O(1) bit probes over the
+	// CSR while keeping the exact pair-membership semantics.
+	marks := bitset.New(n)
 	sum := 0.0
 	counted := 0
 	for v := 0; v < n; v++ {
@@ -180,10 +185,17 @@ func (g *Graph) ClusteringCoefficient() (local []float64, avg float64) {
 		}
 		links := 0
 		for i := 0; i < k; i++ {
+			na := g.Neighbours(ns[i])
+			for _, w := range na {
+				marks.Set(w)
+			}
 			for j := i + 1; j < k; j++ {
-				if sets[ns[i]][ns[j]] {
+				if marks.Has(ns[j]) {
 					links++
 				}
+			}
+			for _, w := range na {
+				marks.Clear(w)
 			}
 		}
 		local[v] = 2 * float64(links) / float64(k*(k-1))

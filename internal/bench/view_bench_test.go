@@ -1,0 +1,162 @@
+package bench
+
+import (
+	"testing"
+
+	"ldbcsnb/internal/ids"
+	"ldbcsnb/internal/store"
+	"ldbcsnb/internal/workload"
+)
+
+// BenchmarkViewVsTxn* compare the two read paths of the store on the
+// Interactive hot operations: the MVCC transaction path (shard RLock +
+// per-call MVCC filtering + fresh []Edge per hop) against the frozen
+// snapshot-view path (lock-free CSR subslices + dense bitset visited sets).
+// Run with -benchmem: the view path's adjacency iteration must report
+// 0 allocs/op once the scratch buffers are warm.
+
+// benchPerson picks a well-connected start person.
+func benchPerson(b *testing.B, env *Env) ids.ID {
+	b.Helper()
+	var best ids.ID
+	bestDeg := -1
+	env.Store.View(func(tx *store.Txn) {
+		for _, p := range tx.NodesOfKind(ids.KindPerson) {
+			if d := tx.OutDegree(p, store.EdgeKnows); d > bestDeg {
+				best, bestDeg = p, d
+			}
+		}
+	})
+	if bestDeg < 1 {
+		b.Skip("no connected person at this scale")
+	}
+	return best
+}
+
+// BenchmarkViewVsTxnOut2Hop measures the raw Out-heavy 2-hop knows
+// expansion — the navigation kernel under Q1/Q9/Q13/Q14.
+func BenchmarkViewVsTxnOut2Hop(b *testing.B) {
+	env := testEnv(b)
+	p := benchPerson(b, env)
+
+	b.Run("txn", func(b *testing.B) {
+		tx := env.Store.Begin()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			seen := map[ids.ID]bool{p: true}
+			n := 0
+			for _, e := range tx.Out(p, store.EdgeKnows) {
+				if !seen[e.To] {
+					seen[e.To] = true
+					for _, e2 := range tx.Out(e.To, store.EdgeKnows) {
+						if !seen[e2.To] {
+							seen[e2.To] = true
+							n++
+						}
+					}
+				}
+			}
+		}
+	})
+	b.Run("view", func(b *testing.B) {
+		v := env.Store.CurrentView()
+		sc := workload.NewScratch()
+		// Warm the scratch buffers to the working-set size, then measure.
+		workload.TwoHopEnvView(v, sc, p)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			workload.TwoHopEnvView(v, sc, p)
+		}
+	})
+}
+
+// BenchmarkViewVsTxnQ2 measures Q2 (friends' newest 20 messages): 1-hop
+// expansion plus a LIMIT-20 cut — sort-truncate on the txn path, bounded
+// top-k heap on the view path.
+func BenchmarkViewVsTxnQ2(b *testing.B) {
+	env := testEnv(b)
+	p := benchPerson(b, env)
+	maxDate := int64(1) << 62
+
+	b.Run("txn", func(b *testing.B) {
+		tx := env.Store.Begin()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			workload.Q2(tx, p, maxDate)
+		}
+	})
+	b.Run("view", func(b *testing.B) {
+		v := env.Store.CurrentView()
+		sc := workload.NewScratch()
+		workload.Q2View(v, sc, p, maxDate)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			workload.Q2View(v, sc, p, maxDate)
+		}
+	})
+}
+
+// BenchmarkViewVsTxnQ9 measures the paper's choke-point query (2-hop
+// environment, newest 20 messages).
+func BenchmarkViewVsTxnQ9(b *testing.B) {
+	env := testEnv(b)
+	p := benchPerson(b, env)
+	maxDate := int64(1) << 62
+
+	b.Run("txn", func(b *testing.B) {
+		tx := env.Store.Begin()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			workload.Q9(tx, p, maxDate)
+		}
+	})
+	b.Run("view", func(b *testing.B) {
+		v := env.Store.CurrentView()
+		sc := workload.NewScratch()
+		workload.Q9View(v, sc, p, maxDate)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			workload.Q9View(v, sc, p, maxDate)
+		}
+	})
+}
+
+// BenchmarkViewVsTxnShortWalk measures the short-read family S1-S3 on one
+// profile — the "bulk of the user queries" point lookups.
+func BenchmarkViewVsTxnShortWalk(b *testing.B) {
+	env := testEnv(b)
+	p := benchPerson(b, env)
+
+	b.Run("txn", func(b *testing.B) {
+		tx := env.Store.Begin()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			workload.S1(tx, p)
+			workload.S2(tx, p)
+			workload.S3(tx, p)
+		}
+	})
+	b.Run("view", func(b *testing.B) {
+		v := env.Store.CurrentView()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			workload.S1View(v, p)
+			workload.S2View(v, p)
+			workload.S3View(v, p)
+		}
+	})
+}
+
+// BenchmarkViewRebuild measures the cost a commit imposes on the next
+// reader: one full CSR compaction of the bench environment.
+func BenchmarkViewRebuild(b *testing.B) {
+	env := testEnv(b)
+	ts := env.Store.LastCommit()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		env.Store.ViewAt(ts)
+	}
+}

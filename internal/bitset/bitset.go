@@ -1,0 +1,92 @@
+// Package bitset provides a dense, reusable bitset keyed by small
+// non-negative integers.
+//
+// It is the visited-set representation for graph traversals over compact
+// node ordinals (see store.SnapshotView): a BFS over a frozen snapshot marks
+// ordinals in a Set instead of inserting IDs into a map, which removes both
+// the per-visit allocation and the hashing from the hot loop. A Set is meant
+// to be held in a scratch structure and recycled across queries with
+// Grow + Reset.
+package bitset
+
+import "math/bits"
+
+// Set is a dense bitset. The zero value is an empty set of capacity 0;
+// grow it with Grow before setting bits. A Set is not safe for concurrent
+// use.
+type Set struct {
+	words []uint64
+	n     int // capacity in bits
+}
+
+// New returns a set able to hold bits [0, n).
+func New(n int) *Set {
+	s := &Set{}
+	s.Grow(n)
+	return s
+}
+
+// Len returns the capacity in bits.
+func (s *Set) Len() int { return s.n }
+
+// Grow ensures the set can hold bits [0, n), preserving existing bits.
+// It never shrinks.
+func (s *Set) Grow(n int) {
+	if n <= s.n {
+		return
+	}
+	need := (n + 63) / 64
+	if need > len(s.words) {
+		words := make([]uint64, need)
+		copy(words, s.words)
+		s.words = words
+	}
+	s.n = n
+}
+
+// Reset clears every bit, keeping the allocated capacity.
+func (s *Set) Reset() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Set marks bit i. Like a slice index, i must be in range: indices at or
+// beyond the allocated words panic; note the allocation rounds the
+// capacity up to the next multiple of 64 bits, so indices in [Len(),
+// 64*ceil(Len()/64)) are accepted. Callers must treat Len() as the bound.
+func (s *Set) Set(i int32) {
+	s.words[i>>6] |= 1 << (uint(i) & 63)
+}
+
+// Has reports whether bit i is marked.
+func (s *Set) Has(i int32) bool {
+	return s.words[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// Clear unmarks bit i.
+func (s *Set) Clear(i int32) {
+	s.words[i>>6] &^= 1 << (uint(i) & 63)
+}
+
+// TrySet marks bit i and reports whether it was previously unmarked —
+// the one-call BFS visited-set idiom:
+//
+//	if seen.TrySet(ord) { frontier = append(frontier, ord) }
+func (s *Set) TrySet(i int32) bool {
+	w, m := i>>6, uint64(1)<<(uint(i)&63)
+	if s.words[w]&m != 0 {
+		return false
+	}
+	s.words[w] |= m
+	return true
+}
+
+// Count returns the number of marked bits.
+func (s *Set) Count() int {
+	n := 0
+	for _, w := range s.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}

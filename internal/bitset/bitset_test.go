@@ -1,0 +1,66 @@
+package bitset
+
+import "testing"
+
+func TestSetHasClear(t *testing.T) {
+	s := New(200)
+	if s.Len() != 200 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	for _, i := range []int32{0, 1, 63, 64, 127, 199} {
+		if s.Has(i) {
+			t.Fatalf("bit %d set in fresh set", i)
+		}
+		s.Set(i)
+		if !s.Has(i) {
+			t.Fatalf("bit %d not set", i)
+		}
+	}
+	if s.Count() != 6 {
+		t.Fatalf("Count = %d", s.Count())
+	}
+	s.Clear(64)
+	if s.Has(64) || s.Count() != 5 {
+		t.Fatal("Clear failed")
+	}
+}
+
+func TestTrySet(t *testing.T) {
+	s := New(100)
+	if !s.TrySet(42) {
+		t.Fatal("first TrySet must report new")
+	}
+	if s.TrySet(42) {
+		t.Fatal("second TrySet must report already set")
+	}
+	if !s.Has(42) {
+		t.Fatal("bit lost")
+	}
+}
+
+func TestGrowPreservesAndResetClears(t *testing.T) {
+	s := New(10)
+	s.Set(3)
+	s.Grow(1000)
+	if !s.Has(3) {
+		t.Fatal("Grow dropped a bit")
+	}
+	s.Set(999)
+	s.Grow(50) // never shrinks
+	if s.Len() != 1000 || !s.Has(999) {
+		t.Fatal("Grow shrank the set")
+	}
+	s.Reset()
+	if s.Count() != 0 || s.Len() != 1000 {
+		t.Fatal("Reset must clear bits but keep capacity")
+	}
+}
+
+func TestZeroValueGrow(t *testing.T) {
+	var s Set
+	s.Grow(70)
+	s.Set(69)
+	if !s.Has(69) || s.Count() != 1 {
+		t.Fatal("zero-value Set unusable after Grow")
+	}
+}

@@ -45,6 +45,11 @@ type MixedReport struct {
 	Short   [7]LatencyStats                          // Table 7
 	Update  [schema.NumUpdateTypes]LatencyStats      // Table 9
 	Wall    time.Duration
+	// ViewAcquire records the cost of acquiring the frozen snapshot view
+	// once per read iteration. It is usually a pointer load; after an
+	// interleaved update commit it includes a full view rebuild, so this
+	// stat is where the read path's rebuild tax shows up.
+	ViewAcquire LatencyStats
 	// Throughput is total executed operations per second (the §5 metric
 	// alongside the acceleration factor).
 	Throughput float64
@@ -188,6 +193,19 @@ func RunMixed(cfg MixedConfig) *MixedReport {
 	// Within one pass each query type runs once per its proportion slot;
 	// cheaper (more frequent) queries therefore execute more often, like
 	// the real mix.
+	//
+	// Read execution runs on the store's frozen snapshot views wherever a
+	// view formulation exists (the hot 2-3-hop expansions and the whole
+	// short-read walk): once built, a view is lock-free to read. Commits
+	// from the update streams invalidate it, so under a dense update
+	// stream readers periodically pay a full rebuild (serialised, and
+	// taking shard read locks while it runs). Each iteration acquires
+	// the view exactly once, inside its own timed region recorded in
+	// rep.ViewAcquire, and reuses it for the complex query and the
+	// short-read walk — per-query latencies stay comparable while the
+	// rebuild tax remains visible in the report. Queries without a view
+	// formulation fall back to an MVCC read transaction (the walk still
+	// runs on the view).
 	perType := cfg.ComplexPerType
 	if perType == 0 {
 		perType = 5
@@ -199,22 +217,32 @@ func RunMixed(cfg MixedConfig) *MixedReport {
 		go func(client int) {
 			defer wg.Done()
 			r := xrand.New(cfg.Seed, xrand.PurposeShortRead, uint64(client)+100)
+			sc := workload.NewScratch()
 			for si := client; si < len(schedule); si += cfg.ReadClients {
 				q := schedule[si]
+				tAcq := time.Now()
+				v := cfg.Store.CurrentView()
+				acq := time.Since(tAcq)
 				var lat time.Duration
 				var seedPersons, seedMessages []ids.ID
-				cfg.Store.View(func(tx *store.Txn) {
+				if hasViewImpl(q) {
 					t0 := time.Now()
-					seedPersons, seedMessages = runComplex(tx, q, qp, r)
+					seedPersons, seedMessages = runComplexView(v, sc, q, qp, r)
 					lat = time.Since(t0)
-				})
+				} else {
+					cfg.Store.View(func(tx *store.Txn) {
+						t0 := time.Now()
+						seedPersons, seedMessages = runComplex(tx, q, qp, r)
+						lat = time.Since(t0)
+					})
+				}
 				mu.Lock()
+				rep.ViewAcquire.Add(acq)
 				rep.Complex[q-1].Add(lat)
 				mu.Unlock()
-				// Short-read random walk seeded by the results (§4).
-				cfg.Store.View(func(tx *store.Txn) {
-					runShortWalk(tx, cfg.Mix, r, seedPersons, seedMessages, rep, &mu)
-				})
+				// Short-read random walk seeded by the results (§4), on the
+				// same view the iteration acquired.
+				runShortWalk(v, cfg.Mix, r, seedPersons, seedMessages, rep, &mu)
 			}
 		}(c)
 	}
@@ -259,6 +287,48 @@ func buildSchedule(perType, persons int) []int {
 		}
 	}
 	return schedule
+}
+
+// hasViewImpl reports whether complex query q has a frozen-view
+// formulation (the Interactive hot path; see workload.Q1View etc.).
+func hasViewImpl(q int) bool {
+	switch q {
+	case 1, 2, 8, 9:
+		return true
+	}
+	return false
+}
+
+// runComplexView executes one view-backed complex query template with
+// curated parameters, returning result entities to seed the short-read
+// walk. Callers must route only hasViewImpl queries here.
+func runComplexView(v *store.SnapshotView, sc *workload.Scratch, q int, qp *queryParams, r *xrand.Rand) (persons, messages []ids.ID) {
+	person := qp.persons[r.Intn(len(qp.persons))]
+	switch q {
+	case 1:
+		for _, row := range workload.Q1View(v, sc, person, qp.firstNames[r.Intn(len(qp.firstNames))]) {
+			persons = append(persons, row.Person)
+		}
+	case 2:
+		for _, row := range workload.Q2View(v, sc, person, qp.maxDate) {
+			persons = append(persons, row.Creator)
+			messages = append(messages, row.Message)
+		}
+	case 8:
+		for _, row := range workload.Q8View(v, person) {
+			persons = append(persons, row.Replier)
+			messages = append(messages, row.Comment)
+		}
+	case 9:
+		for _, row := range workload.Q9View(v, sc, person, qp.maxDate) {
+			persons = append(persons, row.Creator)
+			messages = append(messages, row.Message)
+		}
+	}
+	if len(persons) == 0 {
+		persons = append(persons, person)
+	}
+	return persons, messages
 }
 
 // runComplex executes one complex query template with curated parameters,
@@ -326,10 +396,11 @@ func runComplex(tx *store.Txn, q int, qp *queryParams, r *xrand.Rand) (persons, 
 	return persons, messages
 }
 
-// runShortWalk executes the short-read chain, attributing per-type
-// latencies to the report. It re-implements the walk of workload.ShortReadMix
-// with timing instrumentation.
-func runShortWalk(tx *store.Txn, mix workload.ShortReadMix, r *xrand.Rand, persons, messages []ids.ID, rep *MixedReport, mu *sync.Mutex) {
+// runShortWalk executes the short-read chain on the frozen snapshot view,
+// attributing per-type latencies to the report. It re-implements the walk
+// of workload.ShortReadMix with timing instrumentation; every step is a
+// lock-free point lookup.
+func runShortWalk(v *store.SnapshotView, mix workload.ShortReadMix, r *xrand.Rand, persons, messages []ids.ID, rep *MixedReport, mu *sync.Mutex) {
 	p := mix.P
 	for step := 0; ; step++ {
 		if len(persons) == 0 && len(messages) == 0 {
@@ -348,15 +419,15 @@ func runShortWalk(tx *store.Txn, mix workload.ShortReadMix, r *xrand.Rand, perso
 			person := persons[r.Intn(len(persons))]
 			switch r.Intn(3) {
 			case 0:
-				workload.S1(tx, person)
+				workload.S1View(v, person)
 				kind = 0
 			case 1:
-				for _, row := range workload.S2(tx, person) {
+				for _, row := range workload.S2View(v, person) {
 					messages = append(messages, row.Message)
 				}
 				kind = 1
 			default:
-				for _, row := range workload.S3(tx, person) {
+				for _, row := range workload.S3View(v, person) {
 					persons = append(persons, row.Friend)
 				}
 				kind = 2
@@ -365,20 +436,20 @@ func runShortWalk(tx *store.Txn, mix workload.ShortReadMix, r *xrand.Rand, perso
 			msg := messages[r.Intn(len(messages))]
 			switch r.Intn(4) {
 			case 0:
-				workload.S4(tx, msg)
+				workload.S4View(v, msg)
 				kind = 3
 			case 1:
-				if res, ok := workload.S5(tx, msg); ok {
+				if res, ok := workload.S5View(v, msg); ok {
 					persons = append(persons, res.Creator)
 				}
 				kind = 4
 			case 2:
-				if res, ok := workload.S6(tx, msg); ok && res.Moderator != 0 {
+				if res, ok := workload.S6View(v, msg); ok && res.Moderator != 0 {
 					persons = append(persons, res.Moderator)
 				}
 				kind = 5
 			default:
-				for _, row := range workload.S7(tx, msg) {
+				for _, row := range workload.S7View(v, msg) {
 					messages = append(messages, row.Comment)
 				}
 				kind = 6

@@ -54,6 +54,11 @@ type Store struct {
 	commits atomic.Int64
 	aborts  atomic.Int64
 
+	// view caches the frozen snapshot at the current clock (see
+	// CurrentView); viewMu serialises rebuilds, never reads.
+	view   atomic.Pointer[SnapshotView]
+	viewMu sync.Mutex
+
 	// wal, when attached, receives a redo record per committed
 	// transaction, in commit order (appends happen under commitMu).
 	wal *walWriter

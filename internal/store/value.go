@@ -15,6 +15,30 @@
 //     date-like attributes, like Virtuoso's l_creationdate index (Table 8);
 //   - adjacency lists per (node, edge type, direction) — the materialised
 //     neighbourhoods §5 mentions for Sparksee.
+//
+// # Read paths
+//
+// The store exposes two read paths with identical visibility semantics:
+//
+//   - MVCC transactions (Begin/View + Txn): reads take shard read locks,
+//     filter version chains and adjacency lists by commit timestamp per
+//     call, and overlay the transaction's own uncommitted writes. This is
+//     the only path that can see its own writes and the path every update
+//     uses.
+//   - Frozen snapshot views (CurrentView + SnapshotView): an immutable
+//     CSR compaction of everything visible at one commit timestamp.
+//     Reads are lock-free and allocation-free — adjacency calls return
+//     subslices of a contiguous edge slab — which makes views the fast
+//     path for the Interactive workload's read mix (multi-hop knows
+//     expansions, profile and message lookups).
+//
+// The commit clock doubles as the view epoch: every committed write
+// advances it, which invalidates the cached view; the next CurrentView
+// call rebuilds lazily while older views stay valid for readers still
+// holding them. Choose a Txn when the reader also writes (or must observe
+// its own writes); choose a view for read-only query execution where
+// latency matters. Both paths agree result-for-result at equal timestamps
+// (asserted by the equivalence tests in view_test.go).
 package store
 
 import "fmt"

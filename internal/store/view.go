@@ -1,0 +1,294 @@
+package store
+
+import (
+	"sort"
+
+	"ldbcsnb/internal/ids"
+)
+
+// SnapshotView is a frozen, read-optimised image of the store at one commit
+// timestamp: every shard's visible adjacency compacted into flat CSR arrays
+// (one contiguous []Edge slab plus per-node offsets, per edge type and
+// direction) and the visible node properties gathered into a dense table
+// indexed by compact node ordinals.
+//
+// A view is immutable after construction, so every read is lock-free and
+// allocation-free: Out and In return subslices of the CSR slab, Prop and
+// Props return the already-materialised version data. This is the read path
+// the Interactive workload's 2-3-hop knows expansions run on; MVCC
+// transactions (Txn) remain the write path and the read path for
+// transactional reads that must overlay their own uncommitted writes.
+//
+// Ordinals are dense indices 0..NumNodes()-1 assigned in ascending ID order.
+// They are the natural key for visited bitsets and other per-node scratch
+// state during traversals (see internal/bitset); they are only meaningful
+// for the view that issued them.
+//
+// Slices returned by view methods alias the view's internal arrays and must
+// not be mutated by callers.
+type SnapshotView struct {
+	ts     int64
+	nodes  []ids.ID         // ordinal -> node ID, ascending
+	ord    map[ids.ID]int32 // node ID -> ordinal
+	props  []Props          // ordinal -> visible property list (shared, immutable)
+	out    [edgeTypeMax]csr
+	in     [edgeTypeMax]csr
+	byKind map[ids.Kind][]ids.ID
+}
+
+// csr is one compressed-sparse-row adjacency: the edges of ordinal v are
+// edges[offsets[v]:offsets[v+1]]. offsets is nil when no edge of this
+// type/direction is visible, saving the per-node offset array entirely.
+type csr struct {
+	offsets []int32
+	edges   []Edge
+}
+
+func (c *csr) neighbours(ord int32) []Edge {
+	if c.offsets == nil {
+		return nil
+	}
+	return c.edges[c.offsets[ord]:c.offsets[ord+1]]
+}
+
+// Timestamp returns the commit timestamp the view is frozen at.
+func (v *SnapshotView) Timestamp() int64 { return v.ts }
+
+// NumNodes returns the number of visible nodes; ordinals range over
+// [0, NumNodes()).
+func (v *SnapshotView) NumNodes() int { return len(v.nodes) }
+
+// Ord returns the compact ordinal of a node, or false if the node is not
+// visible in the view.
+func (v *SnapshotView) Ord(id ids.ID) (int32, bool) {
+	o, ok := v.ord[id]
+	return o, ok
+}
+
+// IDAt returns the node ID of an ordinal.
+func (v *SnapshotView) IDAt(ord int32) ids.ID { return v.nodes[ord] }
+
+// Exists reports whether a node is visible in the view.
+func (v *SnapshotView) Exists(id ids.ID) bool {
+	_, ok := v.ord[id]
+	return ok
+}
+
+// Out returns the visible outgoing edges of a node for one edge type, in
+// insertion order. The slice aliases the CSR slab: zero allocation, and the
+// caller must not mutate it.
+func (v *SnapshotView) Out(id ids.ID, t EdgeType) []Edge {
+	o, ok := v.ord[id]
+	if !ok {
+		return nil
+	}
+	return v.out[t].neighbours(o)
+}
+
+// In returns the visible incoming edges of a node for one edge type.
+func (v *SnapshotView) In(id ids.ID, t EdgeType) []Edge {
+	o, ok := v.ord[id]
+	if !ok {
+		return nil
+	}
+	return v.in[t].neighbours(o)
+}
+
+// OutDegree returns the number of visible outgoing edges of a node.
+func (v *SnapshotView) OutDegree(id ids.ID, t EdgeType) int {
+	return len(v.Out(id, t))
+}
+
+// Prop returns one property of a node (zero Value if the node or property
+// is absent).
+func (v *SnapshotView) Prop(id ids.ID, key PropKey) Value {
+	o, ok := v.ord[id]
+	if !ok {
+		return Value{}
+	}
+	return v.props[o].Get(key)
+}
+
+// Props returns the visible property list of a node. The slice aliases the
+// stored version and must not be mutated.
+func (v *SnapshotView) Props(id ids.ID) (Props, bool) {
+	o, ok := v.ord[id]
+	if !ok {
+		return nil, false
+	}
+	return v.props[o], true
+}
+
+// NodesOfKind returns the IDs of all visible nodes of a kind in insertion
+// order. The slice is shared by all callers of the view and must not be
+// mutated.
+func (v *SnapshotView) NodesOfKind(kind ids.Kind) []ids.ID {
+	return v.byKind[kind]
+}
+
+// CurrentView returns a frozen snapshot view at the store's current commit
+// watermark. Views are cached behind an atomic pointer and invalidated by
+// the commit clock (every committed write bumps it, acting as the view
+// epoch): the first reader after a commit rebuilds, concurrent readers at
+// the same epoch share one view with no locking on the read path.
+//
+// Rebuilds are full (cost O(visible nodes + edges)); incremental
+// maintenance is future work. Under the Interactive mix — bursts of reads
+// between sparse update transactions — the rebuild amortises across the
+// read burst.
+func (s *Store) CurrentView() *SnapshotView {
+	ts := s.clock.Load()
+	if v := s.view.Load(); v != nil && v.ts == ts {
+		return v
+	}
+	// Serialise rebuilds so a commit burst doesn't build the same view N
+	// times; double-check under the lock.
+	s.viewMu.Lock()
+	defer s.viewMu.Unlock()
+	ts = s.clock.Load()
+	if v := s.view.Load(); v != nil && v.ts == ts {
+		return v
+	}
+	v := s.buildView(ts)
+	s.view.Store(v)
+	return v
+}
+
+// ViewAt builds a fresh, uncached view frozen at an explicit timestamp.
+// It exists for tests and offline analysis (e.g. comparing a view against
+// a Txn at the same snapshot); the serving path is CurrentView.
+func (s *Store) ViewAt(ts int64) *SnapshotView {
+	return s.buildView(ts)
+}
+
+// buildView compacts the store's state visible at ts into a SnapshotView.
+// It takes each shard's read lock once per pass (never the commit lock),
+// so it can run concurrently with commits; the visibility filter
+// commit <= ts makes the result independent of any in-flight installs.
+func (s *Store) buildView(ts int64) *SnapshotView {
+	v := &SnapshotView{ts: ts}
+
+	// Collect visible node IDs from every shard.
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for id, rec := range sh.nodes {
+			if _, ok := rec.visibleProps(ts); ok {
+				v.nodes = append(v.nodes, id)
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(v.nodes, func(i, j int) bool { return v.nodes[i] < v.nodes[j] })
+
+	n := len(v.nodes)
+	v.ord = make(map[ids.ID]int32, n)
+	for i, id := range v.nodes {
+		v.ord[id] = int32(i)
+	}
+	v.props = make([]Props, n)
+
+	// Group ordinals by owning shard so each pass locks every shard once
+	// instead of paying two lock round-trips per node.
+	var ordsByShard [shardCount][]int32
+	for i, id := range v.nodes {
+		sh := uint64(id) % shardCount
+		ordsByShard[sh] = append(ordsByShard[sh], int32(i))
+	}
+
+	// Pass 1: per-node visible edge counts into the (future) offset
+	// arrays, plus the props table. Offsets are allocated for every edge
+	// type up front and dropped again for types that turn out empty.
+	for t := EdgeType(1); t < edgeTypeMax; t++ {
+		v.out[t].offsets = make([]int32, n+1)
+		v.in[t].offsets = make([]int32, n+1)
+	}
+	for si := range s.shards {
+		sh := &s.shards[si]
+		sh.mu.RLock()
+		for _, ord := range ordsByShard[si] {
+			rec := sh.nodes[v.nodes[ord]]
+			ps, _ := rec.visibleProps(ts)
+			v.props[ord] = ps
+			for t := EdgeType(1); t < edgeTypeMax; t++ {
+				v.out[t].offsets[ord+1] = int32(countVisible(rec.adj.out[t], ts))
+				v.in[t].offsets[ord+1] = int32(countVisible(rec.adj.in[t], ts))
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	// Prefix-sum the counts into offsets and size the slabs; empty types
+	// lose their offset array entirely (csr.neighbours returns nil).
+	finishCSR := func(c *csr) {
+		for i := 1; i <= n; i++ {
+			c.offsets[i] += c.offsets[i-1]
+		}
+		if total := c.offsets[n]; total > 0 {
+			c.edges = make([]Edge, total)
+		} else {
+			c.offsets = nil
+		}
+	}
+	for t := EdgeType(1); t < edgeTypeMax; t++ {
+		finishCSR(&v.out[t])
+		finishCSR(&v.in[t])
+	}
+
+	// Pass 2: fill the slabs by offset position — order-independent, so
+	// it can also run shard-grouped; within one node each adjacency list
+	// keeps its insertion order (the order Txn.Out reports).
+	for si := range s.shards {
+		sh := &s.shards[si]
+		sh.mu.RLock()
+		for _, ord := range ordsByShard[si] {
+			rec := sh.nodes[v.nodes[ord]]
+			for t := EdgeType(1); t < edgeTypeMax; t++ {
+				if c := &v.out[t]; c.offsets != nil {
+					fillVisible(c.edges[c.offsets[ord]:c.offsets[ord+1]], rec.adj.out[t], ts)
+				}
+				if c := &v.in[t]; c.offsets != nil {
+					fillVisible(c.edges[c.offsets[ord]:c.offsets[ord+1]], rec.adj.in[t], ts)
+				}
+			}
+		}
+		sh.mu.RUnlock()
+	}
+
+	// Per-kind scan lists, matching Txn.NodesOfKind's visible-prefix
+	// semantics over the commit-ordered kind lists.
+	v.byKind = make(map[ids.Kind][]ids.ID)
+	s.kindMu.RLock()
+	kinds := make([]ids.Kind, 0, len(s.byKind))
+	for k := range s.byKind {
+		kinds = append(kinds, k)
+	}
+	s.kindMu.RUnlock()
+	for _, k := range kinds {
+		if list := s.nodesOfKind(k, ts); len(list) > 0 {
+			v.byKind[k] = list
+		}
+	}
+	return v
+}
+
+func countVisible(list []edgeRec, ts int64) int {
+	n := 0
+	for i := range list {
+		if list[i].commit <= ts {
+			n++
+		}
+	}
+	return n
+}
+
+// fillVisible writes the visible edges of one adjacency list into its CSR
+// slab slice (whose length pass 1 sized to the exact visible count).
+func fillVisible(dst []Edge, list []edgeRec, ts int64) {
+	j := 0
+	for i := range list {
+		if e := &list[i]; e.commit <= ts {
+			dst[j] = Edge{To: e.peer, Stamp: e.stamp}
+			j++
+		}
+	}
+}

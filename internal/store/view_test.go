@@ -1,0 +1,232 @@
+package store
+
+import (
+	"reflect"
+	"testing"
+
+	"ldbcsnb/internal/ids"
+	"ldbcsnb/internal/xrand"
+)
+
+// viewEdgeTypes are the edge types the randomised tests exercise.
+var viewEdgeTypes = []EdgeType{EdgeKnows, EdgeLikes, EdgeHasCreator}
+
+// randomGraphStep applies one random committed transaction: a few node
+// creations, property updates and edge insertions over the accumulated ID
+// population. Returns the updated population.
+func randomGraphStep(t *testing.T, s *Store, r *xrand.Rand, pop []ids.ID, step int) []ids.ID {
+	t.Helper()
+	tx := s.Begin()
+	for i := 0; i < 1+r.Intn(3); i++ {
+		id := ids.Compose(ids.KindPerson, int64(step), uint32(i))
+		props := Props{
+			{PropFirstName, String([]string{"ada", "bob", "eve"}[r.Intn(3)])},
+			{PropCreationDate, Int64(int64(step*100 + i))},
+		}
+		if err := tx.CreateNode(id, props); err != nil {
+			t.Fatal(err)
+		}
+		pop = append(pop, id)
+	}
+	for i := 0; i < r.Intn(3); i++ {
+		id := pop[r.Intn(len(pop))]
+		_ = tx.SetProp(id, PropLastName, String([]string{"x", "y", "z"}[r.Intn(3)]))
+	}
+	for i := 0; i < 2+r.Intn(4); i++ {
+		a, b := pop[r.Intn(len(pop))], pop[r.Intn(len(pop))]
+		et := viewEdgeTypes[r.Intn(len(viewEdgeTypes))]
+		if et == EdgeKnows {
+			_ = tx.AddKnows(a, b, int64(step))
+		} else {
+			_ = tx.AddEdge(a, et, b, int64(step))
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	return pop
+}
+
+// assertViewMatchesTxn compares every read primitive of a view against an
+// MVCC transaction frozen at the same timestamp.
+func assertViewMatchesTxn(t *testing.T, s *Store, v *SnapshotView, tx *Txn, pop []ids.ID) {
+	t.Helper()
+	if v.Timestamp() != tx.Snapshot() {
+		t.Fatalf("timestamps diverge: view %d txn %d", v.Timestamp(), tx.Snapshot())
+	}
+	probe := append(append([]ids.ID(nil), pop...),
+		ids.Compose(ids.KindPerson, 1<<30, 0)) // a never-created ID
+	for _, id := range probe {
+		if got, want := v.Exists(id), tx.Exists(id); got != want {
+			t.Fatalf("Exists(%v): view %v txn %v", id, got, want)
+		}
+		for _, et := range viewEdgeTypes {
+			if got, want := v.Out(id, et), tx.Out(id, et); !edgesEqual(got, want) {
+				t.Fatalf("Out(%v, %v): view %v txn %v", id, et, got, want)
+			}
+			if got, want := v.In(id, et), tx.In(id, et); !edgesEqual(got, want) {
+				t.Fatalf("In(%v, %v): view %v txn %v", id, et, got, want)
+			}
+			if got, want := v.OutDegree(id, et), tx.OutDegree(id, et); got != want {
+				t.Fatalf("OutDegree(%v, %v): view %d txn %d", id, et, got, want)
+			}
+		}
+		for _, key := range []PropKey{PropFirstName, PropLastName, PropCreationDate} {
+			if got, want := v.Prop(id, key), tx.Prop(id, key); got != want {
+				t.Fatalf("Prop(%v, %v): view %#v txn %#v", id, key, got, want)
+			}
+		}
+		gotPs, gotOK := v.Props(id)
+		wantPs, wantOK := tx.Props(id)
+		if gotOK != wantOK || !propsEqual(gotPs, wantPs) {
+			t.Fatalf("Props(%v): view %v/%v txn %v/%v", id, gotPs, gotOK, wantPs, wantOK)
+		}
+	}
+	if got, want := v.NodesOfKind(ids.KindPerson), tx.NodesOfKind(ids.KindPerson); !reflect.DeepEqual(got, want) {
+		t.Fatalf("NodesOfKind: view %d txn %d nodes", len(got), len(want))
+	}
+}
+
+func edgesEqual(a, b []Edge) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func propsEqual(a, b Props) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestViewEquivalenceRandomised is the equivalence property test: for a
+// randomly grown graph with interleaved updates, the frozen view and the
+// MVCC transaction paths must agree on every read primitive at every
+// intermediate snapshot.
+func TestViewEquivalenceRandomised(t *testing.T) {
+	for seed := uint64(1); seed <= 3; seed++ {
+		r := xrand.New(seed)
+		s := New()
+		var pop []ids.ID
+		for step := 1; step <= 25; step++ {
+			pop = randomGraphStep(t, s, r, pop, step)
+			v := s.CurrentView()
+			tx := s.Begin()
+			tx.readonly = true
+			assertViewMatchesTxn(t, s, v, tx, pop)
+		}
+	}
+}
+
+// TestViewFrozenUnderLaterCommits pins immutability: a view captured at one
+// epoch must keep returning the old state after later commits, while
+// CurrentView serves the new epoch.
+func TestViewFrozenUnderLaterCommits(t *testing.T) {
+	s := New()
+	a := ids.Compose(ids.KindPerson, 1, 0)
+	b := ids.Compose(ids.KindPerson, 1, 1)
+	tx := s.Begin()
+	_ = tx.CreateNode(a, Props{{PropFirstName, String("ada")}})
+	_ = tx.CreateNode(b, Props{{PropFirstName, String("bob")}})
+	_ = tx.AddKnows(a, b, 10)
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	old := s.CurrentView()
+	if got := len(old.Out(a, EdgeKnows)); got != 1 {
+		t.Fatalf("old view degree = %d", got)
+	}
+	if s.CurrentView() != old {
+		t.Fatal("CurrentView must cache between commits")
+	}
+
+	tx = s.Begin()
+	c := ids.Compose(ids.KindPerson, 1, 2)
+	_ = tx.CreateNode(c, nil)
+	_ = tx.AddKnows(a, c, 20)
+	_ = tx.SetProp(a, PropFirstName, String("ADA"))
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The old view is frozen at its epoch.
+	if got := len(old.Out(a, EdgeKnows)); got != 1 {
+		t.Fatalf("old view mutated: degree = %d", got)
+	}
+	if got := old.Prop(a, PropFirstName).Str(); got != "ada" {
+		t.Fatalf("old view sees new prop %q", got)
+	}
+	if old.Exists(c) {
+		t.Fatal("old view sees later node")
+	}
+
+	// The new epoch's view sees the commit.
+	cur := s.CurrentView()
+	if cur == old {
+		t.Fatal("commit must invalidate the cached view")
+	}
+	if got := len(cur.Out(a, EdgeKnows)); got != 2 {
+		t.Fatalf("new view degree = %d", got)
+	}
+	if got := cur.Prop(a, PropFirstName).Str(); got != "ADA" {
+		t.Fatalf("new view prop %q", got)
+	}
+}
+
+// TestViewAtHistorical pins time travel: ViewAt at an old timestamp
+// reconstructs exactly the state a transaction saw then.
+func TestViewAtHistorical(t *testing.T) {
+	s := New()
+	r := xrand.New(7)
+	var pop []ids.ID
+	var stamps []int64
+	for step := 1; step <= 10; step++ {
+		pop = randomGraphStep(t, s, r, pop, step)
+		stamps = append(stamps, s.LastCommit())
+	}
+	for _, ts := range stamps {
+		v := s.ViewAt(ts)
+		tx := &Txn{s: s, snapshot: ts, readonly: true}
+		assertViewMatchesTxn(t, s, v, tx, pop)
+	}
+}
+
+// TestViewOrdinalsDense checks the ordinal contract: dense, sorted by ID,
+// and consistent with Ord/IDAt round-trips.
+func TestViewOrdinalsDense(t *testing.T) {
+	s := New()
+	r := xrand.New(9)
+	var pop []ids.ID
+	for step := 1; step <= 8; step++ {
+		pop = randomGraphStep(t, s, r, pop, step)
+	}
+	v := s.CurrentView()
+	if v.NumNodes() == 0 {
+		t.Fatal("empty view")
+	}
+	var prev ids.ID
+	for o := int32(0); o < int32(v.NumNodes()); o++ {
+		id := v.IDAt(o)
+		if o > 0 && id <= prev {
+			t.Fatal("ordinals not in ascending ID order")
+		}
+		prev = id
+		back, ok := v.Ord(id)
+		if !ok || back != o {
+			t.Fatalf("Ord(IDAt(%d)) = %d, %v", o, back, ok)
+		}
+	}
+}

@@ -70,6 +70,61 @@ func Q1(tx *store.Txn, start ids.ID, firstName string) []Q1Row {
 	return matches
 }
 
+// Q1View is Q1 on the frozen snapshot view: the BFS visited set is a dense
+// ordinal bitset, candidates stream through a bounded top-20 heap instead
+// of being fully sorted, and university/company lookups run only for the
+// rows that survive the limit. Results are identical to Q1 at the same
+// snapshot timestamp.
+func Q1View(v *store.SnapshotView, sc *Scratch, start ids.ID, firstName string) []Q1Row {
+	const limit = 20
+	less := func(a, b Q1Row) bool {
+		if a.Distance != b.Distance {
+			return a.Distance < b.Distance
+		}
+		if a.LastName != b.LastName {
+			return a.LastName < b.LastName
+		}
+		return a.Person < b.Person
+	}
+	top := newTopK(limit, less)
+
+	// Layered BFS in one growing buffer: sc.env[head:layerEnd] is the
+	// frontier of the current depth, discoveries append behind it.
+	sc.reset(v)
+	sc.markSeen(v, start)
+	sc.env = append(sc.env[:0], start)
+	head, layerEnd := 0, 1
+	for d := 1; d <= 3; d++ {
+		for ; head < layerEnd; head++ {
+			for _, e := range v.Out(sc.env[head], store.EdgeKnows) {
+				if !sc.markSeen(v, e.To) {
+					continue
+				}
+				sc.env = append(sc.env, e.To)
+				if v.Prop(e.To, store.PropFirstName).Str() == firstName {
+					top.Push(Q1Row{
+						Person:   e.To,
+						Distance: d,
+						LastName: v.Prop(e.To, store.PropLastName).Str(),
+					})
+				}
+			}
+		}
+		layerEnd = len(sc.env)
+	}
+
+	rows := top.Sorted()
+	for i := range rows {
+		for _, s := range v.Out(rows[i].Person, store.EdgeStudyAt) {
+			rows[i].Universities = append(rows[i].Universities, v.Prop(s.To, store.PropName).Str())
+		}
+		for _, w := range v.Out(rows[i].Person, store.EdgeWorkAt) {
+			rows[i].Companies = append(rows[i].Companies, v.Prop(w.To, store.PropName).Str())
+		}
+	}
+	return rows
+}
+
 // Q2 — Find the newest 20 posts and comments from your friends, created
 // before (and including) a given date. Sort descending by creation date,
 // ascending by message ID.
@@ -84,6 +139,35 @@ type MessageRow struct {
 // Q2 runs the query.
 func Q2(tx *store.Txn, start ids.ID, maxDate int64) []MessageRow {
 	return topMessagesOf(tx, friendsOf(tx, start), maxDate, 20)
+}
+
+// Q2View is Q2 on the frozen snapshot view.
+func Q2View(v *store.SnapshotView, sc *Scratch, start ids.ID, maxDate int64) []MessageRow {
+	return topMessagesOfView(v, friendsOfView(v, sc, start), maxDate, 20)
+}
+
+// messageRowLess is the (date desc, message asc) result order of Q2/Q9 — a
+// total order, since message IDs are unique.
+func messageRowLess(a, b MessageRow) bool {
+	if a.CreationDate != b.CreationDate {
+		return a.CreationDate > b.CreationDate
+	}
+	return a.Message < b.Message
+}
+
+// topMessagesOfView is topMessagesOf on the frozen view: adjacency comes
+// from the CSR slab (no per-person allocation) and the LIMIT is enforced by
+// a bounded top-k heap instead of sorting every candidate row.
+func topMessagesOfView(v *store.SnapshotView, persons []ids.ID, maxDate int64, limit int) []MessageRow {
+	top := newTopK(limit, messageRowLess)
+	for _, p := range persons {
+		for _, m := range messagesOfView(v, p) {
+			if m.Stamp <= maxDate {
+				top.Push(MessageRow{Message: m.To, Creator: p, CreationDate: m.Stamp})
+			}
+		}
+	}
+	return top.Sorted()
 }
 
 // topMessagesOf returns the newest messages of a person set before

@@ -43,6 +43,27 @@ func Q8(tx *store.Txn, start ids.ID) []Q8Row {
 	return rows
 }
 
+// Q8View is Q8 on the frozen snapshot view, with a bounded top-20 heap over
+// the reply stream.
+func Q8View(v *store.SnapshotView, start ids.ID) []Q8Row {
+	top := newTopK(20, func(a, b Q8Row) bool {
+		if a.CreationDate != b.CreationDate {
+			return a.CreationDate > b.CreationDate
+		}
+		return a.Comment < b.Comment
+	})
+	for _, m := range messagesOfView(v, start) {
+		for _, re := range v.In(m.To, store.EdgeReplyOf) {
+			var replier ids.ID
+			if cs := v.Out(re.To, store.EdgeHasCreator); len(cs) > 0 {
+				replier = cs[0].To
+			}
+			top.Push(Q8Row{Comment: re.To, Replier: replier, CreationDate: re.Stamp})
+		}
+	}
+	return top.Sorted()
+}
+
 // Q9 — Latest posts: the most recent 20 posts and comments from all
 // friends or friends-of-friends of the person, created before a given
 // date. This is the choke-point example of §3 (Figure 4): the intended
@@ -52,6 +73,15 @@ func Q8(tx *store.Txn, start ids.ID) []Q8Row {
 // Q9 runs the graph-navigation formulation.
 func Q9(tx *store.Txn, start ids.ID, maxDate int64) []MessageRow {
 	return topMessagesOf(tx, friendsAndFoF(tx, start), maxDate, 20)
+}
+
+// Q9View is Q9 on the frozen snapshot view: the 2-hop expansion walks CSR
+// subslices with a dense visited bitset and the LIMIT-20 result streams
+// through a bounded heap. This is the paper's choke-point query executed
+// the way §3's intended plan wants — index nested loops over materialised
+// adjacency with no per-hop materialisation.
+func Q9View(v *store.SnapshotView, sc *Scratch, start ids.ID, maxDate int64) []MessageRow {
+	return topMessagesOfView(v, friendsAndFoFView(v, sc, start), maxDate, 20)
 }
 
 // Q10 — Friend recommendation: friends of friends (excluding direct

@@ -40,6 +40,71 @@ type Q9Plan struct {
 	MessageJoin  JoinAlgo // ⋈3: persons -> messages before date
 }
 
+// Q9JoinView executes Query 9 with explicit operators per plan on the
+// frozen snapshot view. The INL sides probe CSR subslices with a bitset
+// visited set; the deliberately mis-planned hash sides still materialise
+// their build tables (that materialisation cost is the ablation's point).
+// Results match Q9View (and Q9) exactly.
+func Q9JoinView(v *store.SnapshotView, sc *Scratch, start ids.ID, maxDate int64, plan Q9Plan) []MessageRow {
+	var env []ids.ID
+	switch plan.FriendExpand {
+	case JoinINL:
+		env = friendsAndFoFView(v, sc, start)
+	case JoinHash:
+		friends := append([]ids.ID(nil), friendsOfView(v, sc, start)...)
+		// Wrong plan: hash the full knows relation, then probe.
+		build := map[ids.ID][]ids.ID{}
+		for _, p := range v.NodesOfKind(ids.KindPerson) {
+			for _, e := range v.Out(p, store.EdgeKnows) {
+				build[p] = append(build[p], e.To)
+			}
+		}
+		seen := map[ids.ID]bool{start: true}
+		for _, f := range friends {
+			if !seen[f] {
+				seen[f] = true
+				env = append(env, f)
+			}
+		}
+		for _, f := range friends {
+			for _, ff := range build[f] {
+				if !seen[ff] {
+					seen[ff] = true
+					env = append(env, ff)
+				}
+			}
+		}
+	}
+
+	switch plan.MessageJoin {
+	case JoinINL:
+		return topMessagesOfView(v, env, maxDate, 20)
+	case JoinHash:
+		inEnv := make(map[ids.ID]bool, len(env))
+		for _, p := range env {
+			inEnv[p] = true
+		}
+		top := newTopK(20, messageRowLess)
+		scan := func(kind ids.Kind) {
+			for _, m := range v.NodesOfKind(kind) {
+				created := v.Prop(m, store.PropCreationDate).Int()
+				if created > maxDate {
+					continue
+				}
+				cs := v.Out(m, store.EdgeHasCreator)
+				if len(cs) == 0 || !inEnv[cs[0].To] {
+					continue
+				}
+				top.Push(MessageRow{Message: m, Creator: cs[0].To, CreationDate: created})
+			}
+		}
+		scan(ids.KindPost)
+		scan(ids.KindComment)
+		return top.Sorted()
+	}
+	return nil
+}
+
 // Q9Join executes Query 9 with explicit operators per plan. Results match
 // Q9 exactly; only the physical execution differs.
 func Q9Join(tx *store.Txn, start ids.ID, maxDate int64, plan Q9Plan) []MessageRow {

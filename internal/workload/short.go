@@ -40,6 +40,23 @@ func S1(tx *store.Txn, p ids.ID) (S1Result, bool) {
 	}, true
 }
 
+// S1View is S1 on the frozen snapshot view.
+func S1View(v *store.SnapshotView, p ids.ID) (S1Result, bool) {
+	props, ok := v.Props(p)
+	if !ok {
+		return S1Result{}, false
+	}
+	return S1Result{
+		FirstName:    props.Get(store.PropFirstName).Str(),
+		LastName:     props.Get(store.PropLastName).Str(),
+		Birthday:     props.Get(store.PropBirthday).Int(),
+		LocationIP:   props.Get(store.PropLocationIP).Str(),
+		Browser:      props.Get(store.PropBrowserUsed).Str(),
+		Gender:       int(props.Get(store.PropGender).Int()),
+		CreationDate: props.Get(store.PropCreationDate).Int(),
+	}, true
+}
+
 // S2 returns the person's 10 most recent messages (id, creation date),
 // newest first.
 func S2(tx *store.Txn, p ids.ID) []MessageRow {
@@ -58,6 +75,16 @@ func S2(tx *store.Txn, p ids.ID) []MessageRow {
 		rows = rows[:10]
 	}
 	return rows
+}
+
+// S2View is S2 on the frozen snapshot view: the message adjacency is a CSR
+// subslice and the newest-10 cut uses a bounded heap.
+func S2View(v *store.SnapshotView, p ids.ID) []MessageRow {
+	top := newTopK(10, messageRowLess)
+	for _, m := range messagesOfView(v, p) {
+		top.Push(MessageRow{Message: m.To, Creator: p, CreationDate: m.Stamp})
+	}
+	return top.Sorted()
 }
 
 // S3Row is one friendship of S3.
@@ -86,6 +113,20 @@ func S3(tx *store.Txn, p ids.ID) []S3Row {
 	return rows
 }
 
+// S3View is S3 on the frozen snapshot view.
+func S3View(v *store.SnapshotView, p ids.ID) []S3Row {
+	top := newTopK(20, func(a, b S3Row) bool {
+		if a.CreationDate != b.CreationDate {
+			return a.CreationDate > b.CreationDate
+		}
+		return a.Friend < b.Friend
+	})
+	for _, e := range v.Out(p, store.EdgeKnows) {
+		top.Push(S3Row{Friend: e.To, CreationDate: e.Stamp})
+	}
+	return top.Sorted()
+}
+
 // S4Result is a message content view.
 type S4Result struct {
 	CreationDate int64
@@ -95,6 +136,22 @@ type S4Result struct {
 // S4 returns a message's content and creation date.
 func S4(tx *store.Txn, m ids.ID) (S4Result, bool) {
 	props, ok := tx.Props(m)
+	if !ok {
+		return S4Result{}, false
+	}
+	content := props.Get(store.PropContent).Str()
+	if content == "" {
+		content = props.Get(store.PropImageFile).Str()
+	}
+	return S4Result{
+		CreationDate: props.Get(store.PropCreationDate).Int(),
+		Content:      content,
+	}, true
+}
+
+// S4View is S4 on the frozen snapshot view.
+func S4View(v *store.SnapshotView, m ids.ID) (S4Result, bool) {
+	props, ok := v.Props(m)
 	if !ok {
 		return S4Result{}, false
 	}
@@ -125,6 +182,19 @@ func S5(tx *store.Txn, m ids.ID) (S5Result, bool) {
 		Creator:   cs[0].To,
 		FirstName: tx.Prop(cs[0].To, store.PropFirstName).Str(),
 		LastName:  tx.Prop(cs[0].To, store.PropLastName).Str(),
+	}, true
+}
+
+// S5View is S5 on the frozen snapshot view.
+func S5View(v *store.SnapshotView, m ids.ID) (S5Result, bool) {
+	cs := v.Out(m, store.EdgeHasCreator)
+	if len(cs) == 0 {
+		return S5Result{}, false
+	}
+	return S5Result{
+		Creator:   cs[0].To,
+		FirstName: v.Prop(cs[0].To, store.PropFirstName).Str(),
+		LastName:  v.Prop(cs[0].To, store.PropLastName).Str(),
 	}, true
 }
 
@@ -162,6 +232,32 @@ func S6(tx *store.Txn, m ids.ID) (S6Result, bool) {
 	}, true
 }
 
+// S6View is S6 on the frozen snapshot view.
+func S6View(v *store.SnapshotView, m ids.ID) (S6Result, bool) {
+	cur := m
+	for i := 0; i < 64 && cur.Kind() == ids.KindComment; i++ {
+		parents := v.Out(cur, store.EdgeReplyOf)
+		if len(parents) == 0 {
+			return S6Result{}, false
+		}
+		cur = parents[0].To
+	}
+	containers := v.In(cur, store.EdgeContainerOf)
+	if len(containers) == 0 {
+		return S6Result{}, false
+	}
+	forum := containers[0].To
+	var moderator ids.ID
+	if ms := v.Out(forum, store.EdgeHasModerator); len(ms) > 0 {
+		moderator = ms[0].To
+	}
+	return S6Result{
+		Forum:     forum,
+		Title:     v.Prop(forum, store.PropTitle).Str(),
+		Moderator: moderator,
+	}, true
+}
+
 // S7Row is one reply in S7.
 type S7Row struct {
 	Comment       ids.ID
@@ -188,6 +284,36 @@ func S7(tx *store.Txn, m ids.ID) []S7Row {
 			Author:        author,
 			CreationDate:  re.Stamp,
 			KnowsOriginal: origAuthor != 0 && author != 0 && isFriend(tx, author, origAuthor),
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].CreationDate != rows[j].CreationDate {
+			return rows[i].CreationDate > rows[j].CreationDate
+		}
+		return rows[i].Comment < rows[j].Comment
+	})
+	return rows
+}
+
+// S7View is S7 on the frozen snapshot view. S7 has no LIMIT, so the result
+// is sorted in full like the Txn path.
+func S7View(v *store.SnapshotView, m ids.ID) []S7Row {
+	var origAuthor ids.ID
+	if cs := v.Out(m, store.EdgeHasCreator); len(cs) > 0 {
+		origAuthor = cs[0].To
+	}
+	replies := v.In(m, store.EdgeReplyOf)
+	rows := make([]S7Row, 0, len(replies))
+	for _, re := range replies {
+		var author ids.ID
+		if cs := v.Out(re.To, store.EdgeHasCreator); len(cs) > 0 {
+			author = cs[0].To
+		}
+		rows = append(rows, S7Row{
+			Comment:       re.To,
+			Author:        author,
+			CreationDate:  re.Stamp,
+			KnowsOriginal: origAuthor != 0 && author != 0 && isFriendView(v, author, origAuthor),
 		})
 	}
 	sort.Slice(rows, func(i, j int) bool {

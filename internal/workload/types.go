@@ -9,6 +9,7 @@
 package workload
 
 import (
+	"ldbcsnb/internal/bitset"
 	"ldbcsnb/internal/ids"
 	"ldbcsnb/internal/store"
 )
@@ -61,6 +62,98 @@ func messagesOf(tx *store.Txn, p ids.ID) []store.Edge {
 // isFriend reports whether a and b are directly connected.
 func isFriend(tx *store.Txn, a, b ids.ID) bool {
 	for _, e := range tx.Out(a, store.EdgeKnows) {
+		if e.To == b {
+			return true
+		}
+	}
+	return false
+}
+
+// Scratch is the reusable per-executor state of the view-based query path:
+// a dense visited bitset keyed by the view's compact node ordinals plus
+// traversal buffers. One Scratch serves one goroutine; reusing it across
+// queries keeps the hot BFS loops allocation-free once the buffers have
+// warmed up to the working-set size.
+type Scratch struct {
+	seen bitset.Set
+	env  []ids.ID // traversal output buffer, reused between queries
+}
+
+// NewScratch returns an empty scratch; buffers grow on first use.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// reset prepares the scratch for one query over v.
+func (sc *Scratch) reset(v *store.SnapshotView) {
+	sc.seen.Grow(v.NumNodes())
+	sc.seen.Reset()
+	sc.env = sc.env[:0]
+}
+
+// markSeen marks a node's ordinal, reporting whether it was new. Nodes
+// outside the view (never the case for edge endpoints, which the store
+// materialises) count as already seen.
+func (sc *Scratch) markSeen(v *store.SnapshotView, id ids.ID) bool {
+	o, ok := v.Ord(id)
+	if !ok {
+		return false
+	}
+	return sc.seen.TrySet(o)
+}
+
+// friendsOfView is friendsOf on the frozen view: distinct direct friends in
+// edge insertion order, excluding p. The result aliases sc.env and is valid
+// until the next query on sc.
+func friendsOfView(v *store.SnapshotView, sc *Scratch, p ids.ID) []ids.ID {
+	sc.reset(v)
+	sc.markSeen(v, p)
+	for _, e := range v.Out(p, store.EdgeKnows) {
+		if sc.markSeen(v, e.To) {
+			sc.env = append(sc.env, e.To)
+		}
+	}
+	return sc.env
+}
+
+// friendsAndFoFView is friendsAndFoF on the frozen view: the distinct 2-hop
+// knows environment of p (excluding p), in the same order as the Txn path.
+// The result aliases sc.env and is valid until the next query on sc.
+func friendsAndFoFView(v *store.SnapshotView, sc *Scratch, p ids.ID) []ids.ID {
+	sc.reset(v)
+	sc.markSeen(v, p)
+	for _, e := range v.Out(p, store.EdgeKnows) {
+		if sc.markSeen(v, e.To) {
+			sc.env = append(sc.env, e.To)
+		}
+	}
+	direct := len(sc.env)
+	for i := 0; i < direct; i++ {
+		for _, e := range v.Out(sc.env[i], store.EdgeKnows) {
+			if sc.markSeen(v, e.To) {
+				sc.env = append(sc.env, e.To)
+			}
+		}
+	}
+	return sc.env
+}
+
+// TwoHopEnvView exposes the view-path 2-hop expansion (friendsAndFoFView)
+// for benchmarks and external callers: the distinct persons within two
+// knows-hops of p, excluding p. The result aliases sc's buffers and is
+// valid until the next query on sc; iterating it allocates nothing once
+// the scratch is warm.
+func TwoHopEnvView(v *store.SnapshotView, sc *Scratch, p ids.ID) []ids.ID {
+	return friendsAndFoFView(v, sc, p)
+}
+
+// messagesOfView returns the (message, creationDate) adjacency of a
+// person's hasCreator reverse edges — a zero-copy slab subslice.
+func messagesOfView(v *store.SnapshotView, p ids.ID) []store.Edge {
+	return v.In(p, store.EdgeHasCreator)
+}
+
+// isFriendView reports whether a and b are directly connected in the view.
+func isFriendView(v *store.SnapshotView, a, b ids.ID) bool {
+	for _, e := range v.Out(a, store.EdgeKnows) {
 		if e.To == b {
 			return true
 		}

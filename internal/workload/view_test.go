@@ -1,0 +1,189 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"ldbcsnb/internal/datagen"
+	"ldbcsnb/internal/ids"
+	"ldbcsnb/internal/schema"
+	"ldbcsnb/internal/store"
+)
+
+// assertQueriesAgree compares every view-backed query formulation against
+// its Txn formulation at the same snapshot timestamp, for a sample of
+// start persons and messages.
+func assertQueriesAgree(t *testing.T, st *store.Store, persons, messages []ids.ID, maxDate int64) {
+	t.Helper()
+	v := st.CurrentView()
+	sc := NewScratch()
+	st.View(func(tx *store.Txn) {
+		if v.Timestamp() != tx.Snapshot() {
+			t.Fatalf("snapshots diverge: view %d txn %d", v.Timestamp(), tx.Snapshot())
+		}
+		for _, p := range persons {
+			if got, want := friendsOfView(v, sc, p), friendsOf(tx, p); !idsEqual(got, want) {
+				t.Fatalf("friendsOf(%v): view %v txn %v", p, got, want)
+			}
+			if got, want := friendsAndFoFView(v, sc, p), friendsAndFoF(tx, p); !idsEqual(got, want) {
+				t.Fatalf("friendsAndFoF(%v): view %v txn %v", p, got, want)
+			}
+			if got, want := Q1View(v, sc, p, "Karl"), Q1(tx, p, "Karl"); !rowsEqual(t, got, want) {
+				t.Fatalf("Q1(%v): view %+v txn %+v", p, got, want)
+			}
+			if got, want := Q2View(v, sc, p, maxDate), Q2(tx, p, maxDate); !rowsEqual(t, got, want) {
+				t.Fatalf("Q2(%v): view %+v txn %+v", p, got, want)
+			}
+			if got, want := Q8View(v, p), Q8(tx, p); !rowsEqual(t, got, want) {
+				t.Fatalf("Q8(%v): view %+v txn %+v", p, got, want)
+			}
+			if got, want := Q9View(v, sc, p, maxDate), Q9(tx, p, maxDate); !rowsEqual(t, got, want) {
+				t.Fatalf("Q9(%v): view %+v txn %+v", p, got, want)
+			}
+			for _, plan := range []Q9Plan{
+				{JoinINL, JoinINL},
+				{JoinHash, JoinINL},
+				{JoinINL, JoinHash},
+				{JoinHash, JoinHash},
+			} {
+				got, want := Q9JoinView(v, sc, p, maxDate, plan), Q9Join(tx, p, maxDate, plan)
+				if !rowsEqual(t, got, want) {
+					t.Fatalf("Q9Join(%v, %+v): view %+v txn %+v", p, plan, got, want)
+				}
+			}
+			gotS1, gotOK := S1View(v, p)
+			wantS1, wantOK := S1(tx, p)
+			if gotOK != wantOK || gotS1 != wantS1 {
+				t.Fatalf("S1(%v): view %+v/%v txn %+v/%v", p, gotS1, gotOK, wantS1, wantOK)
+			}
+			if got, want := S2View(v, p), S2(tx, p); !rowsEqual(t, got, want) {
+				t.Fatalf("S2(%v): view %+v txn %+v", p, got, want)
+			}
+			if got, want := S3View(v, p), S3(tx, p); !rowsEqual(t, got, want) {
+				t.Fatalf("S3(%v): view %+v txn %+v", p, got, want)
+			}
+		}
+		for _, m := range messages {
+			gotS4, gotOK := S4View(v, m)
+			wantS4, wantOK := S4(tx, m)
+			if gotOK != wantOK || gotS4 != wantS4 {
+				t.Fatalf("S4(%v) diverges", m)
+			}
+			gotS5, gotOK5 := S5View(v, m)
+			wantS5, wantOK5 := S5(tx, m)
+			if gotOK5 != wantOK5 || gotS5 != wantS5 {
+				t.Fatalf("S5(%v) diverges", m)
+			}
+			gotS6, gotOK6 := S6View(v, m)
+			wantS6, wantOK6 := S6(tx, m)
+			if gotOK6 != wantOK6 || gotS6 != wantS6 {
+				t.Fatalf("S6(%v) diverges", m)
+			}
+			if got, want := S7View(v, m), S7(tx, m); !rowsEqual(t, got, want) {
+				t.Fatalf("S7(%v): view %+v txn %+v", m, got, want)
+			}
+		}
+	})
+}
+
+func idsEqual(a, b []ids.ID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// rowsEqual compares result slices, treating nil and empty as equal (the
+// top-k path returns empty slices where the sort path returns nil).
+func rowsEqual[T any](t *testing.T, a, b []T) bool {
+	t.Helper()
+	if len(a) == 0 && len(b) == 0 {
+		return true
+	}
+	return reflect.DeepEqual(a, b)
+}
+
+// sampleEntities picks start persons (including high-degree ones) and
+// messages for the equivalence sweep.
+func sampleEntities(t *testing.T, st *store.Store) (persons, messages []ids.ID) {
+	t.Helper()
+	st.View(func(tx *store.Txn) {
+		all := tx.NodesOfKind(ids.KindPerson)
+		for i, p := range all {
+			if i%17 == 0 || tx.OutDegree(p, store.EdgeKnows) >= 8 {
+				persons = append(persons, p)
+			}
+			if len(persons) >= 25 {
+				break
+			}
+		}
+		for i, m := range tx.NodesOfKind(ids.KindPost) {
+			if i%29 == 0 {
+				messages = append(messages, m)
+			}
+			if len(messages) >= 15 {
+				break
+			}
+		}
+		for i, m := range tx.NodesOfKind(ids.KindComment) {
+			if i%31 == 0 {
+				messages = append(messages, m)
+			}
+			if len(messages) >= 25 {
+				break
+			}
+		}
+	})
+	return persons, messages
+}
+
+// TestViewQueriesMatchTxnQueries is the workload half of the equivalence
+// property test: on the generated SNB graph, every view-backed query must
+// return results identical to the MVCC Txn path at the same snapshot.
+func TestViewQueriesMatchTxnQueries(t *testing.T) {
+	st, _ := setup(t)
+	persons, messages := sampleEntities(t, st)
+	if len(persons) == 0 {
+		t.Fatal("no sample persons")
+	}
+	assertQueriesAgree(t, st, persons, messages, datagen.UpdateCut)
+}
+
+// TestViewQueriesMatchUnderInterleavedUpdates replays the update stream in
+// chunks against a bulk-loaded store and re-checks query equivalence after
+// every chunk — the view must track each new epoch exactly.
+func TestViewQueriesMatchUnderInterleavedUpdates(t *testing.T) {
+	_, d := setup(t)
+	bulk, updates := datagen.Split(d, datagen.UpdateCut)
+	st := store.New()
+	schema.RegisterIndexes(st)
+	if err := schema.LoadDimensions(st); err != nil {
+		t.Fatal(err)
+	}
+	if err := schema.Load(st, bulk); err != nil {
+		t.Fatal(err)
+	}
+	if len(updates) == 0 {
+		t.Skip("no updates at this scale")
+	}
+	persons, messages := sampleEntities(t, st)
+	chunks := 5
+	per := (len(updates) + chunks - 1) / chunks
+	for start := 0; start < len(updates); start += per {
+		end := start + per
+		if end > len(updates) {
+			end = len(updates)
+		}
+		for i := start; i < end; i++ {
+			if err := ApplyUpdate(st, &updates[i]); err != nil {
+				t.Fatalf("update %d: %v", i, err)
+			}
+		}
+		assertQueriesAgree(t, st, persons, messages, datagen.SimEnd)
+	}
+}

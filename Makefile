@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test bench
+.PHONY: check fmt vet build test bench bench-smoke
 
 check: fmt vet build test
 
@@ -19,7 +19,22 @@ build:
 test:
 	$(GO) test ./...
 
-# View-vs-txn read-path comparison (allocation counts matter: the view
-# path's adjacency iteration must report 0 allocs/op).
+# View-vs-txn read-path comparison over every Interactive query
+# (allocation counts matter: the view path's adjacency iteration must
+# report 0 allocs/op). The run also emits BENCH_interactive.json — ns/op
+# and allocs/op per query per read path — so the perf trajectory is
+# tracked across PRs.
+# Two steps (not a pipeline) so a benchmark failure fails the target
+# instead of being masked by the parser's exit status. The temp file lives
+# outside the working tree so a failed run leaves no untracked litter.
+BENCH_TMP := $(or $(TMPDIR),/tmp)/ldbcsnb-bench.out
 bench:
-	$(GO) test ./internal/bench/ -run xxx -bench 'BenchmarkView' -benchmem
+	$(GO) test ./internal/bench/ -run xxx -bench 'BenchmarkView' -benchmem > $(BENCH_TMP)
+	$(GO) run ./cmd/benchjson -out BENCH_interactive.json < $(BENCH_TMP)
+	@rm -f $(BENCH_TMP)
+
+# One short iteration of every query benchmark on both read paths:
+# dispatch-layer regressions (a query losing a path, a signature drift)
+# fail fast here without paying for a full measurement run.
+bench-smoke:
+	$(GO) test ./internal/bench/ -run xxx -bench 'BenchmarkViewVsTxn' -benchtime 1x -benchmem

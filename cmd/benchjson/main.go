@@ -1,0 +1,98 @@
+// benchjson converts `go test -bench -benchmem` output into a
+// machine-readable JSON file tracking the read-path performance trajectory
+// across PRs. It reads the benchmark output on stdin, echoes it unchanged
+// to stdout (so the console run stays readable), and writes the parsed
+// records to -out.
+//
+// Usage:
+//
+//	go test ./internal/bench/ -run xxx -bench 'BenchmarkView' -benchmem | benchjson -out BENCH_interactive.json
+//
+// Benchmark names of the form BenchmarkViewVsTxn<Query>/<path> become
+// {query, path} records (e.g. Q9/view); other benchmarks keep their raw
+// name with an empty path.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Record is one parsed benchmark result.
+type Record struct {
+	Name        string  `json:"name"`
+	Query       string  `json:"query"`
+	Path        string  `json:"path,omitempty"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"b_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Report is the BENCH_interactive.json document.
+type Report struct {
+	Note       string   `json:"note"`
+	Benchmarks []Record `json:"benchmarks"`
+}
+
+// benchLine matches one result line of `go test -bench -benchmem` output,
+// e.g. "BenchmarkViewVsTxnQ9/view-8   85:   57582 ns/op   0 B/op   0 allocs/op".
+var benchLine = regexp.MustCompile(
+	`^Benchmark(\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op(?:\s+(\d+) B/op\s+(\d+) allocs/op)?`)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	out := flag.String("out", "BENCH_interactive.json", "output JSON path")
+	flag.Parse()
+
+	var recs []Record
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	for scanner.Scan() {
+		line := scanner.Text()
+		fmt.Println(line)
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		rec := Record{Name: m[1]}
+		rec.Query = strings.TrimPrefix(rec.Name, "ViewVsTxn")
+		if q, path, ok := strings.Cut(rec.Query, "/"); ok {
+			rec.Query, rec.Path = q, path
+		}
+		rec.Iterations, _ = strconv.ParseInt(m[2], 10, 64)
+		rec.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
+		if m[4] != "" {
+			rec.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+			rec.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		recs = append(recs, rec)
+	}
+	if err := scanner.Err(); err != nil {
+		log.Fatal(err)
+	}
+	if len(recs) == 0 {
+		log.Fatal("no benchmark lines found on stdin")
+	}
+
+	rep := Report{
+		Note:       "ns/op + allocs/op per query per read path; regenerate with `make bench`",
+		Benchmarks: recs,
+	}
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %d records to %s", len(recs), *out)
+}

@@ -145,6 +145,7 @@ func AblationCuratedMix(env *Env, k int) *Result {
 	}
 	runMean := func(sel []uint64) float64 {
 		var total time.Duration
+		sc := workload.NewScratch()
 		env.Store.View(func(tx *store.Txn) {
 			for _, p := range sel {
 				// Best-of-three per binding to suppress scheduler noise on
@@ -152,7 +153,7 @@ func AblationCuratedMix(env *Env, k int) *Result {
 				best := time.Duration(1 << 62)
 				for rep := 0; rep < 3; rep++ {
 					t0 := time.Now()
-					workload.Q5(tx, ids.ID(p), datagen.SimStart)
+					workload.Q5(tx, sc, ids.ID(p), datagen.SimStart)
 					if d := time.Since(t0); d < best {
 						best = d
 					}

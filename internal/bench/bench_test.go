@@ -241,11 +241,12 @@ func TestFigure4JoinAblation(t *testing.T) {
 	// The true margin is thin at test scale (hash-expand costs ~1.1-1.4x
 	// the intended plan), so also retry: fail only when every attempt
 	// inverts, which would indicate a real operator-cost defect.
+	sc := workload.NewScratch()
 	bestOf3 := func(tx *store.Txn, p ids.ID, plan workload.Q9Plan) time.Duration {
 		best := time.Duration(math.MaxInt64)
 		for rep := 0; rep < 3; rep++ {
 			t0 := time.Now()
-			workload.Q9Join(tx, p, datagen.UpdateCut, plan)
+			workload.Q9Join(tx, sc, p, datagen.UpdateCut, plan)
 			if d := time.Since(t0); d < best {
 				best = d
 			}
@@ -295,11 +296,12 @@ func TestFigure5bCurationCollapsesVariance(t *testing.T) {
 	r := xrand.New(env.Cfg.Seed, xrand.PurposeShortRead, 999)
 	uniform := tab.UniformSample(15, r.Uint64)
 	curated := tab.Curate(15)
+	sc := workload.NewScratch()
 	bestOf3 := func(tx *store.Txn, p uint64) float64 {
 		best := math.Inf(1)
 		for rep := 0; rep < 3; rep++ {
 			t0 := time.Now()
-			workload.Q5(tx, ids.ID(p), datagen.SimStart)
+			workload.Q5(tx, sc, ids.ID(p), datagen.SimStart)
 			if v := float64(time.Since(t0).Microseconds()) / 1000; v < best {
 				best = v
 			}

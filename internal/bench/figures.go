@@ -178,12 +178,13 @@ func Figure4(env *Env, reps int) *Result {
 		Notes:  "paper: wrong join type in join1 costs ~50% in HyPer; here hash-building the full knows/message relations must be clearly slower",
 	}
 	var baseline float64
+	sc := workload.NewScratch()
 	for _, pl := range plans {
 		start := time.Now()
 		env.Store.View(func(tx *store.Txn) {
 			for r := 0; r < reps; r++ {
 				for _, p := range people {
-					workload.Q9Join(tx, p, maxDate, pl.plan)
+					workload.Q9Join(tx, sc, p, maxDate, pl.plan)
 				}
 			}
 		})
@@ -227,6 +228,7 @@ func Figure5b(env *Env, k int) *Result {
 
 	run := func(sel []uint64) (meanMs, stddevMs, minMs, maxMs float64) {
 		var samples []float64
+		sc := workload.NewScratch()
 		env.Store.View(func(tx *store.Txn) {
 			for _, p := range sel {
 				// Best of three repetitions per binding: scheduler noise on
@@ -235,7 +237,7 @@ func Figure5b(env *Env, k int) *Result {
 				best := math.Inf(1)
 				for rep := 0; rep < 3; rep++ {
 					t0 := time.Now()
-					workload.Q5(tx, ids.ID(p), datagen.SimStart)
+					workload.Q5(tx, sc, ids.ID(p), datagen.SimStart)
 					if v := float64(time.Since(t0).Microseconds()) / 1000; v < best {
 						best = v
 					}

@@ -423,3 +423,43 @@ func TestWindowedWaitBetweenDependencies(t *testing.T) {
 		t.Fatal("wait between dependencies never resolved")
 	}
 }
+
+func TestRunMixedTxnReadPath(t *testing.T) {
+	// The same registry-driven read mix must execute every query type on
+	// the MVCC transaction path, without ever acquiring a snapshot view.
+	full, bulk, updates := genUpdates(t, 200)
+	st := store.New()
+	schema.RegisterIndexes(st)
+	if err := schema.LoadDimensions(st); err != nil {
+		t.Fatal(err)
+	}
+	if err := schema.Load(st, bulk); err != nil {
+		t.Fatal(err)
+	}
+	if len(updates) > 500 {
+		updates = updates[:500]
+	}
+	rep := RunMixed(MixedConfig{
+		Store: st, Dataset: full, Updates: updates,
+		Streams: 2, ReadClients: 2, ComplexPerType: 1, Seed: 5,
+		ReadPath: ReadPathTxn,
+	})
+	if rep.Errors != 0 {
+		t.Fatalf("errors: %d", rep.Errors)
+	}
+	for q := 0; q < 14; q++ {
+		if rep.Complex[q].Count == 0 {
+			t.Fatalf("Q%d never executed on the txn path", q+1)
+		}
+	}
+	shortTotal := 0
+	for i := range rep.Short {
+		shortTotal += rep.Short[i].Count
+	}
+	if shortTotal == 0 {
+		t.Fatal("no short reads executed on the txn path")
+	}
+	if rep.ViewAcquire.Count != 0 {
+		t.Fatalf("txn read path acquired %d views", rep.ViewAcquire.Count)
+	}
+}

@@ -16,6 +16,21 @@ import (
 // streams with dependency tracking, complex read-only queries at the
 // Table 4 relative frequencies with curated parameters, and the short-read
 // random walk seeded by complex-query results.
+//
+// Read execution is registry-driven: the driver walks the schedule and
+// executes workload.Complex[q-1] (bind parameters, run, extract walk
+// seeds) against whichever read path the configuration selects. There is
+// no per-query dispatch in this package.
+
+// Read-path selection for MixedConfig.ReadPath.
+const (
+	// ReadPathView runs all read-only queries on frozen snapshot views —
+	// the Interactive hot path (lock-free, invalidated by commits).
+	ReadPathView = "view"
+	// ReadPathTxn runs all read-only queries in MVCC read transactions —
+	// the baseline the view path is benchmarked against.
+	ReadPathTxn = "txn"
+)
 
 // MixedConfig parameterises a full Interactive run.
 type MixedConfig struct {
@@ -36,19 +51,23 @@ type MixedConfig struct {
 	// UniformParams switches Q5 parameter selection from curated to
 	// uniform (the Figure 5(b) ablation).
 	UniformParams bool
+	// ReadPath selects the read path for every query and short read:
+	// ReadPathView (default) or ReadPathTxn. Both paths execute the same
+	// generic query implementations.
+	ReadPath string
 }
 
 // MixedReport is the outcome of a mixed run: the per-query latency tables
 // of the paper's §5 evaluation.
 type MixedReport struct {
 	Complex [workload.NumComplexQueries]LatencyStats // Table 6
-	Short   [7]LatencyStats                          // Table 7
+	Short   [workload.NumShortQueries]LatencyStats   // Table 7
 	Update  [schema.NumUpdateTypes]LatencyStats      // Table 9
 	Wall    time.Duration
 	// ViewAcquire records the cost of acquiring the frozen snapshot view
-	// once per read iteration. It is usually a pointer load; after an
-	// interleaved update commit it includes a full view rebuild, so this
-	// stat is where the read path's rebuild tax shows up.
+	// once per read iteration (view path only). It is usually a pointer
+	// load; after an interleaved update commit it includes a full view
+	// rebuild, so this stat is where the read path's rebuild tax shows up.
 	ViewAcquire LatencyStats
 	// Throughput is total executed operations per second (the §5 metric
 	// alongside the acceleration factor).
@@ -56,36 +75,28 @@ type MixedReport struct {
 	Errors     int
 }
 
-// queryParams holds curated parameter pools for the complex queries.
-type queryParams struct {
-	persons     []ids.ID // curated person IDs (by Q9 cost profile)
-	personsQ5   []ids.ID // curated by the Q5 profile (or uniform)
-	firstNames  []string
-	tags        []ids.ID
-	tagClasses  []ids.ID
-	countryA    int
-	countryB    int
-	maxDate     int64
-	midDate     int64
-	windowMilli int64
-}
+// numQ11Countries bounds the Q11 country parameter draw (the dict's
+// country table size used by the generator).
+const numQ11Countries = 25
 
 // prepareParams runs the parameter-curation pipeline (§4.1) over the
 // dataset: PC tables per query template, greedy window selection, plus
 // value pools for the non-person parameters.
-func prepareParams(cfg *MixedConfig) *queryParams {
+func prepareParams(cfg *MixedConfig) *workload.ParamPools {
 	r := xrand.New(cfg.Seed, xrand.PurposeShortRead, 1)
-	qp := &queryParams{
-		countryA:    0,
-		countryB:    1,
-		maxDate:     simEndOf(cfg.Dataset),
-		windowMilli: 120 * 24 * 3600 * 1000,
+	pp := &workload.ParamPools{
+		CountryX:     0,
+		CountryY:     1,
+		NumCountries: numQ11Countries,
+		MaxDate:      simEndOf(cfg.Dataset),
+		WindowMillis: 120 * 24 * 3600 * 1000,
+		BeforeYear:   2013,
 	}
-	qp.midDate = qp.maxDate - qp.windowMilli
+	pp.StartDate = pp.MaxDate - pp.WindowMillis
 
 	q9 := params.BuildQ9Table(cfg.Dataset)
 	for _, p := range q9.Curate(40) {
-		qp.persons = append(qp.persons, ids.ID(p))
+		pp.Persons = append(pp.Persons, ids.ID(p))
 	}
 	q5 := params.BuildQ5Table(cfg.Dataset)
 	var sel []uint64
@@ -95,7 +106,7 @@ func prepareParams(cfg *MixedConfig) *queryParams {
 		sel = q5.Curate(40)
 	}
 	for _, p := range sel {
-		qp.personsQ5 = append(qp.personsQ5, ids.ID(p))
+		pp.PersonsQ5 = append(pp.PersonsQ5, ids.ID(p))
 	}
 
 	seen := map[string]bool{}
@@ -103,14 +114,14 @@ func prepareParams(cfg *MixedConfig) *queryParams {
 		n := cfg.Dataset.Persons[i].FirstName
 		if !seen[n] {
 			seen[n] = true
-			qp.firstNames = append(qp.firstNames, n)
+			pp.FirstNames = append(pp.FirstNames, n)
 		}
 	}
 	for i := 0; i < 40; i++ {
-		qp.tags = append(qp.tags, schema.TagNodeID(r.Intn(400)))
-		qp.tagClasses = append(qp.tagClasses, ids.DimensionID(ids.KindTagClass, uint32(r.Intn(20))))
+		pp.Tags = append(pp.Tags, schema.TagNodeID(r.Intn(400)))
+		pp.TagClasses = append(pp.TagClasses, ids.DimensionID(ids.KindTagClass, uint32(r.Intn(20))))
 	}
-	return qp
+	return pp
 }
 
 func simEndOf(d *schema.Dataset) int64 {
@@ -134,6 +145,13 @@ func RunMixed(cfg MixedConfig) *MixedReport {
 	}
 	if cfg.Mix.P == 0 {
 		cfg.Mix = workload.DefaultShortReadMix
+	}
+	switch cfg.ReadPath {
+	case "":
+		cfg.ReadPath = ReadPathView
+	case ReadPathView, ReadPathTxn:
+	default:
+		panic("driver: unknown MixedConfig.ReadPath " + cfg.ReadPath)
 	}
 	qp := prepareParams(&cfg)
 	rep := &MixedReport{}
@@ -194,55 +212,61 @@ func RunMixed(cfg MixedConfig) *MixedReport {
 	// cheaper (more frequent) queries therefore execute more often, like
 	// the real mix.
 	//
-	// Read execution runs on the store's frozen snapshot views wherever a
-	// view formulation exists (the hot 2-3-hop expansions and the whole
-	// short-read walk): once built, a view is lock-free to read. Commits
-	// from the update streams invalidate it, so under a dense update
-	// stream readers periodically pay a full rebuild (serialised, and
-	// taking shard read locks while it runs). Each iteration acquires
-	// the view exactly once, inside its own timed region recorded in
-	// rep.ViewAcquire, and reuses it for the complex query and the
-	// short-read walk — per-query latencies stay comparable while the
-	// rebuild tax remains visible in the report. Queries without a view
-	// formulation fall back to an MVCC read transaction (the walk still
-	// runs on the view).
+	// Every query and the short-read walk run through the single generic
+	// Reader implementation; cfg.ReadPath picks the instantiation. On the
+	// view path each iteration acquires the store's frozen snapshot view
+	// exactly once, inside its own timed region recorded in
+	// rep.ViewAcquire, and reuses it for the complex query and the walk —
+	// per-query latencies stay comparable while the post-commit rebuild
+	// tax remains visible in the report. On the txn path the iteration
+	// runs inside one MVCC read-only transaction instead.
 	perType := cfg.ComplexPerType
 	if perType == 0 {
 		perType = 5
 	}
 	n := len(cfg.Dataset.Persons)
 	schedule := buildSchedule(perType, n)
+	readTxn := cfg.ReadPath == ReadPathTxn
 	for c := 0; c < cfg.ReadClients; c++ {
 		wg.Add(1)
 		go func(client int) {
 			defer wg.Done()
 			r := xrand.New(cfg.Seed, xrand.PurposeShortRead, uint64(client)+100)
 			sc := workload.NewScratch()
+			timer := func(kind int, d time.Duration) {
+				mu.Lock()
+				rep.Short[kind].Add(d)
+				mu.Unlock()
+			}
 			for si := client; si < len(schedule); si += cfg.ReadClients {
 				q := schedule[si]
+				spec := &workload.Complex[q-1]
+				p := spec.Bind(qp, r)
+				if readTxn {
+					cfg.Store.View(func(tx *store.Txn) {
+						t0 := time.Now()
+						res := spec.RunTxn(tx, sc, p)
+						lat := time.Since(t0)
+						mu.Lock()
+						rep.Complex[q-1].Add(lat)
+						mu.Unlock()
+						workload.RunShortReadChain(tx, cfg.Mix, r, seedPersons(res, p), res.Messages, timer)
+					})
+					continue
+				}
 				tAcq := time.Now()
 				v := cfg.Store.CurrentView()
 				acq := time.Since(tAcq)
-				var lat time.Duration
-				var seedPersons, seedMessages []ids.ID
-				if hasViewImpl(q) {
-					t0 := time.Now()
-					seedPersons, seedMessages = runComplexView(v, sc, q, qp, r)
-					lat = time.Since(t0)
-				} else {
-					cfg.Store.View(func(tx *store.Txn) {
-						t0 := time.Now()
-						seedPersons, seedMessages = runComplex(tx, q, qp, r)
-						lat = time.Since(t0)
-					})
-				}
+				t0 := time.Now()
+				res := spec.RunView(v, sc, p)
+				lat := time.Since(t0)
 				mu.Lock()
 				rep.ViewAcquire.Add(acq)
 				rep.Complex[q-1].Add(lat)
 				mu.Unlock()
 				// Short-read random walk seeded by the results (§4), on the
 				// same view the iteration acquired.
-				runShortWalk(v, cfg.Mix, r, seedPersons, seedMessages, rep, &mu)
+				workload.RunShortReadChain(v, cfg.Mix, r, seedPersons(res, p), res.Messages, timer)
 			}
 		}(c)
 	}
@@ -260,6 +284,16 @@ func RunMixed(cfg MixedConfig) *MixedReport {
 		rep.Throughput = float64(total) / rep.Wall.Seconds()
 	}
 	return rep
+}
+
+// seedPersons returns the walk's person seed pool: the query's result
+// entities, falling back to the bound start person for queries that return
+// none (Q4-Q6, Q13, Q14) or empty results.
+func seedPersons(res workload.ComplexResult, p workload.ComplexParams) []ids.ID {
+	if len(res.Persons) == 0 {
+		return []ids.ID{p.Person}
+	}
+	return res.Persons
 }
 
 // buildSchedule expands the Table 4 mix into a concrete query sequence:
@@ -287,183 +321,4 @@ func buildSchedule(perType, persons int) []int {
 		}
 	}
 	return schedule
-}
-
-// hasViewImpl reports whether complex query q has a frozen-view
-// formulation (the Interactive hot path; see workload.Q1View etc.).
-func hasViewImpl(q int) bool {
-	switch q {
-	case 1, 2, 8, 9:
-		return true
-	}
-	return false
-}
-
-// runComplexView executes one view-backed complex query template with
-// curated parameters, returning result entities to seed the short-read
-// walk. Callers must route only hasViewImpl queries here.
-func runComplexView(v *store.SnapshotView, sc *workload.Scratch, q int, qp *queryParams, r *xrand.Rand) (persons, messages []ids.ID) {
-	person := qp.persons[r.Intn(len(qp.persons))]
-	switch q {
-	case 1:
-		for _, row := range workload.Q1View(v, sc, person, qp.firstNames[r.Intn(len(qp.firstNames))]) {
-			persons = append(persons, row.Person)
-		}
-	case 2:
-		for _, row := range workload.Q2View(v, sc, person, qp.maxDate) {
-			persons = append(persons, row.Creator)
-			messages = append(messages, row.Message)
-		}
-	case 8:
-		for _, row := range workload.Q8View(v, person) {
-			persons = append(persons, row.Replier)
-			messages = append(messages, row.Comment)
-		}
-	case 9:
-		for _, row := range workload.Q9View(v, sc, person, qp.maxDate) {
-			persons = append(persons, row.Creator)
-			messages = append(messages, row.Message)
-		}
-	}
-	if len(persons) == 0 {
-		persons = append(persons, person)
-	}
-	return persons, messages
-}
-
-// runComplex executes one complex query template with curated parameters,
-// returning result entities to seed the short-read walk.
-func runComplex(tx *store.Txn, q int, qp *queryParams, r *xrand.Rand) (persons, messages []ids.ID) {
-	person := qp.persons[r.Intn(len(qp.persons))]
-	switch q {
-	case 1:
-		for _, row := range workload.Q1(tx, person, qp.firstNames[r.Intn(len(qp.firstNames))]) {
-			persons = append(persons, row.Person)
-		}
-	case 2:
-		for _, row := range workload.Q2(tx, person, qp.maxDate) {
-			persons = append(persons, row.Creator)
-			messages = append(messages, row.Message)
-		}
-	case 3:
-		for _, row := range workload.Q3(tx, person, qp.countryA, qp.countryB, qp.midDate, qp.windowMilli) {
-			persons = append(persons, row.Person)
-		}
-	case 4:
-		workload.Q4(tx, person, qp.midDate, qp.windowMilli)
-	case 5:
-		p5 := qp.personsQ5[r.Intn(len(qp.personsQ5))]
-		workload.Q5(tx, p5, qp.midDate)
-	case 6:
-		workload.Q6(tx, person, qp.tags[r.Intn(len(qp.tags))])
-	case 7:
-		for _, row := range workload.Q7(tx, person) {
-			persons = append(persons, row.Liker)
-			messages = append(messages, row.Message)
-		}
-	case 8:
-		for _, row := range workload.Q8(tx, person) {
-			persons = append(persons, row.Replier)
-			messages = append(messages, row.Comment)
-		}
-	case 9:
-		for _, row := range workload.Q9(tx, person, qp.maxDate) {
-			persons = append(persons, row.Creator)
-			messages = append(messages, row.Message)
-		}
-	case 10:
-		for _, row := range workload.Q10(tx, person, r.Intn(12)) {
-			persons = append(persons, row.Person)
-		}
-	case 11:
-		for _, row := range workload.Q11(tx, person, r.Intn(25), 2013) {
-			persons = append(persons, row.Person)
-		}
-	case 12:
-		for _, row := range workload.Q12(tx, person, qp.tagClasses[r.Intn(len(qp.tagClasses))]) {
-			persons = append(persons, row.Person)
-		}
-	case 13:
-		other := qp.persons[r.Intn(len(qp.persons))]
-		workload.Q13(tx, person, other)
-	case 14:
-		other := qp.persons[r.Intn(len(qp.persons))]
-		workload.Q14(tx, person, other)
-	}
-	if len(persons) == 0 {
-		persons = append(persons, person)
-	}
-	return persons, messages
-}
-
-// runShortWalk executes the short-read chain on the frozen snapshot view,
-// attributing per-type latencies to the report. It re-implements the walk
-// of workload.ShortReadMix with timing instrumentation; every step is a
-// lock-free point lookup.
-func runShortWalk(v *store.SnapshotView, mix workload.ShortReadMix, r *xrand.Rand, persons, messages []ids.ID, rep *MixedReport, mu *sync.Mutex) {
-	p := mix.P
-	for step := 0; ; step++ {
-		if len(persons) == 0 && len(messages) == 0 {
-			return
-		}
-		if !r.Bool(p) {
-			return
-		}
-		p -= mix.Delta
-		if p < 0 {
-			p = 0
-		}
-		var kind int
-		t0 := time.Now()
-		if len(persons) > 0 && (step%2 == 0 || len(messages) == 0) {
-			person := persons[r.Intn(len(persons))]
-			switch r.Intn(3) {
-			case 0:
-				workload.S1View(v, person)
-				kind = 0
-			case 1:
-				for _, row := range workload.S2View(v, person) {
-					messages = append(messages, row.Message)
-				}
-				kind = 1
-			default:
-				for _, row := range workload.S3View(v, person) {
-					persons = append(persons, row.Friend)
-				}
-				kind = 2
-			}
-		} else {
-			msg := messages[r.Intn(len(messages))]
-			switch r.Intn(4) {
-			case 0:
-				workload.S4View(v, msg)
-				kind = 3
-			case 1:
-				if res, ok := workload.S5View(v, msg); ok {
-					persons = append(persons, res.Creator)
-				}
-				kind = 4
-			case 2:
-				if res, ok := workload.S6View(v, msg); ok && res.Moderator != 0 {
-					persons = append(persons, res.Moderator)
-				}
-				kind = 5
-			default:
-				for _, row := range workload.S7View(v, msg) {
-					messages = append(messages, row.Comment)
-				}
-				kind = 6
-			}
-		}
-		lat := time.Since(t0)
-		mu.Lock()
-		rep.Short[kind].Add(lat)
-		mu.Unlock()
-		if len(persons) > 256 {
-			persons = persons[len(persons)-256:]
-		}
-		if len(messages) > 256 {
-			messages = messages[len(messages)-256:]
-		}
-	}
 }

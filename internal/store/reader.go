@@ -1,0 +1,57 @@
+package store
+
+import "ldbcsnb/internal/ids"
+
+// Reader is the uniform read surface of the store. Every read-only query in
+// internal/workload is written exactly once against this contract and runs
+// on either of the two read paths:
+//
+//   - *Txn — MVCC snapshot filtering under shard read locks, overlaying the
+//     transaction's own buffered writes;
+//   - *SnapshotView — a frozen CSR image of one commit epoch, lock-free and
+//     allocation-free (Out/In return slab subslices).
+//
+// Queries take a type parameter constrained by Reader
+// (func Q9[R Reader](r R, ...)) rather than the interface itself, so the
+// concrete read path is fixed at each call site. Per-traversal visited-set
+// state lives outside the reader (workload.Scratch); Frozen is the hook it
+// uses to pick its representation: dense bitsets keyed by the view's node
+// ordinals when a frozen view is available, node-ID hash sets otherwise.
+//
+// Slices returned by Out, In and NodesOfKind (and Props on the view path)
+// alias reader-owned memory and must not be mutated by callers.
+type Reader interface {
+	// Exists reports whether a node is visible to the reader.
+	Exists(id ids.ID) bool
+	// Prop returns one property of a node (zero Value if the node or
+	// property is absent).
+	Prop(id ids.ID, key PropKey) Value
+	// Props returns the visible property list of a node.
+	Props(id ids.ID) (Props, bool)
+	// Out returns the visible outgoing edges of one type, in insertion
+	// order.
+	Out(id ids.ID, t EdgeType) []Edge
+	// In returns the visible incoming edges of one type.
+	In(id ids.ID, t EdgeType) []Edge
+	// OutDegree returns len(Out(id, t)); the Txn path counts without
+	// materialising the edge slice.
+	OutDegree(id ids.ID, t EdgeType) int
+	// NodesOfKind returns the visible nodes of a kind in insertion order.
+	NodesOfKind(kind ids.Kind) []ids.ID
+	// Frozen returns the reader's immutable snapshot view when it has one
+	// (the lock-free read path), or nil for MVCC transactions.
+	Frozen() *SnapshotView
+}
+
+var (
+	_ Reader = (*Txn)(nil)
+	_ Reader = (*SnapshotView)(nil)
+)
+
+// Frozen on a transaction returns nil: Txn reads go through MVCC version
+// filtering and may observe the transaction's own uncommitted writes, so no
+// frozen ordinal space exists for them.
+func (tx *Txn) Frozen() *SnapshotView { return nil }
+
+// Frozen on a view returns the view itself.
+func (v *SnapshotView) Frozen() *SnapshotView { return v }

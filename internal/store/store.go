@@ -73,8 +73,14 @@ func New() *Store {
 	return s
 }
 
+// shardIndex maps a node ID to its owning shard slot; every placement and
+// lookup (including buildView's shard grouping) must go through it.
+func shardIndex(id ids.ID) int {
+	return int(uint64(id) % shardCount)
+}
+
 func (s *Store) shardFor(id ids.ID) *shard {
-	return &s.shards[uint64(id)%shardCount]
+	return &s.shards[shardIndex(id)]
 }
 
 // RegisterOrderedIndex adds a B+tree index over an int64 property of one

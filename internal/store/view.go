@@ -192,8 +192,7 @@ func (s *Store) buildView(ts int64) *SnapshotView {
 	// instead of paying two lock round-trips per node.
 	var ordsByShard [shardCount][]int32
 	for i, id := range v.nodes {
-		sh := uint64(id) % shardCount
-		ordsByShard[sh] = append(ordsByShard[sh], int32(i))
+		ordsByShard[shardIndex(id)] = append(ordsByShard[shardIndex(id)], int32(i))
 	}
 
 	// Pass 1: per-node visible edge counts into the (future) offset

@@ -1,8 +1,6 @@
 package workload
 
 import (
-	"sort"
-
 	"ldbcsnb/internal/ids"
 	"ldbcsnb/internal/store"
 )
@@ -21,61 +19,10 @@ type Q1Row struct {
 	Companies    []string
 }
 
-// Q1 runs the query for (start person, first name).
-func Q1(tx *store.Txn, start ids.ID, firstName string) []Q1Row {
-	const limit = 20
-	// BFS to distance 3 over knows.
-	dist := map[ids.ID]int{start: 0}
-	frontier := []ids.ID{start}
-	var matches []Q1Row
-	for d := 1; d <= 3; d++ {
-		var next []ids.ID
-		for _, p := range frontier {
-			for _, e := range tx.Out(p, store.EdgeKnows) {
-				if _, ok := dist[e.To]; ok {
-					continue
-				}
-				dist[e.To] = d
-				next = append(next, e.To)
-				if tx.Prop(e.To, store.PropFirstName).Str() == firstName {
-					row := Q1Row{
-						Person:   e.To,
-						Distance: d,
-						LastName: tx.Prop(e.To, store.PropLastName).Str(),
-					}
-					for _, s := range tx.Out(e.To, store.EdgeStudyAt) {
-						row.Universities = append(row.Universities, tx.Prop(s.To, store.PropName).Str())
-					}
-					for _, w := range tx.Out(e.To, store.EdgeWorkAt) {
-						row.Companies = append(row.Companies, tx.Prop(w.To, store.PropName).Str())
-					}
-					matches = append(matches, row)
-				}
-			}
-		}
-		frontier = next
-	}
-	sort.Slice(matches, func(i, j int) bool {
-		if matches[i].Distance != matches[j].Distance {
-			return matches[i].Distance < matches[j].Distance
-		}
-		if matches[i].LastName != matches[j].LastName {
-			return matches[i].LastName < matches[j].LastName
-		}
-		return matches[i].Person < matches[j].Person
-	})
-	if len(matches) > limit {
-		matches = matches[:limit]
-	}
-	return matches
-}
-
-// Q1View is Q1 on the frozen snapshot view: the BFS visited set is a dense
-// ordinal bitset, candidates stream through a bounded top-20 heap instead
-// of being fully sorted, and university/company lookups run only for the
-// rows that survive the limit. Results are identical to Q1 at the same
-// snapshot timestamp.
-func Q1View(v *store.SnapshotView, sc *Scratch, start ids.ID, firstName string) []Q1Row {
+// Q1 runs the query for (start person, first name): a layered BFS to
+// distance 3 with candidates streaming through a bounded top-20 heap;
+// university/company lookups run only for the rows that survive the limit.
+func Q1[R store.Reader](r R, sc *Scratch, start ids.ID, firstName string) []Q1Row {
 	const limit = 20
 	less := func(a, b Q1Row) bool {
 		if a.Distance != b.Distance {
@@ -90,22 +37,23 @@ func Q1View(v *store.SnapshotView, sc *Scratch, start ids.ID, firstName string) 
 
 	// Layered BFS in one growing buffer: sc.env[head:layerEnd] is the
 	// frontier of the current depth, discoveries append behind it.
-	sc.reset(v)
-	sc.markSeen(v, start)
+	sc.begin(r)
+	seen := sc.newSeen()
+	seen.tryMark(start)
 	sc.env = append(sc.env[:0], start)
 	head, layerEnd := 0, 1
 	for d := 1; d <= 3; d++ {
 		for ; head < layerEnd; head++ {
-			for _, e := range v.Out(sc.env[head], store.EdgeKnows) {
-				if !sc.markSeen(v, e.To) {
+			for _, e := range r.Out(sc.env[head], store.EdgeKnows) {
+				if !seen.tryMark(e.To) {
 					continue
 				}
 				sc.env = append(sc.env, e.To)
-				if v.Prop(e.To, store.PropFirstName).Str() == firstName {
+				if r.Prop(e.To, store.PropFirstName).Str() == firstName {
 					top.Push(Q1Row{
 						Person:   e.To,
 						Distance: d,
-						LastName: v.Prop(e.To, store.PropLastName).Str(),
+						LastName: r.Prop(e.To, store.PropLastName).Str(),
 					})
 				}
 			}
@@ -115,11 +63,11 @@ func Q1View(v *store.SnapshotView, sc *Scratch, start ids.ID, firstName string) 
 
 	rows := top.Sorted()
 	for i := range rows {
-		for _, s := range v.Out(rows[i].Person, store.EdgeStudyAt) {
-			rows[i].Universities = append(rows[i].Universities, v.Prop(s.To, store.PropName).Str())
+		for _, s := range r.Out(rows[i].Person, store.EdgeStudyAt) {
+			rows[i].Universities = append(rows[i].Universities, r.Prop(s.To, store.PropName).Str())
 		}
-		for _, w := range v.Out(rows[i].Person, store.EdgeWorkAt) {
-			rows[i].Companies = append(rows[i].Companies, v.Prop(w.To, store.PropName).Str())
+		for _, w := range r.Out(rows[i].Person, store.EdgeWorkAt) {
+			rows[i].Companies = append(rows[i].Companies, r.Prop(w.To, store.PropName).Str())
 		}
 	}
 	return rows
@@ -137,13 +85,9 @@ type MessageRow struct {
 }
 
 // Q2 runs the query.
-func Q2(tx *store.Txn, start ids.ID, maxDate int64) []MessageRow {
-	return topMessagesOf(tx, friendsOf(tx, start), maxDate, 20)
-}
-
-// Q2View is Q2 on the frozen snapshot view.
-func Q2View(v *store.SnapshotView, sc *Scratch, start ids.ID, maxDate int64) []MessageRow {
-	return topMessagesOfView(v, friendsOfView(v, sc, start), maxDate, 20)
+func Q2[R store.Reader](r R, sc *Scratch, start ids.ID, maxDate int64) []MessageRow {
+	sc.begin(r)
+	return topMessagesOf(r, friendsOf(r, sc, start), maxDate, 20)
 }
 
 // messageRowLess is the (date desc, message asc) result order of Q2/Q9 — a
@@ -155,43 +99,19 @@ func messageRowLess(a, b MessageRow) bool {
 	return a.Message < b.Message
 }
 
-// topMessagesOfView is topMessagesOf on the frozen view: adjacency comes
-// from the CSR slab (no per-person allocation) and the LIMIT is enforced by
-// a bounded top-k heap instead of sorting every candidate row.
-func topMessagesOfView(v *store.SnapshotView, persons []ids.ID, maxDate int64, limit int) []MessageRow {
+// topMessagesOf returns the newest messages of a person set before maxDate,
+// sorted (date desc, id asc), capped at limit by a bounded top-k heap.
+// Shared by Q2 (1-hop) and Q9 (2-hop).
+func topMessagesOf[R store.Reader](r R, persons []ids.ID, maxDate int64, limit int) []MessageRow {
 	top := newTopK(limit, messageRowLess)
 	for _, p := range persons {
-		for _, m := range messagesOfView(v, p) {
+		for _, m := range messagesOf(r, p) {
 			if m.Stamp <= maxDate {
 				top.Push(MessageRow{Message: m.To, Creator: p, CreationDate: m.Stamp})
 			}
 		}
 	}
 	return top.Sorted()
-}
-
-// topMessagesOf returns the newest messages of a person set before
-// maxDate, sorted (date desc, id asc), capped at limit. Shared by Q2 (1-hop)
-// and Q9 (2-hop).
-func topMessagesOf(tx *store.Txn, persons []ids.ID, maxDate int64, limit int) []MessageRow {
-	var rows []MessageRow
-	for _, p := range persons {
-		for _, m := range messagesOf(tx, p) {
-			if m.Stamp <= maxDate {
-				rows = append(rows, MessageRow{Message: m.To, Creator: p, CreationDate: m.Stamp})
-			}
-		}
-	}
-	sort.Slice(rows, func(i, j int) bool {
-		if rows[i].CreationDate != rows[j].CreationDate {
-			return rows[i].CreationDate > rows[j].CreationDate
-		}
-		return rows[i].Message < rows[j].Message
-	})
-	if len(rows) > limit {
-		rows = rows[:limit]
-	}
-	return rows
 }
 
 // Q3 — Friends within 2 steps that recently travelled to countries X and Y:
@@ -206,21 +126,29 @@ type Q3Row struct {
 }
 
 // Q3 runs the query; countryX/countryY are dict country indices, the window
-// is [start, start+durationMillis).
-func Q3(tx *store.Txn, start ids.ID, countryX, countryY int, startDate, durationMillis int64) []Q3Row {
+// is [startDate, startDate+durationMillis).
+func Q3[R store.Reader](r R, sc *Scratch, start ids.ID, countryX, countryY int, startDate, durationMillis int64) []Q3Row {
+	sc.begin(r)
 	end := startDate + durationMillis
-	var rows []Q3Row
-	for _, p := range friendsAndFoF(tx, start) {
-		home := int(tx.Prop(p, store.PropCountry).Int())
+	top := newTopK(20, func(a, b Q3Row) bool {
+		ta, tb := a.CountX+a.CountY, b.CountX+b.CountY
+		if ta != tb {
+			return ta > tb
+		}
+		return a.Person < b.Person
+	})
+	env, _ := friendsAndFoF(r, sc, start)
+	for _, p := range env {
+		home := int(r.Prop(p, store.PropCountry).Int())
 		if home == countryX || home == countryY {
 			continue
 		}
 		var cx, cy int
-		for _, m := range messagesOf(tx, p) {
+		for _, m := range messagesOf(r, p) {
 			if m.Stamp < startDate || m.Stamp >= end {
 				continue
 			}
-			switch int(tx.Prop(m.To, store.PropCountry).Int()) {
+			switch int(r.Prop(m.To, store.PropCountry).Int()) {
 			case countryX:
 				cx++
 			case countryY:
@@ -228,20 +156,10 @@ func Q3(tx *store.Txn, start ids.ID, countryX, countryY int, startDate, duration
 			}
 		}
 		if cx > 0 && cy > 0 {
-			rows = append(rows, Q3Row{Person: p, CountX: cx, CountY: cy})
+			top.Push(Q3Row{Person: p, CountX: cx, CountY: cy})
 		}
 	}
-	sort.Slice(rows, func(i, j int) bool {
-		ti, tj := rows[i].CountX+rows[i].CountY, rows[j].CountX+rows[j].CountY
-		if ti != tj {
-			return ti > tj
-		}
-		return rows[i].Person < rows[j].Person
-	})
-	if len(rows) > 20 {
-		rows = rows[:20]
-	}
-	return rows
+	return top.Sorted()
 }
 
 // Q4 — New topics: the top 10 most popular tags on posts created by the
@@ -256,44 +174,46 @@ type Q4Row struct {
 }
 
 // Q4 runs the query over the window [startDate, startDate+durationMillis).
-func Q4(tx *store.Txn, start ids.ID, startDate, durationMillis int64) []Q4Row {
+func Q4[R store.Reader](r R, sc *Scratch, start ids.ID, startDate, durationMillis int64) []Q4Row {
+	sc.begin(r)
 	end := startDate + durationMillis
 	counts := map[ids.ID]int{}
-	old := map[ids.ID]bool{}
-	for _, f := range friendsOf(tx, start) {
-		for _, m := range messagesOf(tx, f) {
+	old := sc.newSeen()
+	for _, f := range friendsOf(r, sc, start) {
+		for _, m := range messagesOf(r, f) {
 			if m.To.Kind() != ids.KindPost {
 				continue
 			}
 			if m.Stamp >= end {
 				continue
 			}
-			for _, te := range tx.Out(m.To, store.EdgeHasTag) {
+			for _, te := range r.Out(m.To, store.EdgeHasTag) {
 				if m.Stamp < startDate {
-					old[te.To] = true
+					old.tryMark(te.To)
 				} else {
 					counts[te.To]++
 				}
 			}
 		}
 	}
-	var rows []Q4Row
+	// (count desc, name asc, tag asc): the tag tie-break makes the order a
+	// total one even when distinct tags share a name.
+	top := newTopK(10, func(a, b Q4Row) bool {
+		if a.Count != b.Count {
+			return a.Count > b.Count
+		}
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		return a.Tag < b.Tag
+	})
 	for tag, n := range counts {
-		if old[tag] {
+		if old.has(tag) {
 			continue
 		}
-		rows = append(rows, Q4Row{Tag: tag, Name: tx.Prop(tag, store.PropName).Str(), Count: n})
+		top.Push(Q4Row{Tag: tag, Name: r.Prop(tag, store.PropName).Str(), Count: n})
 	}
-	sort.Slice(rows, func(i, j int) bool {
-		if rows[i].Count != rows[j].Count {
-			return rows[i].Count > rows[j].Count
-		}
-		return rows[i].Name < rows[j].Name
-	})
-	if len(rows) > 10 {
-		rows = rows[:10]
-	}
-	return rows
+	return top.Sorted()
 }
 
 // Q5 — New groups: forums that the friends and friends of friends joined
@@ -309,43 +229,40 @@ type Q5Row struct {
 
 // Q5 runs the query. This is the parameter-curation example of §4.1: its
 // cost tracks the 2-hop environment size.
-func Q5(tx *store.Txn, start ids.ID, minDate int64) []Q5Row {
-	env := friendsAndFoF(tx, start)
-	inEnv := make(map[ids.ID]bool, len(env))
+func Q5[R store.Reader](r R, sc *Scratch, start ids.ID, minDate int64) []Q5Row {
+	sc.begin(r)
+	env, inEnv := friendsAndFoF(r, sc, start)
+	// Forums joined after minDate by anyone in the environment, collected
+	// in deterministic first-seen order into sc.aux.
+	joined := sc.newSeen()
+	sc.aux = sc.aux[:0]
 	for _, p := range env {
-		inEnv[p] = true
-	}
-	// Forums joined after minDate by anyone in the environment.
-	joined := map[ids.ID]bool{}
-	for _, p := range env {
-		for _, fe := range tx.In(p, store.EdgeHasMember) {
-			if fe.Stamp > minDate {
-				joined[fe.To] = true
+		for _, fe := range r.In(p, store.EdgeHasMember) {
+			if fe.Stamp > minDate && joined.tryMark(fe.To) {
+				sc.aux = append(sc.aux, fe.To)
 			}
 		}
 	}
-	var rows []Q5Row
-	for forum := range joined {
+	top := newTopK(20, func(a, b Q5Row) bool {
+		if a.Count != b.Count {
+			return a.Count > b.Count
+		}
+		return a.Forum < b.Forum
+	})
+	for _, forum := range sc.aux {
 		count := 0
-		for _, pe := range tx.Out(forum, store.EdgeContainerOf) {
-			for _, ce := range tx.Out(pe.To, store.EdgeHasCreator) {
-				if inEnv[ce.To] {
+		for _, pe := range r.Out(forum, store.EdgeContainerOf) {
+			for _, ce := range r.Out(pe.To, store.EdgeHasCreator) {
+				// inEnv also contains start, which is not part of the
+				// environment — exclude it explicitly.
+				if ce.To != start && inEnv.has(ce.To) {
 					count++
 				}
 			}
 		}
-		rows = append(rows, Q5Row{Forum: forum, Title: tx.Prop(forum, store.PropTitle).Str(), Count: count})
+		top.Push(Q5Row{Forum: forum, Title: r.Prop(forum, store.PropTitle).Str(), Count: count})
 	}
-	sort.Slice(rows, func(i, j int) bool {
-		if rows[i].Count != rows[j].Count {
-			return rows[i].Count > rows[j].Count
-		}
-		return rows[i].Forum < rows[j].Forum
-	})
-	if len(rows) > 20 {
-		rows = rows[:20]
-	}
-	return rows
+	return top.Sorted()
 }
 
 // Q6 — Tag co-occurrence: among posts of friends and friends of friends
@@ -359,14 +276,16 @@ type Q6Row struct {
 }
 
 // Q6 runs the query; tag is a store tag node ID.
-func Q6(tx *store.Txn, start ids.ID, tag ids.ID) []Q6Row {
+func Q6[R store.Reader](r R, sc *Scratch, start ids.ID, tag ids.ID) []Q6Row {
+	sc.begin(r)
 	counts := map[ids.ID]int{}
-	for _, p := range friendsAndFoF(tx, start) {
-		for _, m := range messagesOf(tx, p) {
+	env, _ := friendsAndFoF(r, sc, start)
+	for _, p := range env {
+		for _, m := range messagesOf(r, p) {
 			if m.To.Kind() != ids.KindPost {
 				continue
 			}
-			tags := tx.Out(m.To, store.EdgeHasTag)
+			tags := r.Out(m.To, store.EdgeHasTag)
 			has := false
 			for _, te := range tags {
 				if te.To == tag {
@@ -384,20 +303,19 @@ func Q6(tx *store.Txn, start ids.ID, tag ids.ID) []Q6Row {
 			}
 		}
 	}
-	var rows []Q6Row
-	for t, n := range counts {
-		rows = append(rows, Q6Row{Tag: t, Name: tx.Prop(t, store.PropName).Str(), Count: n})
-	}
-	sort.Slice(rows, func(i, j int) bool {
-		if rows[i].Count != rows[j].Count {
-			return rows[i].Count > rows[j].Count
+	top := newTopK(10, func(a, b Q6Row) bool {
+		if a.Count != b.Count {
+			return a.Count > b.Count
 		}
-		return rows[i].Name < rows[j].Name
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		return a.Tag < b.Tag
 	})
-	if len(rows) > 10 {
-		rows = rows[:10]
+	for t, n := range counts {
+		top.Push(Q6Row{Tag: t, Name: r.Prop(t, store.PropName).Str(), Count: n})
 	}
-	return rows
+	return top.Sorted()
 }
 
 // Q7 — Recent likes: the most recent likes on any of the person's
@@ -415,21 +333,24 @@ type Q7Row struct {
 }
 
 // Q7 runs the query.
-func Q7(tx *store.Txn, start ids.ID) []Q7Row {
-	friends := map[ids.ID]bool{}
-	for _, f := range friendsOf(tx, start) {
-		friends[f] = true
+func Q7[R store.Reader](r R, sc *Scratch, start ids.ID) []Q7Row {
+	sc.begin(r)
+	friends := sc.newSeen()
+	for _, e := range r.Out(start, store.EdgeKnows) {
+		if e.To != start {
+			friends.tryMark(e.To)
+		}
 	}
 	// Most recent like per liker.
 	best := map[ids.ID]Q7Row{}
-	for _, m := range messagesOf(tx, start) {
-		for _, le := range tx.In(m.To, store.EdgeLikes) {
+	for _, m := range messagesOf(r, start) {
+		for _, le := range r.In(m.To, store.EdgeLikes) {
 			row := Q7Row{
 				Liker:         le.To,
 				Message:       m.To,
 				LikeDate:      le.Stamp,
 				LatencyMillis: le.Stamp - m.Stamp,
-				IsNew:         !friends[le.To],
+				IsNew:         !friends.has(le.To),
 			}
 			if prev, ok := best[le.To]; !ok || row.LikeDate > prev.LikeDate ||
 				(row.LikeDate == prev.LikeDate && row.Message < prev.Message) {
@@ -437,18 +358,14 @@ func Q7(tx *store.Txn, start ids.ID) []Q7Row {
 			}
 		}
 	}
-	rows := make([]Q7Row, 0, len(best))
-	for _, r := range best {
-		rows = append(rows, r)
-	}
-	sort.Slice(rows, func(i, j int) bool {
-		if rows[i].LikeDate != rows[j].LikeDate {
-			return rows[i].LikeDate > rows[j].LikeDate
+	top := newTopK(20, func(a, b Q7Row) bool {
+		if a.LikeDate != b.LikeDate {
+			return a.LikeDate > b.LikeDate
 		}
-		return rows[i].Liker < rows[j].Liker
+		return a.Liker < b.Liker
 	})
-	if len(rows) > 20 {
-		rows = rows[:20]
+	for _, r := range best {
+		top.Push(r)
 	}
-	return rows
+	return top.Sorted()
 }

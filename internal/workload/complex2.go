@@ -19,43 +19,19 @@ type Q8Row struct {
 	CreationDate int64
 }
 
-// Q8 runs the query.
-func Q8(tx *store.Txn, start ids.ID) []Q8Row {
-	var rows []Q8Row
-	for _, m := range messagesOf(tx, start) {
-		for _, re := range tx.In(m.To, store.EdgeReplyOf) {
-			var replier ids.ID
-			if cs := tx.Out(re.To, store.EdgeHasCreator); len(cs) > 0 {
-				replier = cs[0].To
-			}
-			rows = append(rows, Q8Row{Comment: re.To, Replier: replier, CreationDate: re.Stamp})
-		}
-	}
-	sort.Slice(rows, func(i, j int) bool {
-		if rows[i].CreationDate != rows[j].CreationDate {
-			return rows[i].CreationDate > rows[j].CreationDate
-		}
-		return rows[i].Comment < rows[j].Comment
-	})
-	if len(rows) > 20 {
-		rows = rows[:20]
-	}
-	return rows
-}
-
-// Q8View is Q8 on the frozen snapshot view, with a bounded top-20 heap over
-// the reply stream.
-func Q8View(v *store.SnapshotView, start ids.ID) []Q8Row {
+// Q8 runs the query with a bounded top-20 heap over the reply stream.
+func Q8[R store.Reader](r R, sc *Scratch, start ids.ID) []Q8Row {
+	sc.begin(r)
 	top := newTopK(20, func(a, b Q8Row) bool {
 		if a.CreationDate != b.CreationDate {
 			return a.CreationDate > b.CreationDate
 		}
 		return a.Comment < b.Comment
 	})
-	for _, m := range messagesOfView(v, start) {
-		for _, re := range v.In(m.To, store.EdgeReplyOf) {
+	for _, m := range messagesOf(r, start) {
+		for _, re := range r.In(m.To, store.EdgeReplyOf) {
 			var replier ids.ID
-			if cs := v.Out(re.To, store.EdgeHasCreator); len(cs) > 0 {
+			if cs := r.Out(re.To, store.EdgeHasCreator); len(cs) > 0 {
 				replier = cs[0].To
 			}
 			top.Push(Q8Row{Comment: re.To, Replier: replier, CreationDate: re.Stamp})
@@ -68,20 +44,14 @@ func Q8View(v *store.SnapshotView, start ids.ID) []Q8Row {
 // friends or friends-of-friends of the person, created before a given
 // date. This is the choke-point example of §3 (Figure 4): the intended
 // plan joins friends ⋈ friends (index nested loop), then persons (index
-// nested loop), then messages (hash / scan).
-
-// Q9 runs the graph-navigation formulation.
-func Q9(tx *store.Txn, start ids.ID, maxDate int64) []MessageRow {
-	return topMessagesOf(tx, friendsAndFoF(tx, start), maxDate, 20)
-}
-
-// Q9View is Q9 on the frozen snapshot view: the 2-hop expansion walks CSR
-// subslices with a dense visited bitset and the LIMIT-20 result streams
-// through a bounded heap. This is the paper's choke-point query executed
-// the way §3's intended plan wants — index nested loops over materialised
-// adjacency with no per-hop materialisation.
-func Q9View(v *store.SnapshotView, sc *Scratch, start ids.ID, maxDate int64) []MessageRow {
-	return topMessagesOfView(v, friendsAndFoFView(v, sc, start), maxDate, 20)
+// nested loop), then messages (hash / scan). On the view path the 2-hop
+// expansion walks CSR subslices with a dense visited bitset and the
+// LIMIT-20 result streams through a bounded heap — §3's intended plan with
+// no per-hop materialisation.
+func Q9[R store.Reader](r R, sc *Scratch, start ids.ID, maxDate int64) []MessageRow {
+	sc.begin(r)
+	env, _ := friendsAndFoF(r, sc, start)
+	return topMessagesOf(r, env, maxDate, 20)
 }
 
 // Q10 — Friend recommendation: friends of friends (excluding direct
@@ -98,35 +68,45 @@ type Q10Row struct {
 }
 
 // Q10 runs the query; sign is a zodiac index 0-11 (see ZodiacSign).
-func Q10(tx *store.Txn, start ids.ID, sign int) []Q10Row {
-	interests := map[ids.ID]bool{}
-	for _, e := range tx.Out(start, store.EdgeHasInterest) {
-		interests[e.To] = true
+func Q10[R store.Reader](r R, sc *Scratch, start ids.ID, sign int) []Q10Row {
+	sc.begin(r)
+	interests := sc.newSeen()
+	for _, e := range r.Out(start, store.EdgeHasInterest) {
+		interests.tryMark(e.To)
 	}
-	direct := map[ids.ID]bool{start: true}
-	for _, f := range friendsOf(tx, start) {
-		direct[f] = true
+	// Direct friends (plus start) in one set, the friend list in sc.env.
+	direct := sc.newSeen()
+	direct.tryMark(start)
+	sc.env = sc.env[:0]
+	for _, e := range r.Out(start, store.EdgeKnows) {
+		if direct.tryMark(e.To) {
+			sc.env = append(sc.env, e.To)
+		}
 	}
-	seen := map[ids.ID]bool{}
-	var rows []Q10Row
-	for _, f := range friendsOf(tx, start) {
-		for _, e := range tx.Out(f, store.EdgeKnows) {
-			cand := e.To
-			if direct[cand] || seen[cand] {
+	cand := sc.newSeen()
+	top := newTopK(10, func(a, b Q10Row) bool {
+		if a.Score != b.Score {
+			return a.Score > b.Score
+		}
+		return a.Person < b.Person
+	})
+	for _, f := range sc.env {
+		for _, e := range r.Out(f, store.EdgeKnows) {
+			c := e.To
+			if direct.has(c) || !cand.tryMark(c) {
 				continue
 			}
-			seen[cand] = true
-			if ZodiacSign(tx.Prop(cand, store.PropBirthday).Int()) != sign {
+			if ZodiacSign(r.Prop(c, store.PropBirthday).Int()) != sign {
 				continue
 			}
 			common, uncommon, commonTags := 0, 0, 0
-			for _, m := range messagesOf(tx, cand) {
+			for _, m := range messagesOf(r, c) {
 				if m.To.Kind() != ids.KindPost {
 					continue
 				}
 				about := false
-				for _, te := range tx.Out(m.To, store.EdgeHasTag) {
-					if interests[te.To] {
+				for _, te := range r.Out(m.To, store.EdgeHasTag) {
+					if interests.has(te.To) {
 						about = true
 						break
 					}
@@ -137,24 +117,15 @@ func Q10(tx *store.Txn, start ids.ID, sign int) []Q10Row {
 					uncommon++
 				}
 			}
-			for _, te := range tx.Out(cand, store.EdgeHasInterest) {
-				if interests[te.To] {
+			for _, te := range r.Out(c, store.EdgeHasInterest) {
+				if interests.has(te.To) {
 					commonTags++
 				}
 			}
-			rows = append(rows, Q10Row{Person: cand, Score: common - uncommon, CommonTags: commonTags})
+			top.Push(Q10Row{Person: c, Score: common - uncommon, CommonTags: commonTags})
 		}
 	}
-	sort.Slice(rows, func(i, j int) bool {
-		if rows[i].Score != rows[j].Score {
-			return rows[i].Score > rows[j].Score
-		}
-		return rows[i].Person < rows[j].Person
-	})
-	if len(rows) > 10 {
-		rows = rows[:10]
-	}
-	return rows
+	return top.Sorted()
 }
 
 // ZodiacSign maps a birthday (millis) to a zodiac sign index 0-11
@@ -181,35 +152,38 @@ type Q11Row struct {
 }
 
 // Q11 runs the query; country is a dict country index.
-func Q11(tx *store.Txn, start ids.ID, country int, beforeYear int) []Q11Row {
+func Q11[R store.Reader](r R, sc *Scratch, start ids.ID, country int, beforeYear int) []Q11Row {
+	sc.begin(r)
 	countryNode := ids.DimensionID(ids.KindPlace, uint32(country))
-	var rows []Q11Row
-	for _, p := range friendsAndFoF(tx, start) {
-		for _, we := range tx.Out(p, store.EdgeWorkAt) {
+	// (workFrom asc, person asc, company asc): the company tie-break makes
+	// the order total for persons holding several qualifying jobs.
+	top := newTopK(10, func(a, b Q11Row) bool {
+		if a.WorkFrom != b.WorkFrom {
+			return a.WorkFrom < b.WorkFrom
+		}
+		if a.Person != b.Person {
+			return a.Person < b.Person
+		}
+		return a.Company < b.Company
+	})
+	env, _ := friendsAndFoF(r, sc, start)
+	for _, p := range env {
+		for _, we := range r.Out(p, store.EdgeWorkAt) {
 			if int(we.Stamp) >= beforeYear {
 				continue
 			}
-			located := tx.Out(we.To, store.EdgeIsLocatedIn)
+			located := r.Out(we.To, store.EdgeIsLocatedIn)
 			if len(located) == 0 || located[0].To != countryNode {
 				continue
 			}
-			rows = append(rows, Q11Row{
+			top.Push(Q11Row{
 				Person:   p,
-				Company:  tx.Prop(we.To, store.PropName).Str(),
+				Company:  r.Prop(we.To, store.PropName).Str(),
 				WorkFrom: int(we.Stamp),
 			})
 		}
 	}
-	sort.Slice(rows, func(i, j int) bool {
-		if rows[i].WorkFrom != rows[j].WorkFrom {
-			return rows[i].WorkFrom < rows[j].WorkFrom
-		}
-		return rows[i].Person < rows[j].Person
-	})
-	if len(rows) > 10 {
-		rows = rows[:10]
-	}
-	return rows
+	return top.Sorted()
 }
 
 // Q12 — Expert search: friends who replied (with comments) to posts whose
@@ -223,35 +197,39 @@ type Q12Row struct {
 }
 
 // Q12 runs the query; tagClass is a store TagClass node ID.
-func Q12(tx *store.Txn, start ids.ID, tagClass ids.ID) []Q12Row {
-	// Tag-class subtree.
-	inClass := map[ids.ID]bool{tagClass: true}
-	queue := []ids.ID{tagClass}
-	for len(queue) > 0 {
-		c := queue[0]
-		queue = queue[1:]
-		for _, sub := range tx.In(c, store.EdgeIsSubclassOf) {
-			if !inClass[sub.To] {
-				inClass[sub.To] = true
-				queue = append(queue, sub.To)
+func Q12[R store.Reader](r R, sc *Scratch, start ids.ID, tagClass ids.ID) []Q12Row {
+	sc.begin(r)
+	// Tag-class subtree: BFS over isSubclassOf with sc.aux as the queue.
+	inClass := sc.newSeen()
+	inClass.tryMark(tagClass)
+	sc.aux = append(sc.aux[:0], tagClass)
+	for head := 0; head < len(sc.aux); head++ {
+		for _, sub := range r.In(sc.aux[head], store.EdgeIsSubclassOf) {
+			if inClass.tryMark(sub.To) {
+				sc.aux = append(sc.aux, sub.To)
 			}
 		}
 	}
-	var rows []Q12Row
-	for _, f := range friendsOf(tx, start) {
+	top := newTopK(20, func(a, b Q12Row) bool {
+		if a.Replies != b.Replies {
+			return a.Replies > b.Replies
+		}
+		return a.Person < b.Person
+	})
+	for _, f := range friendsOf(r, sc, start) {
 		replies := 0
-		for _, m := range messagesOf(tx, f) {
+		for _, m := range messagesOf(r, f) {
 			if m.To.Kind() != ids.KindComment {
 				continue
 			}
-			parents := tx.Out(m.To, store.EdgeReplyOf)
+			parents := r.Out(m.To, store.EdgeReplyOf)
 			if len(parents) == 0 || parents[0].To.Kind() != ids.KindPost {
 				continue
 			}
 			match := false
-			for _, te := range tx.Out(parents[0].To, store.EdgeHasTag) {
-				types := tx.Out(te.To, store.EdgeHasType)
-				if len(types) > 0 && inClass[types[0].To] {
+			for _, te := range r.Out(parents[0].To, store.EdgeHasTag) {
+				types := r.Out(te.To, store.EdgeHasType)
+				if len(types) > 0 && inClass.has(types[0].To) {
 					match = true
 					break
 				}
@@ -261,26 +239,20 @@ func Q12(tx *store.Txn, start ids.ID, tagClass ids.ID) []Q12Row {
 			}
 		}
 		if replies > 0 {
-			rows = append(rows, Q12Row{Person: f, Replies: replies})
+			top.Push(Q12Row{Person: f, Replies: replies})
 		}
 	}
-	sort.Slice(rows, func(i, j int) bool {
-		if rows[i].Replies != rows[j].Replies {
-			return rows[i].Replies > rows[j].Replies
-		}
-		return rows[i].Person < rows[j].Person
-	})
-	if len(rows) > 20 {
-		rows = rows[:20]
-	}
-	return rows
+	return top.Sorted()
 }
 
 // Q13 — Single shortest path: the length of the shortest knows-path
 // between two persons, or -1 if none exists.
 
-// Q13 runs a bidirectional BFS.
-func Q13(tx *store.Txn, a, b ids.ID) int {
+// Q13 runs a bidirectional BFS. The distance maps are node-keyed on both
+// paths (distances, not membership, so the bitset representation does not
+// apply); on the view path the traversal is still lock-free.
+func Q13[R store.Reader](r R, sc *Scratch, a, b ids.ID) int {
+	sc.begin(r)
 	if a == b {
 		return 0
 	}
@@ -300,7 +272,7 @@ func Q13(tx *store.Txn, a, b ids.ID) int {
 		best := -1
 		var next []ids.ID
 		for _, p := range frontA {
-			for _, e := range tx.Out(p, store.EdgeKnows) {
+			for _, e := range r.Out(p, store.EdgeKnows) {
 				if db, ok := distB[e.To]; ok {
 					if l := distA[p] + 1 + db; best < 0 || l < best {
 						best = l
@@ -340,7 +312,8 @@ type Q14Row struct {
 const q14PathCap = 256
 
 // Q14 runs the query.
-func Q14(tx *store.Txn, a, b ids.ID) []Q14Row {
+func Q14[R store.Reader](r R, sc *Scratch, a, b ids.ID) []Q14Row {
+	sc.begin(r)
 	if a == b {
 		return []Q14Row{{Path: []ids.ID{a}, Weight: 0}}
 	}
@@ -352,7 +325,7 @@ func Q14(tx *store.Txn, a, b ids.ID) []Q14Row {
 	for len(frontier) > 0 && !found {
 		var next []ids.ID
 		for _, p := range frontier {
-			for _, e := range tx.Out(p, store.EdgeKnows) {
+			for _, e := range r.Out(p, store.EdgeKnows) {
 				d, ok := dist[e.To]
 				if !ok {
 					dist[e.To] = dist[p] + 1
@@ -397,7 +370,7 @@ func Q14(tx *store.Txn, a, b ids.ID) []Q14Row {
 	for _, path := range paths {
 		w := 0.0
 		for i := 0; i+1 < len(path); i++ {
-			w += interactionWeight(tx, path[i], path[i+1])
+			w += interactionWeight(r, path[i], path[i+1])
 		}
 		rows = append(rows, Q14Row{Path: path, Weight: w})
 	}
@@ -422,19 +395,19 @@ func lessPath(a, b []ids.ID) bool {
 // interactionWeight sums the reply interaction between two persons: 1.0
 // per comment by one replying to a post of the other, 0.5 per comment
 // replying to a comment of the other.
-func interactionWeight(tx *store.Txn, x, y ids.ID) float64 {
+func interactionWeight[R store.Reader](r R, x, y ids.ID) float64 {
 	w := 0.0
 	pair := func(from, to ids.ID) {
-		for _, m := range messagesOf(tx, from) {
+		for _, m := range messagesOf(r, from) {
 			if m.To.Kind() != ids.KindComment {
 				continue
 			}
-			parents := tx.Out(m.To, store.EdgeReplyOf)
+			parents := r.Out(m.To, store.EdgeReplyOf)
 			if len(parents) == 0 {
 				continue
 			}
 			parent := parents[0].To
-			creators := tx.Out(parent, store.EdgeHasCreator)
+			creators := r.Out(parent, store.EdgeHasCreator)
 			if len(creators) == 0 || creators[0].To != to {
 				continue
 			}

@@ -2,6 +2,7 @@ package workload
 
 import (
 	"math"
+	"time"
 
 	"ldbcsnb/internal/ids"
 	"ldbcsnb/internal/store"
@@ -15,6 +16,9 @@ import (
 
 // NumComplexQueries is the number of complex read-only query templates.
 const NumComplexQueries = 14
+
+// NumShortQueries is the number of simple read-only query templates.
+const NumShortQueries = 7
 
 // Table4Frequencies[q-1] is the number of updates per one execution of
 // complex query q, exactly as printed in Table 4 of the paper.
@@ -58,69 +62,88 @@ var DefaultShortReadMix = ShortReadMix{P: 0.9, Delta: 0.15}
 
 // ShortReadStats counts executed short reads by type (S1..S7 at index
 // 0..6).
-type ShortReadStats [7]int
+type ShortReadStats [NumShortQueries]int
+
+// StepTimer observes one executed short read of the walk: kind is the
+// query index (0..6 for S1..S7) and d the step's execution latency. The
+// driver uses it to attribute per-type latencies without duplicating the
+// walk logic.
+type StepTimer func(kind int, d time.Duration)
 
 // RunShortReadChain performs the random walk of simple reads seeded by the
 // persons and messages a complex query returned ("results of the latter
 // queries become input for simple read-only queries, where Profile lookup
-// provides an input for Post lookup, and vice versa").
-func (m ShortReadMix) RunShortReadChain(tx *store.Txn, r *xrand.Rand, persons, messages []ids.ID) ShortReadStats {
+// provides an input for Post lookup, and vice versa"). Like the queries it
+// chains, the walk is generic over the read path; timer, when non-nil,
+// receives every step's latency. The seed slices may be appended to.
+func RunShortReadChain[R store.Reader](r R, mix ShortReadMix, rnd *xrand.Rand, persons, messages []ids.ID, timer StepTimer) ShortReadStats {
 	var stats ShortReadStats
-	p := m.P
+	p := mix.P
 	for step := 0; ; step++ {
 		if len(persons) == 0 && len(messages) == 0 {
 			return stats
 		}
-		if !r.Bool(p) {
+		if !rnd.Bool(p) {
 			return stats
 		}
-		p -= m.Delta
+		p -= mix.Delta
 		if p < 0 {
 			p = 0
+		}
+		kind := -1
+		var t0 time.Time
+		if timer != nil {
+			t0 = time.Now()
 		}
 		// Alternate between the profile family and the post family, each
 		// feeding the other's input pool.
 		if len(persons) > 0 && (step%2 == 0 || len(messages) == 0) {
-			person := persons[r.Intn(len(persons))]
-			switch r.Intn(3) {
+			person := persons[rnd.Intn(len(persons))]
+			switch rnd.Intn(3) {
 			case 0:
-				S1(tx, person)
-				stats[0]++
+				S1(r, person)
+				kind = 0
 			case 1:
-				for _, row := range S2(tx, person) {
+				for _, row := range S2(r, person) {
 					messages = append(messages, row.Message)
 				}
-				stats[1]++
+				kind = 1
 			default:
-				for _, row := range S3(tx, person) {
+				for _, row := range S3(r, person) {
 					persons = append(persons, row.Friend)
 				}
-				stats[2]++
+				kind = 2
 			}
 		} else if len(messages) > 0 {
-			msg := messages[r.Intn(len(messages))]
-			switch r.Intn(4) {
+			msg := messages[rnd.Intn(len(messages))]
+			switch rnd.Intn(4) {
 			case 0:
-				S4(tx, msg)
-				stats[3]++
+				S4(r, msg)
+				kind = 3
 			case 1:
-				if res, ok := S5(tx, msg); ok {
+				if res, ok := S5(r, msg); ok {
 					persons = append(persons, res.Creator)
 				}
-				stats[4]++
+				kind = 4
 			case 2:
-				if res, ok := S6(tx, msg); ok && res.Moderator != 0 {
+				if res, ok := S6(r, msg); ok && res.Moderator != 0 {
 					persons = append(persons, res.Moderator)
 				}
-				stats[5]++
+				kind = 5
 			default:
-				for _, row := range S7(tx, msg) {
+				for _, row := range S7(r, msg) {
 					if row.Author != 0 {
 						persons = append(persons, row.Author)
 					}
 					messages = append(messages, row.Comment)
 				}
-				stats[6]++
+				kind = 6
+			}
+		}
+		if kind >= 0 {
+			stats[kind]++
+			if timer != nil {
+				timer(kind, time.Since(t0))
 			}
 		}
 		// Bound the walk's working set.

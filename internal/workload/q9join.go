@@ -1,8 +1,6 @@
 package workload
 
 import (
-	"sort"
-
 	"ldbcsnb/internal/ids"
 	"ldbcsnb/internal/store"
 )
@@ -40,87 +38,26 @@ type Q9Plan struct {
 	MessageJoin  JoinAlgo // ⋈3: persons -> messages before date
 }
 
-// Q9JoinView executes Query 9 with explicit operators per plan on the
-// frozen snapshot view. The INL sides probe CSR subslices with a bitset
-// visited set; the deliberately mis-planned hash sides still materialise
-// their build tables (that materialisation cost is the ablation's point).
-// Results match Q9View (and Q9) exactly.
-func Q9JoinView(v *store.SnapshotView, sc *Scratch, start ids.ID, maxDate int64, plan Q9Plan) []MessageRow {
-	var env []ids.ID
-	switch plan.FriendExpand {
-	case JoinINL:
-		env = friendsAndFoFView(v, sc, start)
-	case JoinHash:
-		friends := append([]ids.ID(nil), friendsOfView(v, sc, start)...)
-		// Wrong plan: hash the full knows relation, then probe.
-		build := map[ids.ID][]ids.ID{}
-		for _, p := range v.NodesOfKind(ids.KindPerson) {
-			for _, e := range v.Out(p, store.EdgeKnows) {
-				build[p] = append(build[p], e.To)
-			}
-		}
-		seen := map[ids.ID]bool{start: true}
-		for _, f := range friends {
-			if !seen[f] {
-				seen[f] = true
-				env = append(env, f)
-			}
-		}
-		for _, f := range friends {
-			for _, ff := range build[f] {
-				if !seen[ff] {
-					seen[ff] = true
-					env = append(env, ff)
-				}
-			}
-		}
-	}
-
-	switch plan.MessageJoin {
-	case JoinINL:
-		return topMessagesOfView(v, env, maxDate, 20)
-	case JoinHash:
-		inEnv := make(map[ids.ID]bool, len(env))
-		for _, p := range env {
-			inEnv[p] = true
-		}
-		top := newTopK(20, messageRowLess)
-		scan := func(kind ids.Kind) {
-			for _, m := range v.NodesOfKind(kind) {
-				created := v.Prop(m, store.PropCreationDate).Int()
-				if created > maxDate {
-					continue
-				}
-				cs := v.Out(m, store.EdgeHasCreator)
-				if len(cs) == 0 || !inEnv[cs[0].To] {
-					continue
-				}
-				top.Push(MessageRow{Message: m, Creator: cs[0].To, CreationDate: created})
-			}
-		}
-		scan(ids.KindPost)
-		scan(ids.KindComment)
-		return top.Sorted()
-	}
-	return nil
-}
-
-// Q9Join executes Query 9 with explicit operators per plan. Results match
-// Q9 exactly; only the physical execution differs.
-func Q9Join(tx *store.Txn, start ids.ID, maxDate int64, plan Q9Plan) []MessageRow {
-	friends := friendsOf(tx, start)
-
+// Q9Join executes Query 9 with explicit operators per plan, generic over
+// the read path like every other query. The INL sides probe the adjacency
+// (CSR subslices with a bitset visited set on the view path); the
+// deliberately mis-planned hash sides materialise their build tables on
+// either path — that materialisation cost is the ablation's point. Results
+// match Q9 exactly; only the physical execution differs.
+func Q9Join[R store.Reader](r R, sc *Scratch, start ids.ID, maxDate int64, plan Q9Plan) []MessageRow {
+	sc.begin(r)
 	var env []ids.ID
 	switch plan.FriendExpand {
 	case JoinINL:
 		// Probe each friend's adjacency: |friends| index lookups.
-		env = friendsAndFoF(tx, start)
+		env, _ = friendsAndFoF(r, sc, start)
 	case JoinHash:
+		friends := append([]ids.ID(nil), friendsOf(r, sc, start)...)
 		// Wrong plan: build a hash table over the full knows relation
 		// (scan every person), then probe with the friend list.
 		build := map[ids.ID][]ids.ID{}
-		for _, p := range tx.NodesOfKind(ids.KindPerson) {
-			for _, e := range tx.Out(p, store.EdgeKnows) {
+		for _, p := range r.NodesOfKind(ids.KindPerson) {
+			for _, e := range r.Out(p, store.EdgeKnows) {
 				build[p] = append(build[p], e.To)
 			}
 		}
@@ -141,10 +78,9 @@ func Q9Join(tx *store.Txn, start ids.ID, maxDate int64, plan Q9Plan) []MessageRo
 		}
 	}
 
-	var rows []MessageRow
 	switch plan.MessageJoin {
 	case JoinINL:
-		rows = topMessagesOf(tx, env, maxDate, 20)
+		return topMessagesOf(r, env, maxDate, 20)
 	case JoinHash:
 		// Hash join over the message side: scan all posts and comments
 		// once (no per-person index available in the paper's plan), hash
@@ -156,30 +92,23 @@ func Q9Join(tx *store.Txn, start ids.ID, maxDate int64, plan Q9Plan) []MessageRo
 		for _, p := range env {
 			inEnv[p] = true
 		}
+		top := newTopK(20, messageRowLess)
 		scan := func(kind ids.Kind) {
-			for _, m := range tx.NodesOfKind(kind) {
-				created := tx.Prop(m, store.PropCreationDate).Int()
+			for _, m := range r.NodesOfKind(kind) {
+				created := r.Prop(m, store.PropCreationDate).Int()
 				if created > maxDate {
 					continue
 				}
-				cs := tx.Out(m, store.EdgeHasCreator)
+				cs := r.Out(m, store.EdgeHasCreator)
 				if len(cs) == 0 || !inEnv[cs[0].To] {
 					continue
 				}
-				rows = append(rows, MessageRow{Message: m, Creator: cs[0].To, CreationDate: created})
+				top.Push(MessageRow{Message: m, Creator: cs[0].To, CreationDate: created})
 			}
 		}
 		scan(ids.KindPost)
 		scan(ids.KindComment)
-		sort.Slice(rows, func(i, j int) bool {
-			if rows[i].CreationDate != rows[j].CreationDate {
-				return rows[i].CreationDate > rows[j].CreationDate
-			}
-			return rows[i].Message < rows[j].Message
-		})
-		if len(rows) > 20 {
-			rows = rows[:20]
-		}
+		return top.Sorted()
 	}
-	return rows
+	return nil
 }

@@ -1,0 +1,324 @@
+package workload
+
+import (
+	"ldbcsnb/internal/ids"
+	"ldbcsnb/internal/store"
+	"ldbcsnb/internal/xrand"
+)
+
+// The complex-query registry: one descriptor per template carrying its
+// name, Table 4 frequency, parameter binding against the curated pools and
+// execution with result-entity extraction for seeding the short-read walk.
+// The driver executes the mix purely through this table — no per-query
+// switch exists outside this file.
+//
+// Each query has ONE generic runner (runQ1..runQ14, wrapping the generic
+// query implementation plus seed extraction); the descriptor stores its
+// two concrete instantiations so both the driver's serving path and the
+// benchmarks execute the same monomorphized code — no interface dispatch
+// inside the query hot loops.
+
+// ParamPools holds the curated parameter pools the driver's
+// parameter-curation pipeline (§4.1) produces; Bind draws one concrete
+// binding from them per execution.
+type ParamPools struct {
+	// Persons is curated by the Q9 cost profile; PersonsQ5 by the Q5
+	// profile (or uniformly, for the Figure 5b ablation).
+	Persons   []ids.ID
+	PersonsQ5 []ids.ID
+	// FirstNames, Tags and TagClasses are value pools for the non-person
+	// parameters.
+	FirstNames []string
+	Tags       []ids.ID
+	TagClasses []ids.ID
+	// CountryX/CountryY are the Q3 travel countries; NumCountries bounds
+	// the Q11 country draw.
+	CountryX, CountryY int
+	NumCountries       int
+	// MaxDate is the simulation end, StartDate the start of the curated
+	// query window of WindowMillis length, BeforeYear the Q11 cutoff.
+	MaxDate      int64
+	StartDate    int64
+	WindowMillis int64
+	BeforeYear   int
+}
+
+// ComplexParams is one bound execution's parameter set; each query reads
+// the fields its Bind populated.
+type ComplexParams struct {
+	Person       ids.ID // start person (all queries)
+	Other        ids.ID // second person (Q13, Q14)
+	FirstName    string // Q1
+	MaxDate      int64  // Q2, Q9
+	StartDate    int64  // Q3, Q4 (window start), Q5 (min join date)
+	WindowMillis int64  // Q3, Q4
+	CountryX     int    // Q3, Q11
+	CountryY     int    // Q3
+	Tag          ids.ID // Q6
+	TagClass     ids.ID // Q12
+	Sign         int    // Q10
+	BeforeYear   int    // Q11
+}
+
+// ComplexResult carries the result entities of one execution, used to seed
+// the short-read random walk (§4: "results of the latter queries become
+// input for simple read-only queries").
+type ComplexResult struct {
+	Persons  []ids.ID
+	Messages []ids.ID
+}
+
+// ComplexSpec describes one complex query template.
+type ComplexSpec struct {
+	// Num is the 1-based query number; Name its display label.
+	Num  int
+	Name string
+	// Frequency is the Table 4 updates-per-execution figure (scale it with
+	// ScaledFrequency).
+	Frequency int
+	// Bind draws one parameter binding from the curated pools.
+	Bind func(pools *ParamPools, rnd *xrand.Rand) ComplexParams
+	// RunTxn and RunView are the two concrete instantiations of the
+	// query's single generic runner — the driver picks one per read path.
+	RunTxn  func(tx *store.Txn, sc *Scratch, p ComplexParams) ComplexResult
+	RunView func(v *store.SnapshotView, sc *Scratch, p ComplexParams) ComplexResult
+}
+
+// pickID draws one ID from a pool (zero if the pool is empty).
+func pickID(pool []ids.ID, rnd *xrand.Rand) ids.ID {
+	if len(pool) == 0 {
+		return 0
+	}
+	return pool[rnd.Intn(len(pool))]
+}
+
+// The per-query runners: bound parameters in, walk seeds out.
+
+func runQ1[R store.Reader](r R, sc *Scratch, p ComplexParams) ComplexResult {
+	var res ComplexResult
+	for _, row := range Q1(r, sc, p.Person, p.FirstName) {
+		res.Persons = append(res.Persons, row.Person)
+	}
+	return res
+}
+
+func runQ2[R store.Reader](r R, sc *Scratch, p ComplexParams) ComplexResult {
+	var res ComplexResult
+	for _, row := range Q2(r, sc, p.Person, p.MaxDate) {
+		res.Persons = append(res.Persons, row.Creator)
+		res.Messages = append(res.Messages, row.Message)
+	}
+	return res
+}
+
+func runQ3[R store.Reader](r R, sc *Scratch, p ComplexParams) ComplexResult {
+	var res ComplexResult
+	for _, row := range Q3(r, sc, p.Person, p.CountryX, p.CountryY, p.StartDate, p.WindowMillis) {
+		res.Persons = append(res.Persons, row.Person)
+	}
+	return res
+}
+
+func runQ4[R store.Reader](r R, sc *Scratch, p ComplexParams) ComplexResult {
+	Q4(r, sc, p.Person, p.StartDate, p.WindowMillis)
+	return ComplexResult{}
+}
+
+func runQ5[R store.Reader](r R, sc *Scratch, p ComplexParams) ComplexResult {
+	Q5(r, sc, p.Person, p.StartDate)
+	return ComplexResult{}
+}
+
+func runQ6[R store.Reader](r R, sc *Scratch, p ComplexParams) ComplexResult {
+	Q6(r, sc, p.Person, p.Tag)
+	return ComplexResult{}
+}
+
+func runQ7[R store.Reader](r R, sc *Scratch, p ComplexParams) ComplexResult {
+	var res ComplexResult
+	for _, row := range Q7(r, sc, p.Person) {
+		res.Persons = append(res.Persons, row.Liker)
+		res.Messages = append(res.Messages, row.Message)
+	}
+	return res
+}
+
+func runQ8[R store.Reader](r R, sc *Scratch, p ComplexParams) ComplexResult {
+	var res ComplexResult
+	for _, row := range Q8(r, sc, p.Person) {
+		res.Persons = append(res.Persons, row.Replier)
+		res.Messages = append(res.Messages, row.Comment)
+	}
+	return res
+}
+
+func runQ9[R store.Reader](r R, sc *Scratch, p ComplexParams) ComplexResult {
+	var res ComplexResult
+	for _, row := range Q9(r, sc, p.Person, p.MaxDate) {
+		res.Persons = append(res.Persons, row.Creator)
+		res.Messages = append(res.Messages, row.Message)
+	}
+	return res
+}
+
+func runQ10[R store.Reader](r R, sc *Scratch, p ComplexParams) ComplexResult {
+	var res ComplexResult
+	for _, row := range Q10(r, sc, p.Person, p.Sign) {
+		res.Persons = append(res.Persons, row.Person)
+	}
+	return res
+}
+
+func runQ11[R store.Reader](r R, sc *Scratch, p ComplexParams) ComplexResult {
+	var res ComplexResult
+	for _, row := range Q11(r, sc, p.Person, p.CountryX, p.BeforeYear) {
+		res.Persons = append(res.Persons, row.Person)
+	}
+	return res
+}
+
+func runQ12[R store.Reader](r R, sc *Scratch, p ComplexParams) ComplexResult {
+	var res ComplexResult
+	for _, row := range Q12(r, sc, p.Person, p.TagClass) {
+		res.Persons = append(res.Persons, row.Person)
+	}
+	return res
+}
+
+func runQ13[R store.Reader](r R, sc *Scratch, p ComplexParams) ComplexResult {
+	Q13(r, sc, p.Person, p.Other)
+	return ComplexResult{}
+}
+
+func runQ14[R store.Reader](r R, sc *Scratch, p ComplexParams) ComplexResult {
+	Q14(r, sc, p.Person, p.Other)
+	return ComplexResult{}
+}
+
+// Complex[q-1] is the descriptor of complex query q.
+var Complex = [NumComplexQueries]ComplexSpec{
+	{
+		Num: 1, Name: "Q1", Frequency: 132,
+		Bind: func(pools *ParamPools, rnd *xrand.Rand) ComplexParams {
+			p := ComplexParams{Person: pickID(pools.Persons, rnd)}
+			if len(pools.FirstNames) > 0 {
+				p.FirstName = pools.FirstNames[rnd.Intn(len(pools.FirstNames))]
+			}
+			return p
+		},
+		RunTxn: runQ1[*store.Txn], RunView: runQ1[*store.SnapshotView],
+	},
+	{
+		Num: 2, Name: "Q2", Frequency: 240,
+		Bind: func(pools *ParamPools, rnd *xrand.Rand) ComplexParams {
+			return ComplexParams{Person: pickID(pools.Persons, rnd), MaxDate: pools.MaxDate}
+		},
+		RunTxn: runQ2[*store.Txn], RunView: runQ2[*store.SnapshotView],
+	},
+	{
+		Num: 3, Name: "Q3", Frequency: 550,
+		Bind: func(pools *ParamPools, rnd *xrand.Rand) ComplexParams {
+			return ComplexParams{
+				Person:       pickID(pools.Persons, rnd),
+				CountryX:     pools.CountryX,
+				CountryY:     pools.CountryY,
+				StartDate:    pools.StartDate,
+				WindowMillis: pools.WindowMillis,
+			}
+		},
+		RunTxn: runQ3[*store.Txn], RunView: runQ3[*store.SnapshotView],
+	},
+	{
+		Num: 4, Name: "Q4", Frequency: 161,
+		Bind: func(pools *ParamPools, rnd *xrand.Rand) ComplexParams {
+			return ComplexParams{
+				Person:       pickID(pools.Persons, rnd),
+				StartDate:    pools.StartDate,
+				WindowMillis: pools.WindowMillis,
+			}
+		},
+		RunTxn: runQ4[*store.Txn], RunView: runQ4[*store.SnapshotView],
+	},
+	{
+		Num: 5, Name: "Q5", Frequency: 534,
+		Bind: func(pools *ParamPools, rnd *xrand.Rand) ComplexParams {
+			pool := pools.PersonsQ5
+			if len(pool) == 0 {
+				pool = pools.Persons
+			}
+			return ComplexParams{Person: pickID(pool, rnd), StartDate: pools.StartDate}
+		},
+		RunTxn: runQ5[*store.Txn], RunView: runQ5[*store.SnapshotView],
+	},
+	{
+		Num: 6, Name: "Q6", Frequency: 1615,
+		Bind: func(pools *ParamPools, rnd *xrand.Rand) ComplexParams {
+			return ComplexParams{Person: pickID(pools.Persons, rnd), Tag: pickID(pools.Tags, rnd)}
+		},
+		RunTxn: runQ6[*store.Txn], RunView: runQ6[*store.SnapshotView],
+	},
+	{
+		Num: 7, Name: "Q7", Frequency: 144,
+		Bind: func(pools *ParamPools, rnd *xrand.Rand) ComplexParams {
+			return ComplexParams{Person: pickID(pools.Persons, rnd)}
+		},
+		RunTxn: runQ7[*store.Txn], RunView: runQ7[*store.SnapshotView],
+	},
+	{
+		Num: 8, Name: "Q8", Frequency: 13,
+		Bind: func(pools *ParamPools, rnd *xrand.Rand) ComplexParams {
+			return ComplexParams{Person: pickID(pools.Persons, rnd)}
+		},
+		RunTxn: runQ8[*store.Txn], RunView: runQ8[*store.SnapshotView],
+	},
+	{
+		Num: 9, Name: "Q9", Frequency: 1425,
+		Bind: func(pools *ParamPools, rnd *xrand.Rand) ComplexParams {
+			return ComplexParams{Person: pickID(pools.Persons, rnd), MaxDate: pools.MaxDate}
+		},
+		RunTxn: runQ9[*store.Txn], RunView: runQ9[*store.SnapshotView],
+	},
+	{
+		Num: 10, Name: "Q10", Frequency: 217,
+		Bind: func(pools *ParamPools, rnd *xrand.Rand) ComplexParams {
+			return ComplexParams{Person: pickID(pools.Persons, rnd), Sign: rnd.Intn(12)}
+		},
+		RunTxn: runQ10[*store.Txn], RunView: runQ10[*store.SnapshotView],
+	},
+	{
+		Num: 11, Name: "Q11", Frequency: 133,
+		Bind: func(pools *ParamPools, rnd *xrand.Rand) ComplexParams {
+			n := pools.NumCountries
+			if n <= 0 {
+				n = 1
+			}
+			return ComplexParams{
+				Person:     pickID(pools.Persons, rnd),
+				CountryX:   rnd.Intn(n),
+				BeforeYear: pools.BeforeYear,
+			}
+		},
+		RunTxn: runQ11[*store.Txn], RunView: runQ11[*store.SnapshotView],
+	},
+	{
+		Num: 12, Name: "Q12", Frequency: 238,
+		Bind: func(pools *ParamPools, rnd *xrand.Rand) ComplexParams {
+			return ComplexParams{Person: pickID(pools.Persons, rnd), TagClass: pickID(pools.TagClasses, rnd)}
+		},
+		RunTxn: runQ12[*store.Txn], RunView: runQ12[*store.SnapshotView],
+	},
+	{
+		Num: 13, Name: "Q13", Frequency: 57,
+		Bind: func(pools *ParamPools, rnd *xrand.Rand) ComplexParams {
+			return ComplexParams{Person: pickID(pools.Persons, rnd), Other: pickID(pools.Persons, rnd)}
+		},
+		RunTxn: runQ13[*store.Txn], RunView: runQ13[*store.SnapshotView],
+	},
+	{
+		Num: 14, Name: "Q14", Frequency: 144,
+		Bind: func(pools *ParamPools, rnd *xrand.Rand) ComplexParams {
+			return ComplexParams{Person: pickID(pools.Persons, rnd), Other: pickID(pools.Persons, rnd)}
+		},
+		RunTxn: runQ14[*store.Txn], RunView: runQ14[*store.SnapshotView],
+	},
+}

@@ -1,0 +1,80 @@
+package workload
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"ldbcsnb/internal/datagen"
+	"ldbcsnb/internal/ids"
+	"ldbcsnb/internal/store"
+	"ldbcsnb/internal/xrand"
+)
+
+// TestComplexRegistryShape pins the registry's metadata: one descriptor
+// per query, numbered 1..14, carrying the exact Table 4 frequency and both
+// callbacks.
+func TestComplexRegistryShape(t *testing.T) {
+	for i := range Complex {
+		spec := &Complex[i]
+		if spec.Num != i+1 {
+			t.Fatalf("Complex[%d].Num = %d", i, spec.Num)
+		}
+		if want := fmt.Sprintf("Q%d", i+1); spec.Name != want {
+			t.Fatalf("Complex[%d].Name = %q, want %q", i, spec.Name, want)
+		}
+		if spec.Frequency != Table4Frequencies[i] {
+			t.Fatalf("Complex[%d].Frequency = %d, want %d", i, spec.Frequency, Table4Frequencies[i])
+		}
+		if spec.Bind == nil || spec.RunTxn == nil || spec.RunView == nil {
+			t.Fatalf("Complex[%d] missing Bind/RunTxn/RunView", i)
+		}
+	}
+}
+
+// TestComplexRegistryRunsBothPaths executes every registry descriptor with
+// one bound parameter set against both readers and requires identical walk
+// seeds — the driver-facing counterpart of the per-query equivalence tests.
+func TestComplexRegistryRunsBothPaths(t *testing.T) {
+	st, d := setup(t)
+	pools := &ParamPools{
+		FirstNames:   []string{"Karl"},
+		CountryX:     0,
+		CountryY:     1,
+		NumCountries: 4,
+		MaxDate:      datagen.UpdateCut,
+		StartDate:    datagen.SimStart,
+		WindowMillis: datagen.SimEnd - datagen.SimStart,
+		BeforeYear:   2013,
+	}
+	for i := range d.Persons {
+		if i%11 == 0 {
+			pools.Persons = append(pools.Persons, d.Persons[i].ID)
+		}
+	}
+	pools.PersonsQ5 = pools.Persons
+	for i := 0; i < 8; i++ {
+		pools.Tags = append(pools.Tags, ids.DimensionID(ids.KindTag, uint32(i)))
+		pools.TagClasses = append(pools.TagClasses, ids.DimensionID(ids.KindTagClass, uint32(i%4)))
+	}
+	v := st.CurrentView()
+	scV, scT := NewScratch(), NewScratch()
+	st.View(func(tx *store.Txn) {
+		for qi := range Complex {
+			spec := &Complex[qi]
+			// Identical rand streams give identical bindings; Bind must not
+			// depend on the reader.
+			rA := xrand.New(42, uint64(qi))
+			rB := xrand.New(42, uint64(qi))
+			pA, pB := spec.Bind(pools, rA), spec.Bind(pools, rB)
+			if pA != pB {
+				t.Fatalf("%s: Bind not deterministic: %+v vs %+v", spec.Name, pA, pB)
+			}
+			resV := spec.RunView(v, scV, pA)
+			resT := spec.RunTxn(tx, scT, pA)
+			if !reflect.DeepEqual(resV, resT) {
+				t.Fatalf("%s: seeds diverge between paths: view %+v txn %+v", spec.Name, resV, resT)
+			}
+		}
+	})
+}

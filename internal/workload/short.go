@@ -9,8 +9,10 @@ import (
 
 // The 7 simple read-only queries (§4: profile and post views, "the bulk of
 // the user queries"; Table 7). All are point lookups of O(log n)
-// complexity. S1-S3 are the profile-view family, S4-S7 the post-view
-// family; the driver chains them with the random walk of §4.
+// complexity, written once against store.Reader like the complex queries:
+// on the view path every step is a lock-free point lookup. S1-S3 are the
+// profile-view family, S4-S7 the post-view family; the driver chains them
+// with the random walk of §4 (RunShortReadChain).
 
 // S1Result is a person profile view.
 type S1Result struct {
@@ -24,25 +26,8 @@ type S1Result struct {
 }
 
 // S1 returns the basic profile of a person.
-func S1(tx *store.Txn, p ids.ID) (S1Result, bool) {
-	props, ok := tx.Props(p)
-	if !ok {
-		return S1Result{}, false
-	}
-	return S1Result{
-		FirstName:    props.Get(store.PropFirstName).Str(),
-		LastName:     props.Get(store.PropLastName).Str(),
-		Birthday:     props.Get(store.PropBirthday).Int(),
-		LocationIP:   props.Get(store.PropLocationIP).Str(),
-		Browser:      props.Get(store.PropBrowserUsed).Str(),
-		Gender:       int(props.Get(store.PropGender).Int()),
-		CreationDate: props.Get(store.PropCreationDate).Int(),
-	}, true
-}
-
-// S1View is S1 on the frozen snapshot view.
-func S1View(v *store.SnapshotView, p ids.ID) (S1Result, bool) {
-	props, ok := v.Props(p)
+func S1[R store.Reader](r R, p ids.ID) (S1Result, bool) {
+	props, ok := r.Props(p)
 	if !ok {
 		return S1Result{}, false
 	}
@@ -58,30 +43,10 @@ func S1View(v *store.SnapshotView, p ids.ID) (S1Result, bool) {
 }
 
 // S2 returns the person's 10 most recent messages (id, creation date),
-// newest first.
-func S2(tx *store.Txn, p ids.ID) []MessageRow {
-	msgs := messagesOf(tx, p)
-	rows := make([]MessageRow, 0, len(msgs))
-	for _, m := range msgs {
-		rows = append(rows, MessageRow{Message: m.To, Creator: p, CreationDate: m.Stamp})
-	}
-	sort.Slice(rows, func(i, j int) bool {
-		if rows[i].CreationDate != rows[j].CreationDate {
-			return rows[i].CreationDate > rows[j].CreationDate
-		}
-		return rows[i].Message < rows[j].Message
-	})
-	if len(rows) > 10 {
-		rows = rows[:10]
-	}
-	return rows
-}
-
-// S2View is S2 on the frozen snapshot view: the message adjacency is a CSR
-// subslice and the newest-10 cut uses a bounded heap.
-func S2View(v *store.SnapshotView, p ids.ID) []MessageRow {
+// newest first, through a bounded top-10 heap.
+func S2[R store.Reader](r R, p ids.ID) []MessageRow {
 	top := newTopK(10, messageRowLess)
-	for _, m := range messagesOfView(v, p) {
+	for _, m := range messagesOf(r, p) {
 		top.Push(MessageRow{Message: m.To, Creator: p, CreationDate: m.Stamp})
 	}
 	return top.Sorted()
@@ -93,35 +58,16 @@ type S3Row struct {
 	CreationDate int64
 }
 
-// S3 returns all friends of a person with the friendship dates, newest
+// S3 returns the friends of a person with the friendship dates, newest
 // friendship first (capped at 20, the paper's profile view cap).
-func S3(tx *store.Txn, p ids.ID) []S3Row {
-	edges := tx.Out(p, store.EdgeKnows)
-	rows := make([]S3Row, 0, len(edges))
-	for _, e := range edges {
-		rows = append(rows, S3Row{Friend: e.To, CreationDate: e.Stamp})
-	}
-	sort.Slice(rows, func(i, j int) bool {
-		if rows[i].CreationDate != rows[j].CreationDate {
-			return rows[i].CreationDate > rows[j].CreationDate
-		}
-		return rows[i].Friend < rows[j].Friend
-	})
-	if len(rows) > 20 {
-		rows = rows[:20]
-	}
-	return rows
-}
-
-// S3View is S3 on the frozen snapshot view.
-func S3View(v *store.SnapshotView, p ids.ID) []S3Row {
+func S3[R store.Reader](r R, p ids.ID) []S3Row {
 	top := newTopK(20, func(a, b S3Row) bool {
 		if a.CreationDate != b.CreationDate {
 			return a.CreationDate > b.CreationDate
 		}
 		return a.Friend < b.Friend
 	})
-	for _, e := range v.Out(p, store.EdgeKnows) {
+	for _, e := range r.Out(p, store.EdgeKnows) {
 		top.Push(S3Row{Friend: e.To, CreationDate: e.Stamp})
 	}
 	return top.Sorted()
@@ -134,24 +80,8 @@ type S4Result struct {
 }
 
 // S4 returns a message's content and creation date.
-func S4(tx *store.Txn, m ids.ID) (S4Result, bool) {
-	props, ok := tx.Props(m)
-	if !ok {
-		return S4Result{}, false
-	}
-	content := props.Get(store.PropContent).Str()
-	if content == "" {
-		content = props.Get(store.PropImageFile).Str()
-	}
-	return S4Result{
-		CreationDate: props.Get(store.PropCreationDate).Int(),
-		Content:      content,
-	}, true
-}
-
-// S4View is S4 on the frozen snapshot view.
-func S4View(v *store.SnapshotView, m ids.ID) (S4Result, bool) {
-	props, ok := v.Props(m)
+func S4[R store.Reader](r R, m ids.ID) (S4Result, bool) {
+	props, ok := r.Props(m)
 	if !ok {
 		return S4Result{}, false
 	}
@@ -173,28 +103,15 @@ type S5Result struct {
 }
 
 // S5 returns the creator of a message.
-func S5(tx *store.Txn, m ids.ID) (S5Result, bool) {
-	cs := tx.Out(m, store.EdgeHasCreator)
+func S5[R store.Reader](r R, m ids.ID) (S5Result, bool) {
+	cs := r.Out(m, store.EdgeHasCreator)
 	if len(cs) == 0 {
 		return S5Result{}, false
 	}
 	return S5Result{
 		Creator:   cs[0].To,
-		FirstName: tx.Prop(cs[0].To, store.PropFirstName).Str(),
-		LastName:  tx.Prop(cs[0].To, store.PropLastName).Str(),
-	}, true
-}
-
-// S5View is S5 on the frozen snapshot view.
-func S5View(v *store.SnapshotView, m ids.ID) (S5Result, bool) {
-	cs := v.Out(m, store.EdgeHasCreator)
-	if len(cs) == 0 {
-		return S5Result{}, false
-	}
-	return S5Result{
-		Creator:   cs[0].To,
-		FirstName: v.Prop(cs[0].To, store.PropFirstName).Str(),
-		LastName:  v.Prop(cs[0].To, store.PropLastName).Str(),
+		FirstName: r.Prop(cs[0].To, store.PropFirstName).Str(),
+		LastName:  r.Prop(cs[0].To, store.PropLastName).Str(),
 	}, true
 }
 
@@ -207,53 +124,27 @@ type S6Result struct {
 
 // S6 returns the forum containing a message (walking replyOf up to the
 // root post for comments).
-func S6(tx *store.Txn, m ids.ID) (S6Result, bool) {
+func S6[R store.Reader](r R, m ids.ID) (S6Result, bool) {
 	cur := m
 	for i := 0; i < 64 && cur.Kind() == ids.KindComment; i++ {
-		parents := tx.Out(cur, store.EdgeReplyOf)
+		parents := r.Out(cur, store.EdgeReplyOf)
 		if len(parents) == 0 {
 			return S6Result{}, false
 		}
 		cur = parents[0].To
 	}
-	containers := tx.In(cur, store.EdgeContainerOf)
+	containers := r.In(cur, store.EdgeContainerOf)
 	if len(containers) == 0 {
 		return S6Result{}, false
 	}
 	forum := containers[0].To
 	var moderator ids.ID
-	if ms := tx.Out(forum, store.EdgeHasModerator); len(ms) > 0 {
+	if ms := r.Out(forum, store.EdgeHasModerator); len(ms) > 0 {
 		moderator = ms[0].To
 	}
 	return S6Result{
 		Forum:     forum,
-		Title:     tx.Prop(forum, store.PropTitle).Str(),
-		Moderator: moderator,
-	}, true
-}
-
-// S6View is S6 on the frozen snapshot view.
-func S6View(v *store.SnapshotView, m ids.ID) (S6Result, bool) {
-	cur := m
-	for i := 0; i < 64 && cur.Kind() == ids.KindComment; i++ {
-		parents := v.Out(cur, store.EdgeReplyOf)
-		if len(parents) == 0 {
-			return S6Result{}, false
-		}
-		cur = parents[0].To
-	}
-	containers := v.In(cur, store.EdgeContainerOf)
-	if len(containers) == 0 {
-		return S6Result{}, false
-	}
-	forum := containers[0].To
-	var moderator ids.ID
-	if ms := v.Out(forum, store.EdgeHasModerator); len(ms) > 0 {
-		moderator = ms[0].To
-	}
-	return S6Result{
-		Forum:     forum,
-		Title:     v.Prop(forum, store.PropTitle).Str(),
+		Title:     r.Prop(forum, store.PropTitle).Str(),
 		Moderator: moderator,
 	}, true
 }
@@ -266,54 +157,25 @@ type S7Row struct {
 	KnowsOriginal bool // reply author knows the original message author
 }
 
-// S7 returns the direct replies to a message, newest first.
-func S7(tx *store.Txn, m ids.ID) []S7Row {
+// S7 returns the direct replies to a message, newest first. S7 has no
+// LIMIT, so the result is sorted in full.
+func S7[R store.Reader](r R, m ids.ID) []S7Row {
 	var origAuthor ids.ID
-	if cs := tx.Out(m, store.EdgeHasCreator); len(cs) > 0 {
+	if cs := r.Out(m, store.EdgeHasCreator); len(cs) > 0 {
 		origAuthor = cs[0].To
 	}
-	replies := tx.In(m, store.EdgeReplyOf)
+	replies := r.In(m, store.EdgeReplyOf)
 	rows := make([]S7Row, 0, len(replies))
 	for _, re := range replies {
 		var author ids.ID
-		if cs := tx.Out(re.To, store.EdgeHasCreator); len(cs) > 0 {
+		if cs := r.Out(re.To, store.EdgeHasCreator); len(cs) > 0 {
 			author = cs[0].To
 		}
 		rows = append(rows, S7Row{
 			Comment:       re.To,
 			Author:        author,
 			CreationDate:  re.Stamp,
-			KnowsOriginal: origAuthor != 0 && author != 0 && isFriend(tx, author, origAuthor),
-		})
-	}
-	sort.Slice(rows, func(i, j int) bool {
-		if rows[i].CreationDate != rows[j].CreationDate {
-			return rows[i].CreationDate > rows[j].CreationDate
-		}
-		return rows[i].Comment < rows[j].Comment
-	})
-	return rows
-}
-
-// S7View is S7 on the frozen snapshot view. S7 has no LIMIT, so the result
-// is sorted in full like the Txn path.
-func S7View(v *store.SnapshotView, m ids.ID) []S7Row {
-	var origAuthor ids.ID
-	if cs := v.Out(m, store.EdgeHasCreator); len(cs) > 0 {
-		origAuthor = cs[0].To
-	}
-	replies := v.In(m, store.EdgeReplyOf)
-	rows := make([]S7Row, 0, len(replies))
-	for _, re := range replies {
-		var author ids.ID
-		if cs := v.Out(re.To, store.EdgeHasCreator); len(cs) > 0 {
-			author = cs[0].To
-		}
-		rows = append(rows, S7Row{
-			Comment:       re.To,
-			Author:        author,
-			CreationDate:  re.Stamp,
-			KnowsOriginal: origAuthor != 0 && author != 0 && isFriendView(v, author, origAuthor),
+			KnowsOriginal: origAuthor != 0 && author != 0 && isFriend(r, author, origAuthor),
 		})
 	}
 	sort.Slice(rows, func(i, j int) bool {

@@ -1,11 +1,45 @@
 // Package workload implements the SNB Interactive workload: the 14 complex
 // read-only queries (Q1-Q14, Appendix of the paper), the 7 simple read-only
-// queries, and the 8 transactional updates (U1-U8), all executed against
-// the property-graph store.
+// queries (S1-S7, the profile/post views of §4), and the 8 transactional
+// updates (U1-U8), all executed against the property-graph store.
 //
-// The implementations are graph-navigation programs over the store API (the
-// Sparksee style of §5); Query 9 additionally has an explicit join-operator
-// formulation used for the Figure 4 join-type ablation.
+// # The unified Reader contract
+//
+// Every read-only query has exactly one implementation, generic over
+// store.Reader:
+//
+//	func Q9[R store.Reader](r R, sc *Scratch, start ids.ID, maxDate int64) []MessageRow
+//
+// The same code therefore serves both read paths. Instantiated with
+// *store.Txn it is the transactional formulation (MVCC filtering, map-backed
+// visited sets); instantiated with *store.SnapshotView it is the Interactive
+// hot path (lock-free CSR subslices, dense ordinal bitsets, no allocation in
+// the adjacency loops). Results are identical between the two instantiations
+// at the same snapshot timestamp — every result ordering tie-breaks on a
+// unique ID, so selection and order are deterministic; the equivalence
+// property tests (view_test.go) pin this for all queries and the short-read
+// chain.
+//
+// The queries are graph-navigation programs (the Sparksee style of §5);
+// Query 9 additionally has an explicit join-operator formulation (Q9Join)
+// used for the Figure 4 join-type ablation.
+//
+// # Scratch and aliasing rules
+//
+// A Scratch carries the reusable traversal state of one executor goroutine:
+// a pool of visited sets and two ID buffers. Queries bind it to their reader
+// on entry, which resets all scratch state. The aliasing rules:
+//
+//   - One Scratch serves one goroutine; never share it.
+//   - Slices returned by helpers that traverse (TwoHopEnv) alias the
+//     scratch's buffers and are valid only until the next query on the same
+//     Scratch. Copy them to keep them.
+//   - Query results (Q*Row slices) never alias the scratch — they are safe
+//     to retain.
+//   - On the view path, visited sets are keyed by the view's node ordinals,
+//     so a Scratch must not be shared between queries running against
+//     different views concurrently (sequential reuse across views is fine
+//     and is the intended pattern).
 package workload
 
 import (
@@ -14,146 +48,158 @@ import (
 	"ldbcsnb/internal/store"
 )
 
-// friendsOf returns the distinct direct friends of a person.
-func friendsOf(tx *store.Txn, p ids.ID) []ids.ID {
-	edges := tx.Out(p, store.EdgeKnows)
-	out := make([]ids.ID, 0, len(edges))
-	seen := make(map[ids.ID]bool, len(edges))
-	for _, e := range edges {
-		if e.To != p && !seen[e.To] {
-			seen[e.To] = true
-			out = append(out, e.To)
-		}
-	}
-	return out
-}
-
-// friendsAndFoF returns the distinct persons within two knows-hops of p,
-// excluding p itself. This set is the "2-hop environment" whose size
-// distribution Figure 5(a) plots.
-func friendsAndFoF(tx *store.Txn, p ids.ID) []ids.ID {
-	seen := map[ids.ID]bool{p: true}
-	var out []ids.ID
-	for _, e := range tx.Out(p, store.EdgeKnows) {
-		if !seen[e.To] {
-			seen[e.To] = true
-			out = append(out, e.To)
-		}
-	}
-	direct := len(out)
-	for i := 0; i < direct; i++ {
-		for _, e := range tx.Out(out[i], store.EdgeKnows) {
-			if !seen[e.To] {
-				seen[e.To] = true
-				out = append(out, e.To)
-			}
-		}
-	}
-	return out
-}
-
-// messagesOf returns the messages created by a person as (id, creationDate)
-// pairs, exploiting the hasCreator reverse adjacency whose stamps carry the
-// message creation dates.
-func messagesOf(tx *store.Txn, p ids.ID) []store.Edge {
-	return tx.In(p, store.EdgeHasCreator)
-}
-
-// isFriend reports whether a and b are directly connected.
-func isFriend(tx *store.Txn, a, b ids.ID) bool {
-	for _, e := range tx.Out(a, store.EdgeKnows) {
-		if e.To == b {
-			return true
-		}
-	}
-	return false
-}
-
-// Scratch is the reusable per-executor state of the view-based query path:
-// a dense visited bitset keyed by the view's compact node ordinals plus
-// traversal buffers. One Scratch serves one goroutine; reusing it across
-// queries keeps the hot BFS loops allocation-free once the buffers have
-// warmed up to the working-set size.
+// Scratch is the reusable per-executor traversal state of the unified query
+// path: a pool of visited sets plus ID buffers, recycled across queries so
+// the hot BFS loops stay allocation-free on the view path once the buffers
+// have warmed up to the working-set size. See the package documentation for
+// the aliasing rules.
 type Scratch struct {
-	seen bitset.Set
-	env  []ids.ID // traversal output buffer, reused between queries
+	v    *store.SnapshotView // non-nil while bound to a frozen view
+	sets []*seenSet          // visited-set pool, recycled across queries
+	used int                 // sets handed out since the last begin
+	env  []ids.ID            // primary traversal buffer (friend environments, BFS layers)
+	aux  []ids.ID            // secondary buffer (subtree queues, forum lists)
 }
 
 // NewScratch returns an empty scratch; buffers grow on first use.
 func NewScratch() *Scratch { return &Scratch{} }
 
-// reset prepares the scratch for one query over v.
-func (sc *Scratch) reset(v *store.SnapshotView) {
-	sc.seen.Grow(v.NumNodes())
-	sc.seen.Reset()
+// begin binds the scratch to one query execution over r, resetting all
+// scratch state. Visited sets handed out afterwards are keyed by view
+// ordinals when r is a frozen view and by node-ID hash sets otherwise.
+func (sc *Scratch) begin(r store.Reader) {
+	sc.v = r.Frozen()
+	sc.used = 0
 	sc.env = sc.env[:0]
+	sc.aux = sc.aux[:0]
 }
 
-// markSeen marks a node's ordinal, reporting whether it was new. Nodes
-// outside the view (never the case for edge endpoints, which the store
-// materialises) count as already seen.
-func (sc *Scratch) markSeen(v *store.SnapshotView, id ids.ID) bool {
-	o, ok := v.Ord(id)
-	if !ok {
+// newSeen returns a cleared visited set drawn from the scratch's pool. The
+// set is valid until the next begin.
+func (sc *Scratch) newSeen() *seenSet {
+	if sc.used == len(sc.sets) {
+		sc.sets = append(sc.sets, &seenSet{})
+	}
+	s := sc.sets[sc.used]
+	sc.used++
+	s.bind(sc.v)
+	return s
+}
+
+// seenSet is one visited set: a dense ordinal bitset when bound to a frozen
+// view, a node-ID hash set otherwise. The dual representation is what lets
+// one generic query implementation keep the view path's zero-allocation
+// adjacency iteration while remaining correct on the MVCC path.
+type seenSet struct {
+	v    *store.SnapshotView
+	bits bitset.Set
+	m    map[ids.ID]struct{}
+}
+
+// bind prepares the set for one traversal over v (nil = MVCC path).
+func (s *seenSet) bind(v *store.SnapshotView) {
+	s.v = v
+	if v != nil {
+		s.bits.Grow(v.NumNodes())
+		s.bits.Reset()
+		return
+	}
+	if s.m == nil {
+		s.m = make(map[ids.ID]struct{})
+		return
+	}
+	clear(s.m)
+}
+
+// tryMark marks a node, reporting whether it was unseen. On the view path,
+// nodes outside the view count as already seen (never the case for edge
+// endpoints, which the store materialises).
+func (s *seenSet) tryMark(id ids.ID) bool {
+	if s.v != nil {
+		o, ok := s.v.Ord(id)
+		if !ok {
+			return false
+		}
+		return s.bits.TrySet(o)
+	}
+	if _, ok := s.m[id]; ok {
 		return false
 	}
-	return sc.seen.TrySet(o)
+	s.m[id] = struct{}{}
+	return true
 }
 
-// friendsOfView is friendsOf on the frozen view: distinct direct friends in
-// edge insertion order, excluding p. The result aliases sc.env and is valid
-// until the next query on sc.
-func friendsOfView(v *store.SnapshotView, sc *Scratch, p ids.ID) []ids.ID {
-	sc.reset(v)
-	sc.markSeen(v, p)
-	for _, e := range v.Out(p, store.EdgeKnows) {
-		if sc.markSeen(v, e.To) {
+// has reports whether a node is marked.
+func (s *seenSet) has(id ids.ID) bool {
+	if s.v != nil {
+		o, ok := s.v.Ord(id)
+		return ok && s.bits.Has(o)
+	}
+	_, ok := s.m[id]
+	return ok
+}
+
+// friendsOf fills sc.env with the distinct direct friends of p (excluding
+// p), in edge insertion order. The result aliases sc.env.
+func friendsOf[R store.Reader](r R, sc *Scratch, p ids.ID) []ids.ID {
+	seen := sc.newSeen()
+	seen.tryMark(p)
+	sc.env = sc.env[:0]
+	for _, e := range r.Out(p, store.EdgeKnows) {
+		if seen.tryMark(e.To) {
 			sc.env = append(sc.env, e.To)
 		}
 	}
 	return sc.env
 }
 
-// friendsAndFoFView is friendsAndFoF on the frozen view: the distinct 2-hop
-// knows environment of p (excluding p), in the same order as the Txn path.
-// The result aliases sc.env and is valid until the next query on sc.
-func friendsAndFoFView(v *store.SnapshotView, sc *Scratch, p ids.ID) []ids.ID {
-	sc.reset(v)
-	sc.markSeen(v, p)
-	for _, e := range v.Out(p, store.EdgeKnows) {
-		if sc.markSeen(v, e.To) {
+// friendsAndFoF fills sc.env with the distinct persons within two
+// knows-hops of p, excluding p itself — the "2-hop environment" whose size
+// distribution Figure 5(a) plots. It returns the environment (aliasing
+// sc.env) together with its visited set (which additionally contains p) for
+// queries that need membership tests afterwards.
+func friendsAndFoF[R store.Reader](r R, sc *Scratch, p ids.ID) ([]ids.ID, *seenSet) {
+	seen := sc.newSeen()
+	seen.tryMark(p)
+	sc.env = sc.env[:0]
+	for _, e := range r.Out(p, store.EdgeKnows) {
+		if seen.tryMark(e.To) {
 			sc.env = append(sc.env, e.To)
 		}
 	}
 	direct := len(sc.env)
 	for i := 0; i < direct; i++ {
-		for _, e := range v.Out(sc.env[i], store.EdgeKnows) {
-			if sc.markSeen(v, e.To) {
+		for _, e := range r.Out(sc.env[i], store.EdgeKnows) {
+			if seen.tryMark(e.To) {
 				sc.env = append(sc.env, e.To)
 			}
 		}
 	}
-	return sc.env
+	return sc.env, seen
 }
 
-// TwoHopEnvView exposes the view-path 2-hop expansion (friendsAndFoFView)
-// for benchmarks and external callers: the distinct persons within two
-// knows-hops of p, excluding p. The result aliases sc's buffers and is
-// valid until the next query on sc; iterating it allocates nothing once
-// the scratch is warm.
-func TwoHopEnvView(v *store.SnapshotView, sc *Scratch, p ids.ID) []ids.ID {
-	return friendsAndFoFView(v, sc, p)
+// TwoHopEnv exposes the 2-hop expansion for benchmarks and external
+// callers: the distinct persons within two knows-hops of p, excluding p.
+// The result aliases sc's buffers and is valid until the next query on sc;
+// on the view path, iterating it allocates nothing once the scratch is
+// warm.
+func TwoHopEnv[R store.Reader](r R, sc *Scratch, p ids.ID) []ids.ID {
+	sc.begin(r)
+	env, _ := friendsAndFoF(r, sc, p)
+	return env
 }
 
-// messagesOfView returns the (message, creationDate) adjacency of a
-// person's hasCreator reverse edges — a zero-copy slab subslice.
-func messagesOfView(v *store.SnapshotView, p ids.ID) []store.Edge {
-	return v.In(p, store.EdgeHasCreator)
+// messagesOf returns the messages created by a person as (id, creationDate)
+// pairs, exploiting the hasCreator reverse adjacency whose stamps carry the
+// message creation dates. On the view path this is a zero-copy slab
+// subslice.
+func messagesOf[R store.Reader](r R, p ids.ID) []store.Edge {
+	return r.In(p, store.EdgeHasCreator)
 }
 
-// isFriendView reports whether a and b are directly connected in the view.
-func isFriendView(v *store.SnapshotView, a, b ids.ID) bool {
-	for _, e := range v.Out(a, store.EdgeKnows) {
+// isFriend reports whether a and b are directly connected.
+func isFriend[R store.Reader](r R, a, b ids.ID) bool {
+	for _, e := range r.Out(a, store.EdgeKnows) {
 		if e.To == b {
 			return true
 		}

@@ -74,7 +74,9 @@ func TestFriendsHelpersMatchReference(t *testing.T) {
 	p := pickPersonWithFriends(t, d, 3)
 	want := refFriends(d, p)
 	st.View(func(tx *store.Txn) {
-		got := friendsOf(tx, p)
+		sc := NewScratch()
+		sc.begin(tx)
+		got := friendsOf(tx, sc, p)
 		if len(got) != len(want) {
 			t.Fatalf("friendsOf: got %d want %d", len(got), len(want))
 		}
@@ -93,7 +95,7 @@ func TestFriendsHelpersMatchReference(t *testing.T) {
 				}
 			}
 		}
-		env := friendsAndFoF(tx, p)
+		env, _ := friendsAndFoF(tx, sc, p)
 		if len(env) != len(ref) {
 			t.Fatalf("friendsAndFoF: got %d want %d", len(env), len(ref))
 		}
@@ -115,7 +117,8 @@ func TestQ1FindsNamesakesInOrder(t *testing.T) {
 		}
 	}
 	st.View(func(tx *store.Txn) {
-		rows := Q1(tx, p, name)
+		sc := NewScratch()
+		rows := Q1(tx, sc, p, name)
 		if len(rows) == 0 {
 			t.Skip("no namesakes within 3 hops of test person")
 		}
@@ -173,7 +176,7 @@ func TestQ2MatchesReferenceModel(t *testing.T) {
 		want = want[:20]
 	}
 	st.View(func(tx *store.Txn) {
-		got := Q2(tx, p, maxDate)
+		got := Q2(tx, NewScratch(), p, maxDate)
 		if len(got) != len(want) {
 			t.Fatalf("Q2 size: got %d want %d", len(got), len(want))
 		}
@@ -191,7 +194,8 @@ func TestQ9SupersetOfQ2AndOrdered(t *testing.T) {
 	p := pickPersonWithFriends(t, d, 3)
 	maxDate := datagen.UpdateCut
 	st.View(func(tx *store.Txn) {
-		q9 := Q9(tx, p, maxDate)
+		sc := NewScratch()
+		q9 := Q9(tx, sc, p, maxDate)
 		if len(q9) == 0 {
 			t.Skip("no messages in 2-hop environment")
 		}
@@ -201,7 +205,7 @@ func TestQ9SupersetOfQ2AndOrdered(t *testing.T) {
 			}
 		}
 		// The 2-hop newest message is at least as new as the 1-hop newest.
-		q2 := Q2(tx, p, maxDate)
+		q2 := Q2(tx, sc, p, maxDate)
 		if len(q2) > 0 && q9[0].CreationDate < q2[0].CreationDate {
 			t.Fatal("Q9 top should dominate Q2 top")
 		}
@@ -213,14 +217,15 @@ func TestQ9JoinPlansAgree(t *testing.T) {
 	p := pickPersonWithFriends(t, d, 3)
 	maxDate := datagen.UpdateCut
 	st.View(func(tx *store.Txn) {
-		want := Q9(tx, p, maxDate)
+		sc := NewScratch()
+		want := Q9(tx, sc, p, maxDate)
 		for _, plan := range []Q9Plan{
 			{JoinINL, JoinINL},
 			{JoinHash, JoinINL},
 			{JoinINL, JoinHash},
 			{JoinHash, JoinHash},
 		} {
-			got := Q9Join(tx, p, maxDate, plan)
+			got := Q9Join(tx, sc, p, maxDate, plan)
 			if len(got) != len(want) {
 				t.Fatalf("plan %+v: size %d want %d", plan, len(got), len(want))
 			}
@@ -238,7 +243,7 @@ func TestQ3TravelersExcludeLocals(t *testing.T) {
 	p := pickPersonWithFriends(t, d, 3)
 	st.View(func(tx *store.Txn) {
 		// Use the two most common countries as X and Y to maximise hits.
-		rows := Q3(tx, p, 0, 1, datagen.SimStart, datagen.SimEnd-datagen.SimStart)
+		rows := Q3(tx, NewScratch(), p, 0, 1, datagen.SimStart, datagen.SimEnd-datagen.SimStart)
 		for _, r := range rows {
 			home := int(tx.Prop(r.Person, store.PropCountry).Int())
 			if home == 0 || home == 1 {
@@ -262,7 +267,7 @@ func TestQ4NewTopicsWindow(t *testing.T) {
 	p := pickPersonWithFriends(t, d, 3)
 	mid := datagen.SimStart + (datagen.SimEnd-datagen.SimStart)/2
 	st.View(func(tx *store.Txn) {
-		rows := Q4(tx, p, mid, 90*24*3600*1000)
+		rows := Q4(tx, NewScratch(), p, mid, 90*24*3600*1000)
 		if len(rows) > 10 {
 			t.Fatal("Q4 exceeds limit")
 		}
@@ -293,7 +298,8 @@ func TestQ5NewGroups(t *testing.T) {
 	st, d := setup(t)
 	p := pickPersonWithFriends(t, d, 3)
 	st.View(func(tx *store.Txn) {
-		rows := Q5(tx, p, datagen.SimStart) // all joins qualify
+		sc := NewScratch()
+		rows := Q5(tx, sc, p, datagen.SimStart) // all joins qualify
 		if len(rows) == 0 {
 			t.Skip("no forums joined by 2-hop environment")
 		}
@@ -303,7 +309,7 @@ func TestQ5NewGroups(t *testing.T) {
 			}
 		}
 		// A forum joined only before minDate must not appear.
-		late := Q5(tx, p, datagen.SimEnd)
+		late := Q5(tx, sc, p, datagen.SimEnd)
 		if len(late) != 0 {
 			t.Fatal("Q5 with future minDate should be empty")
 		}
@@ -315,7 +321,9 @@ func TestQ6CoOccurrence(t *testing.T) {
 	p := pickPersonWithFriends(t, d, 3)
 	st.View(func(tx *store.Txn) {
 		// Find a tag that occurs with co-tags among the environment's posts.
-		env := friendsAndFoF(tx, p)
+		sc := NewScratch()
+		sc.begin(tx)
+		env, _ := friendsAndFoF(tx, sc, p)
 		var tag ids.ID
 		for _, q := range env {
 			for _, m := range messagesOf(tx, q) {
@@ -334,7 +342,7 @@ func TestQ6CoOccurrence(t *testing.T) {
 		if tag == 0 {
 			t.Skip("no multi-tag posts in environment")
 		}
-		rows := Q6(tx, p, tag)
+		rows := Q6(tx, sc, p, tag)
 		for _, r := range rows {
 			if r.Tag == tag {
 				t.Fatal("Q6 must exclude the query tag")
@@ -371,7 +379,7 @@ func TestQ7RecentLikes(t *testing.T) {
 		t.Skip("no liked messages")
 	}
 	st.View(func(tx *store.Txn) {
-		rows := Q7(tx, p)
+		rows := Q7(tx, NewScratch(), p)
 		if len(rows) == 0 {
 			t.Fatal("expected likes")
 		}
@@ -409,7 +417,7 @@ func TestQ8RecentReplies(t *testing.T) {
 		t.Skip("no replies in dataset")
 	}
 	st.View(func(tx *store.Txn) {
-		rows := Q8(tx, p)
+		rows := Q8(tx, NewScratch(), p)
 		if len(rows) == 0 {
 			t.Fatal("expected replies")
 		}
@@ -431,12 +439,14 @@ func TestQ10Recommendation(t *testing.T) {
 	p := pickPersonWithFriends(t, d, 5)
 	st.View(func(tx *store.Txn) {
 		direct := map[ids.ID]bool{p: true}
-		for _, f := range friendsOf(tx, p) {
+		sc := NewScratch()
+		sc.begin(tx)
+		for _, f := range append([]ids.ID(nil), friendsOf(tx, sc, p)...) {
 			direct[f] = true
 		}
 		found := false
 		for sign := 0; sign < 12; sign++ {
-			rows := Q10(tx, p, sign)
+			rows := Q10(tx, sc, p, sign)
 			for i, r := range rows {
 				found = true
 				if direct[r.Person] {
@@ -460,9 +470,10 @@ func TestQ11JobReferral(t *testing.T) {
 	st, d := setup(t)
 	p := pickPersonWithFriends(t, d, 5)
 	st.View(func(tx *store.Txn) {
+		sc := NewScratch()
 		found := false
 		for country := range dict.Countries {
-			rows := Q11(tx, p, country, 2013)
+			rows := Q11(tx, sc, p, country, 2013)
 			for i, r := range rows {
 				found = true
 				if r.WorkFrom >= 2013 {
@@ -489,7 +500,8 @@ func TestQ12ExpertSearch(t *testing.T) {
 		// Thing (class 0) covers every tag, so any reply to a tagged post
 		// counts.
 		root := ids.DimensionID(ids.KindTagClass, 0)
-		rows := Q12(tx, p, root)
+		sc := NewScratch()
+		rows := Q12(tx, sc, p, root)
 		for i := 1; i < len(rows); i++ {
 			if rows[i].Replies > rows[i-1].Replies {
 				t.Fatal("Q12 not sorted")
@@ -497,7 +509,7 @@ func TestQ12ExpertSearch(t *testing.T) {
 		}
 		// A leaf class must never yield more replies than the root.
 		leaf := ids.DimensionID(ids.KindTagClass, 3)
-		leafRows := Q12(tx, p, leaf)
+		leafRows := Q12(tx, sc, p, leaf)
 		sum := func(rs []Q12Row) int {
 			n := 0
 			for _, r := range rs {
@@ -542,11 +554,12 @@ func TestQ13AgainstReferenceBFS(t *testing.T) {
 	}
 	r := xrand.New(5)
 	st.View(func(tx *store.Txn) {
+		sc := NewScratch()
 		for i := 0; i < 30; i++ {
 			a := d.Persons[r.Intn(len(d.Persons))].ID
 			b := d.Persons[r.Intn(len(d.Persons))].ID
 			want := refDist(a, b)
-			if got := Q13(tx, a, b); got != want {
+			if got := Q13(tx, sc, a, b); got != want {
 				t.Fatalf("Q13(%v,%v) = %d, want %d", a, b, got, want)
 			}
 		}
@@ -557,12 +570,13 @@ func TestQ14PathsValid(t *testing.T) {
 	st, d := setup(t)
 	r := xrand.New(6)
 	st.View(func(tx *store.Txn) {
+		sc := NewScratch()
 		checked := 0
 		for i := 0; i < 60 && checked < 5; i++ {
 			a := d.Persons[r.Intn(len(d.Persons))].ID
 			b := d.Persons[r.Intn(len(d.Persons))].ID
-			want := Q13(tx, a, b)
-			rows := Q14(tx, a, b)
+			want := Q13(tx, sc, a, b)
+			rows := Q14(tx, sc, a, b)
 			if want < 0 {
 				if len(rows) != 0 {
 					t.Fatal("Q14 found path where none exists")
@@ -666,7 +680,7 @@ func TestShortReadChainTerminates(t *testing.T) {
 	st.View(func(tx *store.Txn) {
 		total := 0
 		for i := 0; i < 50; i++ {
-			stats := DefaultShortReadMix.RunShortReadChain(tx, r, []ids.ID{p}, nil)
+			stats := RunShortReadChain(tx, DefaultShortReadMix, r, []ids.ID{p}, nil, nil)
 			for _, c := range stats {
 				total += c
 			}

@@ -2,9 +2,14 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test bench bench-smoke
+.PHONY: check fmt vet build test race bench bench-smoke
 
 check: fmt vet build test
+
+# Incremental view maintenance runs concurrently with commits; the store
+# and driver suites under -race cover that surface (wired into CI).
+race:
+	$(GO) test -race ./internal/store/... ./internal/driver/...
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -21,9 +26,11 @@ test:
 
 # View-vs-txn read-path comparison over every Interactive query
 # (allocation counts matter: the view path's adjacency iteration must
-# report 0 allocs/op). The run also emits BENCH_interactive.json — ns/op
-# and allocs/op per query per read path — so the perf trajectory is
-# tracked across PRs.
+# report 0 allocs/op), plus the view-maintenance split: BenchmarkViewRefresh
+# (delta refresh after 1 and 16 commits, ring overflow) against
+# BenchmarkViewRebuild (full recompaction). The run emits
+# BENCH_interactive.json — ns/op and allocs/op per query per read path and
+# per maintenance case — so the perf trajectory is tracked across PRs.
 # Two steps (not a pipeline) so a benchmark failure fails the target
 # instead of being masked by the parser's exit status. The temp file lives
 # outside the working tree so a failed run leaves no untracked litter.

@@ -9,8 +9,10 @@
 //	go test ./internal/bench/ -run xxx -bench 'BenchmarkView' -benchmem | benchjson -out BENCH_interactive.json
 //
 // Benchmark names of the form BenchmarkViewVsTxn<Query>/<path> become
-// {query, path} records (e.g. Q9/view); other benchmarks keep their raw
-// name with an empty path.
+// {query, path} records (e.g. Q9/view); sub-benchmarks of other families
+// keep the family as query and the case as path (e.g. ViewRefresh/1commit
+// vs ViewRebuild — the view-maintenance refresh-vs-rebuild split); other
+// benchmarks keep their raw name with an empty path.
 package main
 
 import (
@@ -84,7 +86,7 @@ func main() {
 	}
 
 	rep := Report{
-		Note:       "ns/op + allocs/op per query per read path; regenerate with `make bench`",
+		Note:       "ns/op + allocs/op per query per read path, plus the view-maintenance refresh-vs-rebuild split (ViewRefresh/*, ViewRebuild); regenerate with `make bench`",
 		Benchmarks: recs,
 	}
 	data, err := json.MarshalIndent(&rep, "", "  ")

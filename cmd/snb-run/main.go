@@ -9,9 +9,17 @@
 // transactions, and the report prints the per-query latency/count tables
 // for whichever path ran.
 //
+// On the view path the report also breaks view acquisition into
+// refresh-vs-rebuild latency and prints the store's view-maintenance
+// counters (delta refreshes, rebuilds, era bumps, ring overflows), so the
+// residual rebuild tax is observable from the CLI;
+// -view-compact-threshold tunes how much copy-on-write overlay a refreshed
+// view chain may accumulate before recompacting.
+//
 // Usage:
 //
 //	snb-run -sf 0.05 [-streams 4] [-readclients 2] [-pertype 3] [-uniform] [-readpath txn|view]
+//	        [-view-compact-threshold N]
 package main
 
 import (
@@ -38,6 +46,10 @@ func main() {
 	uniform := flag.Bool("uniform", false, "use uniform instead of curated Q5 parameters (Figure 5b ablation)")
 	readPath := flag.String("readpath", driver.ReadPathView,
 		"read path for all queries and short reads: 'view' (frozen snapshots) or 'txn' (MVCC transactions)")
+	compactThreshold := flag.Int("view-compact-threshold", -1,
+		"view-maintenance compaction threshold: max copy-on-write overlay entries a refreshed view chain "+
+			"may accumulate before the next advance recompacts (0 = recompact on every advance, "+
+			"-1 = store default)")
 	flag.Parse()
 
 	if *readPath != driver.ReadPathView && *readPath != driver.ReadPathTxn {
@@ -58,6 +70,10 @@ func main() {
 	fmt.Printf("bulk-loaded %d persons, %d messages, %d forums; %d updates pending\n",
 		c.Persons, c.Messages(), c.Forums, len(env.Updates))
 	fmt.Printf("read path: %s\n", *readPath)
+	if *compactThreshold >= 0 {
+		env.Store.SetViewCompactThreshold(*compactThreshold)
+		fmt.Printf("view compaction threshold: %d overlay entries\n", *compactThreshold)
+	}
 
 	rep := driver.RunMixed(driver.MixedConfig{
 		Store:          env.Store,
@@ -81,8 +97,14 @@ func main() {
 	fmt.Printf("wall time: %v   throughput: %.0f ops/s   errors: %d\n",
 		rep.Wall.Round(1000000), rep.Throughput, rep.Errors)
 	if rep.ViewAcquire.Count > 0 {
-		fmt.Printf("view acquire: mean %v over %d reads (includes post-commit rebuilds)\n",
+		fmt.Printf("view acquire: mean %v over %d acquisitions\n",
 			rep.ViewAcquire.Mean(), rep.ViewAcquire.Count)
+		fmt.Printf("  refresh/hit: mean %v over %d   rebuild: mean %v over %d\n",
+			rep.ViewRefresh.Mean(), rep.ViewRefresh.Count,
+			rep.ViewRebuild.Mean(), rep.ViewRebuild.Count)
+		vs := env.Store.ViewStats()
+		fmt.Printf("view maintenance: %d delta refreshes, %d rebuilds, %d era bumps, %d ring overflows\n",
+			vs.Refreshes, vs.Rebuilds, vs.EraBumps, vs.Overflows)
 	}
 	if rep.Errors > 0 {
 		os.Exit(1)

@@ -337,6 +337,23 @@ func TestRunMixedProducesAllTables(t *testing.T) {
 	if rep.Throughput <= 0 {
 		t.Fatal("throughput")
 	}
+	// View-acquisition accounting: two acquisitions per read iteration
+	// (complex query + short-read walk), each classified as refresh-or-hit
+	// vs full rebuild; the first acquisition of the run pays the build.
+	complexTotal := 0
+	for q := range rep.Complex {
+		complexTotal += rep.Complex[q].Count
+	}
+	if rep.ViewAcquire.Count != 2*complexTotal {
+		t.Fatalf("view acquisitions: %d, want %d (2 per iteration)", rep.ViewAcquire.Count, 2*complexTotal)
+	}
+	if rep.ViewRefresh.Count+rep.ViewRebuild.Count != rep.ViewAcquire.Count {
+		t.Fatalf("acquire split %d+%d does not cover %d",
+			rep.ViewRefresh.Count, rep.ViewRebuild.Count, rep.ViewAcquire.Count)
+	}
+	if rep.ViewRebuild.Count < 1 {
+		t.Fatal("no acquisition paid the initial view build")
+	}
 	// The complexity ordering the paper's Table 6/7 shapes rely on: the
 	// cheapest short read is much cheaper than the heaviest complex query.
 	var maxComplex, minShort time.Duration

@@ -1,0 +1,355 @@
+package store
+
+import (
+	"maps"
+
+	"ldbcsnb/internal/ids"
+)
+
+// Incremental snapshot-view maintenance.
+//
+// Every committed transaction appends one CommitDelta — a compact record of
+// the nodes it created, the property lists it replaced, and the adjacency
+// entries it inserted or tombstoned — to a bounded in-memory ring alongside
+// the WAL append. When CurrentView finds the cached view behind the commit
+// watermark it applies the pending deltas copy-on-write onto the cached
+// view (see applyDeltas) instead of recompacting the whole dataset: cost
+// proportional to the delta plus the overlay accumulated this era, not to
+// the number of visible nodes and edges.
+//
+// Two conditions force a full rebuild (a new era, ordinals reassigned):
+//
+//   - the ring overflowed (more than the ring capacity of commits landed
+//     since the last view advance), so the delta chain has a gap;
+//   - the accumulated overlay size would cross the compaction threshold
+//     (SetViewCompactThreshold) — unbounded overlays would slowly tax every
+//     read with overlay-map lookups, so the view periodically recompacts
+//     back into flat CSR form.
+//
+// Commit timestamps are consecutive integers (Commit assigns clock+1 under
+// commitMu), which makes ring continuity a pure index computation.
+
+// deltaNode is one node made visible by a commit: an explicit CreateNode
+// (inKindList true) or a bare record materialised for a dangling edge
+// endpoint (inKindList false — such nodes never appear in NodesOfKind,
+// matching the transactional read path).
+type deltaNode struct {
+	id         ids.ID
+	props      Props
+	inKindList bool
+}
+
+// deltaProp is one property-list replacement on a pre-existing node: the
+// full resulting Props of the new MVCC version (shared, immutable).
+type deltaProp struct {
+	id    ids.ID
+	props Props
+}
+
+// deltaEdge is one installed adjacency entry, exactly mirroring an
+// installEdge call: the owning node's list (out or in) gains Edge{peer,
+// stamp} at its tail.
+type deltaEdge struct {
+	owner ids.ID
+	peer  ids.ID
+	stamp int64
+	t     EdgeType
+	in    bool
+}
+
+// deltaDel is one tombstoned adjacency entry: the newest live (peer, stamp)
+// match in the owning node's list became invisible at the delta's commit.
+type deltaDel struct {
+	owner ids.ID
+	peer  ids.ID
+	stamp int64
+	t     EdgeType
+	in    bool
+}
+
+// CommitDelta is the view-maintenance record of one committed transaction.
+// It is immutable once recorded.
+type CommitDelta struct {
+	ts    int64
+	nodes []deltaNode
+	props []deltaProp
+	edges []deltaEdge
+	dels  []deltaDel
+}
+
+// cost is the delta's contribution towards the compaction threshold: the
+// number of overlay entries applying it can touch.
+func (d *CommitDelta) cost() int {
+	return len(d.nodes) + len(d.props) + len(d.edges) + len(d.dels)
+}
+
+// Default view-maintenance knobs; see the Set* methods on Store. The ring
+// must absorb the commit burst a mixed run lands between two read
+// acquisitions, and the threshold caps the overlay a refresh chain drags
+// along (every refresh clones the live overlay, and overlay rows cost an
+// extra map probe on reads), so both trade refresh reach against per-
+// refresh and per-read cost.
+const (
+	defaultViewDeltaCap         = 4096
+	defaultViewCompactThreshold = 4096
+)
+
+// SetViewCompactThreshold bounds the overlay a refreshed view chain may
+// accumulate before CurrentView recompacts (full rebuild, era bump).
+// Higher values favour cheap refreshes under sustained updates at the cost
+// of overlay-map lookups on reads of touched rows; n <= 0 disables
+// refreshing entirely (every view advance recompacts — mainly for tests and
+// ablations).
+func (s *Store) SetViewCompactThreshold(n int) {
+	s.viewMu.Lock()
+	s.compactThreshold = n
+	s.viewMu.Unlock()
+}
+
+// SetViewDeltaCap bounds the delta ring: if more than n commits accumulate
+// between view advances the ring overflows and the next advance rebuilds.
+func (s *Store) SetViewDeltaCap(n int) {
+	if n < 1 {
+		n = 1
+	}
+	s.deltaMu.Lock()
+	s.deltaCap = n
+	s.deltaMu.Unlock()
+}
+
+// ViewStatsSnapshot reports the store's view-maintenance counters.
+type ViewStatsSnapshot struct {
+	// Refreshes counts CurrentView advances served by applying deltas.
+	Refreshes int64
+	// Rebuilds counts full compactions by CurrentView (including the first
+	// build; ViewAt calls are not counted).
+	Rebuilds int64
+	// EraBumps counts rebuilds that replaced an existing cached view, i.e.
+	// recompactions that invalidated ordinal-keyed caller state.
+	EraBumps int64
+	// Overflows counts deltas dropped because the ring was full.
+	Overflows int64
+}
+
+// ViewStats returns the view-maintenance counters (monotonic since store
+// construction).
+func (s *Store) ViewStats() ViewStatsSnapshot {
+	return ViewStatsSnapshot{
+		Refreshes: s.viewRefreshes.Load(),
+		Rebuilds:  s.viewRebuilds.Load(),
+		EraBumps:  s.viewEraBumps.Load(),
+		Overflows: s.viewOverflows.Load(),
+	}
+}
+
+// recordDelta appends one commit's delta to the ring. Called under commitMu
+// before the commit clock advances, so by the time a refresh observes a
+// watermark every delta up to it is in the ring.
+func (s *Store) recordDelta(d *CommitDelta) {
+	s.deltaMu.Lock()
+	if len(s.deltas) >= s.deltaCap {
+		// Ring full: the chain up to the cached view is broken either way,
+		// so drop everything pending and let the next advance rebuild.
+		// Dropping must abandon the backing array (not re-slice to [:0]):
+		// an in-flight refresh may still be reading a subslice handed out
+		// by pendingLocked, and reusing the slots would hand it foreign
+		// deltas mid-application.
+		s.deltas = nil
+		s.deltaDropped = true
+		s.viewOverflows.Add(1)
+	}
+	s.deltas = append(s.deltas, d)
+	s.deltaMu.Unlock()
+}
+
+// pendingLocked returns the consecutive deltas covering (after, upto], or
+// ok=false when the ring cannot cover the range (overflow or trim gap).
+// Caller holds deltaMu. The returned subslice stays valid after the lock is
+// released: deltas are immutable, appends land beyond the returned range
+// (trimming only advances the slice start), and the overflow path abandons
+// the backing array instead of reusing its slots.
+func (s *Store) pendingLocked(after, upto int64) ([]*CommitDelta, bool) {
+	if s.deltaDropped || len(s.deltas) == 0 {
+		return nil, false
+	}
+	first := s.deltas[0].ts
+	last := s.deltas[len(s.deltas)-1].ts
+	if first > after+1 || last < upto {
+		return nil, false
+	}
+	lo := int(after + 1 - first)
+	hi := int(upto - first)
+	if lo < 0 || hi < lo || hi >= len(s.deltas) {
+		return nil, false
+	}
+	return s.deltas[lo : hi+1], true
+}
+
+// trimDeltas drops deltas already folded into the cached view (ts and
+// older).
+func (s *Store) trimDeltas(ts int64) {
+	s.deltaMu.Lock()
+	i := 0
+	for i < len(s.deltas) && s.deltas[i].ts <= ts {
+		i++
+	}
+	if i == len(s.deltas) {
+		s.deltas = nil // release the backing array between bursts
+	} else {
+		s.deltas = s.deltas[i:]
+	}
+	s.deltaMu.Unlock()
+}
+
+// resetDeltas re-arms the ring after a full rebuild at ts: everything the
+// rebuild folded in is dropped and the overflow marker cleared.
+func (s *Store) resetDeltas(ts int64) {
+	s.deltaMu.Lock()
+	i := 0
+	for i < len(s.deltas) && s.deltas[i].ts <= ts {
+		i++
+	}
+	if i == len(s.deltas) {
+		s.deltas = nil
+	} else {
+		s.deltas = append([]*CommitDelta(nil), s.deltas[i:]...)
+	}
+	s.deltaDropped = false
+	s.appliedCost = 0
+	s.deltaMu.Unlock()
+}
+
+// refreshView derives a view at ts from the cached view by applying the
+// pending deltas, or reports ok=false when the caller must rebuild (ring
+// gap, or the accumulated overlay would cross the compaction threshold).
+// Called under viewMu.
+func (s *Store) refreshView(old *SnapshotView, ts int64) (*SnapshotView, bool) {
+	s.deltaMu.Lock()
+	ds, ok := s.pendingLocked(old.ts, ts)
+	s.deltaMu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	cost := 0
+	for _, d := range ds {
+		cost += d.cost()
+	}
+	if s.compactThreshold <= 0 || s.appliedCost+cost > s.compactThreshold {
+		return nil, false
+	}
+	nv := applyDeltas(old, ds, ts)
+	s.appliedCost += cost
+	s.trimDeltas(ts)
+	return nv, true
+}
+
+// applyDeltas derives a new view from old by applying consecutive commit
+// deltas copy-on-write. The new view shares old's viewBase (same era); the
+// overlay maps are cloned (bounded by the compaction threshold) and only
+// rows touched by the deltas are copied and rewritten, so old — and every
+// earlier view of the chain — stays frozen for concurrent readers.
+func applyDeltas(old *SnapshotView, ds []*CommitDelta, ts int64) *SnapshotView {
+	nv := &SnapshotView{
+		ts:        ts,
+		era:       old.era,
+		base:      old.base,
+		nodesOver: append([]ids.ID(nil), old.nodesOver...),
+		ordOver:   maps.Clone(old.ordOver),
+		propsOver: maps.Clone(old.propsOver),
+		edgeOver:  maps.Clone(old.edgeOver),
+		byKind:    maps.Clone(old.byKind), // never nil: buildView always allocates it
+	}
+	n0 := int32(len(nv.base.nodes))
+
+	// owned marks overlay rows copied by THIS application; only owned rows
+	// may be mutated in place (rows inherited from old's overlay are shared
+	// with published views).
+	var owned map[edgeKey]bool
+	ownRow := func(ord int32, t EdgeType, in bool) edgeKey {
+		key := makeEdgeKey(ord, t, in)
+		if owned[key] {
+			return key
+		}
+		src, had := []Edge(nil), false
+		if nv.edgeOver != nil {
+			src, had = nv.edgeOver[key]
+		}
+		if !had {
+			if in {
+				src = nv.base.in[t].neighbours(ord)
+			} else {
+				src = nv.base.out[t].neighbours(ord)
+			}
+		}
+		row := make([]Edge, len(src), len(src)+2)
+		copy(row, src)
+		if nv.edgeOver == nil {
+			nv.edgeOver = make(map[edgeKey][]Edge)
+		}
+		nv.edgeOver[key] = row
+		if owned == nil {
+			owned = make(map[edgeKey]bool)
+		}
+		owned[key] = true
+		return key
+	}
+
+	for _, d := range ds {
+		for _, dn := range d.nodes {
+			if _, ok := nv.Ord(dn.id); ok {
+				continue // already visible (defensive; cannot happen for committed state)
+			}
+			ord := n0 + int32(len(nv.nodesOver))
+			nv.nodesOver = append(nv.nodesOver, dn.id)
+			if nv.ordOver == nil {
+				nv.ordOver = make(map[ids.ID]int32)
+			}
+			nv.ordOver[dn.id] = ord
+			if nv.propsOver == nil {
+				nv.propsOver = make(map[int32]Props)
+			}
+			// Every appended ordinal gets a props entry (possibly nil for
+			// bare endpoint records) — propsAt relies on it.
+			nv.propsOver[ord] = dn.props
+			if dn.inKindList {
+				k := dn.id.Kind()
+				nv.byKind[k] = append(nv.byKind[k], dn.id)
+			}
+		}
+		for _, dp := range d.props {
+			ord, ok := nv.Ord(dp.id)
+			if !ok {
+				continue
+			}
+			if nv.propsOver == nil {
+				nv.propsOver = make(map[int32]Props)
+			}
+			nv.propsOver[ord] = dp.props
+		}
+		for _, de := range d.edges {
+			ord, ok := nv.Ord(de.owner)
+			if !ok {
+				continue
+			}
+			key := ownRow(ord, de.t, de.in)
+			nv.edgeOver[key] = append(nv.edgeOver[key], Edge{To: de.peer, Stamp: de.stamp})
+		}
+		for _, dd := range d.dels {
+			ord, ok := nv.Ord(dd.owner)
+			if !ok {
+				continue
+			}
+			key := ownRow(ord, dd.t, dd.in)
+			row := nv.edgeOver[key]
+			// Rows are insertion-ordered, so the last (peer, stamp) match is
+			// the newest — the entry Commit tombstoned.
+			for i := len(row) - 1; i >= 0; i-- {
+				if row[i].To == dd.peer && row[i].Stamp == dd.stamp {
+					nv.edgeOver[key] = append(row[:i], row[i+1:]...)
+					break
+				}
+			}
+		}
+	}
+	return nv
+}

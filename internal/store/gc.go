@@ -1,44 +1,99 @@
 package store
 
-// MVCC version garbage collection. Property updates append versions
-// (SetProp); long benchmark runs against a mostly-insert workload keep
-// chains short, but a production engine must be able to reclaim versions
-// no active snapshot can see.
-
-// GC prunes node-property versions that are invisible to every snapshot
-// taken at or after horizon: for each node, the newest version with
-// commit <= horizon is kept (it is what such snapshots read) and all older
-// versions are dropped. It returns the number of versions reclaimed.
+// MVCC garbage collection. Property updates append node versions (SetProp)
+// and edge deletions leave tombstones (DeleteEdge); long runs against a
+// mutating workload must be able to reclaim what no active snapshot can
+// see.
 //
-// The caller chooses the horizon; the conservative choice is the snapshot
-// of the oldest still-running transaction (transactions record theirs via
-// Txn.Snapshot).
+// # The horizon and retained snapshot views
+//
+// GC's contract is purely timestamp-based: after GC(horizon), any read at a
+// snapshot >= horizon is unaffected. The caller chooses the horizon; the
+// conservative choice is the minimum over (a) the snapshot of the oldest
+// still-running transaction (Txn.Snapshot) and (b) the oldest timestamp it
+// will still pass to ViewAt.
+//
+// Retained SnapshotViews need no accounting: a view is fully materialised
+// at construction (CSR slabs, property tables, copy-on-write overlays) and
+// never reads the store again, so views frozen below the horizon stay
+// correct after GC. The same holds for the delta refresh path — pending
+// CommitDeltas carry the committed property lists and edge descriptors
+// themselves, not references into version chains — so CurrentView's
+// incremental maintenance is GC-safe at any horizon. Only ViewAt (and
+// Begin) at a timestamp below the horizon can observe reclaimed state,
+// which is why the horizon must cover them.
+
+// GC prunes MVCC debris invisible to every snapshot taken at or after
+// horizon:
+//
+//   - node property versions: for each node, the newest version with
+//     commit <= horizon is kept (it is what such snapshots read) and all
+//     older versions are dropped;
+//   - edge tombstones: adjacency entries whose deletion committed at or
+//     before the horizon (del <= horizon) are invisible to every snapshot
+//     >= horizon and are physically removed, preserving the insertion
+//     order of the surviving entries.
+//
+// It returns the total number of reclaimed versions and edge records.
 func (s *Store) GC(horizon int64) int {
 	reclaimed := 0
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.Lock()
 		for _, rec := range sh.nodes {
-			if len(rec.versions) < 2 {
-				continue
+			reclaimed += gcVersions(rec, horizon)
+			for t := EdgeType(1); t < edgeTypeMax; t++ {
+				reclaimed += gcEdges(&rec.adj.out[t], horizon)
+				reclaimed += gcEdges(&rec.adj.in[t], horizon)
 			}
-			// Find the newest version visible at the horizon.
-			keep := 0
-			for j := len(rec.versions) - 1; j >= 0; j-- {
-				if rec.versions[j].commit <= horizon {
-					keep = j
-					break
-				}
-			}
-			if keep == 0 {
-				continue
-			}
-			reclaimed += keep
-			rec.versions = append(rec.versions[:0:0], rec.versions[keep:]...)
 		}
 		sh.mu.Unlock()
 	}
 	return reclaimed
+}
+
+// gcVersions drops property versions superseded at the horizon.
+func gcVersions(rec *nodeRec, horizon int64) int {
+	if len(rec.versions) < 2 {
+		return 0
+	}
+	// Find the newest version visible at the horizon.
+	keep := 0
+	for j := len(rec.versions) - 1; j >= 0; j-- {
+		if rec.versions[j].commit <= horizon {
+			keep = j
+			break
+		}
+	}
+	if keep == 0 {
+		return 0
+	}
+	rec.versions = append(rec.versions[:0:0], rec.versions[keep:]...)
+	return keep
+}
+
+// gcEdges removes tombstoned entries dead at the horizon from one
+// adjacency list, in place (the caller holds the shard's write lock; no
+// concurrent reader aliases the backing array — views copy at build time).
+func gcEdges(list *[]edgeRec, horizon int64) int {
+	l := *list
+	n := 0
+	for i := range l {
+		if l[i].del != 0 && l[i].del <= horizon {
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	out := l[:0]
+	for i := range l {
+		if !(l[i].del != 0 && l[i].del <= horizon) {
+			out = append(out, l[i])
+		}
+	}
+	*list = out
+	return n
 }
 
 // VersionCount reports the total number of stored node versions
@@ -50,6 +105,32 @@ func (s *Store) VersionCount() int {
 		sh.mu.RLock()
 		for _, rec := range sh.nodes {
 			n += len(rec.versions)
+		}
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// TombstoneCount reports the number of tombstoned adjacency entries not
+// yet reclaimed (diagnostic for GC tests and capacity planning).
+func (s *Store) TombstoneCount() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, rec := range sh.nodes {
+			for t := EdgeType(1); t < edgeTypeMax; t++ {
+				for j := range rec.adj.out[t] {
+					if rec.adj.out[t][j].del != 0 {
+						n++
+					}
+				}
+				for j := range rec.adj.in[t] {
+					if rec.adj.in[t][j].del != 0 {
+						n++
+					}
+				}
+			}
 		}
 		sh.mu.RUnlock()
 	}

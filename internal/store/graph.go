@@ -56,11 +56,21 @@ type Edge struct {
 	Stamp int64
 }
 
-// edgeRec is the stored adjacency entry: Edge plus MVCC visibility.
+// edgeRec is the stored adjacency entry: Edge plus MVCC visibility. A
+// deletion does not remove the entry — it stamps del (a tombstone), so
+// older snapshots keep seeing the edge; Store.GC reclaims tombstones no
+// retained snapshot can see.
 type edgeRec struct {
 	peer   ids.ID
 	stamp  int64
 	commit int64 // commit timestamp; math.MaxInt64 while uncommitted
+	del    int64 // deletion commit timestamp; 0 while live
+}
+
+// visibleAt reports whether the edge is visible to a snapshot at ts:
+// inserted at or before ts and not yet deleted at ts.
+func (e *edgeRec) visibleAt(ts int64) bool {
+	return e.commit <= ts && (e.del == 0 || e.del > ts)
 }
 
 // nodeVersion is one MVCC version of a node's property list.

@@ -31,7 +31,7 @@ type Stats struct {
 
 const (
 	nodeOverheadBytes = 64 // map entry + record header + version header
-	edgeBytes         = 24 // edgeRec: peer + stamp + commit
+	edgeBytes         = 32 // edgeRec: peer + stamp + commit + del
 	indexEntryBytes   = 24 // btree.Entry
 )
 

@@ -55,9 +55,26 @@ type Store struct {
 	aborts  atomic.Int64
 
 	// view caches the frozen snapshot at the current clock (see
-	// CurrentView); viewMu serialises rebuilds, never reads.
+	// CurrentView); viewMu serialises maintenance (delta refreshes and
+	// rebuilds), never reads.
 	view   atomic.Pointer[SnapshotView]
 	viewMu sync.Mutex
+
+	// Incremental view maintenance (delta.go). deltaMu guards the ring;
+	// compactThreshold and appliedCost are guarded by viewMu (only
+	// maintenance touches them).
+	deltaMu          sync.Mutex
+	deltas           []*CommitDelta // pending commit deltas, consecutive ts
+	deltaDropped     bool           // ring overflowed since the last rebuild
+	deltaCap         int
+	compactThreshold int
+	appliedCost      int // overlay entries accumulated in the cached era
+
+	viewEra       atomic.Uint64
+	viewRefreshes atomic.Int64
+	viewRebuilds  atomic.Int64
+	viewEraBumps  atomic.Int64
+	viewOverflows atomic.Int64
 
 	// wal, when attached, receives a redo record per committed
 	// transaction, in commit order (appends happen under commitMu).
@@ -66,7 +83,11 @@ type Store struct {
 
 // New returns an empty store.
 func New() *Store {
-	s := &Store{byKind: make(map[ids.Kind][]ids.ID)}
+	s := &Store{
+		byKind:           make(map[ids.Kind][]ids.ID),
+		deltaCap:         defaultViewDeltaCap,
+		compactThreshold: defaultViewCompactThreshold,
+	}
 	for i := range s.shards {
 		s.shards[i].nodes = make(map[ids.ID]*nodeRec)
 	}

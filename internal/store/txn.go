@@ -38,6 +38,13 @@ type pendingEdge struct {
 	sym      bool // also insert the mirrored edge (knows)
 }
 
+// pendingDel is a buffered edge deletion: at commit, the newest live
+// matching edge (and its reverse/mirror entry) is tombstoned.
+type pendingDel struct {
+	from, to ids.ID
+	t        EdgeType
+}
+
 // Txn is a transaction. Reads observe the snapshot taken at Begin plus the
 // transaction's own writes. Txn is not safe for concurrent use by multiple
 // goroutines.
@@ -50,6 +57,7 @@ type Txn struct {
 	newNodes  map[ids.ID]*pendingNode
 	propSets  []pendingProp
 	newEdges  []pendingEdge
+	edgeDels  []pendingDel
 	edgeIndex map[ids.ID][]int // from-node -> indices into newEdges, for own-write reads
 }
 
@@ -110,6 +118,29 @@ func (tx *Txn) addEdge(from ids.ID, t EdgeType, to ids.ID, stamp int64, sym bool
 	if sym {
 		tx.edgeIndex[to] = append(tx.edgeIndex[to], idx)
 	}
+	return nil
+}
+
+// DeleteEdge buffers deletion of a directed edge. At commit, the newest
+// live edge from -> to of the given type is tombstoned together with its
+// reverse-adjacency entry (or its mirrored entry for symmetric knows
+// edges); older snapshots and views keep seeing the edge, and Store.GC
+// reclaims the tombstone once no retained snapshot can. Deleting an edge
+// that does not exist at commit time is a no-op. Unlike insertions,
+// buffered deletions are not overlaid on the transaction's own reads; they
+// take effect at commit (mirroring how NodesOfKind excludes buffered
+// creations).
+//
+// Buffered deletions resolve after ALL of the same transaction's edge
+// insertions, not in program order: deleting and re-adding the same
+// (from, type, to) edge within one transaction is unsupported — the
+// delete would tombstone the just-inserted edge. Split such a swap across
+// two transactions.
+func (tx *Txn) DeleteEdge(from ids.ID, t EdgeType, to ids.ID) error {
+	if tx.readonly {
+		return errors.New("store: write in read-only transaction")
+	}
+	tx.edgeDels = append(tx.edgeDels, pendingDel{from: from, to: to, t: t})
 	return nil
 }
 
@@ -197,8 +228,8 @@ func (tx *Txn) OutDegree(id ids.ID, t EdgeType) int {
 	sh := tx.s.shardFor(id)
 	sh.mu.RLock()
 	if rec := sh.nodes[id]; rec != nil {
-		for _, e := range rec.adj.out[t] {
-			if e.commit <= tx.snapshot {
+		for i := range rec.adj.out[t] {
+			if rec.adj.out[t][i].visibleAt(tx.snapshot) {
 				n++
 			}
 		}
@@ -225,8 +256,8 @@ func (tx *Txn) neighbours(id ids.ID, t EdgeType, in bool) []Edge {
 			list = rec.adj.out[t]
 		}
 		out = make([]Edge, 0, len(list))
-		for _, e := range list {
-			if e.commit <= tx.snapshot {
+		for i := range list {
+			if e := &list[i]; e.visibleAt(tx.snapshot) {
 				out = append(out, Edge{To: e.peer, Stamp: e.stamp})
 			}
 		}
@@ -324,7 +355,7 @@ func (tx *Txn) Commit() error {
 		return errors.New("store: transaction finished")
 	}
 	tx.done = true
-	if tx.readonly || (len(tx.newNodes) == 0 && len(tx.propSets) == 0 && len(tx.newEdges) == 0) {
+	if tx.readonly || (len(tx.newNodes) == 0 && len(tx.propSets) == 0 && len(tx.newEdges) == 0 && len(tx.edgeDels) == 0) {
 		tx.s.commits.Add(1)
 		return nil
 	}
@@ -361,6 +392,9 @@ func (tx *Txn) Commit() error {
 	}
 
 	ts := s.clock.Load() + 1
+	// The commit's view-maintenance delta, recorded alongside the WAL
+	// append so CurrentView can advance the cached view incrementally.
+	delta := &CommitDelta{ts: ts}
 
 	// Install node creations in deterministic ID order so the per-kind
 	// scan lists are reproducible.
@@ -374,6 +408,7 @@ func (tx *Txn) Commit() error {
 		sh.mu.Lock()
 		sh.nodes[n.id] = &nodeRec{id: n.id, versions: []nodeVersion{{commit: ts, props: n.props}}}
 		sh.mu.Unlock()
+		delta.nodes = append(delta.nodes, deltaNode{id: n.id, props: n.props, inKindList: true})
 	}
 	if len(created) > 0 {
 		s.kindMu.Lock()
@@ -389,8 +424,10 @@ func (tx *Txn) Commit() error {
 		sh.mu.Lock()
 		rec := sh.nodes[set.id]
 		last := rec.versions[len(rec.versions)-1]
-		rec.versions = append(rec.versions, nodeVersion{commit: ts, props: last.props.with(set.key, set.val)})
+		next := last.props.with(set.key, set.val)
+		rec.versions = append(rec.versions, nodeVersion{commit: ts, props: next})
 		sh.mu.Unlock()
+		delta.props = append(delta.props, deltaProp{id: set.id, props: next})
 	}
 
 	// Edge insertions. Auto-create is not supported: dangling endpoints
@@ -398,12 +435,17 @@ func (tx *Txn) Commit() error {
 	// but here we tolerate missing peers by creating bare records so the
 	// adjacency stays navigable (mirrors how column stores keep FK rows).
 	for _, pe := range tx.newEdges {
-		tx.installEdge(pe.from, pe.t, pe.to, pe.stamp, ts, false)
+		tx.installEdge(delta, pe.from, pe.t, pe.to, pe.stamp, ts, false)
 		if pe.sym {
-			tx.installEdge(pe.to, pe.t, pe.from, pe.stamp, ts, false)
+			tx.installEdge(delta, pe.to, pe.t, pe.from, pe.stamp, ts, false)
 		} else {
-			tx.installEdge(pe.to, pe.t, pe.from, pe.stamp, ts, true)
+			tx.installEdge(delta, pe.to, pe.t, pe.from, pe.stamp, ts, true)
 		}
+	}
+
+	// Edge deletions: tombstone the newest live match and its mirror.
+	for _, pd := range tx.edgeDels {
+		tx.applyDelete(delta, pd, ts)
 	}
 
 	// Secondary index maintenance for created nodes.
@@ -430,10 +472,14 @@ func (tx *Txn) Commit() error {
 		}
 	}
 
+	// Record the view-maintenance delta before the clock advances so a
+	// refresh observing the new watermark always finds its deltas.
+	s.recordDelta(delta)
+
 	// Append the redo record before publishing the commit (still under
 	// commitMu, so the log preserves commit order).
 	if s.wal != nil {
-		if err := s.logCommit(ts, created, tx.propSets, tx.newEdges); err != nil {
+		if err := s.logCommit(ts, created, tx.propSets, tx.newEdges, tx.edgeDels); err != nil {
 			// The in-memory install already happened; surface the log
 			// failure but keep the store consistent.
 			s.clock.Store(ts)
@@ -449,14 +495,17 @@ func (tx *Txn) Commit() error {
 }
 
 // installEdge appends one adjacency entry; reverse=true stores it in the
-// peer's in-list instead of the out-list.
-func (tx *Txn) installEdge(from ids.ID, t EdgeType, to ids.ID, stamp, ts int64, reverse bool) {
+// peer's in-list instead of the out-list. The install is mirrored into the
+// commit delta, including any bare node record materialised for a missing
+// endpoint.
+func (tx *Txn) installEdge(delta *CommitDelta, from ids.ID, t EdgeType, to ids.ID, stamp, ts int64, reverse bool) {
 	sh := tx.s.shardFor(from)
 	sh.mu.Lock()
 	rec := sh.nodes[from]
 	if rec == nil {
 		rec = &nodeRec{id: from, versions: []nodeVersion{{commit: ts, props: nil}}}
 		sh.nodes[from] = rec
+		delta.nodes = append(delta.nodes, deltaNode{id: from})
 	}
 	if reverse {
 		rec.adj.in[t] = append(rec.adj.in[t], edgeRec{peer: to, stamp: stamp, commit: ts})
@@ -464,4 +513,62 @@ func (tx *Txn) installEdge(from ids.ID, t EdgeType, to ids.ID, stamp, ts int64, 
 		rec.adj.out[t] = append(rec.adj.out[t], edgeRec{peer: to, stamp: stamp, commit: ts})
 	}
 	sh.mu.Unlock()
+	delta.edges = append(delta.edges, deltaEdge{owner: from, peer: to, stamp: stamp, t: t, in: reverse})
+}
+
+// applyDelete tombstones the newest live from->to edge of one type plus its
+// counterpart on the peer: the reverse-adjacency entry for directed edges,
+// or the mirrored out-entry for symmetric (knows) edges — identified by
+// sharing the original insertion's commit timestamp. A miss is a no-op.
+func (tx *Txn) applyDelete(delta *CommitDelta, pd pendingDel, ts int64) {
+	s := tx.s
+	var matchCommit, matchStamp int64
+	found := false
+	sh := s.shardFor(pd.from)
+	sh.mu.Lock()
+	if rec := sh.nodes[pd.from]; rec != nil {
+		list := rec.adj.out[pd.t]
+		for i := len(list) - 1; i >= 0; i-- {
+			if e := &list[i]; e.peer == pd.to && e.del == 0 {
+				e.del = ts
+				matchCommit, matchStamp = e.commit, e.stamp
+				found = true
+				break
+			}
+		}
+	}
+	sh.mu.Unlock()
+	if !found {
+		return
+	}
+	delta.dels = append(delta.dels, deltaDel{owner: pd.from, peer: pd.to, stamp: matchStamp, t: pd.t, in: false})
+
+	sh = s.shardFor(pd.to)
+	sh.mu.Lock()
+	if rec := sh.nodes[pd.to]; rec != nil {
+		if e, in := mirrorEdge(rec, pd.t, pd.from, matchCommit); e != nil {
+			e.del = ts
+			delta.dels = append(delta.dels, deltaDel{owner: pd.to, peer: pd.from, stamp: e.stamp, t: pd.t, in: in})
+		}
+	}
+	sh.mu.Unlock()
+}
+
+// mirrorEdge finds the live counterpart of a tombstoned edge on the peer
+// node: the in-list entry (directed edges) or, failing that, the out-list
+// entry with the same insertion commit (symmetric knows edges).
+func mirrorEdge(rec *nodeRec, t EdgeType, peer ids.ID, commit int64) (*edgeRec, bool) {
+	list := rec.adj.in[t]
+	for i := len(list) - 1; i >= 0; i-- {
+		if e := &list[i]; e.peer == peer && e.commit == commit && e.del == 0 {
+			return e, true
+		}
+	}
+	list = rec.adj.out[t]
+	for i := len(list) - 1; i >= 0; i-- {
+		if e := &list[i]; e.peer == peer && e.commit == commit && e.del == 0 {
+			return e, false
+		}
+	}
+	return nil, false
 }

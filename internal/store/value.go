@@ -33,12 +33,28 @@
 //     expansions, profile and message lookups).
 //
 // The commit clock doubles as the view epoch: every committed write
-// advances it, which invalidates the cached view; the next CurrentView
-// call rebuilds lazily while older views stay valid for readers still
-// holding them. Choose a Txn when the reader also writes (or must observe
-// its own writes); choose a view for read-only query execution where
-// latency matters. Both paths agree result-for-result at equal timestamps
-// (asserted by the equivalence tests in view_test.go).
+// advances it, which invalidates the cached view, while older views stay
+// valid for readers still holding them. Choose a Txn when the reader also
+// writes (or must observe its own writes); choose a view for read-only
+// query execution where latency matters. Both paths agree
+// result-for-result at equal timestamps (asserted by the equivalence
+// tests in view_test.go and delta_test.go).
+//
+// # Incremental view maintenance
+//
+// The view epoch advances in time proportional to the delta, not the
+// dataset: every commit records a compact CommitDelta (created nodes,
+// replaced property lists, inserted and tombstoned adjacency entries) in
+// a bounded in-memory ring, and the first CurrentView call after a commit
+// applies the pending deltas copy-on-write onto the cached view — only
+// the touched CSR rows, property entries and kind lists are copied
+// (delta.go). New nodes receive appended ordinals, so existing ordinals
+// stay stable within an era (SnapshotView.Era) and ordinal-keyed caller
+// state survives refreshes. A full recompaction — sorted IDs, dense
+// reassigned ordinals, a fresh era — runs only when the accumulated
+// overlay crosses the compaction threshold (SetViewCompactThreshold) or
+// the delta ring overflows (SetViewDeltaCap); ViewStats counts refreshes,
+// rebuilds, era bumps and overflows.
 package store
 
 import "fmt"

@@ -7,33 +7,72 @@ import (
 )
 
 // SnapshotView is a frozen, read-optimised image of the store at one commit
-// timestamp: every shard's visible adjacency compacted into flat CSR arrays
-// (one contiguous []Edge slab plus per-node offsets, per edge type and
-// direction) and the visible node properties gathered into a dense table
-// indexed by compact node ordinals.
+// timestamp. Its bulk lives in a per-era viewBase: every shard's visible
+// adjacency compacted into flat CSR arrays (one contiguous []Edge slab plus
+// per-node offsets, per edge type and direction) and the visible node
+// properties gathered into a dense table indexed by compact node ordinals.
 //
 // A view is immutable after construction, so every read is lock-free and
-// allocation-free: Out and In return subslices of the CSR slab, Prop and
-// Props return the already-materialised version data. This is the read path
-// the Interactive workload's 2-3-hop knows expansions run on; MVCC
-// transactions (Txn) remain the write path and the read path for
-// transactional reads that must overlay their own uncommitted writes.
+// allocation-free: Out and In return subslices of the CSR slab (or of a
+// copy-on-write overlay row, see below), Prop and Props return the
+// already-materialised version data. This is the read path the Interactive
+// workload's 2-3-hop knows expansions run on; MVCC transactions (Txn)
+// remain the write path and the read path for transactional reads that must
+// overlay their own uncommitted writes.
 //
-// Ordinals are dense indices 0..NumNodes()-1 assigned in ascending ID order.
-// They are the natural key for visited bitsets and other per-node scratch
-// state during traversals (see internal/bitset); they are only meaningful
-// for the view that issued them.
+// # Incremental maintenance, eras and ordinal stability
+//
+// Views advance in two ways (see CurrentView):
+//
+//   - Delta refresh: a new view is derived from the cached one by applying
+//     the commit deltas of the intervening transactions (internal/store
+//     delta.go). The refreshed view shares the predecessor's viewBase and
+//     copy-on-writes only the touched adjacency rows, property entries and
+//     kind lists; new nodes receive ordinals appended after the existing
+//     ones. Cost is proportional to the delta, not the dataset.
+//   - Full rebuild (compaction): the whole visible state is recompacted
+//     into a fresh viewBase — node IDs sorted, ordinals reassigned densely —
+//     and the view's era counter is bumped.
+//
+// Ordinals are dense indices 0..NumNodes()-1. Within one era they are
+// stable: a delta refresh never reassigns an existing node's ordinal, it
+// only appends new ones, so per-node scratch state keyed by ordinals (see
+// internal/bitset and workload.Scratch) stays meaningful across refreshes.
+// Across eras ordinals are reassigned (ascending ID order again) and any
+// ordinal-keyed state must be discarded; Era() is the caller's signal.
+// Ordinals are only comparable between two views of the same era.
 //
 // Slices returned by view methods alias the view's internal arrays and must
 // not be mutated by callers.
 type SnapshotView struct {
-	ts     int64
-	nodes  []ids.ID         // ordinal -> node ID, ascending
-	ord    map[ids.ID]int32 // node ID -> ordinal
-	props  []Props          // ordinal -> visible property list (shared, immutable)
-	out    [edgeTypeMax]csr
-	in     [edgeTypeMax]csr
+	ts   int64
+	era  uint64
+	base *viewBase
+
+	// Copy-on-write overlays, all nil/empty on a freshly compacted view.
+	// A refreshed view clones its predecessor's overlay maps (cost bounded
+	// by the compaction threshold) and rewrites only the touched entries,
+	// so predecessor views stay frozen.
+	nodesOver []ids.ID           // ordinal len(base.nodes)+i -> appended node ID
+	ordOver   map[ids.ID]int32   // appended node ID -> ordinal
+	propsOver map[int32]Props    // touched/appended ordinal -> property list
+	edgeOver  map[edgeKey][]Edge // touched (ordinal, type, dir) -> replacement row
+
+	// byKind is per-view (not per-era): refreshes clone the map and append
+	// to the touched kinds' lists.
 	byKind map[ids.Kind][]ids.ID
+}
+
+// viewBase is the compacted, era-shared bulk of one or more snapshot views:
+// the CSR slabs, the dense property table and the ordinal mapping of every
+// node visible when the era was compacted. It is immutable after buildView
+// returns; delta refreshes layer overlays on top without touching it.
+type viewBase struct {
+	nodes []ids.ID         // ordinal -> node ID, ascending
+	ord   map[ids.ID]int32 // node ID -> ordinal
+	props []Props          // ordinal -> visible property list (shared, immutable)
+	out   [edgeTypeMax]csr
+	in    [edgeTypeMax]csr
 }
 
 // csr is one compressed-sparse-row adjacency: the edges of ordinal v are
@@ -45,53 +84,99 @@ type csr struct {
 }
 
 func (c *csr) neighbours(ord int32) []Edge {
-	if c.offsets == nil {
+	// Ordinals appended after compaction lie beyond the offset array; their
+	// adjacency lives entirely in the view's edge overlay.
+	if c.offsets == nil || int(ord)+1 >= len(c.offsets) {
 		return nil
 	}
 	return c.edges[c.offsets[ord]:c.offsets[ord+1]]
 }
 
+// edgeKey identifies one overlay adjacency row: ordinal, edge type and
+// direction packed into one map key.
+type edgeKey uint64
+
+func makeEdgeKey(ord int32, t EdgeType, in bool) edgeKey {
+	k := edgeKey(uint32(ord))<<6 | edgeKey(t)<<1
+	if in {
+		k |= 1
+	}
+	return k
+}
+
 // Timestamp returns the commit timestamp the view is frozen at.
 func (v *SnapshotView) Timestamp() int64 { return v.ts }
 
+// Era identifies the view's compaction lineage. Views of the same era share
+// one ordinal assignment (delta refreshes append, never reassign); a full
+// rebuild starts a new era and reassigns ordinals, invalidating any
+// ordinal-keyed state held by callers.
+func (v *SnapshotView) Era() uint64 { return v.era }
+
 // NumNodes returns the number of visible nodes; ordinals range over
 // [0, NumNodes()).
-func (v *SnapshotView) NumNodes() int { return len(v.nodes) }
+func (v *SnapshotView) NumNodes() int { return len(v.base.nodes) + len(v.nodesOver) }
 
 // Ord returns the compact ordinal of a node, or false if the node is not
 // visible in the view.
 func (v *SnapshotView) Ord(id ids.ID) (int32, bool) {
-	o, ok := v.ord[id]
-	return o, ok
+	if o, ok := v.base.ord[id]; ok {
+		return o, true
+	}
+	if v.ordOver != nil {
+		o, ok := v.ordOver[id]
+		return o, ok
+	}
+	return 0, false
 }
 
 // IDAt returns the node ID of an ordinal.
-func (v *SnapshotView) IDAt(ord int32) ids.ID { return v.nodes[ord] }
+func (v *SnapshotView) IDAt(ord int32) ids.ID {
+	if n := int32(len(v.base.nodes)); ord >= n {
+		return v.nodesOver[ord-n]
+	}
+	return v.base.nodes[ord]
+}
 
 // Exists reports whether a node is visible in the view.
 func (v *SnapshotView) Exists(id ids.ID) bool {
-	_, ok := v.ord[id]
+	_, ok := v.Ord(id)
 	return ok
 }
 
+// row returns the adjacency row of one (ordinal, type, direction): the
+// overlay row when the refresh chain touched it, the CSR slab subslice
+// otherwise.
+func (v *SnapshotView) row(ord int32, t EdgeType, in bool) []Edge {
+	if v.edgeOver != nil {
+		if row, ok := v.edgeOver[makeEdgeKey(ord, t, in)]; ok {
+			return row
+		}
+	}
+	if in {
+		return v.base.in[t].neighbours(ord)
+	}
+	return v.base.out[t].neighbours(ord)
+}
+
 // Out returns the visible outgoing edges of a node for one edge type, in
-// insertion order. The slice aliases the CSR slab: zero allocation, and the
-// caller must not mutate it.
+// insertion order. The slice aliases the CSR slab (or an overlay row): zero
+// allocation, and the caller must not mutate it.
 func (v *SnapshotView) Out(id ids.ID, t EdgeType) []Edge {
-	o, ok := v.ord[id]
+	o, ok := v.Ord(id)
 	if !ok {
 		return nil
 	}
-	return v.out[t].neighbours(o)
+	return v.row(o, t, false)
 }
 
 // In returns the visible incoming edges of a node for one edge type.
 func (v *SnapshotView) In(id ids.ID, t EdgeType) []Edge {
-	o, ok := v.ord[id]
+	o, ok := v.Ord(id)
 	if !ok {
 		return nil
 	}
-	return v.in[t].neighbours(o)
+	return v.row(o, t, true)
 }
 
 // OutDegree returns the number of visible outgoing edges of a node.
@@ -99,24 +184,36 @@ func (v *SnapshotView) OutDegree(id ids.ID, t EdgeType) int {
 	return len(v.Out(id, t))
 }
 
+// propsAt returns the property list of a visible ordinal. Every appended
+// ordinal has a propsOver entry (written when the refresh created it), so
+// the base-table fallback only runs for compacted ordinals.
+func (v *SnapshotView) propsAt(ord int32) Props {
+	if v.propsOver != nil {
+		if ps, ok := v.propsOver[ord]; ok {
+			return ps
+		}
+	}
+	return v.base.props[ord]
+}
+
 // Prop returns one property of a node (zero Value if the node or property
 // is absent).
 func (v *SnapshotView) Prop(id ids.ID, key PropKey) Value {
-	o, ok := v.ord[id]
+	o, ok := v.Ord(id)
 	if !ok {
 		return Value{}
 	}
-	return v.props[o].Get(key)
+	return v.propsAt(o).Get(key)
 }
 
 // Props returns the visible property list of a node. The slice aliases the
 // stored version and must not be mutated.
 func (v *SnapshotView) Props(id ids.ID) (Props, bool) {
-	o, ok := v.ord[id]
+	o, ok := v.Ord(id)
 	if !ok {
 		return nil, false
 	}
-	return v.props[o], true
+	return v.propsAt(o), true
 }
 
 // NodesOfKind returns the IDs of all visible nodes of a kind in insertion
@@ -126,47 +223,108 @@ func (v *SnapshotView) NodesOfKind(kind ids.Kind) []ids.ID {
 	return v.byKind[kind]
 }
 
+// ViewEvent reports how an AcquireView call obtained its view.
+type ViewEvent uint8
+
+const (
+	// ViewHit means the cached view already matched the commit watermark
+	// (or another reader advanced it first): a pointer load.
+	ViewHit ViewEvent = iota
+	// ViewRefreshed means the call advanced the cached view by applying
+	// pending commit deltas copy-on-write — cost proportional to the delta.
+	ViewRefreshed
+	// ViewRebuilt means the call paid a full recompaction — the delta ring
+	// overflowed, the compaction threshold was crossed, or no view existed
+	// yet. Rebuilds that replace a cached view bump the era.
+	ViewRebuilt
+)
+
+// String names the event for reports.
+func (e ViewEvent) String() string {
+	switch e {
+	case ViewHit:
+		return "hit"
+	case ViewRefreshed:
+		return "refresh"
+	case ViewRebuilt:
+		return "rebuild"
+	}
+	return "unknown"
+}
+
 // CurrentView returns a frozen snapshot view at the store's current commit
 // watermark. Views are cached behind an atomic pointer and invalidated by
 // the commit clock (every committed write bumps it, acting as the view
-// epoch): the first reader after a commit rebuilds, concurrent readers at
-// the same epoch share one view with no locking on the read path.
+// epoch): concurrent readers at the same epoch share one view with no
+// locking on the read path.
 //
-// Rebuilds are full (cost O(visible nodes + edges)); incremental
-// maintenance is future work. Under the Interactive mix — bursts of reads
-// between sparse update transactions — the rebuild amortises across the
-// read burst.
+// The first reader after a commit advances the view incrementally when it
+// can: the pending commit deltas are applied copy-on-write onto the cached
+// view (cost proportional to the delta — see delta.go), keeping existing
+// ordinals stable within the era. A full O(visible nodes + edges) rebuild
+// runs only when the accumulated overlay crosses the compaction threshold
+// (SetViewCompactThreshold), the delta ring overflowed, or no cached view
+// exists; it starts a new era.
 func (s *Store) CurrentView() *SnapshotView {
+	v, _ := s.AcquireView()
+	return v
+}
+
+// AcquireView is CurrentView plus the maintenance event the call performed
+// (hit, delta refresh or full rebuild), letting callers attribute the
+// acquisition latency they just paid. Store-wide totals are available from
+// ViewStats.
+func (s *Store) AcquireView() (*SnapshotView, ViewEvent) {
 	ts := s.clock.Load()
 	if v := s.view.Load(); v != nil && v.ts == ts {
-		return v
+		return v, ViewHit
 	}
-	// Serialise rebuilds so a commit burst doesn't build the same view N
+	// Serialise maintenance so a commit burst doesn't build the same view N
 	// times; double-check under the lock.
 	s.viewMu.Lock()
 	defer s.viewMu.Unlock()
 	ts = s.clock.Load()
-	if v := s.view.Load(); v != nil && v.ts == ts {
-		return v
+	old := s.view.Load()
+	if old != nil && old.ts == ts {
+		return old, ViewHit
 	}
-	v := s.buildView(ts)
-	s.view.Store(v)
-	return v
+	if old != nil {
+		if nv, ok := s.refreshView(old, ts); ok {
+			s.view.Store(nv)
+			s.viewRefreshes.Add(1)
+			return nv, ViewRefreshed
+		}
+	}
+	nv := s.buildView(ts)
+	s.view.Store(nv)
+	s.viewRebuilds.Add(1)
+	if old != nil {
+		s.viewEraBumps.Add(1)
+	}
+	s.resetDeltas(ts)
+	return nv, ViewRebuilt
 }
 
 // ViewAt builds a fresh, uncached view frozen at an explicit timestamp.
 // It exists for tests and offline analysis (e.g. comparing a view against
-// a Txn at the same snapshot); the serving path is CurrentView.
+// a Txn at the same snapshot); the serving path is CurrentView. Each call
+// compacts from scratch and starts its own era (its ordinals are not
+// comparable with any other view's).
+//
+// After GC, ViewAt at a timestamp below the GC horizon may observe
+// reclaimed state; see Store.GC.
 func (s *Store) ViewAt(ts int64) *SnapshotView {
 	return s.buildView(ts)
 }
 
-// buildView compacts the store's state visible at ts into a SnapshotView.
-// It takes each shard's read lock once per pass (never the commit lock),
-// so it can run concurrently with commits; the visibility filter
-// commit <= ts makes the result independent of any in-flight installs.
+// buildView compacts the store's state visible at ts into a SnapshotView
+// with a fresh viewBase and era. It takes each shard's read lock once per
+// pass (never the commit lock), so it can run concurrently with commits;
+// the visibility filter commit <= ts makes the result independent of any
+// in-flight installs.
 func (s *Store) buildView(ts int64) *SnapshotView {
-	v := &SnapshotView{ts: ts}
+	b := &viewBase{}
+	v := &SnapshotView{ts: ts, era: s.viewEra.Add(1), base: b}
 
 	// Collect visible node IDs from every shard.
 	for i := range s.shards {
@@ -174,24 +332,24 @@ func (s *Store) buildView(ts int64) *SnapshotView {
 		sh.mu.RLock()
 		for id, rec := range sh.nodes {
 			if _, ok := rec.visibleProps(ts); ok {
-				v.nodes = append(v.nodes, id)
+				b.nodes = append(b.nodes, id)
 			}
 		}
 		sh.mu.RUnlock()
 	}
-	sort.Slice(v.nodes, func(i, j int) bool { return v.nodes[i] < v.nodes[j] })
+	sort.Slice(b.nodes, func(i, j int) bool { return b.nodes[i] < b.nodes[j] })
 
-	n := len(v.nodes)
-	v.ord = make(map[ids.ID]int32, n)
-	for i, id := range v.nodes {
-		v.ord[id] = int32(i)
+	n := len(b.nodes)
+	b.ord = make(map[ids.ID]int32, n)
+	for i, id := range b.nodes {
+		b.ord[id] = int32(i)
 	}
-	v.props = make([]Props, n)
+	b.props = make([]Props, n)
 
 	// Group ordinals by owning shard so each pass locks every shard once
 	// instead of paying two lock round-trips per node.
 	var ordsByShard [shardCount][]int32
-	for i, id := range v.nodes {
+	for i, id := range b.nodes {
 		ordsByShard[shardIndex(id)] = append(ordsByShard[shardIndex(id)], int32(i))
 	}
 
@@ -199,19 +357,19 @@ func (s *Store) buildView(ts int64) *SnapshotView {
 	// arrays, plus the props table. Offsets are allocated for every edge
 	// type up front and dropped again for types that turn out empty.
 	for t := EdgeType(1); t < edgeTypeMax; t++ {
-		v.out[t].offsets = make([]int32, n+1)
-		v.in[t].offsets = make([]int32, n+1)
+		b.out[t].offsets = make([]int32, n+1)
+		b.in[t].offsets = make([]int32, n+1)
 	}
 	for si := range s.shards {
 		sh := &s.shards[si]
 		sh.mu.RLock()
 		for _, ord := range ordsByShard[si] {
-			rec := sh.nodes[v.nodes[ord]]
+			rec := sh.nodes[b.nodes[ord]]
 			ps, _ := rec.visibleProps(ts)
-			v.props[ord] = ps
+			b.props[ord] = ps
 			for t := EdgeType(1); t < edgeTypeMax; t++ {
-				v.out[t].offsets[ord+1] = int32(countVisible(rec.adj.out[t], ts))
-				v.in[t].offsets[ord+1] = int32(countVisible(rec.adj.in[t], ts))
+				b.out[t].offsets[ord+1] = int32(countVisible(rec.adj.out[t], ts))
+				b.in[t].offsets[ord+1] = int32(countVisible(rec.adj.in[t], ts))
 			}
 		}
 		sh.mu.RUnlock()
@@ -229,8 +387,8 @@ func (s *Store) buildView(ts int64) *SnapshotView {
 		}
 	}
 	for t := EdgeType(1); t < edgeTypeMax; t++ {
-		finishCSR(&v.out[t])
-		finishCSR(&v.in[t])
+		finishCSR(&b.out[t])
+		finishCSR(&b.in[t])
 	}
 
 	// Pass 2: fill the slabs by offset position — order-independent, so
@@ -240,12 +398,12 @@ func (s *Store) buildView(ts int64) *SnapshotView {
 		sh := &s.shards[si]
 		sh.mu.RLock()
 		for _, ord := range ordsByShard[si] {
-			rec := sh.nodes[v.nodes[ord]]
+			rec := sh.nodes[b.nodes[ord]]
 			for t := EdgeType(1); t < edgeTypeMax; t++ {
-				if c := &v.out[t]; c.offsets != nil {
+				if c := &b.out[t]; c.offsets != nil {
 					fillVisible(c.edges[c.offsets[ord]:c.offsets[ord+1]], rec.adj.out[t], ts)
 				}
-				if c := &v.in[t]; c.offsets != nil {
+				if c := &b.in[t]; c.offsets != nil {
 					fillVisible(c.edges[c.offsets[ord]:c.offsets[ord+1]], rec.adj.in[t], ts)
 				}
 			}
@@ -273,7 +431,7 @@ func (s *Store) buildView(ts int64) *SnapshotView {
 func countVisible(list []edgeRec, ts int64) int {
 	n := 0
 	for i := range list {
-		if list[i].commit <= ts {
+		if list[i].visibleAt(ts) {
 			n++
 		}
 	}
@@ -285,7 +443,7 @@ func countVisible(list []edgeRec, ts int64) int {
 func fillVisible(dst []Edge, list []edgeRec, ts int64) {
 	j := 0
 	for i := range list {
-		if e := &list[i]; e.commit <= ts {
+		if e := &list[i]; e.visibleAt(ts) {
 			dst[j] = Edge{To: e.peer, Stamp: e.stamp}
 			j++
 		}

@@ -27,6 +27,7 @@ import (
 //	  kind 1 create-node: id:u64 nProps:u16 prop*
 //	  kind 2 set-prop:    id:u64 prop
 //	  kind 3 add-edge:    from:u64 type:u8 to:u64 stamp:u64 sym:u8
+//	  kind 4 del-edge:    from:u64 type:u8 to:u64
 //	prop    := key:u8 valKind:u8 (int:u64 | len:u32 bytes)
 type walWriter struct {
 	mu  sync.Mutex
@@ -79,13 +80,13 @@ func appendProp(b []byte, p Prop) []byte {
 
 // logCommit serialises one committed transaction. Called under commitMu,
 // so records land in commit order.
-func (s *Store) logCommit(ts int64, created []*pendingNode, sets []pendingProp, edges []pendingEdge) error {
+func (s *Store) logCommit(ts int64, created []*pendingNode, sets []pendingProp, edges []pendingEdge, dels []pendingDel) error {
 	w := s.wal
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	b := w.buf[:0]
 	b = appendU64(b, uint64(ts))
-	b = appendU32(b, uint32(len(created)+len(sets)+len(edges)))
+	b = appendU32(b, uint32(len(created)+len(sets)+len(edges)+len(dels)))
 	for _, n := range created {
 		b = append(b, 1)
 		b = appendU64(b, uint64(n.id))
@@ -110,6 +111,12 @@ func (s *Store) logCommit(ts int64, created []*pendingNode, sets []pendingProp, 
 			sym = 1
 		}
 		b = append(b, sym)
+	}
+	for _, d := range dels {
+		b = append(b, 4)
+		b = appendU64(b, uint64(d.from))
+		b = append(b, byte(d.t))
+		b = appendU64(b, uint64(d.to))
 	}
 	w.buf = b
 
@@ -272,6 +279,14 @@ func (s *Store) applyRecord(payload []byte) error {
 				err = tx.AddEdge(from, t, to, stamp)
 			}
 			if err != nil {
+				tx.Abort()
+				return err
+			}
+		case 4:
+			from := ids.ID(d.u64())
+			t := EdgeType(d.u8())
+			to := ids.ID(d.u64())
+			if err := tx.DeleteEdge(from, t, to); err != nil {
 				tx.Abort()
 				return err
 			}

@@ -43,6 +43,14 @@ func buildLogged(t *testing.T) ([]byte, *Store) {
 	if err := tx.Commit(); err != nil {
 		t.Fatal(err)
 	}
+	// One edge deletion, so recovery replays tombstones too.
+	tx = st.Begin()
+	if err := tx.DeleteEdge(postID(500), EdgeHasCreator, p); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
 	if err := st.FlushWAL(); err != nil {
 		t.Fatal(err)
 	}
@@ -60,8 +68,8 @@ func TestWALRecoverRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if n != 27 {
-		t.Fatalf("replayed %d txns, want 27", n)
+	if n != 28 {
+		t.Fatalf("replayed %d txns, want 28", n)
 	}
 	// The recovered store answers queries identically.
 	p := personID(500)
@@ -69,8 +77,12 @@ func TestWALRecoverRoundTrip(t *testing.T) {
 		if got := tx.Prop(p, PropFirstName).Str(); got != "Karl II" {
 			t.Fatalf("recovered name %q", got)
 		}
-		if got := len(tx.In(p, EdgeHasCreator)); got != 25 {
+		// One hasCreator edge was tombstoned by the final logged txn.
+		if got := len(tx.In(p, EdgeHasCreator)); got != 24 {
 			t.Fatalf("recovered messages %d", got)
+		}
+		if got := len(tx.Out(postID(500), EdgeHasCreator)); got != 0 {
+			t.Fatalf("tombstoned edge visible after recovery: %d", got)
 		}
 		if got := len(tx.Out(p, EdgeKnows)); got != 1 {
 			t.Fatalf("recovered knows %d", got)

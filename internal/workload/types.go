@@ -53,8 +53,21 @@ import (
 // the hot BFS loops stay allocation-free on the view path once the buffers
 // have warmed up to the working-set size. See the package documentation for
 // the aliasing rules.
+//
+// Scratch is era-aware: on the view path its visited-set pool is keyed by
+// the view's node ordinals, which the store keeps stable across delta
+// refreshes within one era (store.SnapshotView.Era). Rebinding to a
+// refreshed view of the same era therefore reuses the warm bitsets — no
+// reallocation, capacity only grows. Rebinding across an era bump (a full
+// recompaction reassigned every ordinal) additionally hard-resets the
+// whole pool, including sets the next query never re-binds. Per-query
+// correctness does not depend on this — every set is cleared when handed
+// out — the era reset enforces the pool-wide contract that no
+// ordinal-keyed state survives a recompaction, so future cross-query
+// caches keyed by ordinals inherit a safe boundary.
 type Scratch struct {
 	v    *store.SnapshotView // non-nil while bound to a frozen view
+	era  uint64              // era of the last bound view (0 = none yet)
 	sets []*seenSet          // visited-set pool, recycled across queries
 	used int                 // sets handed out since the last begin
 	env  []ids.ID            // primary traversal buffer (friend environments, BFS layers)
@@ -64,11 +77,25 @@ type Scratch struct {
 // NewScratch returns an empty scratch; buffers grow on first use.
 func NewScratch() *Scratch { return &Scratch{} }
 
+// Era returns the era of the last frozen view the scratch was bound to
+// (0 before the first view-path query). Ordinal-keyed state derived from
+// the scratch is invalid once the current view's era differs.
+func (sc *Scratch) Era() uint64 { return sc.era }
+
 // begin binds the scratch to one query execution over r, resetting all
 // scratch state. Visited sets handed out afterwards are keyed by view
 // ordinals when r is a frozen view and by node-ID hash sets otherwise.
+// Crossing a view era invalidates every pooled set, handed out this query
+// or not.
 func (sc *Scratch) begin(r store.Reader) {
-	sc.v = r.Frozen()
+	v := r.Frozen()
+	if v != nil && v.Era() != sc.era {
+		for _, s := range sc.sets {
+			s.invalidate()
+		}
+		sc.era = v.Era()
+	}
+	sc.v = v
 	sc.used = 0
 	sc.env = sc.env[:0]
 	sc.aux = sc.aux[:0]
@@ -94,6 +121,17 @@ type seenSet struct {
 	v    *store.SnapshotView
 	bits bitset.Set
 	m    map[ids.ID]struct{}
+}
+
+// invalidate discards the set's ordinal-keyed state (view binding and
+// marked bits) while keeping the allocated capacity. Called on era bumps:
+// after a recompaction the same ordinal names a different node, so
+// surviving bits would be silently wrong rather than merely stale. This is
+// defence in depth for sets the next queries never re-bind — bind clears
+// each set it hands out regardless.
+func (s *seenSet) invalidate() {
+	s.v = nil
+	s.bits.Reset()
 }
 
 // bind prepares the set for one traversal over v (nil = MVCC path).

@@ -2,14 +2,16 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-smoke
+.PHONY: check fmt vet build test race bench bench-bi bench-smoke
 
 check: fmt vet build test
 
-# Incremental view maintenance runs concurrently with commits; the store
-# and driver suites under -race cover that surface (wired into CI).
+# Incremental view maintenance runs concurrently with commits, and the BI
+# lane's morsel workers fan out over shared views while updates land; the
+# store, driver, bi and exec suites under -race cover both surfaces
+# (wired into CI).
 race:
-	$(GO) test -race ./internal/store/... ./internal/driver/...
+	$(GO) test -race ./internal/store/... ./internal/driver/... ./internal/bi/... ./internal/exec/...
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -40,8 +42,20 @@ bench:
 	$(GO) run ./cmd/benchjson -out BENCH_interactive.json < $(BENCH_TMP)
 	@rm -f $(BENCH_TMP)
 
-# One short iteration of every query benchmark on both read paths:
-# dispatch-layer regressions (a query losing a path, a signature drift)
-# fail fast here without paying for a full measurement run.
+# BI serial-vs-parallel sweep: every BI query on the txn, serial-view and
+# morsel-parallel (2 and 4 workers) paths, emitted as BENCH_bi.json.
+# Parallel ratios are only meaningful on a host with at least as many
+# cores as workers.
+bench-bi:
+	$(GO) test ./internal/bench/ -run xxx -bench 'BenchmarkBISerialVsParallel' -benchmem > $(BENCH_TMP)
+	$(GO) run ./cmd/benchjson -out BENCH_bi.json \
+		-note "BI1-BI8 ns/op per execution path (txn vs serial view vs morsel-parallel par2/par4); parallel speedup tracks the host core count — parN on fewer than N cores measures scheduling overhead, not speedup; regenerate with \`make bench-bi\`" \
+		< $(BENCH_TMP)
+	@rm -f $(BENCH_TMP)
+
+# One short iteration of every query benchmark on every path (Interactive
+# txn/view plus the BI serial/parallel sweep): dispatch-layer regressions
+# (a query losing a path, a signature drift) fail fast here without paying
+# for a full measurement run.
 bench-smoke:
-	$(GO) test ./internal/bench/ -run xxx -bench 'BenchmarkViewVsTxn' -benchtime 1x -benchmem
+	$(GO) test ./internal/bench/ -run xxx -bench 'BenchmarkViewVsTxn|BenchmarkBISerialVsParallel' -benchtime 1x -benchmem

@@ -8,10 +8,11 @@
 //
 //	go test ./internal/bench/ -run xxx -bench 'BenchmarkView' -benchmem | benchjson -out BENCH_interactive.json
 //
-// Benchmark names of the form BenchmarkViewVsTxn<Query>/<path> become
-// {query, path} records (e.g. Q9/view); sub-benchmarks of other families
-// keep the family as query and the case as path (e.g. ViewRefresh/1commit
-// vs ViewRebuild — the view-maintenance refresh-vs-rebuild split); other
+// Benchmark names of the form BenchmarkViewVsTxn<Query>/<path> and
+// BenchmarkBISerialVsParallel/<Query>/<path> become {query, path} records
+// (e.g. Q9/view, BI4/par4); sub-benchmarks of other families keep the
+// family as query and the case as path (e.g. ViewRefresh/1commit vs
+// ViewRebuild — the view-maintenance refresh-vs-rebuild split); other
 // benchmarks keep their raw name with an empty path.
 package main
 
@@ -53,6 +54,9 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
 	out := flag.String("out", "BENCH_interactive.json", "output JSON path")
+	note := flag.String("note",
+		"ns/op + allocs/op per query per read path, plus the view-maintenance refresh-vs-rebuild split (ViewRefresh/*, ViewRebuild); regenerate with `make bench`",
+		"note field of the report")
 	flag.Parse()
 
 	var recs []Record
@@ -66,7 +70,10 @@ func main() {
 			continue
 		}
 		rec := Record{Name: m[1]}
-		rec.Query = strings.TrimPrefix(rec.Name, "ViewVsTxn")
+		rec.Query = rec.Name
+		for _, family := range []string{"ViewVsTxn", "BISerialVsParallel/"} {
+			rec.Query = strings.TrimPrefix(rec.Query, family)
+		}
 		if q, path, ok := strings.Cut(rec.Query, "/"); ok {
 			rec.Query, rec.Path = q, path
 		}
@@ -86,7 +93,7 @@ func main() {
 	}
 
 	rep := Report{
-		Note:       "ns/op + allocs/op per query per read path, plus the view-maintenance refresh-vs-rebuild split (ViewRefresh/*, ViewRebuild); regenerate with `make bench`",
+		Note:       *note,
 		Benchmarks: recs,
 	}
 	data, err := json.MarshalIndent(&rep, "", "  ")

@@ -16,10 +16,17 @@
 // -view-compact-threshold tunes how much copy-on-write overlay a refreshed
 // view chain may accumulate before recompacting.
 //
+// The optional BI analyst lane (-bi) runs the eight graph-wide BI queries
+// (bi.Registry) alongside the Interactive mix with their own latency
+// table: on the view path each execution is morsel-parallel across
+// -bi-workers workers over the frozen snapshot's dense node ranges
+// (-bi-workers 1 selects the serial view scan, the txn read path always
+// runs serially).
+//
 // Usage:
 //
 //	snb-run -sf 0.05 [-streams 4] [-readclients 2] [-pertype 3] [-uniform] [-readpath txn|view]
-//	        [-view-compact-threshold N]
+//	        [-view-compact-threshold N] [-bi] [-bi-workers N] [-bi-clients N] [-bi-rounds N]
 package main
 
 import (
@@ -46,6 +53,12 @@ func main() {
 	uniform := flag.Bool("uniform", false, "use uniform instead of curated Q5 parameters (Figure 5b ablation)")
 	readPath := flag.String("readpath", driver.ReadPathView,
 		"read path for all queries and short reads: 'view' (frozen snapshots) or 'txn' (MVCC transactions)")
+	biLane := flag.Bool("bi", false,
+		"run the BI analyst lane alongside the Interactive mix (eight graph-wide BI queries per round)")
+	biWorkers := flag.Int("bi-workers", 0,
+		"morsel fan-out per BI query on the view path: 0 = GOMAXPROCS, 1 = serial view scan")
+	biClients := flag.Int("bi-clients", 1, "concurrent BI analyst clients when -bi is set")
+	biRounds := flag.Int("bi-rounds", 1, "passes each BI client makes over the eight templates")
 	compactThreshold := flag.Int("view-compact-threshold", -1,
 		"view-maintenance compaction threshold: max copy-on-write overlay entries a refreshed view chain "+
 			"may accumulate before the next advance recompacts (0 = recompact on every advance, "+
@@ -75,7 +88,7 @@ func main() {
 		fmt.Printf("view compaction threshold: %d overlay entries\n", *compactThreshold)
 	}
 
-	rep := driver.RunMixed(driver.MixedConfig{
+	mixed := driver.MixedConfig{
 		Store:          env.Store,
 		Dataset:        env.Full,
 		Updates:        env.Updates,
@@ -85,7 +98,15 @@ func main() {
 		Seed:           *seed,
 		UniformParams:  *uniform,
 		ReadPath:       *readPath,
-	})
+	}
+	if *biLane {
+		mixed.BIClients = *biClients
+		mixed.BIWorkers = *biWorkers
+		mixed.BIRounds = *biRounds
+		fmt.Printf("BI lane: %d client(s), %d round(s), workers=%d (0 = GOMAXPROCS)\n",
+			*biClients, *biRounds, *biWorkers)
+	}
+	rep := driver.RunMixed(mixed)
 
 	fmt.Println()
 	fmt.Print(bench.Table6(rep).Render())
@@ -94,6 +115,10 @@ func main() {
 	fmt.Println()
 	fmt.Print(bench.Table9(rep).Render())
 	fmt.Println()
+	if *biLane {
+		fmt.Print(bench.TableBI(rep).Render())
+		fmt.Println()
+	}
 	fmt.Printf("wall time: %v   throughput: %.0f ops/s   errors: %d\n",
 		rep.Wall.Round(1000000), rep.Throughput, rep.Errors)
 	if rep.ViewAcquire.Count > 0 {

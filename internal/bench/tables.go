@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"time"
 
+	"ldbcsnb/internal/bi"
 	"ldbcsnb/internal/datagen"
 	"ldbcsnb/internal/dict"
 	"ldbcsnb/internal/driver"
@@ -201,6 +202,28 @@ func Table7(rep *driver.MixedReport) *Result {
 		res.Rows = append(res.Rows, []string{
 			fmt.Sprintf("S%d", i+1),
 			ms(float64(s.Mean()) / 1e6),
+			strconv.Itoa(s.Count),
+		})
+	}
+	return res
+}
+
+// TableBI — mean runtime of the BI analyst lane's queries (the working-
+// draft BI workload, run through bi.Registry on whichever path and worker
+// fan-out the mixed config selected).
+func TableBI(rep *driver.MixedReport) *Result {
+	res := &Result{
+		ID:     "Table BI",
+		Title:  "Mean runtime of Business Intelligence queries (ms)",
+		Header: []string{"query", "mean ms", "p99 ms", "count"},
+		Notes:  "graph-wide scans, orders of magnitude above the Interactive reads; BI1-BI5 and BI8 are full fact-table scans, BI7 adds traversal",
+	}
+	for q := 0; q < bi.NumQueries; q++ {
+		s := &rep.BI[q]
+		res.Rows = append(res.Rows, []string{
+			bi.Registry[q].Name,
+			ms(float64(s.Mean()) / 1e6),
+			ms(float64(s.Percentile(99)) / 1e6),
 			strconv.Itoa(s.Count),
 		})
 	}

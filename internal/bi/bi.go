@@ -7,6 +7,22 @@
 // working draft; the eight queries here cover its stated dimensions:
 // full-fact-table scans, time/geography/tag group-bys, and traversal
 // predicates over the friendship graph and the tag-class hierarchy.
+//
+// # The two-and-a-half read paths
+//
+// Like the Interactive queries, every BI query has exactly one logical
+// implementation, written against the generic store.Reader contract:
+// instantiated with *store.Txn it is the transactional formulation,
+// instantiated with *store.SnapshotView it runs lock-free over the frozen
+// CSR image. BI queries are whole-graph scans, so each one is factored
+// into a per-row kernel feeding a partial aggregate plus a finalize step —
+// which is exactly the shape morsel-driven parallelism needs. The third
+// path (parallel.go) reuses those same kernels: internal/exec shards the
+// view's dense per-kind node ranges into morsels, each worker folds its
+// morsels into a private partial, and the shared finalize merges the
+// partials. Results are identical on all three paths by construction —
+// every kernel is a pure function of the reader and every ordering
+// tie-breaks on a unique key — and the equivalence property tests pin it.
 package bi
 
 import (
@@ -15,22 +31,37 @@ import (
 
 	"ldbcsnb/internal/ids"
 	"ldbcsnb/internal/store"
+	"ldbcsnb/internal/workload"
 )
 
-// monthOf buckets a simulation timestamp into (year, month).
-func monthOf(millis int64) (int, time.Month) {
-	t := time.UnixMilli(millis).UTC()
-	return t.Year(), t.Month()
+// messageKinds are the two fact-table node kinds every message scan walks.
+var messageKinds = [2]ids.Kind{ids.KindPost, ids.KindComment}
+
+// monthBucketer buckets simulation timestamps into (year, month) with a
+// one-entry range cache: the [lo, hi) millisecond span of the last month
+// resolved is kept, and only timestamps outside it pay the time.Date
+// calendar math. Message scans touch creation dates in near-sorted runs
+// (node IDs correlate with creation time), so BI1's scan loop — the only
+// calendar-bucketing kernel; BI2/BI3 compare raw milliseconds — hits the
+// cache almost always instead of calling time.UnixMilli per row. Each
+// partial aggregate owns one — never share a bucketer across workers.
+type monthBucketer struct {
+	lo, hi int64 // cached month's [lo, hi) span; hi==0 means empty
+	year   int
+	month  time.Month
 }
 
-// allMessages streams every post and comment ID with its creation date.
-func allMessages(tx *store.Txn, fn func(id ids.ID, created int64)) {
-	for _, kind := range []ids.Kind{ids.KindPost, ids.KindComment} {
-		for _, m := range tx.NodesOfKind(kind) {
-			fn(m, tx.Prop(m, store.PropCreationDate).Int())
-		}
+func (mb *monthBucketer) bucket(millis int64) (int, time.Month) {
+	if mb.hi == 0 || millis < mb.lo || millis >= mb.hi {
+		t := time.UnixMilli(millis).UTC()
+		mb.year, mb.month = t.Year(), t.Month()
+		mb.lo = time.Date(mb.year, mb.month, 1, 0, 0, 0, 0, time.UTC).UnixMilli()
+		mb.hi = time.Date(mb.year, mb.month+1, 1, 0, 0, 0, 0, time.UTC).UnixMilli()
 	}
+	return mb.year, mb.month
 }
+
+// BI1 — posting summary.
 
 // BI1Row is a posting-summary group.
 type BI1Row struct {
@@ -42,40 +73,63 @@ type BI1Row struct {
 	AvgLength    float64
 }
 
-// BI1 — posting summary: group all messages by (year, month, kind, length
-// class) with counts and average length; the full-fact-table scan +
-// multi-dimension group-by of the BI workload.
-func BI1(tx *store.Txn) []BI1Row {
-	type key struct {
-		y  int
-		m  time.Month
-		c  bool
-		lc int
+type bi1Key struct {
+	y  int
+	m  time.Month
+	c  bool
+	lc int
+}
+
+// bi1Agg accumulates one group. Lengths are summed as integers so the
+// average is independent of scan order — float accumulation would make the
+// parallel merge order observable in the last bits.
+type bi1Agg struct {
+	count  int
+	lenSum int
+}
+
+type bi1Partial struct {
+	groups map[bi1Key]bi1Agg
+	mb     monthBucketer
+}
+
+func (p *bi1Partial) init() { p.groups = make(map[bi1Key]bi1Agg) }
+
+// bi1Add is the BI1 kernel: classify one message into its
+// (year, month, kind, length class) group.
+func bi1Add[R store.Reader](r R, p *bi1Partial, id ids.ID) {
+	length := int(r.Prop(id, store.PropLength).Int())
+	lc := 0
+	switch {
+	case length >= 120:
+		lc = 2
+	case length >= 40:
+		lc = 1
 	}
-	counts := map[key]*BI1Row{}
-	allMessages(tx, func(id ids.ID, created int64) {
-		length := int(tx.Prop(id, store.PropLength).Int())
-		lc := 0
-		switch {
-		case length >= 120:
-			lc = 2
-		case length >= 40:
-			lc = 1
+	y, m := p.mb.bucket(r.Prop(id, store.PropCreationDate).Int())
+	k := bi1Key{y, m, id.Kind() == ids.KindComment, lc}
+	agg := p.groups[k]
+	agg.count++
+	agg.lenSum += length
+	p.groups[k] = agg
+}
+
+func bi1Finalize(parts []bi1Partial) []BI1Row {
+	groups := parts[0].groups
+	for _, part := range parts[1:] {
+		for k, g := range part.groups {
+			agg := groups[k]
+			agg.count += g.count
+			agg.lenSum += g.lenSum
+			groups[k] = agg
 		}
-		y, m := monthOf(created)
-		k := key{y, m, id.Kind() == ids.KindComment, lc}
-		row := counts[k]
-		if row == nil {
-			row = &BI1Row{Year: y, Month: m, IsComment: k.c, LengthClass: lc}
-			counts[k] = row
-		}
-		row.MessageCount++
-		row.AvgLength += float64(length)
-	})
-	out := make([]BI1Row, 0, len(counts))
-	for _, r := range counts {
-		r.AvgLength /= float64(r.MessageCount)
-		out = append(out, *r)
+	}
+	out := make([]BI1Row, 0, len(groups))
+	for k, g := range groups {
+		out = append(out, BI1Row{
+			Year: k.y, Month: k.m, IsComment: k.c, LengthClass: k.lc,
+			MessageCount: g.count, AvgLength: float64(g.lenSum) / float64(g.count),
+		})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
@@ -93,6 +147,22 @@ func BI1(tx *store.Txn) []BI1Row {
 	return out
 }
 
+// BI1 — posting summary: group all messages by (year, month, kind, length
+// class) with counts and average length; the full-fact-table scan +
+// multi-dimension group-by of the BI workload.
+func BI1[R store.Reader](r R) []BI1Row {
+	var part bi1Partial
+	part.init()
+	for _, kind := range messageKinds {
+		for _, m := range r.NodesOfKind(kind) {
+			bi1Add(r, &part, m)
+		}
+	}
+	return bi1Finalize([]bi1Partial{part})
+}
+
+// BI2 — tag evolution.
+
 // BI2Row is a tag-evolution entry.
 type BI2Row struct {
 	Tag        ids.ID
@@ -102,23 +172,43 @@ type BI2Row struct {
 	Difference int // |CountA - CountB|
 }
 
-// BI2 — tag evolution: compare tag usage between two consecutive windows
-// and rank by absolute change (trending topics at BI granularity).
-func BI2(tx *store.Txn, windowStart, windowLen int64, limit int) []BI2Row {
-	countIn := func(lo, hi int64) map[ids.ID]int {
-		counts := map[ids.ID]int{}
-		allMessages(tx, func(id ids.ID, created int64) {
-			if created < lo || created >= hi {
-				return
-			}
-			for _, te := range tx.Out(id, store.EdgeHasTag) {
-				counts[te.To]++
-			}
-		})
-		return counts
+type bi2Partial struct {
+	a, b map[ids.ID]int
+}
+
+func (p *bi2Partial) init() {
+	p.a = make(map[ids.ID]int)
+	p.b = make(map[ids.ID]int)
+}
+
+// bi2Add is the BI2 kernel: one scan classifies a message into window A or
+// B (or neither) and counts its tags there.
+func bi2Add[R store.Reader](r R, p *bi2Partial, id ids.ID, windowStart, windowLen int64) {
+	created := r.Prop(id, store.PropCreationDate).Int()
+	var counts map[ids.ID]int
+	switch {
+	case created >= windowStart && created < windowStart+windowLen:
+		counts = p.a
+	case created >= windowStart+windowLen && created < windowStart+2*windowLen:
+		counts = p.b
+	default:
+		return
 	}
-	a := countIn(windowStart, windowStart+windowLen)
-	b := countIn(windowStart+windowLen, windowStart+2*windowLen)
+	for _, te := range r.Out(id, store.EdgeHasTag) {
+		counts[te.To]++
+	}
+}
+
+func bi2Finalize[R store.Reader](r R, parts []bi2Partial, limit int) []BI2Row {
+	a, b := parts[0].a, parts[0].b
+	for _, part := range parts[1:] {
+		for t, c := range part.a {
+			a[t] += c
+		}
+		for t, c := range part.b {
+			b[t] += c
+		}
+	}
 	tags := map[ids.ID]bool{}
 	for t := range a {
 		tags[t] = true
@@ -126,14 +216,14 @@ func BI2(tx *store.Txn, windowStart, windowLen int64, limit int) []BI2Row {
 	for t := range b {
 		tags[t] = true
 	}
-	var out []BI2Row
+	out := make([]BI2Row, 0, len(tags))
 	for t := range tags {
 		diff := a[t] - b[t]
 		if diff < 0 {
 			diff = -diff
 		}
 		out = append(out, BI2Row{
-			Tag: t, Name: tx.Prop(t, store.PropName).Str(),
+			Tag: t, Name: r.Prop(t, store.PropName).Str(),
 			CountA: a[t], CountB: b[t], Difference: diff,
 		})
 	}
@@ -141,13 +231,32 @@ func BI2(tx *store.Txn, windowStart, windowLen int64, limit int) []BI2Row {
 		if out[i].Difference != out[j].Difference {
 			return out[i].Difference > out[j].Difference
 		}
-		return out[i].Name < out[j].Name
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Tag < out[j].Tag
 	})
 	if len(out) > limit {
 		out = out[:limit]
 	}
 	return out
 }
+
+// BI2 — tag evolution: compare tag usage between two consecutive windows
+// and rank by absolute change (trending topics at BI granularity). One
+// message scan feeds both windows.
+func BI2[R store.Reader](r R, windowStart, windowLen int64, limit int) []BI2Row {
+	var part bi2Partial
+	part.init()
+	for _, kind := range messageKinds {
+		for _, m := range r.NodesOfKind(kind) {
+			bi2Add(r, &part, m, windowStart, windowLen)
+		}
+	}
+	return bi2Finalize(r, []bi2Partial{part}, limit)
+}
+
+// BI3 — popular topics by country.
 
 // BI3Row is a per-country topic entry.
 type BI3Row struct {
@@ -156,20 +265,33 @@ type BI3Row struct {
 	Count   int
 }
 
-// BI3 — popular topics by country: group message tags by the message's
-// country dimension; top tag per country.
-func BI3(tx *store.Txn) []BI3Row {
-	type key struct {
-		country int
-		tag     ids.ID
+type bi3Key struct {
+	country int
+	tag     ids.ID
+}
+
+type bi3Partial struct {
+	counts map[bi3Key]int
+}
+
+func (p *bi3Partial) init() { p.counts = make(map[bi3Key]int) }
+
+// bi3Add is the BI3 kernel: count one message's tags under its country
+// dimension.
+func bi3Add[R store.Reader](r R, p *bi3Partial, id ids.ID) {
+	country := int(r.Prop(id, store.PropCountry).Int())
+	for _, te := range r.Out(id, store.EdgeHasTag) {
+		p.counts[bi3Key{country, te.To}]++
 	}
-	counts := map[key]int{}
-	allMessages(tx, func(id ids.ID, created int64) {
-		country := int(tx.Prop(id, store.PropCountry).Int())
-		for _, te := range tx.Out(id, store.EdgeHasTag) {
-			counts[key{country, te.To}]++
+}
+
+func bi3Finalize(parts []bi3Partial) []BI3Row {
+	counts := parts[0].counts
+	for _, part := range parts[1:] {
+		for k, c := range part.counts {
+			counts[k] += c
 		}
-	})
+	}
 	best := map[int]BI3Row{}
 	for k, c := range counts {
 		cur, ok := best[k.country]
@@ -185,6 +307,21 @@ func BI3(tx *store.Txn) []BI3Row {
 	return out
 }
 
+// BI3 — popular topics by country: group message tags by the message's
+// country dimension; top tag per country.
+func BI3[R store.Reader](r R) []BI3Row {
+	var part bi3Partial
+	part.init()
+	for _, kind := range messageKinds {
+		for _, m := range r.NodesOfKind(kind) {
+			bi3Add(r, &part, m)
+		}
+	}
+	return bi3Finalize([]bi3Partial{part})
+}
+
+// BI4 — engagement ranking.
+
 // BI4Row ranks persons by engagement.
 type BI4Row struct {
 	Person   ids.ID
@@ -194,33 +331,47 @@ type BI4Row struct {
 	Score    int
 }
 
-// BI4 — engagement ranking: for every person, aggregate message count,
-// likes received and replies received; score = messages + 2*likes +
-// 2*replies. A whole-graph aggregation joining three fact relations.
-func BI4(tx *store.Txn, limit int) []BI4Row {
-	rows := map[ids.ID]*BI4Row{}
-	get := func(p ids.ID) *BI4Row {
-		r := rows[p]
-		if r == nil {
-			r = &BI4Row{Person: p}
-			rows[p] = r
-		}
-		return r
+type bi4Agg struct {
+	messages, likes, replies int
+}
+
+type bi4Partial struct {
+	rows map[ids.ID]bi4Agg
+}
+
+func (p *bi4Partial) init() { p.rows = make(map[ids.ID]bi4Agg) }
+
+// bi4Add is the BI4 kernel: credit one message (and the likes/replies it
+// received) to its creator.
+func bi4Add[R store.Reader](r R, p *bi4Partial, id ids.ID) {
+	creators := r.Out(id, store.EdgeHasCreator)
+	if len(creators) == 0 {
+		return
 	}
-	allMessages(tx, func(id ids.ID, created int64) {
-		creators := tx.Out(id, store.EdgeHasCreator)
-		if len(creators) == 0 {
-			return
+	agg := p.rows[creators[0].To]
+	agg.messages++
+	agg.likes += len(r.In(id, store.EdgeLikes))
+	agg.replies += len(r.In(id, store.EdgeReplyOf))
+	p.rows[creators[0].To] = agg
+}
+
+func bi4Finalize(parts []bi4Partial, limit int) []BI4Row {
+	rows := parts[0].rows
+	for _, part := range parts[1:] {
+		for p, a := range part.rows {
+			agg := rows[p]
+			agg.messages += a.messages
+			agg.likes += a.likes
+			agg.replies += a.replies
+			rows[p] = agg
 		}
-		r := get(creators[0].To)
-		r.Messages++
-		r.Likes += len(tx.In(id, store.EdgeLikes))
-		r.Replies += len(tx.In(id, store.EdgeReplyOf))
-	})
+	}
 	out := make([]BI4Row, 0, len(rows))
-	for _, r := range rows {
-		r.Score = r.Messages + 2*r.Likes + 2*r.Replies
-		out = append(out, *r)
+	for p, a := range rows {
+		out = append(out, BI4Row{
+			Person: p, Messages: a.messages, Likes: a.likes, Replies: a.replies,
+			Score: a.messages + 2*a.likes + 2*a.replies,
+		})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Score != out[j].Score {
@@ -234,6 +385,22 @@ func BI4(tx *store.Txn, limit int) []BI4Row {
 	return out
 }
 
+// BI4 — engagement ranking: for every person, aggregate message count,
+// likes received and replies received; score = messages + 2*likes +
+// 2*replies. A whole-graph aggregation joining three fact relations.
+func BI4[R store.Reader](r R, limit int) []BI4Row {
+	var part bi4Partial
+	part.init()
+	for _, kind := range messageKinds {
+		for _, m := range r.NodesOfKind(kind) {
+			bi4Add(r, &part, m)
+		}
+	}
+	return bi4Finalize([]bi4Partial{part}, limit)
+}
+
+// BI5 — tag-class rollup.
+
 // BI5Row is a tag-class rollup.
 type BI5Row struct {
 	Class    ids.ID
@@ -241,28 +408,40 @@ type BI5Row struct {
 	Messages int
 }
 
-// BI5 — tag-class rollup: count messages per tag class, rolling counts up
-// the isSubclassOf hierarchy to the roots (the recursion dimension of the
-// BI workload).
-func BI5(tx *store.Txn) []BI5Row {
-	// Direct counts per class.
-	direct := map[ids.ID]int{}
-	allMessages(tx, func(id ids.ID, created int64) {
-		for _, te := range tx.Out(id, store.EdgeHasTag) {
-			types := tx.Out(te.To, store.EdgeHasType)
-			if len(types) > 0 {
-				direct[types[0].To]++
-			}
+type bi5Partial struct {
+	direct map[ids.ID]int
+}
+
+func (p *bi5Partial) init() { p.direct = make(map[ids.ID]int) }
+
+// bi5Add is the BI5 kernel: count one message under the class of each of
+// its tags.
+func bi5Add[R store.Reader](r R, p *bi5Partial, id ids.ID) {
+	for _, te := range r.Out(id, store.EdgeHasTag) {
+		types := r.Out(te.To, store.EdgeHasType)
+		if len(types) > 0 {
+			p.direct[types[0].To]++
 		}
-	})
-	// Roll up: every class adds its count to all ancestors.
+	}
+}
+
+// bi5Finalize rolls the merged direct counts up the isSubclassOf hierarchy
+// (the recursion dimension of the BI workload). The rollup itself is
+// serial: the class hierarchy is dimension-sized, not fact-sized.
+func bi5Finalize[R store.Reader](r R, parts []bi5Partial) []BI5Row {
+	direct := parts[0].direct
+	for _, part := range parts[1:] {
+		for cls, c := range part.direct {
+			direct[cls] += c
+		}
+	}
 	total := map[ids.ID]int{}
-	for _, cls := range tx.NodesOfKind(ids.KindTagClass) {
+	for _, cls := range r.NodesOfKind(ids.KindTagClass) {
 		c := direct[cls]
 		cur := cls
 		for depth := 0; depth < 32; depth++ {
 			total[cur] += c
-			parents := tx.Out(cur, store.EdgeIsSubclassOf)
+			parents := r.Out(cur, store.EdgeIsSubclassOf)
 			if len(parents) == 0 {
 				break
 			}
@@ -274,16 +453,34 @@ func BI5(tx *store.Txn) []BI5Row {
 		if c == 0 {
 			continue
 		}
-		out = append(out, BI5Row{Class: cls, Name: tx.Prop(cls, store.PropName).Str(), Messages: c})
+		out = append(out, BI5Row{Class: cls, Name: r.Prop(cls, store.PropName).Str(), Messages: c})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Messages != out[j].Messages {
 			return out[i].Messages > out[j].Messages
 		}
-		return out[i].Name < out[j].Name
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Class < out[j].Class
 	})
 	return out
 }
+
+// BI5 — tag-class rollup: count messages per tag class, rolling counts up
+// the isSubclassOf hierarchy to the roots.
+func BI5[R store.Reader](r R) []BI5Row {
+	var part bi5Partial
+	part.init()
+	for _, kind := range messageKinds {
+		for _, m := range r.NodesOfKind(kind) {
+			bi5Add(r, &part, m)
+		}
+	}
+	return bi5Finalize(r, []bi5Partial{part})
+}
+
+// BI6 — zombie detection.
 
 // BI6Row is a zombie-detection entry.
 type BI6Row struct {
@@ -292,25 +489,23 @@ type BI6Row struct {
 	LikesGiven int
 }
 
-// BI6 — "zombies": persons created before a date with fewer than k
-// messages, reported with their like activity (lurkers skew engagement
-// metrics; a selective full-person scan).
-func BI6(tx *store.Txn, createdBefore int64, maxMessages int) []BI6Row {
-	likesGiven := map[ids.ID]int{}
-	msgs := map[ids.ID]int{}
-	for _, p := range tx.NodesOfKind(ids.KindPerson) {
-		likesGiven[p] = len(tx.Out(p, store.EdgeLikes))
-		msgs[p] = len(tx.In(p, store.EdgeHasCreator))
+// bi6Row is the BI6 kernel: one person's row, independent of every other
+// person — the embarrassingly parallel shape of a selective person scan.
+func bi6Row[R store.Reader](r R, p ids.ID, createdBefore int64, maxMessages int) (BI6Row, bool) {
+	if r.Prop(p, store.PropCreationDate).Int() >= createdBefore {
+		return BI6Row{}, false
 	}
-	var out []BI6Row
-	for _, p := range tx.NodesOfKind(ids.KindPerson) {
-		if tx.Prop(p, store.PropCreationDate).Int() >= createdBefore {
-			continue
-		}
-		if msgs[p] >= maxMessages {
-			continue
-		}
-		out = append(out, BI6Row{Person: p, Messages: msgs[p], LikesGiven: likesGiven[p]})
+	msgs := len(r.In(p, store.EdgeHasCreator))
+	if msgs >= maxMessages {
+		return BI6Row{}, false
+	}
+	return BI6Row{Person: p, Messages: msgs, LikesGiven: r.OutDegree(p, store.EdgeLikes)}, true
+}
+
+func bi6Finalize(parts [][]BI6Row) []BI6Row {
+	out := parts[0]
+	for _, part := range parts[1:] {
+		out = append(out, part...)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Messages != out[j].Messages {
@@ -321,6 +516,21 @@ func BI6(tx *store.Txn, createdBefore int64, maxMessages int) []BI6Row {
 	return out
 }
 
+// BI6 — "zombies": persons created before a date with fewer than k
+// messages, reported with their like activity (lurkers skew engagement
+// metrics; a selective full-person scan).
+func BI6[R store.Reader](r R, createdBefore int64, maxMessages int) []BI6Row {
+	var rows []BI6Row
+	for _, p := range r.NodesOfKind(ids.KindPerson) {
+		if row, ok := bi6Row(r, p, createdBefore, maxMessages); ok {
+			rows = append(rows, row)
+		}
+	}
+	return bi6Finalize([][]BI6Row{rows})
+}
+
+// BI7 — forum reach.
+
 // BI7Row scores a forum by the reach of its member network.
 type BI7Row struct {
 	Forum   ids.ID
@@ -329,44 +539,69 @@ type BI7Row struct {
 	Reach   int // distinct persons within one knows-hop of the members
 }
 
+// bi7Select ranks forums by (membership desc, ID asc) and returns the
+// indices of the top limit.
+func bi7Select(forums []ids.ID, members []int, limit int) []int {
+	order := make([]int, len(forums))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if members[a] != members[b] {
+			return members[a] > members[b]
+		}
+		return forums[a] < forums[b]
+	})
+	if len(order) > limit {
+		order = order[:limit]
+	}
+	return order
+}
+
+// bi7Reach is the BI7 traversal kernel: the number of distinct persons
+// within one knows-hop of the forum's membership. The visited set comes
+// from the scratch pool — a dense ordinal bitset on the view path, an ID
+// hash set on the txn path.
+func bi7Reach[R store.Reader](r R, sc *workload.Scratch, f ids.ID) int {
+	sc.Begin(r)
+	seen := sc.Seen()
+	reach := 0
+	for _, m := range r.Out(f, store.EdgeHasMember) {
+		if seen.TryMark(m.To) {
+			reach++
+		}
+		for _, e := range r.Out(m.To, store.EdgeKnows) {
+			if seen.TryMark(e.To) {
+				reach++
+			}
+		}
+	}
+	return reach
+}
+
 // BI7 — forum reach: for the largest forums, the size of the 1-hop
 // friendship neighbourhood of the membership (graph traversal predicate
 // over a group-by result).
-func BI7(tx *store.Txn, limit int) []BI7Row {
-	forums := tx.NodesOfKind(ids.KindForum)
-	type fm struct {
-		forum   ids.ID
-		members []store.Edge
+func BI7[R store.Reader](r R, sc *workload.Scratch, limit int) []BI7Row {
+	forums := r.NodesOfKind(ids.KindForum)
+	members := make([]int, len(forums))
+	for i, f := range forums {
+		members[i] = r.OutDegree(f, store.EdgeHasMember)
 	}
-	all := make([]fm, 0, len(forums))
-	for _, f := range forums {
-		all = append(all, fm{f, tx.Out(f, store.EdgeHasMember)})
-	}
-	sort.Slice(all, func(i, j int) bool {
-		if len(all[i].members) != len(all[j].members) {
-			return len(all[i].members) > len(all[j].members)
+	order := bi7Select(forums, members, limit)
+	out := make([]BI7Row, len(order))
+	for i, idx := range order {
+		f := forums[idx]
+		out[i] = BI7Row{
+			Forum: f, Title: r.Prop(f, store.PropTitle).Str(),
+			Members: members[idx], Reach: bi7Reach(r, sc, f),
 		}
-		return all[i].forum < all[j].forum
-	})
-	if len(all) > limit {
-		all = all[:limit]
-	}
-	out := make([]BI7Row, 0, len(all))
-	for _, f := range all {
-		reach := map[ids.ID]bool{}
-		for _, m := range f.members {
-			reach[m.To] = true
-			for _, e := range tx.Out(m.To, store.EdgeKnows) {
-				reach[e.To] = true
-			}
-		}
-		out = append(out, BI7Row{
-			Forum: f.forum, Title: tx.Prop(f.forum, store.PropTitle).Str(),
-			Members: len(f.members), Reach: len(reach),
-		})
 	}
 	return out
 }
+
+// BI8 — thread depth histogram.
 
 // BI8Row is a conversation-depth histogram bucket.
 type BI8Row struct {
@@ -374,30 +609,59 @@ type BI8Row struct {
 	Comments int
 }
 
-// BI8 — thread depth histogram: the distribution of reply depths over all
-// comments (recursive traversal of the reply trees; "trees made by replies
-// to posts" is a §3 choke point).
-func BI8(tx *store.Txn) []BI8Row {
-	depth := map[ids.ID]int{}
-	var resolve func(id ids.ID) int
-	resolve = func(id ids.ID) int {
-		if id.Kind() == ids.KindPost {
-			return 0
+type bi8Partial struct {
+	memo map[ids.ID]int
+	hist map[int]int
+	path []ids.ID
+}
+
+func (p *bi8Partial) init() {
+	p.memo = make(map[ids.ID]int)
+	p.hist = make(map[int]int)
+}
+
+// bi8Depth resolves one comment's reply depth by climbing the replyOf
+// chain until a post, a memoised ancestor or a dangling parent, then
+// memoising the climbed path. Depth is a pure function of the graph, so
+// independent memo maps (one per worker) resolve identical values.
+func bi8Depth[R store.Reader](r R, p *bi8Partial, c ids.ID) int {
+	path := p.path[:0]
+	cur, base := c, 0
+	for {
+		if cur.Kind() == ids.KindPost {
+			break
 		}
-		if d, ok := depth[id]; ok {
-			return d
+		if d, ok := p.memo[cur]; ok {
+			base = d
+			break
 		}
-		parents := tx.Out(id, store.EdgeReplyOf)
+		parents := r.Out(cur, store.EdgeReplyOf)
 		if len(parents) == 0 {
-			return 0
+			break // dangling reply target: counts as a root, like a post
 		}
-		d := resolve(parents[0].To) + 1
-		depth[id] = d
-		return d
+		path = append(path, cur)
+		cur = parents[0].To
 	}
-	hist := map[int]int{}
-	for _, c := range tx.NodesOfKind(ids.KindComment) {
-		hist[resolve(c)]++
+	d := base
+	for i := len(path) - 1; i >= 0; i-- {
+		d++
+		p.memo[path[i]] = d
+	}
+	p.path = path[:0]
+	return d
+}
+
+// bi8Add is the BI8 kernel: histogram one comment's depth.
+func bi8Add[R store.Reader](r R, p *bi8Partial, c ids.ID) {
+	p.hist[bi8Depth(r, p, c)]++
+}
+
+func bi8Finalize(parts []bi8Partial) []BI8Row {
+	hist := parts[0].hist
+	for _, part := range parts[1:] {
+		for d, n := range part.hist {
+			hist[d] += n
+		}
 	}
 	out := make([]BI8Row, 0, len(hist))
 	for d, n := range hist {
@@ -405,4 +669,16 @@ func BI8(tx *store.Txn) []BI8Row {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Depth < out[j].Depth })
 	return out
+}
+
+// BI8 — thread depth histogram: the distribution of reply depths over all
+// comments (recursive traversal of the reply trees; "trees made by replies
+// to posts" is a §3 choke point).
+func BI8[R store.Reader](r R) []BI8Row {
+	var part bi8Partial
+	part.init()
+	for _, c := range r.NodesOfKind(ids.KindComment) {
+		bi8Add(r, &part, c)
+	}
+	return bi8Finalize([]bi8Partial{part})
 }

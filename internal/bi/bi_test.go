@@ -7,6 +7,7 @@ import (
 	"ldbcsnb/internal/datagen"
 	"ldbcsnb/internal/schema"
 	"ldbcsnb/internal/store"
+	"ldbcsnb/internal/workload"
 )
 
 var (
@@ -194,7 +195,7 @@ func TestBI6Zombies(t *testing.T) {
 func TestBI7ForumReach(t *testing.T) {
 	s, _ := setup(t)
 	s.View(func(tx *store.Txn) {
-		rows := BI7(tx, 10)
+		rows := BI7(tx, workload.NewScratch(), 10)
 		if len(rows) == 0 {
 			t.Fatal("no forums")
 		}

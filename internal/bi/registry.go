@@ -1,0 +1,170 @@
+package bi
+
+import (
+	"ldbcsnb/internal/exec"
+	"ldbcsnb/internal/store"
+	"ldbcsnb/internal/workload"
+	"ldbcsnb/internal/xrand"
+)
+
+// The BI-query registry, mirroring workload.Complex: one descriptor per
+// query carrying its name, parameter binding against the driver's curated
+// pools and the three execution paths. The driver's BI analyst lane and
+// the benchmarks execute purely through this table.
+//
+// Each query has one generic runner; the descriptor stores its two serial
+// instantiations (txn, view) plus the morsel-parallel view entry point, so
+// every caller executes the same monomorphized kernels.
+
+// NumQueries is the number of BI query templates.
+const NumQueries = 8
+
+// Params is one bound BI execution's parameter set; each query reads the
+// fields its Bind populated.
+type Params struct {
+	WindowStart   int64 // BI2: start of window A (window B follows)
+	WindowMillis  int64 // BI2: window length
+	Limit         int   // BI2, BI4, BI7
+	CreatedBefore int64 // BI6
+	MaxMessages   int   // BI6
+}
+
+// Result summarises one BI execution for the driver (the full row sets
+// stay inside the query; the lane only tracks latency and output size).
+type Result struct {
+	Rows int
+}
+
+// Spec describes one BI query template.
+type Spec struct {
+	// Num is the 1-based query number; Name its display label.
+	Num  int
+	Name string
+	// Bind draws one parameter binding from the driver's curated pools.
+	Bind func(pools *workload.ParamPools, rnd *xrand.Rand) Params
+	// RunTxn and RunView are the two serial instantiations of the query's
+	// single generic implementation.
+	RunTxn  func(tx *store.Txn, sc *workload.Scratch, p Params) Result
+	RunView func(v *store.SnapshotView, sc *workload.Scratch, p Params) Result
+	// RunPar is the morsel-parallel view path (see parallel.go); par
+	// carries the worker fan-out and morsel size.
+	RunPar func(v *store.SnapshotView, par exec.Config, p Params) Result
+}
+
+// bindFixed returns a Bind for queries whose parameters don't draw from
+// the pools.
+func bindFixed(p Params) func(*workload.ParamPools, *xrand.Rand) Params {
+	return func(*workload.ParamPools, *xrand.Rand) Params { return p }
+}
+
+// The per-query generic runners: bound parameters in, row counts out.
+
+func runBI1[R store.Reader](r R, sc *workload.Scratch, p Params) Result {
+	return Result{Rows: len(BI1(r))}
+}
+
+func runBI2[R store.Reader](r R, sc *workload.Scratch, p Params) Result {
+	return Result{Rows: len(BI2(r, p.WindowStart, p.WindowMillis, p.Limit))}
+}
+
+func runBI3[R store.Reader](r R, sc *workload.Scratch, p Params) Result {
+	return Result{Rows: len(BI3(r))}
+}
+
+func runBI4[R store.Reader](r R, sc *workload.Scratch, p Params) Result {
+	return Result{Rows: len(BI4(r, p.Limit))}
+}
+
+func runBI5[R store.Reader](r R, sc *workload.Scratch, p Params) Result {
+	return Result{Rows: len(BI5(r))}
+}
+
+func runBI6[R store.Reader](r R, sc *workload.Scratch, p Params) Result {
+	return Result{Rows: len(BI6(r, p.CreatedBefore, p.MaxMessages))}
+}
+
+func runBI7[R store.Reader](r R, sc *workload.Scratch, p Params) Result {
+	return Result{Rows: len(BI7(r, sc, p.Limit))}
+}
+
+func runBI8[R store.Reader](r R, sc *workload.Scratch, p Params) Result {
+	return Result{Rows: len(BI8(r))}
+}
+
+// Registry[q-1] is the descriptor of BI query q.
+var Registry = [NumQueries]Spec{
+	{
+		Num: 1, Name: "BI1",
+		Bind:   bindFixed(Params{}),
+		RunTxn: runBI1[*store.Txn], RunView: runBI1[*store.SnapshotView],
+		RunPar: func(v *store.SnapshotView, par exec.Config, p Params) Result {
+			return Result{Rows: len(BI1Par(v, par))}
+		},
+	},
+	{
+		Num: 2, Name: "BI2",
+		Bind: func(pools *workload.ParamPools, rnd *xrand.Rand) Params {
+			// Two consecutive windows ending at the simulation end, so
+			// both sides of the comparison hold data.
+			return Params{
+				WindowStart:  pools.MaxDate - 2*pools.WindowMillis,
+				WindowMillis: pools.WindowMillis,
+				Limit:        10,
+			}
+		},
+		RunTxn: runBI2[*store.Txn], RunView: runBI2[*store.SnapshotView],
+		RunPar: func(v *store.SnapshotView, par exec.Config, p Params) Result {
+			return Result{Rows: len(BI2Par(v, par, p.WindowStart, p.WindowMillis, p.Limit))}
+		},
+	},
+	{
+		Num: 3, Name: "BI3",
+		Bind:   bindFixed(Params{}),
+		RunTxn: runBI3[*store.Txn], RunView: runBI3[*store.SnapshotView],
+		RunPar: func(v *store.SnapshotView, par exec.Config, p Params) Result {
+			return Result{Rows: len(BI3Par(v, par))}
+		},
+	},
+	{
+		Num: 4, Name: "BI4",
+		Bind:   bindFixed(Params{Limit: 20}),
+		RunTxn: runBI4[*store.Txn], RunView: runBI4[*store.SnapshotView],
+		RunPar: func(v *store.SnapshotView, par exec.Config, p Params) Result {
+			return Result{Rows: len(BI4Par(v, par, p.Limit))}
+		},
+	},
+	{
+		Num: 5, Name: "BI5",
+		Bind:   bindFixed(Params{}),
+		RunTxn: runBI5[*store.Txn], RunView: runBI5[*store.SnapshotView],
+		RunPar: func(v *store.SnapshotView, par exec.Config, p Params) Result {
+			return Result{Rows: len(BI5Par(v, par))}
+		},
+	},
+	{
+		Num: 6, Name: "BI6",
+		Bind: func(pools *workload.ParamPools, rnd *xrand.Rand) Params {
+			return Params{CreatedBefore: pools.MaxDate, MaxMessages: 3}
+		},
+		RunTxn: runBI6[*store.Txn], RunView: runBI6[*store.SnapshotView],
+		RunPar: func(v *store.SnapshotView, par exec.Config, p Params) Result {
+			return Result{Rows: len(BI6Par(v, par, p.CreatedBefore, p.MaxMessages))}
+		},
+	},
+	{
+		Num: 7, Name: "BI7",
+		Bind:   bindFixed(Params{Limit: 10}),
+		RunTxn: runBI7[*store.Txn], RunView: runBI7[*store.SnapshotView],
+		RunPar: func(v *store.SnapshotView, par exec.Config, p Params) Result {
+			return Result{Rows: len(BI7Par(v, par, p.Limit))}
+		},
+	},
+	{
+		Num: 8, Name: "BI8",
+		Bind:   bindFixed(Params{}),
+		RunTxn: runBI8[*store.Txn], RunView: runBI8[*store.SnapshotView],
+		RunPar: func(v *store.SnapshotView, par exec.Config, p Params) Result {
+			return Result{Rows: len(BI8Par(v, par))}
+		},
+	},
+}

@@ -4,6 +4,8 @@ import (
 	"sync"
 	"time"
 
+	"ldbcsnb/internal/bi"
+	"ldbcsnb/internal/exec"
 	"ldbcsnb/internal/ids"
 	"ldbcsnb/internal/params"
 	"ldbcsnb/internal/schema"
@@ -55,6 +57,19 @@ type MixedConfig struct {
 	// ReadPathView (default) or ReadPathTxn. Both paths execute the same
 	// generic query implementations.
 	ReadPath string
+	// BIClients is the number of concurrent BI analyst clients cycling
+	// the eight BI queries (bi.Registry) alongside the Interactive mix;
+	// 0 disables the BI lane. BI clients follow ReadPath: MVCC
+	// transactions on the txn path, frozen snapshot views otherwise.
+	BIClients int
+	// BIWorkers is the morsel fan-out of each BI execution on the view
+	// path: 1 runs the serial view instantiation, anything else the
+	// morsel-parallel path (0 = GOMAXPROCS workers). Ignored on the txn
+	// path, which always runs serially.
+	BIWorkers int
+	// BIRounds is how many passes over the eight BI templates each BI
+	// client makes (0 = 1).
+	BIRounds int
 }
 
 // MixedReport is the outcome of a mixed run: the per-query latency tables
@@ -63,7 +78,13 @@ type MixedReport struct {
 	Complex [workload.NumComplexQueries]LatencyStats // Table 6
 	Short   [workload.NumShortQueries]LatencyStats   // Table 7
 	Update  [schema.NumUpdateTypes]LatencyStats      // Table 9
-	Wall    time.Duration
+	// BI is the analyst lane's per-query latency bucket (BI1-BI8),
+	// populated when MixedConfig.BIClients > 0. BI latencies are kept
+	// apart from Complex: a BI execution is a graph-wide scan orders of
+	// magnitude above the Interactive point queries, and folding the two
+	// together would drown the Table 6 numbers.
+	BI   [bi.NumQueries]LatencyStats
+	Wall time.Duration
 	// ViewAcquire aggregates the cost of every frozen-view acquisition the
 	// read clients performed (view path only; twice per iteration — before
 	// the complex query and again before the short-read walk, so the walk
@@ -288,6 +309,57 @@ func RunMixed(cfg MixedConfig) *MixedReport {
 			}
 		}(c)
 	}
+	// BI analyst lane: each client cycles the eight BI templates through
+	// bi.Registry — bind parameters from the same curated pools, execute
+	// on the configured read path, record into the lane's own latency
+	// bucket. On the view path each execution acquires the current frozen
+	// view (timed into ViewAcquire like the Interactive clients' reads)
+	// and runs either the serial view instantiation (BIWorkers == 1) or
+	// the morsel-parallel executor.
+	par := exec.Config{Workers: cfg.BIWorkers}
+	biRounds := cfg.BIRounds
+	if biRounds <= 0 {
+		biRounds = 1
+	}
+	for c := 0; c < cfg.BIClients; c++ {
+		wg.Add(1)
+		go func(client int) {
+			defer wg.Done()
+			r := xrand.New(cfg.Seed, xrand.PurposeShortRead, uint64(client)+500)
+			sc := workload.NewScratch()
+			for round := 0; round < biRounds; round++ {
+				for q := range bi.Registry {
+					spec := &bi.Registry[q]
+					p := spec.Bind(qp, r)
+					if readTxn {
+						cfg.Store.View(func(tx *store.Txn) {
+							t0 := time.Now()
+							spec.RunTxn(tx, sc, p)
+							lat := time.Since(t0)
+							mu.Lock()
+							rep.BI[q].Add(lat)
+							mu.Unlock()
+						})
+						continue
+					}
+					tAcq := time.Now()
+					v, ev := cfg.Store.AcquireView()
+					acq := time.Since(tAcq)
+					t0 := time.Now()
+					if cfg.BIWorkers == 1 {
+						spec.RunView(v, sc, p)
+					} else {
+						spec.RunPar(v, par, p)
+					}
+					lat := time.Since(t0)
+					mu.Lock()
+					addAcquire(rep, ev, acq)
+					rep.BI[q].Add(lat)
+					mu.Unlock()
+				}
+			}
+		}(c)
+	}
 	wg.Wait()
 
 	rep.Wall = time.Since(start)
@@ -297,6 +369,9 @@ func RunMixed(cfg MixedConfig) *MixedReport {
 	}
 	for i := range rep.Short {
 		total += rep.Short[i].Count
+	}
+	for i := range rep.BI {
+		total += rep.BI[i].Count
 	}
 	if rep.Wall > 0 {
 		rep.Throughput = float64(total) / rep.Wall.Seconds()

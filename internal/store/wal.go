@@ -80,11 +80,18 @@ func appendProp(b []byte, p Prop) []byte {
 
 // logCommit serialises one committed transaction. Called under commitMu,
 // so records land in commit order.
+//
+// The whole record — 8-byte length/CRC header plus payload — is assembled
+// in the writer's pooled buffer, with the header patched in once the
+// payload is complete. One commit therefore costs a single buffered Write
+// and zero allocations once the buffer has warmed to the largest record
+// size (wal_test.go pins this; BenchmarkWALLogCommit tracks it with
+// -benchmem).
 func (s *Store) logCommit(ts int64, created []*pendingNode, sets []pendingProp, edges []pendingEdge, dels []pendingDel) error {
 	w := s.wal
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	b := w.buf[:0]
+	b := append(w.buf[:0], 0, 0, 0, 0, 0, 0, 0, 0) // header placeholder
 	b = appendU64(b, uint64(ts))
 	b = appendU32(b, uint32(len(created)+len(sets)+len(edges)+len(dels)))
 	for _, n := range created {
@@ -120,12 +127,9 @@ func (s *Store) logCommit(ts int64, created []*pendingNode, sets []pendingProp, 
 	}
 	w.buf = b
 
-	var hdr [8]byte
-	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(b)))
-	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(b))
-	if _, err := w.w.Write(hdr[:]); err != nil {
-		return err
-	}
+	payload := b[8:]
+	binary.LittleEndian.PutUint32(b[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(b[4:8], crc32.ChecksumIEEE(payload))
 	_, err := w.w.Write(b)
 	return err
 }

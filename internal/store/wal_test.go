@@ -3,6 +3,7 @@ package store
 import (
 	"bytes"
 	"errors"
+	"io"
 	"testing"
 
 	"ldbcsnb/internal/ids"
@@ -171,4 +172,52 @@ func TestWALOrderPreservesVersions(t *testing.T) {
 			t.Fatalf("final version %q", got)
 		}
 	})
+}
+
+// walPendings builds one representative committed-transaction shape (a
+// node with properties, a property update, a symmetric edge and an edge
+// tombstone) for exercising logCommit directly.
+func walPendings() ([]*pendingNode, []pendingProp, []pendingEdge, []pendingDel) {
+	created := []*pendingNode{{id: personID(1), props: Props{
+		{Key: PropFirstName, Val: String("Ada")},
+		{Key: PropCreationDate, Val: Int64(7)},
+	}}}
+	sets := []pendingProp{{id: personID(1), key: PropLastName, val: String("L")}}
+	edges := []pendingEdge{{from: personID(1), to: personID(2), t: EdgeKnows, stamp: 3, sym: true}}
+	dels := []pendingDel{{from: personID(1), to: personID(2), t: EdgeKnows}}
+	return created, sets, edges, dels
+}
+
+// TestLogCommitZeroAlloc pins the write path's pooled-encode contract:
+// once the writer's record buffer has warmed to the record size, logging
+// a commit allocates nothing — the whole record (header + payload) is
+// assembled in the reused buffer and written with a single buffered Write.
+func TestLogCommitZeroAlloc(t *testing.T) {
+	st := New()
+	st.AttachWAL(io.Discard)
+	created, sets, edges, dels := walPendings()
+	logOne := func() {
+		if err := st.logCommit(9, created, sets, edges, dels); err != nil {
+			t.Fatal(err)
+		}
+	}
+	logOne() // warm the pooled buffer
+	if allocs := testing.AllocsPerRun(100, logOne); allocs != 0 {
+		t.Fatalf("logCommit allocates %.1f times per record, want 0", allocs)
+	}
+}
+
+// BenchmarkWALLogCommit measures the redo-record encode+append cost per
+// commit in isolation (run with -benchmem; steady state must report
+// 0 allocs/op).
+func BenchmarkWALLogCommit(b *testing.B) {
+	st := New()
+	st.AttachWAL(io.Discard)
+	created, sets, edges, dels := walPendings()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := st.logCommit(int64(i), created, sets, edges, dels); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

@@ -101,6 +101,29 @@ func (sc *Scratch) begin(r store.Reader) {
 	sc.aux = sc.aux[:0]
 }
 
+// Begin binds the scratch to one query execution over r, resetting all
+// pooled state. It is the exported entry for traversal code outside this
+// package (internal/bi's graph predicates run over the same scratch
+// machinery); the Interactive queries call the unexported begin directly.
+func (sc *Scratch) Begin(r store.Reader) { sc.begin(r) }
+
+// Seen is an exported handle on one pooled visited set: a dense ordinal
+// bitset when the owning scratch is bound to a frozen view, a node-ID hash
+// set on the MVCC path. A Seen is valid until the next Begin on its
+// scratch, and follows the scratch's aliasing rules (one goroutine).
+type Seen struct{ s *seenSet }
+
+// Seen draws a cleared visited set from the scratch's pool.
+func (sc *Scratch) Seen() Seen { return Seen{sc.newSeen()} }
+
+// TryMark marks a node, reporting whether it was unseen. On the view path,
+// nodes outside the view count as already seen (never the case for edge
+// endpoints, which the store materialises).
+func (s Seen) TryMark(id ids.ID) bool { return s.s.tryMark(id) }
+
+// Has reports whether a node is marked.
+func (s Seen) Has(id ids.ID) bool { return s.s.has(id) }
+
 // newSeen returns a cleared visited set drawn from the scratch's pool. The
 // set is valid until the next begin.
 func (sc *Scratch) newSeen() *seenSet {

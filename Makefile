@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-bi bench-smoke
+.PHONY: check fmt vet build test race bench bench-bi bench-recovery bench-smoke docs-check
 
 check: fmt vet build test
 
@@ -16,6 +16,11 @@ race:
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# Link-and-anchor check over the prose docs (README + docs/*.md) so a
+# renamed file or heading fails CI instead of rotting silently.
+docs-check:
+	$(GO) run ./cmd/docscheck README.md docs/*.md
 
 vet:
 	$(GO) vet ./...
@@ -53,9 +58,20 @@ bench-bi:
 		< $(BENCH_TMP)
 	@rm -f $(BENCH_TMP)
 
+# Recovery-path comparison: restart the 250-person environment from the
+# newest checkpoint plus the WAL tail vs full replay of the whole log from
+# the first commit, emitted as BENCH_recovery.json. The acceptance bar for
+# the persistence subsystem is checkpoint+tail >= 5x faster at this scale.
+bench-recovery:
+	$(GO) test ./internal/bench/ -run xxx -bench 'BenchmarkRecovery' -benchtime 10x > $(BENCH_TMP)
+	$(GO) run ./cmd/benchjson -out BENCH_recovery.json \
+		-note "restart latency at 250 persons: newest checkpoint + WAL tail replay (last ~2% of commits) vs full WAL replay from the first commit; the 'commits' metric is the recovered commit clock (identical on both paths by construction); regenerate with \`make bench-recovery\`" \
+		< $(BENCH_TMP)
+	@rm -f $(BENCH_TMP)
+
 # One short iteration of every query benchmark on every path (Interactive
-# txn/view plus the BI serial/parallel sweep): dispatch-layer regressions
-# (a query losing a path, a signature drift) fail fast here without paying
-# for a full measurement run.
+# txn/view plus the BI serial/parallel sweep and the recovery comparison):
+# dispatch-layer regressions (a query losing a path, a signature drift)
+# fail fast here without paying for a full measurement run.
 bench-smoke:
-	$(GO) test ./internal/bench/ -run xxx -bench 'BenchmarkViewVsTxn|BenchmarkBISerialVsParallel' -benchtime 1x -benchmem
+	$(GO) test ./internal/bench/ -run xxx -bench 'BenchmarkViewVsTxn|BenchmarkBISerialVsParallel|BenchmarkRecovery' -benchtime 1x -benchmem

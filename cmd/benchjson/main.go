@@ -12,8 +12,10 @@
 // BenchmarkBISerialVsParallel/<Query>/<path> become {query, path} records
 // (e.g. Q9/view, BI4/par4); sub-benchmarks of other families keep the
 // family as query and the case as path (e.g. ViewRefresh/1commit vs
-// ViewRebuild — the view-maintenance refresh-vs-rebuild split); other
-// benchmarks keep their raw name with an empty path.
+// ViewRebuild — the view-maintenance refresh-vs-rebuild split, or
+// Recovery/checkpoint+tail vs Recovery/fullreplay — the restart-latency
+// comparison of make bench-recovery); other benchmarks keep their raw name
+// with an empty path.
 package main
 
 import (

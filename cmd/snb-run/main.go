@@ -23,22 +23,79 @@
 // (-bi-workers 1 selects the serial view scan, the txn read path always
 // runs serially).
 //
+// # Durable mode
+//
+// -data-dir makes the run durable: the store opens (or recovers) a data
+// directory holding a segmented WAL plus checkpoints (docs/FORMATS.md).
+// On a fresh directory the bulk load is logged, a post-load checkpoint is
+// taken, the mixed run's updates append to the WAL (with a background
+// checkpointer bounding the replay tail), and shutdown is clean: final
+// checkpoint, WAL fsync, close. On a directory that already holds data
+// the store recovers — newest valid checkpoint plus WAL tail replay — the
+// recovery timings are printed, and the run serves the read-only mix over
+// the recovered state (the update stream was already applied in the run
+// that wrote the directory; re-applying it would double-create entities).
+// -wal-sync upgrades durability to fsync-on-commit; see
+// store.PersistOptions for the exact guarantee of each mode.
+//
 // Usage:
 //
 //	snb-run -sf 0.05 [-streams 4] [-readclients 2] [-pertype 3] [-uniform] [-readpath txn|view]
 //	        [-view-compact-threshold N] [-bi] [-bi-workers N] [-bi-clients N] [-bi-rounds N]
+//	        [-data-dir DIR] [-wal-sync] [-wal-segment-bytes N] [-checkpoint-bytes N] [-checkpoint-commits N]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 
 	"ldbcsnb/internal/bench"
 	"ldbcsnb/internal/datagen"
 	"ldbcsnb/internal/driver"
+	"ldbcsnb/internal/schema"
+	"ldbcsnb/internal/store"
 )
+
+// runConfig is the dataset-generation fingerprint snb-run stores next to a
+// durable data directory: the recovered store only matches the read mix's
+// parameter pools if the dataset is regenerated with the same scale and
+// seed, so a mismatch on reopen is an operator error surfaced up front
+// rather than a run full of silently empty queries.
+type runConfig struct {
+	Persons int    `json:"persons"`
+	Seed    uint64 `json:"seed"`
+}
+
+const runConfigName = "snb-run.json"
+
+func writeRunConfig(dir string, cfg runConfig) error {
+	data, err := json.MarshalIndent(cfg, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, runConfigName), append(data, '\n'), 0o644)
+}
+
+func checkRunConfig(dir string, cfg runConfig) {
+	data, err := os.ReadFile(filepath.Join(dir, runConfigName))
+	if err != nil {
+		log.Printf("warning: %s missing (%v); cannot verify the data dir matches -persons/-seed", runConfigName, err)
+		return
+	}
+	var got runConfig
+	if err := json.Unmarshal(data, &got); err != nil {
+		log.Fatalf("%s: %v", runConfigName, err)
+	}
+	if got != cfg {
+		log.Fatalf("data dir %s was written with -persons %d -seed %d; this run regenerated the dataset with -persons %d -seed %d — "+
+			"query parameters would not match the recovered store (rerun with the original flags, or point -data-dir elsewhere)",
+			dir, got.Persons, got.Seed, cfg.Persons, cfg.Seed)
+	}
+}
 
 func main() {
 	log.SetFlags(0)
@@ -63,6 +120,16 @@ func main() {
 		"view-maintenance compaction threshold: max copy-on-write overlay entries a refreshed view chain "+
 			"may accumulate before the next advance recompacts (0 = recompact on every advance, "+
 			"-1 = store default)")
+	dataDir := flag.String("data-dir", "",
+		"durable mode: open or recover a data directory (segmented WAL + checkpoints); empty = in-memory run")
+	walSync := flag.Bool("wal-sync", false,
+		"with -data-dir: fsync the WAL on every commit (durable before Commit returns) instead of flush-on-close")
+	segmentBytes := flag.Int64("wal-segment-bytes", 0,
+		"with -data-dir: WAL segment rotation threshold in bytes (0 = default 4 MiB)")
+	ckptBytes := flag.Int64("checkpoint-bytes", 0,
+		"with -data-dir: background checkpoint after this many WAL bytes (0 = default 32 MiB, negative = disable)")
+	ckptCommits := flag.Int64("checkpoint-commits", 0,
+		"with -data-dir: background checkpoint after this many commits (0 = disabled)")
 	flag.Parse()
 
 	if *readPath != driver.ReadPathView && *readPath != driver.ReadPathTxn {
@@ -75,29 +142,88 @@ func main() {
 	}
 
 	fmt.Printf("building environment: %d persons...\n", persons)
-	env, err := bench.NewEnv(persons, *seed)
-	if err != nil {
-		log.Fatal(err)
+	env := bench.NewEnvData(persons, *seed)
+
+	// Durable mode: open-or-recover; otherwise a fresh in-memory store.
+	var persist *store.Persistent
+	recovered := false
+	if *dataDir != "" {
+		opts := store.PersistOptions{
+			SegmentBytes:      *segmentBytes,
+			SyncOnCommit:      *walSync,
+			CheckpointBytes:   *ckptBytes,
+			CheckpointCommits: *ckptCommits,
+		}
+		p, info, err := store.Open(*dataDir, opts, schema.RegisterIndexes)
+		if err != nil {
+			log.Fatalf("open %s: %v", *dataDir, err)
+		}
+		persist = p
+		if info.Fresh {
+			fmt.Printf("data dir %s: fresh; bulk load will be logged\n", *dataDir)
+			if err := writeRunConfig(*dataDir, runConfig{Persons: persons, Seed: *seed}); err != nil {
+				log.Fatal(err)
+			}
+			if err := env.LoadInto(p.Store); err != nil {
+				log.Fatal(err)
+			}
+			if err := p.Checkpoint(); err != nil {
+				log.Fatalf("post-load checkpoint: %v", err)
+			}
+			fmt.Printf("post-load checkpoint at commit %d\n", p.CheckpointTS())
+		} else {
+			checkRunConfig(*dataDir, runConfig{Persons: persons, Seed: *seed})
+			recovered = true
+			env.Store = p.Store
+			fmt.Printf("data dir %s: recovered to commit %d (checkpoint %d + %d WAL records replayed, %d skipped; %d/%d segments scanned/skipped",
+				*dataDir, info.Clock, info.CheckpointTS, info.Replayed, info.Skipped,
+				info.SegmentsScanned, info.SegmentsSkipped)
+			if info.TornBytes > 0 {
+				fmt.Printf("; %dB torn tail discarded", info.TornBytes)
+			}
+			fmt.Println(")")
+			for _, bad := range info.BadCheckpoints {
+				fmt.Printf("  skipped invalid checkpoint %s\n", bad)
+			}
+			fmt.Println("update stream already applied by the writing run; serving the read-only mix")
+		}
+	} else {
+		st := store.New()
+		schema.RegisterIndexes(st)
+		if err := env.LoadInto(st); err != nil {
+			log.Fatal(err)
+		}
 	}
+
 	c := env.Bulk.Counts()
-	fmt.Printf("bulk-loaded %d persons, %d messages, %d forums; %d updates pending\n",
-		c.Persons, c.Messages(), c.Forums, len(env.Updates))
+	if recovered {
+		fmt.Printf("dataset: %d persons, %d messages, %d forums (bulk split; all %d updates already durable)\n",
+			c.Persons, c.Messages(), c.Forums, len(env.Updates))
+	} else {
+		fmt.Printf("bulk-loaded %d persons, %d messages, %d forums; %d updates pending\n",
+			c.Persons, c.Messages(), c.Forums, len(env.Updates))
+	}
 	fmt.Printf("read path: %s\n", *readPath)
 	if *compactThreshold >= 0 {
 		env.Store.SetViewCompactThreshold(*compactThreshold)
 		fmt.Printf("view compaction threshold: %d overlay entries\n", *compactThreshold)
 	}
 
+	updates := env.Updates
+	if recovered {
+		updates = nil
+	}
 	mixed := driver.MixedConfig{
 		Store:          env.Store,
 		Dataset:        env.Full,
-		Updates:        env.Updates,
+		Updates:        updates,
 		Streams:        *streams,
 		ReadClients:    *readClients,
 		ComplexPerType: *perType,
 		Seed:           *seed,
 		UniformParams:  *uniform,
 		ReadPath:       *readPath,
+		Persist:        persist,
 	}
 	if *biLane {
 		mixed.BIClients = *biClients
@@ -130,6 +256,29 @@ func main() {
 		vs := env.Store.ViewStats()
 		fmt.Printf("view maintenance: %d delta refreshes, %d rebuilds, %d era bumps, %d ring overflows\n",
 			vs.Refreshes, vs.Rebuilds, vs.EraBumps, vs.Overflows)
+	}
+	if rep.Persist != nil {
+		fmt.Printf("durability: %d WAL bytes appended, %d rotations, %d checkpoints (last at commit %d), %d segments truncated, final sync %v\n",
+			rep.Persist.WALBytes, rep.Persist.WALRotations, rep.Persist.Checkpoints,
+			rep.Persist.LastCheckpointTS, rep.Persist.SegmentsRemoved, rep.FinalSync.Round(1000))
+		if rep.FinalSyncErr != nil {
+			log.Printf("final WAL sync FAILED: %v (commits since the last successful sync may not be durable)", rep.FinalSyncErr)
+		}
+	}
+
+	// Clean shutdown of the durable store: final checkpoint (so the next
+	// open skips tail replay), then sync and close the WAL.
+	if persist != nil {
+		if err := persist.Err(); err != nil {
+			log.Printf("background checkpoint error: %v", err)
+		}
+		if err := persist.Checkpoint(); err != nil {
+			log.Fatalf("shutdown checkpoint: %v", err)
+		}
+		if err := persist.Close(); err != nil {
+			log.Fatalf("close: %v", err)
+		}
+		fmt.Printf("clean shutdown: checkpoint at commit %d, WAL synced\n", persist.CheckpointTS())
 	}
 	if rep.Errors > 0 {
 		os.Exit(1)

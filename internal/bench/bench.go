@@ -80,23 +80,44 @@ type Env struct {
 const DefaultPersons = 400
 
 // NewEnv generates a dataset (with events enabled), splits it at the
-// 32-month cut and bulk-loads the store.
+// 32-month cut and bulk-loads a fresh in-memory store.
 func NewEnv(persons int, seed uint64) (*Env, error) {
+	e := NewEnvData(persons, seed)
+	st := store.New()
+	schema.RegisterIndexes(st)
+	if err := e.LoadInto(st); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// NewEnvData generates the dataset and the bulk/update split without
+// loading any store — for callers that load into a store they own, such as
+// a durable store.Open store (snb-run -data-dir) or the recovery
+// benchmarks. Generation is deterministic in (persons, seed).
+func NewEnvData(persons int, seed uint64) *Env {
 	if persons <= 0 {
 		persons = DefaultPersons
 	}
 	cfg := datagen.Config{Seed: seed, Persons: persons, Workers: 2, Events: true}
 	out := datagen.Generate(cfg)
 	bulk, updates := datagen.Split(out.Data, datagen.UpdateCut)
-	st := store.New()
-	schema.RegisterIndexes(st)
+	return &Env{Cfg: cfg, Out: out, Full: out.Data, Bulk: bulk, Updates: updates}
+}
+
+// LoadInto bulk-loads the environment's dimension tables and bulk split
+// into st — which must already have its indexes registered
+// (schema.RegisterIndexes) and, for durable stores, its WAL attached so
+// the load is logged — and adopts st as the environment's store.
+func (e *Env) LoadInto(st *store.Store) error {
 	if err := schema.LoadDimensions(st); err != nil {
-		return nil, err
+		return err
 	}
-	if err := schema.Load(st, bulk); err != nil {
-		return nil, err
+	if err := schema.Load(st, e.Bulk); err != nil {
+		return err
 	}
-	return &Env{Cfg: cfg, Out: out, Full: out.Data, Bulk: bulk, Updates: updates, Store: st}, nil
+	e.Store = st
+	return nil
 }
 
 func ms(d float64) string { return fmt.Sprintf("%.3f", d) }

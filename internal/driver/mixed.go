@@ -70,6 +70,12 @@ type MixedConfig struct {
 	// BIRounds is how many passes over the eight BI templates each BI
 	// client makes (0 = 1).
 	BIRounds int
+	// Persist, when non-nil, is the durable handle of Store (snb-run
+	// -data-dir): after the workload drains, the driver issues a WAL sync
+	// barrier so every commit of the run is on disk, and snapshots the
+	// durability counters into MixedReport.Persist. The store field of the
+	// handle must be the same Store the run executes against.
+	Persist *store.Persistent
 }
 
 // MixedReport is the outcome of a mixed run: the per-query latency tables
@@ -100,6 +106,15 @@ type MixedReport struct {
 	// alongside the acceleration factor).
 	Throughput float64
 	Errors     int
+	// Persist carries the durability counters of the run (WAL bytes and
+	// rotations, checkpoints, truncated segments) and FinalSync the cost
+	// of the end-of-run fsync barrier; both only populated when
+	// MixedConfig.Persist is set. A barrier failure counts into Errors
+	// and is carried in FinalSyncErr so callers can report WHY the run
+	// failed, not just that it did.
+	Persist      *store.PersistStats
+	FinalSync    time.Duration
+	FinalSyncErr error
 }
 
 // numQ11Countries bounds the Q11 country parameter draw (the dict's
@@ -361,6 +376,20 @@ func RunMixed(cfg MixedConfig) *MixedReport {
 		}(c)
 	}
 	wg.Wait()
+
+	// Durability barrier: a mixed run on a durable store ends with every
+	// commit on disk, and the run's wall time owns that cost (fsync is
+	// part of serving updates durably, not an accounting afterthought).
+	if cfg.Persist != nil {
+		t0 := time.Now()
+		if err := cfg.Persist.Sync(); err != nil {
+			rep.Errors++
+			rep.FinalSyncErr = err
+		}
+		rep.FinalSync = time.Since(t0)
+		st := cfg.Persist.Stats()
+		rep.Persist = &st
+	}
 
 	rep.Wall = time.Since(start)
 	total := len(cfg.Updates)

@@ -1,0 +1,581 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"ldbcsnb/internal/btree"
+	"ldbcsnb/internal/ids"
+)
+
+// Durable checkpoints. A checkpoint is the visible state of the store at
+// one commit timestamp C, serialised to a single versioned, CRC-protected
+// file: every visible node with its property list and adjacency, the
+// per-kind scan lists, the secondary-index contents, and the commit clock.
+// Recovery (Open in persist.go) loads the newest valid checkpoint and
+// replays only the WAL records with timestamps above C — the "checkpoint +
+// tail" path that replaces full log replay.
+//
+// # Checkpoints serialise a frozen view
+//
+// The writer walks a SnapshotView, never the live shards: the view is
+// immutable after construction (CSR slabs plus copy-on-write overlays), so
+// serialisation runs concurrently with commits, GC and view compaction
+// without any stop-the-world on the write path. An era bump mid-checkpoint
+// is harmless — the held view stays frozen regardless of what the cached
+// view does — and GC is harmless for the same reason views are GC-immune
+// (see gc.go: a view never reads the store after construction).
+//
+// # What restoring flattens
+//
+// Restoring a checkpoint rebuilds the store as if every visible fact had
+// committed at timestamp C: MVCC history below C (superseded property
+// versions, tombstoned edges) is not in the file and cannot be recovered
+// from it. That is exactly the Store.GC contract with horizon C — any read
+// at a snapshot >= C is unaffected — and recovery sets the clock to C, so
+// no later reader can observe the difference. The WAL tail then re-creates
+// history above C record by record.
+//
+// # On-disk format
+//
+// docs/FORMATS.md is the authoritative byte-level spec. Summary
+// (little-endian; prop encoding shared with the WAL):
+//
+//	file    := magic:u32 "SCKP" | version:u16 | reserved:u16 | body | crc:u32
+//	body    := clock:u64
+//	           nNodes:u32 node*
+//	           nKinds:u16 kindList*
+//	           nOrdered:u16 orderedIdx*
+//	           nHashed:u16 hashedIdx*
+//	node    := id:u64 | nProps:u16 prop* | nLists:u8 list*
+//	list    := type:u8 | dir:u8 | count:u32 | (peer:u64 stamp:u64)*
+//	kindList:= kind:u8 | count:u32 | id:u64*
+//	orderedIdx := kind:u8 | prop:u8 | entries:u32 | (key:u64 sub:u64 val:u64)*
+//	hashedIdx  := kind:u8 | prop:u8 | keys:u32 |
+//	              (len:u32 bytes | count:u32 | id:u64*)*
+//
+// crc is CRC32-IEEE over everything before it, so torn or bit-rotted
+// checkpoint files fail closed: the loader falls back to the next older
+// checkpoint, or to full WAL replay.
+//
+// Compatibility rules: version is bumped on any incompatible change and
+// loaders refuse versions they do not know; unknown section trailers are an
+// error (the format has no skippable extensions yet); a checkpoint naming a
+// secondary index that the opening store did not register fails recovery —
+// register the same indexes before Open that were registered when the
+// checkpoint was written.
+const (
+	ckptMagic   = 0x504B4353 // "SCKP"
+	ckptVersion = 1
+)
+
+const (
+	ckptPrefix    = "ckpt-"
+	ckptSuffix    = ".ckpt"
+	ckptTmpSuffix = ".tmp"
+)
+
+func ckptName(ts int64) string {
+	return fmt.Sprintf("%s%016d%s", ckptPrefix, ts, ckptSuffix)
+}
+
+// checkpointFile describes one on-disk checkpoint.
+type checkpointFile struct {
+	ts   int64
+	path string
+}
+
+// scanCheckpoints lists checkpoint files newest-first. Temp files and
+// foreign names are ignored.
+func scanCheckpoints(dir string) ([]checkpointFile, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var cks []checkpointFile
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, ckptPrefix) || !strings.HasSuffix(name, ckptSuffix) {
+			continue
+		}
+		ts, err := strconv.ParseInt(strings.TrimSuffix(strings.TrimPrefix(name, ckptPrefix), ckptSuffix), 10, 64)
+		if err != nil {
+			continue
+		}
+		cks = append(cks, checkpointFile{ts: ts, path: filepath.Join(dir, name)})
+	}
+	sort.Slice(cks, func(i, j int) bool { return cks[i].ts > cks[j].ts })
+	return cks, nil
+}
+
+// writeCheckpoint serialises the view (plus the store's secondary-index
+// contents filtered to the view's visibility) into dir, atomically: the
+// bytes are written to a temp file, fsynced, renamed into place and the
+// directory entry fsynced, so a crash leaves either the complete new
+// checkpoint or none. hookBeforeRename, when non-nil, runs between the temp
+// fsync and the rename (crash-injection tests).
+func writeCheckpoint(dir string, v *SnapshotView, s *Store, hookBeforeRename func()) (string, error) {
+	tmp := filepath.Join(dir, ckptName(v.Timestamp())+ckptTmpSuffix)
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return "", err
+	}
+	defer os.Remove(tmp) // no-op after a successful rename
+
+	bw := bufio.NewWriterSize(f, 1<<16)
+	crc := crc32.NewIEEE()
+	w := io.MultiWriter(bw, crc)
+	if err := encodeCheckpoint(w, v, s); err != nil {
+		f.Close()
+		return "", err
+	}
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc.Sum32())
+	if _, err := bw.Write(sum[:]); err != nil {
+		f.Close()
+		return "", err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return "", err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return "", err
+	}
+	if err := f.Close(); err != nil {
+		return "", err
+	}
+	if hookBeforeRename != nil {
+		hookBeforeRename()
+	}
+	final := filepath.Join(dir, ckptName(v.Timestamp()))
+	if err := os.Rename(tmp, final); err != nil {
+		return "", err
+	}
+	if err := syncDir(dir); err != nil {
+		return "", err
+	}
+	return final, nil
+}
+
+// encodeCheckpoint writes header and body (everything the trailing CRC
+// covers) to w.
+func encodeCheckpoint(w io.Writer, v *SnapshotView, s *Store) error {
+	buf := make([]byte, 0, 1<<16)
+	flush := func() error {
+		if len(buf) == 0 {
+			return nil
+		}
+		_, err := w.Write(buf)
+		buf = buf[:0]
+		return err
+	}
+
+	buf = appendU32(buf, ckptMagic)
+	buf = appendU16(buf, ckptVersion)
+	buf = appendU16(buf, 0)
+	buf = appendU64(buf, uint64(v.Timestamp()))
+
+	// Nodes, ascending by ID for determinism (base ordinals are ID-sorted;
+	// overlay-appended ordinals are not, so re-sort the union).
+	nodeIDs := make([]ids.ID, 0, v.NumNodes())
+	nodeIDs = append(nodeIDs, v.base.nodes...)
+	nodeIDs = append(nodeIDs, v.nodesOver...)
+	sort.Slice(nodeIDs, func(i, j int) bool { return nodeIDs[i] < nodeIDs[j] })
+	buf = appendU32(buf, uint32(len(nodeIDs)))
+	for _, id := range nodeIDs {
+		ord, _ := v.Ord(id)
+		buf = appendU64(buf, uint64(id))
+		ps := v.propsAt(ord)
+		buf = appendU16(buf, uint16(len(ps)))
+		for _, p := range ps {
+			buf = appendProp(buf, p)
+		}
+		// Non-empty adjacency rows only; nLists fits u8 (15 types x 2 dirs).
+		nLists := 0
+		mark := len(buf)
+		buf = append(buf, 0)
+		for t := EdgeType(1); t < edgeTypeMax; t++ {
+			for dir := 0; dir < 2; dir++ {
+				row := v.row(ord, t, dir == 1)
+				if len(row) == 0 {
+					continue
+				}
+				nLists++
+				buf = append(buf, byte(t), byte(dir))
+				buf = appendU32(buf, uint32(len(row)))
+				for _, e := range row {
+					buf = appendU64(buf, uint64(e.To))
+					buf = appendU64(buf, uint64(e.Stamp))
+				}
+			}
+		}
+		buf[mark] = byte(nLists)
+		if len(buf) >= 1<<16 {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+
+	// Per-kind scan lists, in live (commit) order — NodesOfKind's contract.
+	kinds := make([]ids.Kind, 0, len(v.byKind))
+	for k := range v.byKind {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	buf = appendU16(buf, uint16(len(kinds)))
+	for _, k := range kinds {
+		list := v.byKind[k]
+		buf = append(buf, byte(k))
+		buf = appendU32(buf, uint32(len(list)))
+		for _, id := range list {
+			buf = appendU64(buf, uint64(id))
+		}
+		if len(buf) >= 1<<16 {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+
+	// Secondary indexes, filtered to the view's visibility. Index entries
+	// are only ever added at node creation, so the live index is a superset
+	// of the state at the view's timestamp and the visibility filter makes
+	// the dump exact; dumping (not rebuilding at recovery) preserves the
+	// engine's creation-time index values for nodes whose indexed property
+	// was later overwritten.
+	//
+	// Each index lock is held only long enough to snapshot the raw
+	// contents — Commit takes these locks per created node, so filtering
+	// and encoding (O(index size) work) must happen outside them or every
+	// checkpoint would stall the write path it promises not to stop.
+	buf = appendU16(buf, uint16(len(s.ordered)))
+	for _, oi := range s.ordered {
+		oi.mu.RLock()
+		entries := make([]btree.Entry, 0, oi.tree.Len())
+		oi.tree.Ascend(math.MinInt64, 0, func(e btree.Entry) bool {
+			entries = append(entries, e)
+			return true
+		})
+		oi.mu.RUnlock()
+		vis := entries[:0]
+		for _, e := range entries {
+			if v.Exists(ids.ID(e.Val)) {
+				vis = append(vis, e)
+			}
+		}
+		buf = append(buf, byte(oi.kind), byte(oi.prop))
+		buf = appendU32(buf, uint32(len(vis)))
+		for _, e := range vis {
+			buf = appendU64(buf, uint64(e.Key))
+			buf = appendU64(buf, e.Sub)
+			buf = appendU64(buf, e.Val)
+			if len(buf) >= 1<<16 {
+				if err := flush(); err != nil {
+					return err
+				}
+			}
+		}
+		if err := flush(); err != nil {
+			return err
+		}
+	}
+
+	buf = appendU16(buf, uint16(len(s.hashed)))
+	for _, hi := range s.hashed {
+		// Snapshot under the lock: key strings plus slice headers. The ID
+		// lists are append-only under the index lock, and an in-place
+		// append never mutates the [0:len) prefix a cloned header sees, so
+		// the headers stay safe to read after release.
+		type hkey struct {
+			key string
+			ids []ids.ID
+		}
+		hi.mu.RLock()
+		dump := make([]hkey, 0, len(hi.m))
+		for k, list := range hi.m {
+			dump = append(dump, hkey{k, list})
+		}
+		hi.mu.RUnlock()
+		sort.Slice(dump, func(i, j int) bool { return dump[i].key < dump[j].key })
+		out := dump[:0]
+		for _, d := range dump {
+			var vis []ids.ID
+			for _, id := range d.ids {
+				if v.Exists(id) {
+					vis = append(vis, id)
+				}
+			}
+			if len(vis) > 0 {
+				out = append(out, hkey{d.key, vis})
+			}
+		}
+		buf = append(buf, byte(hi.kind), byte(hi.prop))
+		buf = appendU32(buf, uint32(len(out)))
+		for _, d := range out {
+			buf = appendU32(buf, uint32(len(d.key)))
+			buf = append(buf, d.key...)
+			buf = appendU32(buf, uint32(len(d.ids)))
+			for _, id := range d.ids {
+				buf = appendU64(buf, uint64(id))
+			}
+			if len(buf) >= 1<<16 {
+				if err := flush(); err != nil {
+					return err
+				}
+			}
+		}
+		if err := flush(); err != nil {
+			return err
+		}
+	}
+	return flush()
+}
+
+// loadCheckpoint validates path (magic, version, CRC) and installs its
+// contents into s, which must be freshly constructed with the same
+// secondary indexes registered as when the checkpoint was written. It
+// returns the checkpoint's commit clock. Validation errors (wrapped
+// ErrCorrupt) leave the caller free to fall back to an older checkpoint;
+// an unregistered index is a configuration error and is returned as-is.
+//
+// Installation is direct (shard maps, adjacency, kind lists, indexes — no
+// transactions): every restored fact carries commit timestamp C, the
+// checkpoint clock. Open is single-threaded, so no locks are taken.
+func loadCheckpoint(s *Store, path string) (int64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	base := filepath.Base(path)
+	if len(data) < 8+8+4 {
+		return 0, fmt.Errorf("%w: checkpoint %s: truncated", ErrCorrupt, base)
+	}
+	if binary.LittleEndian.Uint32(data[0:4]) != ckptMagic {
+		return 0, fmt.Errorf("%w: checkpoint %s: bad magic", ErrCorrupt, base)
+	}
+	if ver := binary.LittleEndian.Uint16(data[4:6]); ver != ckptVersion {
+		return 0, fmt.Errorf("store: checkpoint %s: unsupported version %d", base, ver)
+	}
+	body, sum := data[:len(data)-4], binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.ChecksumIEEE(body) != sum {
+		return 0, fmt.Errorf("%w: checkpoint %s: CRC mismatch", ErrCorrupt, base)
+	}
+
+	d := &walDecoder{b: body, pos: 8}
+	clock := int64(d.u64())
+
+	nNodes := int(d.u32())
+	// Restoring allocates one object per node, property and adjacency
+	// entry; at scale that is millions of small allocations on the restart
+	// critical path, so records, versions, props and edge lists are carved
+	// out of chunked arenas instead. Every sub-slice is capacity-clipped:
+	// a later append (SetProp version, new edge) reallocates privately and
+	// can never clobber a neighbouring list in the chunk.
+	for i := range s.shards {
+		s.shards[i].nodes = make(map[ids.ID]*nodeRec, nNodes/shardCount+1)
+	}
+	var (
+		recArena  []nodeRec
+		verArena  []nodeVersion
+		propArena []Prop
+		edgeArena []edgeRec
+	)
+	const arenaChunk = 1 << 14
+	allocEdges := func(n int) []edgeRec {
+		if n > len(edgeArena) {
+			edgeArena = make([]edgeRec, max(n, arenaChunk))
+		}
+		out := edgeArena[:n:n]
+		edgeArena = edgeArena[n:]
+		return out
+	}
+	allocProps := func(n int) Props {
+		if n > len(propArena) {
+			propArena = make([]Prop, max(n, arenaChunk))
+		}
+		out := propArena[:n:n]
+		propArena = propArena[n:]
+		return Props(out)
+	}
+	for i := 0; i < nNodes && d.err == nil; i++ {
+		id := ids.ID(d.u64())
+		nProps := int(d.u16())
+		var props Props
+		if nProps > 0 {
+			props = allocProps(nProps)
+			d.propsInto(props)
+		}
+		if len(recArena) == 0 {
+			recArena = make([]nodeRec, arenaChunk)
+			verArena = make([]nodeVersion, arenaChunk)
+		}
+		rec := &recArena[0]
+		recArena = recArena[1:]
+		rec.id = id
+		rec.versions = verArena[:1:1]
+		verArena = verArena[1:]
+		rec.versions[0] = nodeVersion{commit: clock, props: props}
+		nLists := int(d.u8())
+		for j := 0; j < nLists && d.err == nil; j++ {
+			t := EdgeType(d.u8())
+			dir := d.u8()
+			count := int(d.u32())
+			if t == 0 || t >= edgeTypeMax || dir > 1 {
+				return 0, fmt.Errorf("%w: checkpoint %s: bad adjacency list header", ErrCorrupt, base)
+			}
+			if d.pos+count*16 > len(d.b) {
+				return 0, fmt.Errorf("%w: checkpoint %s: adjacency list overruns file", ErrCorrupt, base)
+			}
+			// Fixed-width entries, bounds-checked as a block above: decode
+			// straight off the buffer instead of per-field decoder calls
+			// (this loop touches every edge in the database).
+			list := allocEdges(count)
+			raw := d.b[d.pos : d.pos+count*16]
+			for k := range list {
+				list[k] = edgeRec{
+					peer:   ids.ID(binary.LittleEndian.Uint64(raw[k*16:])),
+					stamp:  int64(binary.LittleEndian.Uint64(raw[k*16+8:])),
+					commit: clock,
+				}
+			}
+			d.pos += count * 16
+			if dir == 0 {
+				rec.adj.out[t] = list
+			} else {
+				rec.adj.in[t] = list
+			}
+		}
+		if d.err == nil {
+			s.shards[shardIndex(id)].nodes[id] = rec
+		}
+	}
+
+	nKinds := int(d.u16())
+	for i := 0; i < nKinds && d.err == nil; i++ {
+		k := ids.Kind(d.u8())
+		count := int(d.u32())
+		if d.err != nil || d.pos+count*8 > len(d.b) {
+			return 0, fmt.Errorf("%w: checkpoint %s: kind list overruns file", ErrCorrupt, base)
+		}
+		list := make([]ids.ID, count)
+		raw := d.b[d.pos : d.pos+count*8]
+		for j := range list {
+			list[j] = ids.ID(binary.LittleEndian.Uint64(raw[j*8:]))
+		}
+		d.pos += count * 8
+		s.byKind[k] = list
+	}
+
+	nOrdered := int(d.u16())
+	for i := 0; i < nOrdered && d.err == nil; i++ {
+		kind, prop := ids.Kind(d.u8()), PropKey(d.u8())
+		var oi *orderedIndex
+		for _, idx := range s.ordered {
+			if idx.kind == kind && idx.prop == prop {
+				oi = idx
+				break
+			}
+		}
+		count := int(d.u32())
+		if oi == nil {
+			return 0, fmt.Errorf("store: checkpoint %s: ordered index on %v.%v not registered (register the writing store's indexes before Open)", base, kind, prop)
+		}
+		if d.err != nil || d.pos+count*24 > len(d.b) {
+			return 0, fmt.Errorf("%w: checkpoint %s: ordered index overruns file", ErrCorrupt, base)
+		}
+		raw := d.b[d.pos : d.pos+count*24]
+		for j := 0; j < count; j++ {
+			oi.tree.Insert(
+				int64(binary.LittleEndian.Uint64(raw[j*24:])),
+				binary.LittleEndian.Uint64(raw[j*24+8:]),
+				binary.LittleEndian.Uint64(raw[j*24+16:]))
+		}
+		d.pos += count * 24
+	}
+
+	nHashed := int(d.u16())
+	for i := 0; i < nHashed && d.err == nil; i++ {
+		kind, prop := ids.Kind(d.u8()), PropKey(d.u8())
+		var hi *hashIndex
+		for _, idx := range s.hashed {
+			if idx.kind == kind && idx.prop == prop {
+				hi = idx
+				break
+			}
+		}
+		keys := int(d.u32())
+		if hi == nil {
+			return 0, fmt.Errorf("store: checkpoint %s: hash index on %v.%v not registered (register the writing store's indexes before Open)", base, kind, prop)
+		}
+		for j := 0; j < keys && d.err == nil; j++ {
+			key := d.str(int(d.u32()))
+			count := int(d.u32())
+			list := make([]ids.ID, 0, count)
+			for k := 0; k < count; k++ {
+				list = append(list, ids.ID(d.u64()))
+			}
+			if d.err == nil {
+				hi.m[key] = list
+			}
+		}
+	}
+
+	if d.err != nil {
+		return 0, fmt.Errorf("%w: checkpoint %s: %v", ErrCorrupt, base, d.err)
+	}
+	if d.pos != len(body) {
+		return 0, fmt.Errorf("%w: checkpoint %s: %d trailing bytes", ErrCorrupt, base, len(body)-d.pos)
+	}
+
+	s.clock.Store(clock)
+	s.commits.Store(clock) // one logged record per commit; approximate but monotone
+	return clock, nil
+}
+
+// pruneCheckpoints removes all but the newest retain checkpoints plus any
+// stale temp files. Pruning is an optimisation, not a correctness step, so
+// errors are returned but recovery never depends on it having run.
+func pruneCheckpoints(dir string, retain int) error {
+	if retain < 1 {
+		retain = 1
+	}
+	cks, err := scanCheckpoints(dir)
+	if err != nil {
+		return err
+	}
+	for i := retain; i < len(cks); i++ {
+		if err := os.Remove(cks[i].path); err != nil {
+			return err
+		}
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), ckptPrefix) && strings.HasSuffix(e.Name(), ckptTmpSuffix) {
+			if err := os.Remove(filepath.Join(dir, e.Name())); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -22,6 +22,20 @@ package store
 // incremental maintenance is GC-safe at any horizon. Only ViewAt (and
 // Begin) at a timestamp below the horizon can observe reclaimed state,
 // which is why the horizon must cover them.
+//
+// # The horizon and durability
+//
+// Checkpoints (checkpoint.go) need no coordination with GC for the same
+// reason views do not: the checkpointer serialises an already-materialised
+// SnapshotView, never the live version chains, so GC running concurrently
+// with a checkpoint cannot tear it. In the other direction, the durable
+// side never constrains the horizon upward — recovery replays WAL records
+// through the normal commit path against state at least as new as the
+// newest checkpoint, so Persistent.CheckpointTS is always a safe component
+// of the horizon: GC at or below it can never reclaim anything a restart
+// still needs. Restoring a checkpoint is itself equivalent to a GC at the
+// checkpoint's clock — history below it is flattened into single-version
+// records (see checkpoint.go, "What restoring flattens").
 
 // GC prunes MVCC debris invisible to every snapshot taken at or after
 // horizon:

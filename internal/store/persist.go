@@ -1,0 +1,508 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Durable store lifecycle: Open ties a Store to a data directory holding a
+// segmented WAL (segment.go) and a set of checkpoints (checkpoint.go), and
+// returns a Persistent handle that keeps the two coordinated — commits
+// append redo records to the active segment, a background checkpointer
+// periodically freezes a snapshot view to disk and truncates the covered
+// log prefix, and a later Open recovers by loading the newest valid
+// checkpoint and replaying only the WAL tail.
+//
+// Layout of a data directory:
+//
+//	<dir>/
+//	  ckpt-<clock>.ckpt   checkpoints, newest wins (checkpoint.go)
+//	  wal/wal-<seq>.seg   WAL segments, ascending (segment.go)
+
+// PersistOptions configures Open. The zero value is usable: 4 MiB
+// segments, flush-on-close durability, auto-checkpoint every 32 MiB of WAL,
+// two checkpoints retained.
+type PersistOptions struct {
+	// SegmentBytes is the WAL rotation threshold: the active segment is
+	// sealed once appending would push it past this size (default 4 MiB).
+	SegmentBytes int64
+	// SyncOnCommit makes every commit an fsync barrier: Commit does not
+	// return before its redo record is durable on disk. Without it the
+	// durability contract is flush-on-close — a machine crash may lose the
+	// records buffered since the last SyncWAL/Close/checkpoint rotation
+	// (process death alone loses at most the bufio buffer, which SyncWAL
+	// and Close drain).
+	SyncOnCommit bool
+	// CheckpointBytes triggers a background checkpoint once this many WAL
+	// bytes accumulate since the last one (0 = default 32 MiB, negative =
+	// never trigger by bytes).
+	CheckpointBytes int64
+	// CheckpointCommits triggers a background checkpoint once this many
+	// commits accumulate since the last one (0 = never trigger by count).
+	CheckpointCommits int64
+	// RetainCheckpoints is how many checkpoints to keep on disk (default
+	// 2: the newest plus one fallback for torn-checkpoint crashes).
+	RetainCheckpoints int
+	// KeepSegments disables WAL truncation after checkpoints, retaining
+	// the full log from the first commit (offline replay, ablations,
+	// point-in-time inspection).
+	KeepSegments bool
+}
+
+const defaultCheckpointBytes = 32 << 20
+
+// RecoveryInfo reports what Open found and did.
+type RecoveryInfo struct {
+	// Fresh is true when the directory held no usable state (new database).
+	Fresh bool
+	// CheckpointTS is the commit clock of the checkpoint recovery loaded
+	// (0 when recovery fell back to full WAL replay).
+	CheckpointTS int64
+	// BadCheckpoints lists checkpoint files skipped as invalid (CRC or
+	// format failures); recovery fell back to the next older one.
+	BadCheckpoints []string
+	// SegmentsScanned and SegmentsSkipped count WAL segments replayed vs
+	// proven wholly covered by the checkpoint from their headers alone.
+	SegmentsScanned, SegmentsSkipped int
+	// Replayed and Skipped count WAL records applied vs records below the
+	// checkpoint clock inside the boundary segment.
+	Replayed, Skipped int
+	// TornBytes is the size of the incomplete record discarded from the
+	// tail of the last segment (crash mid-append).
+	TornBytes int64
+	// Clock is the store's commit clock after recovery.
+	Clock int64
+}
+
+// PersistStats is a point-in-time snapshot of a Persistent's durability
+// counters.
+type PersistStats struct {
+	// Checkpoints is the number of checkpoints taken since Open;
+	// LastCheckpointTS is the commit clock of the newest durable one
+	// (including one recovered from disk).
+	Checkpoints      int64
+	LastCheckpointTS int64
+	// WALBytes counts redo bytes appended since Open; WALRotations counts
+	// segment seals; SegmentsRemoved counts segments truncated as covered.
+	WALBytes        int64
+	WALRotations    int64
+	SegmentsRemoved int64
+}
+
+// Persistent is a Store bound to a data directory. All Store methods are
+// available; the handle adds the durability surface (Checkpoint, Sync,
+// Close, Stats). Close must be called to release the WAL cleanly — after
+// Close the store stays readable but further commits fail.
+type Persistent struct {
+	*Store
+	dir    string
+	walDir string
+	opts   PersistOptions
+
+	// ckptMu serialises checkpoints (manual and background).
+	ckptMu sync.Mutex
+
+	lastCkptTS   atomic.Int64
+	checkpoints  atomic.Int64
+	walBytes     atomic.Int64
+	bytesSince   atomic.Int64
+	commitsSince atomic.Int64
+	segsRemoved  atomic.Int64
+
+	kick   chan struct{}
+	stop   chan struct{}
+	wg     sync.WaitGroup
+	closed atomic.Bool
+
+	errMu   sync.Mutex
+	ckptErr error
+
+	// Crash-injection test hooks; see persist_test.go.
+	hookAfterRotate  func()
+	hookBeforeRename func()
+}
+
+// Open opens (or creates) a durable store in dir. register, when non-nil,
+// runs on the fresh Store before any data is loaded — it must register the
+// same secondary indexes the directory was written with (indexes are part
+// of the checkpoint format; see loadCheckpoint). Recovery loads the newest
+// valid checkpoint, falls back through older ones (and ultimately to full
+// WAL replay) on validation failures, replays the WAL tail, truncates any
+// torn record off the last segment, and reattaches the segmented WAL for
+// new commits.
+//
+// The returned RecoveryInfo is valid even when err != nil is not returned;
+// on error the store is unusable and no background work is running.
+func Open(dir string, opts PersistOptions, register func(*Store)) (*Persistent, *RecoveryInfo, error) {
+	walDir := filepath.Join(dir, "wal")
+	if err := os.MkdirAll(walDir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	s := New()
+	if register != nil {
+		register(s)
+	}
+	info := &RecoveryInfo{}
+	removeStaleTemps(dir)
+
+	// Newest valid checkpoint, falling back through invalid ones. A
+	// validation failure taints nothing — loadCheckpoint validates the
+	// whole file (CRC) before installing anything.
+	cks, err := scanCheckpoints(dir)
+	if err != nil {
+		return nil, info, err
+	}
+	for _, ck := range cks {
+		clock, err := loadCheckpoint(s, ck.path)
+		if err == nil {
+			info.CheckpointTS = clock
+			break
+		}
+		if !errors.Is(err, ErrCorrupt) {
+			return nil, info, err // configuration error (version, indexes)
+		}
+		info.BadCheckpoints = append(info.BadCheckpoints, filepath.Base(ck.path))
+	}
+
+	// Replay the WAL tail above the checkpoint clock.
+	segs, err := scanSegments(walDir)
+	if err != nil {
+		return nil, info, err
+	}
+	validLen, err := s.recoverSegments(segs, info.CheckpointTS, info)
+	if err != nil {
+		return nil, info, err
+	}
+	info.Clock = s.clock.Load()
+	info.Fresh = info.CheckpointTS == 0 && info.Clock == 0
+
+	p := &Persistent{
+		Store:  s,
+		dir:    dir,
+		walDir: walDir,
+		opts:   opts,
+		kick:   make(chan struct{}, 1),
+		stop:   make(chan struct{}),
+	}
+	if p.opts.CheckpointBytes == 0 {
+		p.opts.CheckpointBytes = defaultCheckpointBytes
+	}
+	if p.opts.RetainCheckpoints <= 0 {
+		p.opts.RetainCheckpoints = 2
+	}
+	p.lastCkptTS.Store(info.CheckpointTS)
+
+	seg, err := openActiveSegment(walDir, opts.SegmentBytes, segs, validLen, s.clock.Load()+1)
+	if err != nil {
+		return nil, info, err
+	}
+	s.attachSegmentedWAL(seg, opts.SyncOnCommit, p.onAppend)
+
+	p.wg.Add(1)
+	go p.checkpointLoop()
+	return p, info, nil
+}
+
+// recoverSegments replays the records of segs (ascending) whose commit
+// timestamps exceed ckptTS. It returns the valid byte length of the last
+// segment (the truncation point for reopening: everything past it is a
+// torn tail). Gaps, CRC failures and torn records anywhere but the tail of
+// the last segment are corruption, reported with the segment's name.
+func (s *Store) recoverSegments(segs []segmentFile, ckptTS int64, info *RecoveryInfo) (int64, error) {
+	validLen := int64(segHeaderSize)
+	if len(segs) == 0 {
+		return validLen, nil
+	}
+	if first := segs[0]; first.firstTS >= 0 && first.firstTS > ckptTS+1 {
+		return 0, fmt.Errorf("%w: segment %s starts at commit %d but checkpoint covers only through %d (missing earlier segments)",
+			ErrCorrupt, filepath.Base(first.path), first.firstTS, ckptTS)
+	}
+	for i, sf := range segs {
+		last := i == len(segs)-1
+		if sf.firstTS < 0 {
+			if last {
+				// Crash remnant from rotation: the header never became
+				// durable, so the segment holds no durable records (rotation
+				// syncs its predecessor first). openActiveSegment recreates
+				// it.
+				return 0, nil
+			}
+			if _, err := readSegHeader(sf.path); err != nil {
+				return 0, err
+			}
+		}
+		// Wholly covered by the checkpoint? Provable from the next header
+		// alone (consecutive commit timestamps).
+		if !last && segs[i+1].firstTS >= 0 && segs[i+1].firstTS <= ckptTS+1 {
+			info.SegmentsSkipped++
+			continue
+		}
+		info.SegmentsScanned++
+		_, clean, err := s.replaySegment(sf, ckptTS, last, info)
+		if err != nil {
+			return 0, err
+		}
+		if last {
+			validLen = clean
+		} else if clean != sf.size {
+			// A torn or unparseable suffix mid-chain cannot be a crash
+			// artifact (rotation fsyncs before the next segment exists):
+			// stop and name the segment rather than replaying past a hole.
+			return 0, fmt.Errorf("%w: segment %s: %d undecodable trailing bytes mid-log (records resume in a later segment)",
+				ErrCorrupt, filepath.Base(sf.path), sf.size-clean)
+		}
+	}
+	if len(segs) > 0 {
+		info.TornBytes = segs[len(segs)-1].size - validLen
+	}
+	return validLen, nil
+}
+
+// errLogGap marks a record whose commit timestamp does not extend the
+// recovered sequence: a missing segment or out-of-order log, never a
+// crash artifact (torn writes cannot produce a CRC-valid record). It is
+// reported as corruption even at the tail of the last segment, where
+// undecodable bytes would merely be truncated.
+var errLogGap = errors.New("log sequence gap")
+
+// replaySegment scans one segment, skipping records at or below ckptTS and
+// applying the rest in order, verifying that applied records carry exactly
+// the next commit timestamp. last marks the final segment of the log,
+// whose tail is allowed to be torn: in flush-on-close mode a power loss
+// can leave the unsynced tail not just short but zero-filled or garbage
+// (filesystem delayed allocation), so any undecodable suffix of the LAST
+// segment — torn header/payload, CRC mismatch, structurally invalid
+// record — ends recovery cleanly at the last valid record instead of
+// failing Open; only a sequence gap (errLogGap) stays fatal there.
+// Returns records applied and the clean length (header included).
+func (s *Store) replaySegment(sf segmentFile, ckptTS int64, last bool, info *RecoveryInfo) (int, int64, error) {
+	f, err := os.Open(sf.path)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer f.Close()
+	if _, err := f.Seek(segHeaderSize, 0); err != nil {
+		return 0, 0, err
+	}
+	applied := 0
+	next := sf.firstTS
+	apply := func(payload []byte) error {
+		if len(payload) < 8 {
+			return fmt.Errorf("%w: record shorter than its timestamp", ErrCorrupt)
+		}
+		ts := int64(binary.LittleEndian.Uint64(payload[:8]))
+		if ts != next {
+			return fmt.Errorf("%w: %w: record carries commit %d, expected %d", ErrCorrupt, errLogGap, ts, next)
+		}
+		next++
+		if ts <= ckptTS {
+			info.Skipped++
+			return nil
+		}
+		if want := s.clock.Load() + 1; ts != want {
+			return fmt.Errorf("%w: %w: record commit %d does not extend recovered clock %d", ErrCorrupt, errLogGap, ts, want-1)
+		}
+		if err := s.applyRecord(payload); err != nil {
+			return err
+		}
+		applied++
+		info.Replayed++
+		return nil
+	}
+	n, clean, err := scanRecords(bufio.NewReaderSize(f, 1<<16), apply)
+	if err != nil {
+		if last && errors.Is(err, ErrCorrupt) && !errors.Is(err, errLogGap) {
+			return applied, segHeaderSize + clean, nil // undecodable tail: truncate
+		}
+		return applied, 0, fmt.Errorf("segment %s: record %d: %w", filepath.Base(sf.path), n+1, err)
+	}
+	return applied, segHeaderSize + clean, nil
+}
+
+// removeStaleTemps deletes checkpoint temp files left by a crash between
+// temp write and rename. Best-effort: a leftover temp is never read by
+// recovery (scanCheckpoints ignores it), only disk litter.
+func removeStaleTemps(dir string) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), ckptPrefix) && strings.HasSuffix(e.Name(), ckptTmpSuffix) {
+			os.Remove(filepath.Join(dir, e.Name()))
+		}
+	}
+}
+
+// onAppend is the WAL append hook: account the record and wake the
+// background checkpointer when a trigger threshold is crossed. Runs under
+// the WAL mutex — cheap atomics and a non-blocking send only.
+func (p *Persistent) onAppend(n int) {
+	p.walBytes.Add(int64(n))
+	b := p.bytesSince.Add(int64(n))
+	c := p.commitsSince.Add(1)
+	if (p.opts.CheckpointBytes > 0 && b >= p.opts.CheckpointBytes) ||
+		(p.opts.CheckpointCommits > 0 && c >= p.opts.CheckpointCommits) {
+		select {
+		case p.kick <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// checkpointLoop is the background checkpointer: it waits for trigger
+// kicks from the append hook and re-checks the thresholds before paying
+// for a checkpoint (the kick channel is lossy by design — one pending kick
+// is enough, and a checkpoint resets the counters).
+func (p *Persistent) checkpointLoop() {
+	defer p.wg.Done()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-p.kick:
+			if (p.opts.CheckpointBytes > 0 && p.bytesSince.Load() >= p.opts.CheckpointBytes) ||
+				(p.opts.CheckpointCommits > 0 && p.commitsSince.Load() >= p.opts.CheckpointCommits) {
+				if err := p.Checkpoint(); err != nil {
+					p.errMu.Lock()
+					p.ckptErr = err
+					p.errMu.Unlock()
+				}
+			}
+		}
+	}
+}
+
+// Checkpoint takes a durable checkpoint now and truncates the covered WAL
+// prefix. The sequence — rotate the active segment, freeze the current
+// snapshot view, serialise it to a temp file, fsync, rename, then delete
+// covered segments and stale checkpoints — is crash-consistent at every
+// step: a kill between any two leaves either the new checkpoint or a
+// recoverable older state, never a hole (persist_test.go injects crashes
+// at each boundary).
+//
+// The write path never stops: the checkpoint serialises an immutable
+// SnapshotView while commits continue appending to the fresh active
+// segment. Returns nil without writing when nothing committed since the
+// last checkpoint.
+func (p *Persistent) Checkpoint() error {
+	p.ckptMu.Lock()
+	defer p.ckptMu.Unlock()
+
+	// Seal the log so everything at or below the view's clock lives in
+	// sealed segments; records landing after this instant go to the new
+	// active segment and stay as the replay tail.
+	if err := p.Store.rotateWAL(); err != nil {
+		return err
+	}
+	if p.hookAfterRotate != nil {
+		p.hookAfterRotate()
+	}
+	v := p.Store.CurrentView()
+	ts := v.Timestamp()
+	if ts <= p.lastCkptTS.Load() {
+		p.bytesSince.Store(0)
+		p.commitsSince.Store(0)
+		return nil
+	}
+	if _, err := writeCheckpoint(p.dir, v, p.Store, p.hookBeforeRename); err != nil {
+		return err
+	}
+	p.lastCkptTS.Store(ts)
+	p.checkpoints.Add(1)
+	p.bytesSince.Store(0)
+	p.commitsSince.Store(0)
+
+	if err := pruneCheckpoints(p.dir, p.opts.RetainCheckpoints); err != nil {
+		return err
+	}
+	if !p.opts.KeepSegments {
+		// Truncate to the OLDEST retained checkpoint, not the one just
+		// written: if the newest file is later found torn or bit-rotted,
+		// recovery falls back to an older checkpoint and still needs every
+		// record above THAT one. (With RetainCheckpoints=1 the two
+		// coincide; if every retained checkpoint validates bad at recovery,
+		// Open reports the missing prefix explicitly rather than silently
+		// replaying a hole.)
+		cks, err := scanCheckpoints(p.dir)
+		if err != nil {
+			return err
+		}
+		truncTS := ts
+		if len(cks) > 0 {
+			truncTS = cks[len(cks)-1].ts // scanCheckpoints sorts newest-first
+		}
+		n, err := removeCoveredSegments(p.walDir, truncTS)
+		p.segsRemoved.Add(int64(n))
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CheckpointTS returns the commit clock of the newest durable checkpoint
+// (0 when none exists yet). It is also the always-safe GC horizon from the
+// durability side: recovery never replays below it, so Store.GC at or
+// below this timestamp can never reclaim state a restart still needs. The
+// caller must still lower the horizon to cover its own live snapshots
+// (Txn.Snapshot, retained ViewAt timestamps) per the GC contract.
+func (p *Persistent) CheckpointTS() int64 { return p.lastCkptTS.Load() }
+
+// Sync flushes and fsyncs the WAL: every commit that completed before the
+// call is durable when Sync returns.
+func (p *Persistent) Sync() error { return p.Store.SyncWAL() }
+
+// Err returns the most recent background checkpoint failure, if any.
+func (p *Persistent) Err() error {
+	p.errMu.Lock()
+	defer p.errMu.Unlock()
+	return p.ckptErr
+}
+
+// Stats snapshots the durability counters.
+func (p *Persistent) Stats() PersistStats {
+	st := PersistStats{
+		Checkpoints:      p.checkpoints.Load(),
+		LastCheckpointTS: p.lastCkptTS.Load(),
+		WALBytes:         p.walBytes.Load(),
+		SegmentsRemoved:  p.segsRemoved.Load(),
+	}
+	if w := p.Store.wal; w != nil {
+		w.mu.Lock()
+		if w.seg != nil {
+			st.WALRotations = w.seg.rotations
+		}
+		w.mu.Unlock()
+	}
+	return st
+}
+
+// Close stops the background checkpointer, flushes and fsyncs the WAL and
+// closes the active segment: a clean shutdown, after which Open recovers
+// every committed transaction. Close does not checkpoint — call Checkpoint
+// first when the next Open should skip tail replay. Idempotent.
+func (p *Persistent) Close() error {
+	if !p.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	close(p.stop)
+	p.wg.Wait()
+	w := p.Store.wal
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.seg == nil {
+		return w.w.Flush()
+	}
+	return w.seg.close(w.w)
+}

@@ -44,6 +44,12 @@ import (
 //
 // Slices returned by view methods alias the view's internal arrays and must
 // not be mutated by callers.
+//
+// Immutability is also what makes a view the checkpointing unit: the
+// durable checkpointer (checkpoint.go) serialises a SnapshotView to disk
+// while commits, GC and even a compaction era bump proceed concurrently —
+// the held view stays frozen no matter what the cached view does, so
+// checkpoints never stop the write path.
 type SnapshotView struct {
 	ts   int64
 	era  uint64

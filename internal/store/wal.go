@@ -19,7 +19,7 @@ import (
 // rebuilds a store by replaying the log, stopping cleanly at a torn tail
 // (e.g. after a crash mid-append).
 //
-// Format, little-endian:
+// Format (docs/FORMATS.md is the authoritative spec), little-endian:
 //
 //	record  := len:u32 crc:u32 payload
 //	payload := commitTS:u64 nOps:u32 op*
@@ -29,10 +29,29 @@ import (
 //	  kind 3 add-edge:    from:u64 type:u8 to:u64 stamp:u64 sym:u8
 //	  kind 4 del-edge:    from:u64 type:u8 to:u64
 //	prop    := key:u8 valKind:u8 (int:u64 | len:u32 bytes)
+//
+// The log has two sinks. AttachWAL streams records to one caller-owned
+// io.Writer (tests, ablations, piping to external storage); the durable
+// path (Open in persist.go) attaches a segmented, file-backed sink
+// (segment.go) that rotates the stream into numbered segment files and
+// supports fsync barriers and checkpoint truncation.
 type walWriter struct {
 	mu  sync.Mutex
 	w   *bufio.Writer
 	buf []byte
+
+	// seg is the file-backed segmented sink; nil when the WAL streams to a
+	// plain io.Writer. lastTS tracks the newest appended record's commit
+	// timestamp so explicit rotation can stamp the next segment's firstTS
+	// without racing the commit clock.
+	seg    *walSegments
+	lastTS int64
+	// syncEvery makes every append an fsync barrier (fsync-on-commit);
+	// onAppend, when set, observes each appended record's size after a
+	// successful append (the checkpoint trigger hook). Both only apply to
+	// segmented WALs.
+	syncEvery bool
+	onAppend  func(recBytes int)
 }
 
 // ErrCorrupt reports a CRC mismatch mid-log (not a clean torn tail).
@@ -40,11 +59,39 @@ var ErrCorrupt = errors.New("store: corrupt WAL record")
 
 // AttachWAL directs every subsequent commit's redo record to w. Attach
 // before loading data; the store serialises log appends in commit order.
+//
+// Durability guarantee: none by itself. Records are buffered; FlushWAL
+// pushes them to w, and whether bytes written to w survive a crash is the
+// caller's concern (w may be a file the caller fsyncs, a network sink, or
+// an in-memory buffer). For on-disk durability with explicit guarantees use
+// Open (persist.go), which attaches a segmented file-backed WAL with
+// flush-on-close or fsync-on-commit semantics.
 func (s *Store) AttachWAL(w io.Writer) {
 	s.wal = &walWriter{w: bufio.NewWriterSize(w, 1<<16)}
 }
 
-// FlushWAL flushes buffered log records to the underlying writer.
+// attachSegmentedWAL directs commit redo records to a file-backed segmented
+// sink (see Open). syncEvery selects fsync-on-commit; onAppend, when
+// non-nil, is called with each record's size after a successful append —
+// under the WAL mutex, so it must be cheap and must not call back into the
+// store.
+func (s *Store) attachSegmentedWAL(seg *walSegments, syncEvery bool, onAppend func(int)) {
+	s.wal = &walWriter{
+		w:         bufio.NewWriterSize(seg.f, 1<<16),
+		seg:       seg,
+		lastTS:    s.clock.Load(),
+		syncEvery: syncEvery,
+		onAppend:  onAppend,
+	}
+}
+
+// FlushWAL flushes buffered log records to the underlying writer (the
+// attached io.Writer, or the active segment file).
+//
+// Durability guarantee: flushed records have left the process but are NOT
+// fsynced — after FlushWAL a crash of the process cannot lose them, but a
+// crash of the machine can. SyncWAL (or PersistOptions.SyncOnCommit) adds
+// the fsync barrier.
 func (s *Store) FlushWAL() error {
 	if s.wal == nil {
 		return nil
@@ -52,6 +99,40 @@ func (s *Store) FlushWAL() error {
 	s.wal.mu.Lock()
 	defer s.wal.mu.Unlock()
 	return s.wal.w.Flush()
+}
+
+// SyncWAL flushes buffered log records and, on a segmented file-backed WAL,
+// fsyncs the active segment: when it returns nil, every commit that
+// completed before the call is durable on disk. On a plain io.Writer WAL it
+// is equivalent to FlushWAL (the store cannot fsync a writer it does not
+// own).
+func (s *Store) SyncWAL() error {
+	if s.wal == nil {
+		return nil
+	}
+	s.wal.mu.Lock()
+	defer s.wal.mu.Unlock()
+	if s.wal.seg != nil {
+		return s.wal.seg.sync(s.wal.w)
+	}
+	return s.wal.w.Flush()
+}
+
+// rotateWAL seals the active WAL segment and opens the next one, so that
+// every previously logged record lives in a sealed (immutable, fsynced)
+// segment. Used by the checkpointer: a checkpoint taken after rotation
+// covers every sealed segment, making them truncatable. No-op when the WAL
+// is not segmented or the active segment is still empty.
+func (s *Store) rotateWAL() error {
+	if s.wal == nil || s.wal.seg == nil {
+		return nil
+	}
+	s.wal.mu.Lock()
+	defer s.wal.mu.Unlock()
+	if s.wal.seg.size <= segHeaderSize {
+		return nil
+	}
+	return s.wal.seg.rotate(s.wal.w, s.wal.lastTS+1)
 }
 
 func appendU16(b []byte, v uint16) []byte { return append(b, byte(v), byte(v>>8)) }
@@ -130,47 +211,84 @@ func (s *Store) logCommit(ts int64, created []*pendingNode, sets []pendingProp, 
 	payload := b[8:]
 	binary.LittleEndian.PutUint32(b[0:4], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(b[4:8], crc32.ChecksumIEEE(payload))
-	_, err := w.w.Write(b)
-	return err
+	if w.seg != nil {
+		// Rotate before the append so a record never spans two segments;
+		// the incoming record's timestamp becomes the new segment's firstTS.
+		if err := w.seg.maybeRotate(w.w, int64(len(b)), ts); err != nil {
+			return err
+		}
+	}
+	if _, err := w.w.Write(b); err != nil {
+		return err
+	}
+	w.lastTS = ts
+	if w.seg != nil {
+		w.seg.size += int64(len(b))
+		if w.syncEvery {
+			// fsync-on-commit: the record is durable before Commit returns
+			// (the commit clock has not advanced yet, so no reader observes
+			// a transaction that a crash could lose).
+			if err := w.seg.sync(w.w); err != nil {
+				return err
+			}
+		}
+	}
+	if w.onAppend != nil {
+		w.onAppend(len(b))
+	}
+	return nil
 }
 
 // Recover replays a WAL into the store (which must be freshly constructed,
 // with indexes registered). It returns the number of transactions applied.
 // A truncated final record (torn write) ends recovery without error; a CRC
 // mismatch on a complete record returns ErrCorrupt.
+//
+// Recover consumes the single-stream format AttachWAL produces. Segmented
+// on-disk logs written by Open recover through Open itself (checkpoint +
+// tail replay); both share this record format and scan loop.
 func (s *Store) Recover(r io.Reader) (int, error) {
-	br := bufio.NewReaderSize(r, 1<<16)
+	n, _, err := scanRecords(bufio.NewReaderSize(r, 1<<16), s.applyRecord)
+	return n, err
+}
+
+// scanRecords reads length-prefixed records from br and calls fn with each
+// complete, CRC-valid payload. It returns the number of records delivered
+// and the clean length: the byte offset just past the last valid record. A
+// torn tail — an incomplete header or payload at EOF — ends the scan
+// without error (the torn bytes are excluded from the clean length); a CRC
+// mismatch or implausible length on a complete record returns ErrCorrupt.
+func scanRecords(br *bufio.Reader, fn func(payload []byte) error) (int, int64, error) {
 	applied := 0
+	clean := int64(0)
 	var hdr [8]byte
 	for {
 		if _, err := io.ReadFull(br, hdr[:]); err != nil {
-			if err == io.EOF {
-				return applied, nil
+			if err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF) {
+				return applied, clean, nil // clean end or torn header
 			}
-			if errors.Is(err, io.ErrUnexpectedEOF) {
-				return applied, nil // torn header
-			}
-			return applied, err
+			return applied, clean, err
 		}
 		length := binary.LittleEndian.Uint32(hdr[0:4])
 		want := binary.LittleEndian.Uint32(hdr[4:8])
 		if length > 1<<30 {
-			return applied, fmt.Errorf("%w: implausible record length %d", ErrCorrupt, length)
+			return applied, clean, fmt.Errorf("%w: implausible record length %d", ErrCorrupt, length)
 		}
 		payload := make([]byte, length)
 		if _, err := io.ReadFull(br, payload); err != nil {
 			if err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF) {
-				return applied, nil // torn payload
+				return applied, clean, nil // torn payload
 			}
-			return applied, err
+			return applied, clean, err
 		}
 		if crc32.ChecksumIEEE(payload) != want {
-			return applied, ErrCorrupt
+			return applied, clean, ErrCorrupt
 		}
-		if err := s.applyRecord(payload); err != nil {
-			return applied, err
+		if err := fn(payload); err != nil {
+			return applied, clean, err
 		}
 		applied++
+		clean += 8 + int64(length)
 	}
 }
 
@@ -178,7 +296,20 @@ type walDecoder struct {
 	b   []byte
 	pos int
 	err error
+
+	// String-materialisation arena: str converts the input in chunks and
+	// hands out substrings, so decoding n property strings costs O(n/chunk)
+	// allocations instead of n. Used by checkpoint restore, where string
+	// count is proportional to the dataset; zero-valued decoders fall back
+	// lazily on first use.
+	sarena       string
+	sstart, send int
 }
+
+// strChunk is the string-arena granularity. All substrings of one chunk
+// share its backing, so a chunk is only reclaimable as a whole — fine for
+// recovery (everything decoded stays live) and bounded for WAL replay.
+const strChunk = 1 << 15
 
 func (d *walDecoder) u8() byte {
 	if d.err != nil || d.pos+1 > len(d.b) {
@@ -225,7 +356,18 @@ func (d *walDecoder) str(n int) string {
 		d.err = io.ErrUnexpectedEOF
 		return ""
 	}
-	v := string(d.b[d.pos : d.pos+n])
+	if d.pos+n > d.send {
+		end := d.pos + strChunk
+		if e := d.pos + n; e > end {
+			end = e
+		}
+		if end > len(d.b) {
+			end = len(d.b)
+		}
+		d.sarena = string(d.b[d.pos:end])
+		d.sstart, d.send = d.pos, end
+	}
+	v := d.sarena[d.pos-d.sstart : d.pos-d.sstart+n]
 	d.pos += n
 	return v
 }
@@ -241,6 +383,49 @@ func (d *walDecoder) prop() Prop {
 	default:
 		return Prop{Key: key}
 	}
+}
+
+// propsInto decodes len(dst) consecutive props into dst. Semantically
+// identical to calling prop() per element, but with one bounds check per
+// field group instead of per byte — this loop decodes every property in
+// the database during checkpoint restore.
+func (d *walDecoder) propsInto(dst Props) {
+	b := d.b
+	pos := d.pos
+	for j := range dst {
+		if d.err != nil || pos+2 > len(b) {
+			d.err = io.ErrUnexpectedEOF
+			return
+		}
+		key := PropKey(b[pos])
+		vk := b[pos+1]
+		pos += 2
+		switch vk {
+		case 1:
+			if pos+8 > len(b) {
+				d.err = io.ErrUnexpectedEOF
+				return
+			}
+			dst[j] = Prop{Key: key, Val: Int64(int64(binary.LittleEndian.Uint64(b[pos:])))}
+			pos += 8
+		case 2:
+			if pos+4 > len(b) {
+				d.err = io.ErrUnexpectedEOF
+				return
+			}
+			n := int(binary.LittleEndian.Uint32(b[pos:]))
+			pos += 4
+			d.pos = pos
+			dst[j] = Prop{Key: key, Val: String(d.str(n))}
+			pos = d.pos
+			if d.err != nil {
+				return
+			}
+		default:
+			dst[j] = Prop{Key: key}
+		}
+	}
+	d.pos = pos
 }
 
 // applyRecord replays one committed transaction through the normal commit

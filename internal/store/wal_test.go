@@ -4,9 +4,13 @@ import (
 	"bytes"
 	"errors"
 	"io"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"ldbcsnb/internal/ids"
+	"ldbcsnb/internal/xrand"
 )
 
 // buildLogged creates a store with a WAL and writes a small graph through
@@ -131,6 +135,52 @@ func TestWALCorruptPayload(t *testing.T) {
 	_, err := re.Recover(bytes.NewReader(bad))
 	if !errors.Is(err, ErrCorrupt) {
 		t.Fatalf("want ErrCorrupt, got %v", err)
+	}
+}
+
+// TestWALCorruptInsideRotatedSegment extends the torn-write coverage to
+// the segmented on-disk log: a CRC failure inside a sealed (rotated,
+// non-final) segment is not a recoverable torn tail — recovery must stop
+// at the bad record and the error must name the segment and satisfy
+// errors.Is(err, ErrCorrupt), so an operator knows which file to restore.
+func TestWALCorruptInsideRotatedSegment(t *testing.T) {
+	dir := t.TempDir()
+	opts := PersistOptions{CheckpointBytes: -1, SegmentBytes: 256}
+	p, _, err := Open(dir, opts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(31)
+	var pop []ids.ID
+	for step := 1; step <= 6; step++ {
+		pop = randomGraphStep(t, p.Store, r, pop, step)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := scanSegments(filepath.Join(dir, "wal"))
+	if err != nil || len(segs) < 3 {
+		t.Fatalf("want >=3 rotated segments, got %d (%v)", len(segs), err)
+	}
+	victim := segs[1] // sealed mid-chain segment
+	data, err := os.ReadFile(victim.path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[segHeaderSize+12] ^= 0xFF // flip a payload byte of its first record
+	if err := os.WriteFile(victim.path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, _, err = Open(dir, PersistOptions{CheckpointBytes: -1}, nil)
+	if err == nil {
+		t.Fatal("recovery accepted a corrupt sealed segment")
+	}
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt, got %v", err)
+	}
+	if !strings.Contains(err.Error(), filepath.Base(victim.path)) {
+		t.Fatalf("error does not report the corrupt segment: %v", err)
 	}
 }
 

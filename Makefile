@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-bi bench-recovery bench-smoke docs-check
+.PHONY: check fmt vet build test race bench bench-bi bench-recovery bench-mem bench-smoke docs-check
 
 check: fmt vet build test
 
@@ -69,9 +69,28 @@ bench-recovery:
 		< $(BENCH_TMP)
 	@rm -f $(BENCH_TMP)
 
+# Memory-footprint sweep over the compact frozen representation: bytes per
+# node / per adjacency entry of the snapshot view (delta+varint CSR, dense
+# property columns, interned strings) against the uncompressed baseline, at
+# 250 / 1000 / 2500 persons through the streamed generate+load pipeline.
+# ns/op doubles as end-to-end load latency at each scale. Emits
+# BENCH_memory.json; the report stamps cpus/gomaxprocs/cpu model so
+# cross-machine numbers are never compared blind.
+bench-mem:
+	$(GO) test ./internal/bench/ -run xxx -bench 'BenchmarkMemory' -benchtime 1x -timeout 30m > $(BENCH_TMP)
+	$(GO) run ./cmd/benchjson -out BENCH_memory.json \
+		-note "resident footprint of the frozen snapshot view at 250/1000/2500 persons (streamed load): viewbytes/node, adjbytes/edge vs rawadjbytes/edge (16-byte-Edge baseline; adjcompression is their ratio, acceptance bar >= 2.5x at 250p), intern table bytes, process heap; ns/op is the full generate+split+load+view-build latency; regenerate with \`make bench-mem\`" \
+		< $(BENCH_TMP)
+	@rm -f $(BENCH_TMP)
+
 # One short iteration of every query benchmark on every path (Interactive
-# txn/view plus the BI serial/parallel sweep and the recovery comparison):
-# dispatch-layer regressions (a query losing a path, a signature drift)
-# fail fast here without paying for a full measurement run.
+# txn/view plus the BI serial/parallel sweep, the recovery comparison and
+# the memory-footprint sweep at its first two scales): dispatch-layer
+# regressions (a query losing a path, a signature drift) fail fast here
+# without paying for a full measurement run. SNB_SMOKE_FULL additionally
+# runs the 1000-person recovered-store workload-equivalence sweep, proving
+# the compact checkpoint format at a scale where the dictionary and varint
+# sections carry real weight.
 bench-smoke:
-	$(GO) test ./internal/bench/ -run xxx -bench 'BenchmarkViewVsTxn|BenchmarkBISerialVsParallel|BenchmarkRecovery' -benchtime 1x -benchmem
+	$(GO) test ./internal/bench/ -run xxx -bench 'BenchmarkViewVsTxn|BenchmarkBISerialVsParallel|BenchmarkRecovery|BenchmarkMemory/sf=(250|1000)p' -benchtime 1x -benchmem
+	SNB_SMOKE_FULL=1 $(GO) test ./internal/bench/ -run 'TestRecoveredStoreServesWorkload' -count=1

@@ -16,6 +16,13 @@
 // Recovery/checkpoint+tail vs Recovery/fullreplay — the restart-latency
 // comparison of make bench-recovery); other benchmarks keep their raw name
 // with an empty path.
+//
+// Custom metrics reported via testing.B.ReportMetric (the memory
+// benchmark's bytes/node, bytes/edge, compression ratio) land in each
+// record's "metrics" map keyed by unit. The report header records the host
+// shape the numbers were taken on: logical CPU count, the GOMAXPROCS the
+// benchmarks ran under (parsed from the -N name suffix) and the "cpu:"
+// model line — cross-machine comparisons are meaningless without them.
 package main
 
 import (
@@ -26,31 +33,62 @@ import (
 	"log"
 	"os"
 	"regexp"
+	"runtime"
 	"strconv"
 	"strings"
 )
 
 // Record is one parsed benchmark result.
 type Record struct {
-	Name        string  `json:"name"`
-	Query       string  `json:"query"`
-	Path        string  `json:"path,omitempty"`
-	Iterations  int64   `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"b_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
+	Name        string             `json:"name"`
+	Query       string             `json:"query"`
+	Path        string             `json:"path,omitempty"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"b_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
-// Report is the BENCH_interactive.json document.
+// Report is the BENCH_*.json document.
 type Report struct {
 	Note       string   `json:"note"`
+	CPUs       int      `json:"cpus"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	CPUModel   string   `json:"cpu_model,omitempty"`
 	Benchmarks []Record `json:"benchmarks"`
 }
 
-// benchLine matches one result line of `go test -bench -benchmem` output,
-// e.g. "BenchmarkViewVsTxnQ9/view-8   85:   57582 ns/op   0 B/op   0 allocs/op".
-var benchLine = regexp.MustCompile(
-	`^Benchmark(\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op(?:\s+(\d+) B/op\s+(\d+) allocs/op)?`)
+// benchLine matches the name and iteration count of one result line of
+// `go test -bench` output; the measurement pairs after it are free-form
+// (value, unit) tokens handled by parseMeasurements.
+var benchLine = regexp.MustCompile(`^Benchmark(\S+?)(?:-(\d+))?\s+(\d+)\s+(.+)$`)
+
+// parseMeasurements consumes the (value, unit) pairs after the iteration
+// count: the standard ns/op, B/op, allocs/op land in their typed fields,
+// anything else (ReportMetric output) in the metrics map.
+func parseMeasurements(rec *Record, rest string) {
+	f := strings.Fields(rest)
+	for i := 0; i+1 < len(f); i += 2 {
+		val, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			continue
+		}
+		switch f[i+1] {
+		case "ns/op":
+			rec.NsPerOp = val
+		case "B/op":
+			rec.BytesPerOp = int64(val)
+		case "allocs/op":
+			rec.AllocsPerOp = int64(val)
+		default:
+			if rec.Metrics == nil {
+				rec.Metrics = make(map[string]float64)
+			}
+			rec.Metrics[f[i+1]] = val
+		}
+	}
+}
 
 func main() {
 	log.SetFlags(0)
@@ -61,12 +99,18 @@ func main() {
 		"note field of the report")
 	flag.Parse()
 
-	var recs []Record
+	// A missing -N name suffix means the benchmarks ran at GOMAXPROCS=1;
+	// a larger parsed suffix overrides this below.
+	rep := Report{Note: *note, CPUs: runtime.NumCPU(), GOMAXPROCS: 1}
 	scanner := bufio.NewScanner(os.Stdin)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
 	for scanner.Scan() {
 		line := scanner.Text()
 		fmt.Println(line)
+		if model, ok := strings.CutPrefix(line, "cpu: "); ok {
+			rep.CPUModel = strings.TrimSpace(model)
+			continue
+		}
 		m := benchLine.FindStringSubmatch(line)
 		if m == nil {
 			continue
@@ -79,25 +123,22 @@ func main() {
 		if q, path, ok := strings.Cut(rec.Query, "/"); ok {
 			rec.Query, rec.Path = q, path
 		}
-		rec.Iterations, _ = strconv.ParseInt(m[2], 10, 64)
-		rec.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
-		if m[4] != "" {
-			rec.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
-			rec.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+		if m[2] != "" {
+			if procs, err := strconv.Atoi(m[2]); err == nil && procs > rep.GOMAXPROCS {
+				rep.GOMAXPROCS = procs
+			}
 		}
-		recs = append(recs, rec)
+		rec.Iterations, _ = strconv.ParseInt(m[3], 10, 64)
+		parseMeasurements(&rec, m[4])
+		rep.Benchmarks = append(rep.Benchmarks, rec)
 	}
 	if err := scanner.Err(); err != nil {
 		log.Fatal(err)
 	}
-	if len(recs) == 0 {
+	if len(rep.Benchmarks) == 0 {
 		log.Fatal("no benchmark lines found on stdin")
 	}
 
-	rep := Report{
-		Note:       *note,
-		Benchmarks: recs,
-	}
 	data, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {
 		log.Fatal(err)
@@ -105,5 +146,5 @@ func main() {
 	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("wrote %d records to %s", len(recs), *out)
+	log.Printf("wrote %d records to %s", len(rep.Benchmarks), *out)
 }

@@ -238,7 +238,7 @@ func Atomicity() Outcome {
 	}
 	var allOrNothing bool
 	st.View(func(tx *store.Txn) {
-		allOrNothing = tx.Exists(p) && tx.Exists(m) && len(tx.Out(m, store.EdgeHasCreator)) == 1
+		allOrNothing = tx.Exists(p) && tx.Exists(m) && tx.OutDegree(m, store.EdgeHasCreator) == 1
 	})
 	// Aborted multi-write leaves nothing.
 	tx2 := st.Begin()
@@ -247,7 +247,7 @@ func Atomicity() Outcome {
 	_ = tx2.AddEdge(p2, store.EdgeKnows, p, 2)
 	tx2.Abort()
 	st.View(func(tx *store.Txn) {
-		if tx.Exists(p2) || len(tx.Out(p, store.EdgeKnows)) != 0 {
+		if tx.Exists(p2) || tx.OutDegree(p, store.EdgeKnows) != 0 {
 			allOrNothing = false
 		}
 	})

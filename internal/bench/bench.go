@@ -7,9 +7,12 @@ package bench
 
 import (
 	"fmt"
+	"runtime"
+	"sort"
 	"strings"
 
 	"ldbcsnb/internal/datagen"
+	"ldbcsnb/internal/ids"
 	"ldbcsnb/internal/schema"
 	"ldbcsnb/internal/store"
 )
@@ -99,10 +102,72 @@ func NewEnvData(persons int, seed uint64) *Env {
 	if persons <= 0 {
 		persons = DefaultPersons
 	}
-	cfg := datagen.Config{Seed: seed, Persons: persons, Workers: 2, Events: true}
+	cfg := datagen.Config{Seed: seed, Persons: persons, Workers: loadWorkers(), Events: true}
 	out := datagen.Generate(cfg)
 	bulk, updates := datagen.Split(out.Data, datagen.UpdateCut)
 	return &Env{Cfg: cfg, Out: out, Full: out.Data, Bulk: bulk, Updates: updates}
+}
+
+// loadWorkers picks the generation/load parallelism for an environment:
+// GOMAXPROCS clamped to [2, 8]. Store content is identical for any value
+// (datagen's §2.4 guarantee; LoadParallel's ordered commits), so this only
+// moves setup wall-clock time.
+func loadWorkers() int {
+	w := runtime.GOMAXPROCS(0)
+	if w < 2 {
+		w = 2
+	}
+	if w > 8 {
+		w = 8
+	}
+	return w
+}
+
+// NewEnvStreamed builds an environment through the streaming pipeline:
+// datagen.Stream chunks are split and bulk-loaded as they arrive, so
+// loading overlaps generation and the full dataset is never resident at
+// once. For the same (persons, seed) the update stream is identical to
+// NewEnv's and the store holds the identical logical graph — same nodes,
+// properties, adjacency, order included — though commit-clock values
+// differ because transaction batches follow chunk boundaries. Out/Full
+// are unavailable (nil): use NewEnv when an experiment needs the raw
+// dataset for parameter curation. This is the path the thousand-person
+// memory benchmarks use.
+func NewEnvStreamed(persons int, seed uint64) (*Env, error) {
+	if persons <= 0 {
+		persons = DefaultPersons
+	}
+	cfg := datagen.Config{Seed: seed, Persons: persons, Workers: loadWorkers(), Events: true}
+	st := store.New()
+	schema.RegisterIndexes(st)
+	if err := schema.LoadDimensions(st); err != nil {
+		return nil, err
+	}
+	e := &Env{Cfg: cfg, Store: st}
+
+	ch, wait := datagen.Stream(cfg)
+	var personCreated map[ids.ID]int64
+	for c := range ch {
+		if personCreated == nil {
+			personCreated = make(map[ids.ID]int64, len(c.Persons))
+			for i := range c.Persons {
+				personCreated[c.Persons[i].ID] = c.Persons[i].CreationDate
+			}
+		}
+		bulk, updates := datagen.SplitWith(c, datagen.UpdateCut, personCreated)
+		if err := schema.LoadParallel(st, bulk, cfg.Workers); err != nil {
+			return nil, err
+		}
+		e.Updates = append(e.Updates, updates...)
+	}
+	wait()
+	// Chunks arrive class-major and pre-sorted; the stable global sort
+	// reproduces Split-of-the-whole's update order exactly
+	// (TestStreamSplitMatchesSplit pins this).
+	sort.SliceStable(e.Updates, func(i, j int) bool {
+		return e.Updates[i].DueTime < e.Updates[j].DueTime
+	})
+	return e, nil
 }
 
 // LoadInto bulk-loads the environment's dimension tables and bulk split
@@ -113,7 +178,7 @@ func (e *Env) LoadInto(st *store.Store) error {
 	if err := schema.LoadDimensions(st); err != nil {
 		return err
 	}
-	if err := schema.Load(st, e.Bulk); err != nil {
+	if err := schema.LoadParallel(st, e.Bulk, e.Cfg.Workers); err != nil {
 		return err
 	}
 	e.Store = st

@@ -105,11 +105,26 @@ func assertWorkloadEquiv(t *testing.T, live, rec *store.Store, pp *workload.Para
 	}
 }
 
+// TestRecoveredStoreServesWorkload sweeps the recovery-equivalence check
+// across scales: the default quick scale always runs, the 1000-person
+// scale (the memory benchmarks' first big step) is exercised by
+// `make bench-smoke` so the compact checkpoint format is proven at a
+// scale where dictionary and varint sections actually matter.
 func TestRecoveredStoreServesWorkload(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full dataset load + double update replay")
 	}
-	const persons, seed = 100, 42
+	t.Run("100p", func(t *testing.T) { testRecoveredStoreServesWorkload(t, 100) })
+	t.Run("1000p", func(t *testing.T) {
+		if os.Getenv("SNB_SMOKE_FULL") == "" {
+			t.Skip("1000-person sweep: set SNB_SMOKE_FULL=1 (make bench-smoke)")
+		}
+		testRecoveredStoreServesWorkload(t, 1000)
+	})
+}
+
+func testRecoveredStoreServesWorkload(t *testing.T, persons int) {
+	const seed = 42
 
 	liveEnv, err := NewEnv(persons, seed)
 	if err != nil {

@@ -81,8 +81,8 @@ func benchTag(b *testing.B, env *Env) ids.ID {
 	var tag ids.ID
 	env.Store.View(func(tx *store.Txn) {
 		for _, m := range tx.NodesOfKind(ids.KindPost) {
-			if tags := tx.Out(m, store.EdgeHasTag); len(tags) > 0 {
-				tag = tags[0].To
+			if tes := tx.Out(m, store.EdgeHasTag); len(tes) > 0 {
+				tag = tes[0].To
 				return
 			}
 		}

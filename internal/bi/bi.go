@@ -348,11 +348,12 @@ func bi4Add[R store.Reader](r R, p *bi4Partial, id ids.ID) {
 	if len(creators) == 0 {
 		return
 	}
-	agg := p.rows[creators[0].To]
+	creator := creators[0]
+	agg := p.rows[creator.To]
 	agg.messages++
-	agg.likes += len(r.In(id, store.EdgeLikes))
-	agg.replies += len(r.In(id, store.EdgeReplyOf))
-	p.rows[creators[0].To] = agg
+	agg.likes += r.InDegree(id, store.EdgeLikes)
+	agg.replies += r.InDegree(id, store.EdgeReplyOf)
+	p.rows[creator.To] = agg
 }
 
 func bi4Finalize(parts []bi4Partial, limit int) []BI4Row {
@@ -418,8 +419,7 @@ func (p *bi5Partial) init() { p.direct = make(map[ids.ID]int) }
 // its tags.
 func bi5Add[R store.Reader](r R, p *bi5Partial, id ids.ID) {
 	for _, te := range r.Out(id, store.EdgeHasTag) {
-		types := r.Out(te.To, store.EdgeHasType)
-		if len(types) > 0 {
+		if types := r.Out(te.To, store.EdgeHasType); len(types) > 0 {
 			p.direct[types[0].To]++
 		}
 	}
@@ -495,7 +495,7 @@ func bi6Row[R store.Reader](r R, p ids.ID, createdBefore int64, maxMessages int)
 	if r.Prop(p, store.PropCreationDate).Int() >= createdBefore {
 		return BI6Row{}, false
 	}
-	msgs := len(r.In(p, store.EdgeHasCreator))
+	msgs := r.InDegree(p, store.EdgeHasCreator)
 	if msgs >= maxMessages {
 		return BI6Row{}, false
 	}

@@ -1,0 +1,93 @@
+package datagen
+
+import (
+	"sort"
+
+	"ldbcsnb/internal/distr"
+	"ldbcsnb/internal/schema"
+)
+
+// Streamed generation. Generate materialises the whole dataset before the
+// caller sees any of it; at thousand-person scale factors that means the
+// loader sits idle through the most expensive phase (activity generation)
+// and the process briefly holds generator drafts plus the full dataset plus
+// the store. Stream instead delivers the dataset as a sequence of bounded
+// chunks in load order — persons+knows as soon as steps 1-2 finish, then
+// each activity class in slices — on a channel fed by a generator
+// goroutine, so loading the early chunks overlaps with generating the late
+// ones and delivered chunks become garbage as soon as they are loaded.
+//
+// Chunks partition the dataset: concatenating them in delivery order yields
+// exactly Generate(cfg).Data, slice by slice (the §2.4 determinism
+// guarantee extends to streaming — see TestStreamMatchesGenerate). Chunk
+// boundaries are class-major (persons+knows, then forums, memberships,
+// posts, comments, likes), which is also the referential load order the
+// schema loader wants.
+
+// StreamChunkEntities bounds the entity count of one streamed activity
+// chunk: small enough that a chunk is a rounding error next to the store,
+// large enough to amortise per-chunk loading overhead.
+const StreamChunkEntities = 1 << 15
+
+// Stream launches generation on a goroutine and returns the chunk channel
+// plus a wait function. The caller must drain the channel, then call wait
+// for the event timeline (Generate's Output.Events). Content is a
+// deterministic function of cfg.Seed and cfg.Persons, identical to
+// Generate's.
+func Stream(cfg Config) (<-chan *schema.Dataset, func() []Event) {
+	out := make(chan *schema.Dataset, 2)
+	var events []Event
+	done := make(chan struct{})
+	go func() {
+		defer close(out)
+		defer close(done)
+		events = generateStream(cfg, func(c *schema.Dataset) { out <- c })
+	}()
+	return out, func() []Event { <-done; return events }
+}
+
+// generateStream is the synchronous core of Stream: it runs the pipeline
+// and hands each chunk to emit in load order.
+func generateStream(cfg Config, emit func(*schema.Dataset)) []Event {
+	cfg = cfg.withDefaults()
+	model := distr.NewDegreeModel(cfg.Persons)
+
+	drafts := generatePersons(cfg, model)
+	knows := generateFriendships(cfg, drafts)
+	persons := make([]schema.Person, len(drafts))
+	for i := range drafts {
+		persons[i] = drafts[i].person
+	}
+	sort.Slice(persons, func(i, j int) bool { return persons[i].ID < persons[j].ID })
+	// First chunk: the social graph. Emitting before step 3 is what buys
+	// the overlap — activity generation dominates the pipeline.
+	emit(&schema.Dataset{Persons: persons, Knows: knows})
+
+	var events []Event
+	if cfg.Events {
+		events = generateEvents(cfg)
+	}
+	forums, memberships, posts, comments, likes := generateActivity(cfg, drafts, knows, events)
+
+	for lo := 0; lo < len(forums); lo += StreamChunkEntities {
+		hi := min(lo+StreamChunkEntities, len(forums))
+		emit(&schema.Dataset{Forums: forums[lo:hi]})
+	}
+	for lo := 0; lo < len(memberships); lo += StreamChunkEntities {
+		hi := min(lo+StreamChunkEntities, len(memberships))
+		emit(&schema.Dataset{Memberships: memberships[lo:hi]})
+	}
+	for lo := 0; lo < len(posts); lo += StreamChunkEntities {
+		hi := min(lo+StreamChunkEntities, len(posts))
+		emit(&schema.Dataset{Posts: posts[lo:hi]})
+	}
+	for lo := 0; lo < len(comments); lo += StreamChunkEntities {
+		hi := min(lo+StreamChunkEntities, len(comments))
+		emit(&schema.Dataset{Comments: comments[lo:hi]})
+	}
+	for lo := 0; lo < len(likes); lo += StreamChunkEntities {
+		hi := min(lo+StreamChunkEntities, len(likes))
+		emit(&schema.Dataset{Likes: likes[lo:hi]})
+	}
+	return events
+}

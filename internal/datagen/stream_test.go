@@ -1,0 +1,141 @@
+package datagen
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"ldbcsnb/internal/ids"
+	"ldbcsnb/internal/schema"
+)
+
+// TestStreamMatchesGenerate pins the streaming determinism contract stated
+// on Stream: concatenating the chunks in delivery order reproduces
+// Generate's dataset exactly, slice by slice, and the event timeline from
+// wait() is Generate's too. It also checks the chunk shape the loader
+// depends on: chunk 1 carries the whole social graph, every later chunk
+// carries exactly one activity class, bounded by StreamChunkEntities.
+func TestStreamMatchesGenerate(t *testing.T) {
+	cfg := Config{Seed: 7, Persons: 300, Events: true}
+	full := Generate(cfg)
+
+	ch, wait := Stream(cfg)
+	var got schema.Dataset
+	first := true
+	for c := range ch {
+		if first {
+			if len(c.Persons) == 0 || len(c.Knows) == 0 {
+				t.Fatalf("first chunk must carry the social graph, got %d persons %d knows",
+					len(c.Persons), len(c.Knows))
+			}
+			first = false
+		} else {
+			if len(c.Persons) != 0 || len(c.Knows) != 0 {
+				t.Fatal("persons/knows leaked into an activity chunk")
+			}
+			classes := 0
+			for _, n := range []int{len(c.Forums), len(c.Memberships), len(c.Posts), len(c.Comments), len(c.Likes)} {
+				if n > 0 {
+					classes++
+				}
+				if n > StreamChunkEntities {
+					t.Fatalf("chunk exceeds StreamChunkEntities: %d > %d", n, StreamChunkEntities)
+				}
+			}
+			if classes != 1 {
+				t.Fatalf("activity chunk spans %d classes, want exactly 1", classes)
+			}
+		}
+		got.Persons = append(got.Persons, c.Persons...)
+		got.Knows = append(got.Knows, c.Knows...)
+		got.Forums = append(got.Forums, c.Forums...)
+		got.Memberships = append(got.Memberships, c.Memberships...)
+		got.Posts = append(got.Posts, c.Posts...)
+		got.Comments = append(got.Comments, c.Comments...)
+		got.Likes = append(got.Likes, c.Likes...)
+	}
+	events := wait()
+
+	want := full.Data
+	if !reflect.DeepEqual(got.Persons, want.Persons) {
+		t.Error("persons diverge from Generate")
+	}
+	if !reflect.DeepEqual(got.Knows, want.Knows) {
+		t.Error("knows diverge from Generate")
+	}
+	if !reflect.DeepEqual(got.Forums, want.Forums) {
+		t.Error("forums diverge from Generate")
+	}
+	if !reflect.DeepEqual(got.Memberships, want.Memberships) {
+		t.Error("memberships diverge from Generate")
+	}
+	if !reflect.DeepEqual(got.Posts, want.Posts) {
+		t.Error("posts diverge from Generate")
+	}
+	if !reflect.DeepEqual(got.Comments, want.Comments) {
+		t.Error("comments diverge from Generate")
+	}
+	if !reflect.DeepEqual(got.Likes, want.Likes) {
+		t.Error("likes diverge from Generate")
+	}
+	if !reflect.DeepEqual(events, full.Events) {
+		t.Error("event timeline diverges from Generate")
+	}
+}
+
+// TestStreamSplitMatchesSplit pins the per-chunk split contract on
+// SplitWith: splitting every chunk with the person-creation lookup built
+// from chunk 1, concatenating the bulk parts in delivery order, and
+// stable-sorting the concatenated updates by due time yields exactly
+// Split(Generate(cfg).Data, cut).
+func TestStreamSplitMatchesSplit(t *testing.T) {
+	cfg := Config{Seed: 11, Persons: 250, Events: true}
+	cut := cfg.withDefaults().Cut
+	wantBulk, wantUpdates := Split(Generate(cfg).Data, cut)
+
+	ch, wait := Stream(cfg)
+	var bulk schema.Dataset
+	var updates []schema.Update
+	var personCreated map[ids.ID]int64
+	for c := range ch {
+		if personCreated == nil {
+			personCreated = make(map[ids.ID]int64, len(c.Persons))
+			for i := range c.Persons {
+				personCreated[c.Persons[i].ID] = c.Persons[i].CreationDate
+			}
+		}
+		cb, cu := SplitWith(c, cut, personCreated)
+		bulk.Persons = append(bulk.Persons, cb.Persons...)
+		bulk.Knows = append(bulk.Knows, cb.Knows...)
+		bulk.Forums = append(bulk.Forums, cb.Forums...)
+		bulk.Memberships = append(bulk.Memberships, cb.Memberships...)
+		bulk.Posts = append(bulk.Posts, cb.Posts...)
+		bulk.Comments = append(bulk.Comments, cb.Comments...)
+		bulk.Likes = append(bulk.Likes, cb.Likes...)
+		updates = append(updates, cu...)
+	}
+	wait()
+	// Per-chunk updates are each due-time sorted; a stable global sort over
+	// the concatenation keeps the class-major tie order Split produces.
+	sort.SliceStable(updates, func(i, j int) bool {
+		return updates[i].DueTime < updates[j].DueTime
+	})
+
+	if !reflect.DeepEqual(bulk.Persons, wantBulk.Persons) ||
+		!reflect.DeepEqual(bulk.Knows, wantBulk.Knows) ||
+		!reflect.DeepEqual(bulk.Forums, wantBulk.Forums) ||
+		!reflect.DeepEqual(bulk.Memberships, wantBulk.Memberships) ||
+		!reflect.DeepEqual(bulk.Posts, wantBulk.Posts) ||
+		!reflect.DeepEqual(bulk.Comments, wantBulk.Comments) ||
+		!reflect.DeepEqual(bulk.Likes, wantBulk.Likes) {
+		t.Fatal("concatenated per-chunk bulk diverges from Split of the full dataset")
+	}
+	if len(updates) != len(wantUpdates) {
+		t.Fatalf("update counts diverge: %d vs %d", len(updates), len(wantUpdates))
+	}
+	for i := range updates {
+		if !reflect.DeepEqual(updates[i], wantUpdates[i]) {
+			t.Fatalf("update %d diverges:\nstream %+v\nfull   %+v", i, updates[i], wantUpdates[i])
+		}
+	}
+}

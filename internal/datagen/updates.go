@@ -23,14 +23,24 @@ import (
 // order; encoding them here would create the false global dependencies
 // §4.2 warns about.
 func Split(d *schema.Dataset, cut int64) (*schema.Dataset, []schema.Update) {
-	bulk := &schema.Dataset{}
-	var updates []schema.Update
-
 	// Creation-time lookup for dependency computation.
 	personCreated := make(map[ids.ID]int64, len(d.Persons))
 	for i := range d.Persons {
 		personCreated[d.Persons[i].ID] = d.Persons[i].CreationDate
 	}
+	return SplitWith(d, cut, personCreated)
+}
+
+// SplitWith is Split with an explicit person-creation lookup. It exists for
+// the streaming pipeline: activity chunks (Stream) do not carry the person
+// table, so the caller builds the lookup from the first chunk and reuses it
+// for every later one. Splitting each chunk and concatenating the results
+// in delivery order reproduces Split of the whole dataset exactly (chunks
+// are class-major slices in order, and the final per-caller DueTime sort is
+// stable).
+func SplitWith(d *schema.Dataset, cut int64, personCreated map[ids.ID]int64) (*schema.Dataset, []schema.Update) {
+	bulk := &schema.Dataset{}
+	var updates []schema.Update
 
 	for i := range d.Persons {
 		p := &d.Persons[i]

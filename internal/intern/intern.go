@@ -1,0 +1,137 @@
+// Package intern implements a process-wide string interner: every distinct
+// string is stored once in a shared append-only byte arena and named by a
+// 4-byte Sym. Interning is what lets store.Value hold strings as fixed-width
+// scalars — a property value is one machine word plus a tag instead of a
+// 16-byte string header pointing at a private allocation — and what
+// deduplicates the SNB schema's highly repetitive values (first names,
+// browsers, languages, tag and place names) across millions of nodes.
+//
+// Symbols are only meaningful within one process: they are assigned in
+// first-intern order, which depends on load interleaving. Durable formats
+// therefore never store raw Syms — the checkpoint writes a dictionary
+// section mapping its own dense indexes to strings and re-interns on
+// restore (see store/checkpoint.go).
+//
+// The table is append-only by design: a symbol, once handed out, stays
+// valid and keeps its string for the life of the process. That is the right
+// trade for a load-then-serve store (the SNB dataset's value domain is
+// effectively static); a workload that churns unbounded fresh strings would
+// grow the arena without bound.
+package intern
+
+import (
+	"sync"
+	"sync/atomic"
+	"unsafe"
+)
+
+// Sym names one interned string. The zero Sym is the empty string.
+type Sym uint32
+
+// arenaChunk is the allocation unit of the string arena. Strings never span
+// chunks; a string longer than the chunk size gets a chunk of its own.
+const arenaChunk = 1 << 16
+
+// Table is one interner. Intern is safe for concurrent use; Lookup is
+// wait-free (an atomic snapshot load plus an index), so it can sit on the
+// query hot path — store.Value.Str is one Lookup.
+type Table struct {
+	mu    sync.RWMutex
+	index map[string]Sym
+
+	// strs is the published Sym -> string mapping. It is grown copy-on-
+	// write (amortised by doubling) and published atomically, so readers
+	// index an immutable snapshot without taking any lock. Every element
+	// aliases the arena.
+	strs atomic.Pointer[[]string]
+
+	// chunk is the arena chunk currently being filled. Bytes are written
+	// once, before the string over them is published, and never again —
+	// the invariant that makes the unsafe.String aliases immutable.
+	chunk []byte
+	arena int64 // total bytes of all chunks allocated
+}
+
+// NewTable returns a table containing only the empty string (Sym 0).
+func NewTable() *Table {
+	t := &Table{index: make(map[string]Sym)}
+	strs := make([]string, 1, 64)
+	t.index[""] = 0
+	t.strs.Store(&strs)
+	return t
+}
+
+// Intern returns the symbol of s, assigning the next free symbol (and
+// copying s into the arena) on first sight.
+func (t *Table) Intern(s string) Sym {
+	t.mu.RLock()
+	y, ok := t.index[s]
+	t.mu.RUnlock()
+	if ok {
+		return y
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if y, ok := t.index[s]; ok {
+		return y
+	}
+	// Copy s into the arena and alias a string over the copied bytes.
+	// The bytes are written exactly once (append below), before the
+	// publish, so the alias is as immutable as any Go string.
+	if len(s) > cap(t.chunk)-len(t.chunk) {
+		size := arenaChunk
+		if len(s) > size {
+			size = len(s)
+		}
+		t.chunk = make([]byte, 0, size)
+		t.arena += int64(size)
+	}
+	off := len(t.chunk)
+	t.chunk = append(t.chunk, s...)
+	owned := unsafe.String(unsafe.SliceData(t.chunk[off:off+len(s)]), len(s))
+
+	old := *t.strs.Load()
+	y = Sym(len(old))
+	// Grow copy-on-write: readers holding the previous snapshot keep a
+	// fully valid prefix; in-place appends within capacity only touch
+	// indexes beyond every published length.
+	next := append(old, owned)
+	t.index[owned] = y
+	t.strs.Store(&next)
+	return y
+}
+
+// Lookup returns the string of a symbol. Looking up a symbol never handed
+// out by Intern panics — symbols are not arbitrary integers.
+func (t *Table) Lookup(y Sym) string {
+	return (*t.strs.Load())[y]
+}
+
+// Len returns the number of interned strings (including the empty string).
+func (t *Table) Len() int {
+	return len(*t.strs.Load())
+}
+
+// Bytes returns the approximate heap footprint of the table: arena chunks
+// plus the published string headers and the index map. It is the
+// "string arena" line of the store's memory accounting.
+func (t *Table) Bytes() int64 {
+	t.mu.RLock()
+	n := int64(len(t.index))
+	t.mu.RUnlock()
+	const mapEntry = 16 + 4 + 8 // key header + sym + bucket overhead, approx
+	return t.arena + n*(16+mapEntry)
+}
+
+// Default is the process-wide table used by store.Value. One shared table
+// (rather than one per store) keeps Value self-contained — a Value's string
+// is recoverable without knowing which store produced it — and makes
+// symbols directly comparable across stores in one process (the equivalence
+// test suites compare values from live and recovered stores).
+var Default = NewTable()
+
+// Intern interns s in the default table.
+func Intern(s string) Sym { return Default.Intern(s) }
+
+// Lookup resolves y in the default table.
+func Lookup(y Sym) string { return Default.Lookup(y) }

@@ -1,0 +1,139 @@
+package intern
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestEmptyStringIsZero(t *testing.T) {
+	tb := NewTable()
+	if y := tb.Intern(""); y != 0 {
+		t.Fatalf("Intern(\"\") = %d, want 0", y)
+	}
+	if s := tb.Lookup(0); s != "" {
+		t.Fatalf("Lookup(0) = %q, want empty", s)
+	}
+	if n := tb.Len(); n != 1 {
+		t.Fatalf("fresh table Len = %d, want 1", n)
+	}
+}
+
+func TestInternDedupAndLookup(t *testing.T) {
+	tb := NewTable()
+	a := tb.Intern("alice")
+	b := tb.Intern("bob")
+	if a == b {
+		t.Fatal("distinct strings share a symbol")
+	}
+	if tb.Intern("alice") != a || tb.Intern("bob") != b {
+		t.Fatal("re-interning changed the symbol")
+	}
+	// A fresh heap copy of equal bytes must dedupe too.
+	copyAlice := string([]byte("alice"))
+	if tb.Intern(copyAlice) != a {
+		t.Fatal("equal bytes from a different allocation got a new symbol")
+	}
+	if tb.Lookup(a) != "alice" || tb.Lookup(b) != "bob" {
+		t.Fatal("Lookup does not return the interned string")
+	}
+	if tb.Len() != 3 { // "", alice, bob
+		t.Fatalf("Len = %d, want 3", tb.Len())
+	}
+}
+
+// TestInternHugeString pins the arena rule: a string larger than the chunk
+// size gets a dedicated chunk instead of being refused or split.
+func TestInternHugeString(t *testing.T) {
+	tb := NewTable()
+	big := make([]byte, arenaChunk*2+17)
+	for i := range big {
+		big[i] = byte('a' + i%26)
+	}
+	y := tb.Intern(string(big))
+	if got := tb.Lookup(y); got != string(big) {
+		t.Fatal("huge string did not round trip")
+	}
+	if tb.Bytes() < int64(len(big)) {
+		t.Fatalf("Bytes() = %d, smaller than the %d-byte payload", tb.Bytes(), len(big))
+	}
+}
+
+// TestInternConcurrent hammers one table from many goroutines interning an
+// overlapping working set, then requires one symbol per distinct string,
+// agreed on by every goroutine, with Lookup resolving each back. This is
+// the contract store.Value relies on: symbols are stable identities, never
+// racy duplicates.
+func TestInternConcurrent(t *testing.T) {
+	tb := NewTable()
+	const (
+		workers  = 8
+		distinct = 500
+		rounds   = 4
+	)
+	results := make([]map[string]Sym, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			seen := make(map[string]Sym, distinct)
+			// Each worker walks the full shared set in a different order
+			// (stride coprime with the set size) so first-intern races cover
+			// every string and every worker still sees every string.
+			strides := [...]int{1, 3, 7, 9, 11, 13, 17, 19}
+			for r := 0; r < rounds; r++ {
+				for i := 0; i < distinct; i++ {
+					k := (i*strides[w%len(strides)] + r) % distinct
+					s := fmt.Sprintf("value-%04d", k)
+					y := tb.Intern(s)
+					if prev, ok := seen[s]; ok && prev != y {
+						t.Errorf("worker %d: %q changed symbol %d -> %d", w, s, prev, y)
+						return
+					}
+					seen[s] = y
+					if got := tb.Lookup(y); got != s {
+						t.Errorf("worker %d: Lookup(%d) = %q, want %q", w, y, got, s)
+						return
+					}
+				}
+			}
+			results[w] = seen
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	for w := 1; w < workers; w++ {
+		for s, y := range results[0] {
+			if results[w][s] != y {
+				t.Fatalf("workers 0 and %d disagree on %q: %d vs %d", w, s, y, results[w][s])
+			}
+		}
+	}
+	if got, want := tb.Len(), distinct+1; got != want {
+		t.Fatalf("Len = %d, want %d (distinct strings + empty)", got, want)
+	}
+}
+
+func BenchmarkInternHit(b *testing.B) {
+	tb := NewTable()
+	tb.Intern("Chrome")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tb.Intern("Chrome")
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	tb := NewTable()
+	y := tb.Intern("Chrome")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if len(tb.Lookup(y)) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}

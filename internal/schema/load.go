@@ -3,6 +3,7 @@ package schema
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"ldbcsnb/internal/dict"
 	"ldbcsnb/internal/ids"
@@ -92,25 +93,128 @@ const loadBatch = 2000
 // Load bulk-loads a dataset into the store. Call RegisterIndexes and
 // LoadDimensions first.
 func Load(st *store.Store, d *Dataset) error {
-	if err := loadPersons(st, d.Persons); err != nil {
+	return LoadParallel(st, d, 1)
+}
+
+// LoadParallel is Load with parallel transaction building: up to workers
+// goroutines build the batch transactions of each entity class concurrently
+// (property construction and string interning dominate build cost), while
+// commits are issued strictly in batch order. Ordered commits make the
+// loaded store byte-identical to a sequential Load — same commit
+// timestamps, same kind-list order, same adjacency insertion order — for
+// any worker count, so equivalence suites and recovery tests see one
+// canonical store. Entity classes still load in referential order (persons
+// before knows, messages before likes).
+func LoadParallel(st *store.Store, d *Dataset, workers int) error {
+	if err := loadOrdered(st, d.Persons, workers, AddPerson); err != nil {
 		return fmt.Errorf("load persons: %w", err)
 	}
-	if err := loadKnows(st, d.Knows); err != nil {
+	err := loadOrdered(st, d.Knows, workers, func(tx *store.Txn, k *Knows) error {
+		return tx.AddKnows(k.A, k.B, k.CreationDate)
+	})
+	if err != nil {
 		return fmt.Errorf("load knows: %w", err)
 	}
-	if err := loadForums(st, d.Forums, d.Memberships); err != nil {
+	if err := loadOrdered(st, d.Forums, workers, AddForum); err != nil {
 		return fmt.Errorf("load forums: %w", err)
 	}
-	if err := loadPosts(st, d.Posts); err != nil {
+	err = loadOrdered(st, d.Memberships, workers, func(tx *store.Txn, m *Membership) error {
+		return tx.AddEdge(m.Forum, store.EdgeHasMember, m.Person, m.JoinDate)
+	})
+	if err != nil {
+		return fmt.Errorf("load memberships: %w", err)
+	}
+	if err := loadOrdered(st, d.Posts, workers, AddPost); err != nil {
 		return fmt.Errorf("load posts: %w", err)
 	}
-	if err := loadComments(st, d.Comments); err != nil {
+	if err := loadOrdered(st, d.Comments, workers, AddComment); err != nil {
 		return fmt.Errorf("load comments: %w", err)
 	}
-	if err := loadLikes(st, d.Likes); err != nil {
+	err = loadOrdered(st, d.Likes, workers, func(tx *store.Txn, l *Like) error {
+		return tx.AddEdge(l.Person, store.EdgeLikes, l.Message, l.CreationDate)
+	})
+	if err != nil {
 		return fmt.Errorf("load likes: %w", err)
 	}
 	return nil
+}
+
+// loadOrdered loads one entity class in loadBatch-sized transactions.
+// Workers claim batches by index and build them concurrently — buffering
+// writes into a Txn touches no shared store state — and a committer drains
+// the batches in index order, so the commit sequence is independent of the
+// worker count. With workers <= 1 it degenerates to the plain sequential
+// loop.
+func loadOrdered[T any](st *store.Store, items []T, workers int, add func(tx *store.Txn, item *T) error) error {
+	nb := (len(items) + loadBatch - 1) / loadBatch
+	build := func(b int) (*store.Txn, error) {
+		lo, hi := b*loadBatch, min((b+1)*loadBatch, len(items))
+		tx := st.Begin()
+		for i := lo; i < hi; i++ {
+			if err := add(tx, &items[i]); err != nil {
+				tx.Abort()
+				return nil, err
+			}
+		}
+		return tx, nil
+	}
+	if workers > nb {
+		workers = nb
+	}
+	if workers <= 1 {
+		for b := 0; b < nb; b++ {
+			tx, err := build(b)
+			if err != nil {
+				return err
+			}
+			if err := tx.Commit(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	type built struct {
+		tx  *store.Txn
+		err error
+	}
+	ready := make([]chan built, nb)
+	for i := range ready {
+		ready[i] = make(chan built, 1)
+	}
+	var next atomic.Int64
+	for w := 0; w < workers; w++ {
+		go func() {
+			for {
+				b := int(next.Add(1)) - 1
+				if b >= nb {
+					return
+				}
+				tx, err := build(b)
+				ready[b] <- built{tx, err}
+			}
+		}()
+	}
+	var firstErr error
+	for b := 0; b < nb; b++ {
+		r := <-ready[b]
+		if firstErr != nil {
+			// Drain remaining batches so the workers finish; their
+			// uncommitted transactions are dropped.
+			if r.tx != nil {
+				r.tx.Abort()
+			}
+			continue
+		}
+		if r.err != nil {
+			firstErr = r.err
+			continue
+		}
+		if err := r.tx.Commit(); err != nil {
+			firstErr = err
+		}
+	}
+	return firstErr
 }
 
 // PersonProps builds the store property list for a person.
@@ -157,39 +261,6 @@ func AddPerson(tx *store.Txn, p *Person) error {
 	return nil
 }
 
-func loadPersons(st *store.Store, persons []Person) error {
-	for lo := 0; lo < len(persons); lo += loadBatch {
-		hi := min(lo+loadBatch, len(persons))
-		tx := st.Begin()
-		for i := lo; i < hi; i++ {
-			if err := AddPerson(tx, &persons[i]); err != nil {
-				return err
-			}
-		}
-		if err := tx.Commit(); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-func loadKnows(st *store.Store, knows []Knows) error {
-	for lo := 0; lo < len(knows); lo += loadBatch {
-		hi := min(lo+loadBatch, len(knows))
-		tx := st.Begin()
-		for i := lo; i < hi; i++ {
-			k := &knows[i]
-			if err := tx.AddKnows(k.A, k.B, k.CreationDate); err != nil {
-				return err
-			}
-		}
-		if err := tx.Commit(); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
 // AddForum writes a forum into an open transaction (bulk load and U4).
 func AddForum(tx *store.Txn, f *Forum) error {
 	err := tx.CreateNode(f.ID, store.Props{
@@ -204,35 +275,6 @@ func AddForum(tx *store.Txn, f *Forum) error {
 	}
 	for _, tag := range f.Tags {
 		if err := tx.AddEdge(f.ID, store.EdgeHasTag, TagNodeID(tag), 0); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-func loadForums(st *store.Store, forums []Forum, memberships []Membership) error {
-	for lo := 0; lo < len(forums); lo += loadBatch {
-		hi := min(lo+loadBatch, len(forums))
-		tx := st.Begin()
-		for i := lo; i < hi; i++ {
-			if err := AddForum(tx, &forums[i]); err != nil {
-				return err
-			}
-		}
-		if err := tx.Commit(); err != nil {
-			return err
-		}
-	}
-	for lo := 0; lo < len(memberships); lo += loadBatch {
-		hi := min(lo+loadBatch, len(memberships))
-		tx := st.Begin()
-		for i := lo; i < hi; i++ {
-			m := &memberships[i]
-			if err := tx.AddEdge(m.Forum, store.EdgeHasMember, m.Person, m.JoinDate); err != nil {
-				return err
-			}
-		}
-		if err := tx.Commit(); err != nil {
 			return err
 		}
 	}
@@ -285,22 +327,6 @@ func AddPost(tx *store.Txn, p *Post) error {
 	return nil
 }
 
-func loadPosts(st *store.Store, posts []Post) error {
-	for lo := 0; lo < len(posts); lo += loadBatch {
-		hi := min(lo+loadBatch, len(posts))
-		tx := st.Begin()
-		for i := lo; i < hi; i++ {
-			if err := AddPost(tx, &posts[i]); err != nil {
-				return err
-			}
-		}
-		if err := tx.Commit(); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
 // CommentProps builds the store property list for a comment.
 func CommentProps(c *Comment) store.Props {
 	return store.Props{
@@ -330,39 +356,6 @@ func AddComment(tx *store.Txn, c *Comment) error {
 	}
 	for _, tag := range c.Tags {
 		if err := tx.AddEdge(c.ID, store.EdgeHasTag, TagNodeID(tag), 0); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-func loadComments(st *store.Store, comments []Comment) error {
-	for lo := 0; lo < len(comments); lo += loadBatch {
-		hi := min(lo+loadBatch, len(comments))
-		tx := st.Begin()
-		for i := lo; i < hi; i++ {
-			if err := AddComment(tx, &comments[i]); err != nil {
-				return err
-			}
-		}
-		if err := tx.Commit(); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-func loadLikes(st *store.Store, likes []Like) error {
-	for lo := 0; lo < len(likes); lo += loadBatch {
-		hi := min(lo+loadBatch, len(likes))
-		tx := st.Begin()
-		for i := lo; i < hi; i++ {
-			l := &likes[i]
-			if err := tx.AddEdge(l.Person, store.EdgeLikes, l.Message, l.CreationDate); err != nil {
-				return err
-			}
-		}
-		if err := tx.Commit(); err != nil {
 			return err
 		}
 	}

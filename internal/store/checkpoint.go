@@ -3,6 +3,7 @@ package store
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -15,6 +16,7 @@ import (
 
 	"ldbcsnb/internal/btree"
 	"ldbcsnb/internal/ids"
+	"ldbcsnb/internal/intern"
 )
 
 // Durable checkpoints. A checkpoint is the visible state of the store at
@@ -45,38 +47,61 @@ import (
 // no later reader can observe the difference. The WAL tail then re-creates
 // history above C record by record.
 //
-// # On-disk format
+// # On-disk format (version 2)
 //
 // docs/FORMATS.md is the authoritative byte-level spec. Summary
-// (little-endian; prop encoding shared with the WAL):
+// (little-endian):
 //
 //	file    := magic:u32 "SCKP" | version:u16 | reserved:u16 | body | crc:u32
 //	body    := clock:u64
+//	           dict
 //	           nNodes:u32 node*
 //	           nKinds:u16 kindList*
 //	           nOrdered:u16 orderedIdx*
 //	           nHashed:u16 hashedIdx*
-//	node    := id:u64 | nProps:u16 prop* | nLists:u8 list*
-//	list    := type:u8 | dir:u8 | count:u32 | (peer:u64 stamp:u64)*
+//	dict    := count:u32 (len:u32 bytes)*
+//	node    := id:u64 | nProps:u16 prop2* | nLists:u8 list2*
+//	prop2   := key:u8 | valKind:u8 | (int: u64 | string: dictIdx:u32)
+//	list2   := type:u8 | dir:u8 | count:u32 | entry*
+//	entry   := uvarint(zigzag(peer delta)) uvarint(zigzag(stamp delta))
 //	kindList:= kind:u8 | count:u32 | id:u64*
 //	orderedIdx := kind:u8 | prop:u8 | entries:u32 | (key:u64 sub:u64 val:u64)*
 //	hashedIdx  := kind:u8 | prop:u8 | keys:u32 |
 //	              (len:u32 bytes | count:u32 | id:u64*)*
+//
+// The dictionary carries every distinct property string once; prop2 string
+// values name their string by dense dictionary index, and restore re-interns
+// the dictionary in one pass, so checkpoints are independent of any
+// process's symbol assignment (interner Syms are first-intern-ordered and
+// never durable — see internal/intern). Adjacency entries are delta-coded
+// against the previous entry of the same list with zigzag varints, the
+// durable cousin of the in-memory compact CSR (codec.go); time-ordered IDs
+// make consecutive peers near-neighbours, so entries average a few bytes
+// against v1's fixed 16.
 //
 // crc is CRC32-IEEE over everything before it, so torn or bit-rotted
 // checkpoint files fail closed: the loader falls back to the next older
 // checkpoint, or to full WAL replay.
 //
 // Compatibility rules: version is bumped on any incompatible change and
-// loaders refuse versions they do not know; unknown section trailers are an
-// error (the format has no skippable extensions yet); a checkpoint naming a
-// secondary index that the opening store did not register fails recovery —
-// register the same indexes before Open that were registered when the
-// checkpoint was written.
+// loaders refuse versions they do not know — but refusal is fallback-
+// eligible (errCkptVersion), so a store upgraded across a version bump
+// recovers from an older readable checkpoint or, failing that, full WAL
+// replay of v1-era segments (the WAL format carries strings inline and is
+// unchanged). Unknown section trailers are an error (the format has no
+// skippable extensions yet); a checkpoint naming a secondary index that the
+// opening store did not register fails recovery — register the same indexes
+// before Open that were registered when the checkpoint was written.
 const (
 	ckptMagic   = 0x504B4353 // "SCKP"
-	ckptVersion = 1
+	ckptVersion = 2
 )
+
+// errCkptVersion marks a checkpoint written in a format version this build
+// does not read. Open treats it as fallback-eligible — like corruption, but
+// reported distinctly — so upgraded stores recover from older checkpoints
+// or from full WAL replay instead of refusing to start.
+var errCkptVersion = errors.New("unsupported checkpoint version")
 
 const (
 	ckptPrefix    = "ckpt-"
@@ -192,14 +217,59 @@ func encodeCheckpoint(w io.Writer, v *SnapshotView, s *Store) error {
 	nodeIDs = append(nodeIDs, v.base.nodes...)
 	nodeIDs = append(nodeIDs, v.nodesOver...)
 	sort.Slice(nodeIDs, func(i, j int) bool { return nodeIDs[i] < nodeIDs[j] })
+
+	// Dictionary pass: every distinct property string of the view, in
+	// first-seen (node-ID) order — a pure map probe per string value, cheap
+	// next to the serialisation itself. prop2 records then name strings by
+	// dense dictionary index, decoupling the file from the process's
+	// interner symbol assignment.
+	dict := make(map[intern.Sym]uint32)
+	dictStrs := []intern.Sym{}
+	for _, id := range nodeIDs {
+		ord, _ := v.Ord(id)
+		for _, p := range v.propsAt(ord) {
+			if y := p.Val.Sym(); p.Val.k == kindString {
+				if _, ok := dict[y]; !ok {
+					dict[y] = uint32(len(dictStrs))
+					dictStrs = append(dictStrs, y)
+				}
+			}
+		}
+	}
+	buf = appendU32(buf, uint32(len(dictStrs)))
+	for _, y := range dictStrs {
+		s := intern.Lookup(y)
+		buf = appendU32(buf, uint32(len(s)))
+		buf = append(buf, s...)
+		if len(buf) >= 1<<16 {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+
 	buf = appendU32(buf, uint32(len(nodeIDs)))
+	var rowBuf []Edge // reused per row; appendEdges keeps the decode cache cold
 	for _, id := range nodeIDs {
 		ord, _ := v.Ord(id)
 		buf = appendU64(buf, uint64(id))
 		ps := v.propsAt(ord)
 		buf = appendU16(buf, uint16(len(ps)))
 		for _, p := range ps {
-			buf = appendProp(buf, p)
+			buf = append(buf, byte(p.Key))
+			switch p.Val.k {
+			case kindInt:
+				buf = append(buf, 1)
+				buf = appendU64(buf, uint64(p.Val.bits))
+			case kindString:
+				buf = append(buf, 2)
+				buf = appendU32(buf, dict[p.Val.Sym()])
+			default:
+				buf = append(buf, 0)
+			}
 		}
 		// Non-empty adjacency rows only; nLists fits u8 (15 types x 2 dirs).
 		nLists := 0
@@ -207,16 +277,18 @@ func encodeCheckpoint(w io.Writer, v *SnapshotView, s *Store) error {
 		buf = append(buf, 0)
 		for t := EdgeType(1); t < edgeTypeMax; t++ {
 			for dir := 0; dir < 2; dir++ {
-				row := v.row(ord, t, dir == 1)
-				if len(row) == 0 {
+				rowBuf = v.appendEdges(rowBuf[:0], ord, t, dir == 1)
+				if len(rowBuf) == 0 {
 					continue
 				}
 				nLists++
 				buf = append(buf, byte(t), byte(dir))
-				buf = appendU32(buf, uint32(len(row)))
-				for _, e := range row {
-					buf = appendU64(buf, uint64(e.To))
-					buf = appendU64(buf, uint64(e.Stamp))
+				buf = appendU32(buf, uint32(len(rowBuf)))
+				prevPeer, prevStamp := int64(0), int64(0)
+				for _, e := range rowBuf {
+					buf = binary.AppendUvarint(buf, zigzag(int64(e.To)-prevPeer))
+					buf = binary.AppendUvarint(buf, zigzag(e.Stamp-prevStamp))
+					prevPeer, prevStamp = int64(e.To), e.Stamp
 				}
 			}
 		}
@@ -372,7 +444,7 @@ func loadCheckpoint(s *Store, path string) (int64, error) {
 		return 0, fmt.Errorf("%w: checkpoint %s: bad magic", ErrCorrupt, base)
 	}
 	if ver := binary.LittleEndian.Uint16(data[4:6]); ver != ckptVersion {
-		return 0, fmt.Errorf("store: checkpoint %s: unsupported version %d", base, ver)
+		return 0, fmt.Errorf("%w: checkpoint %s: version %d (this build reads %d)", errCkptVersion, base, ver, ckptVersion)
 	}
 	body, sum := data[:len(data)-4], binary.LittleEndian.Uint32(data[len(data)-4:])
 	if crc32.ChecksumIEEE(body) != sum {
@@ -381,6 +453,18 @@ func loadCheckpoint(s *Store, path string) (int64, error) {
 
 	d := &walDecoder{b: body, pos: 8}
 	clock := int64(d.u64())
+
+	// Dictionary: re-intern every string once, then property decode is a
+	// dense index into syms. Symbols are assigned by THIS process's
+	// interner — the file's dictionary indexes are never stored in memory.
+	nDict := int(d.u32())
+	syms := make([]intern.Sym, 0, nDict)
+	for i := 0; i < nDict && d.err == nil; i++ {
+		syms = append(syms, intern.Intern(d.str(int(d.u32()))))
+	}
+	if d.err != nil {
+		return 0, fmt.Errorf("%w: checkpoint %s: bad dictionary", ErrCorrupt, base)
+	}
 
 	nNodes := int(d.u32())
 	// Restoring allocates one object per node, property and adjacency
@@ -421,7 +505,23 @@ func loadCheckpoint(s *Store, path string) (int64, error) {
 		var props Props
 		if nProps > 0 {
 			props = allocProps(nProps)
-			d.propsInto(props)
+			for j := range props {
+				key := PropKey(d.u8())
+				switch d.u8() {
+				case 1:
+					props[j] = Prop{Key: key, Val: Int64(int64(d.u64()))}
+				case 2:
+					idx := int(d.u32())
+					if d.err == nil && idx >= len(syms) {
+						return 0, fmt.Errorf("%w: checkpoint %s: dictionary index out of range", ErrCorrupt, base)
+					}
+					if d.err == nil {
+						props[j] = Prop{Key: key, Val: symValue(syms[idx])}
+					}
+				default:
+					props[j] = Prop{Key: key}
+				}
+			}
 		}
 		if len(recArena) == 0 {
 			recArena = make([]nodeRec, arenaChunk)
@@ -441,22 +541,24 @@ func loadCheckpoint(s *Store, path string) (int64, error) {
 			if t == 0 || t >= edgeTypeMax || dir > 1 {
 				return 0, fmt.Errorf("%w: checkpoint %s: bad adjacency list header", ErrCorrupt, base)
 			}
-			if d.pos+count*16 > len(d.b) {
+			if count > len(d.b)-d.pos {
+				// Each entry costs at least 2 bytes; cheap sanity bound
+				// before the arena allocation (varint decode below bounds-
+				// checks exactly).
 				return 0, fmt.Errorf("%w: checkpoint %s: adjacency list overruns file", ErrCorrupt, base)
 			}
-			// Fixed-width entries, bounds-checked as a block above: decode
-			// straight off the buffer instead of per-field decoder calls
-			// (this loop touches every edge in the database).
+			// Zigzag-varint delta entries, mirroring the encoder (this loop
+			// touches every edge in the database).
 			list := allocEdges(count)
-			raw := d.b[d.pos : d.pos+count*16]
+			prevPeer, prevStamp := int64(0), int64(0)
 			for k := range list {
-				list[k] = edgeRec{
-					peer:   ids.ID(binary.LittleEndian.Uint64(raw[k*16:])),
-					stamp:  int64(binary.LittleEndian.Uint64(raw[k*16+8:])),
-					commit: clock,
-				}
+				prevPeer += d.varint()
+				prevStamp += d.varint()
+				list[k] = edgeRec{peer: ids.ID(prevPeer), stamp: prevStamp, commit: clock}
 			}
-			d.pos += count * 16
+			if d.err != nil {
+				return 0, fmt.Errorf("%w: checkpoint %s: adjacency list overruns file", ErrCorrupt, base)
+			}
 			if dir == 0 {
 				rec.adj.out[t] = list
 			} else {

@@ -270,19 +270,22 @@ func applyDeltas(old *SnapshotView, ds []*CommitDelta, ts int64) *SnapshotView {
 		if owned[key] {
 			return key
 		}
-		src, had := []Edge(nil), false
-		if nv.edgeOver != nil {
-			src, had = nv.edgeOver[key]
+		// Materialise the row copy-on-write. Overlay rows copy directly; a
+		// base row is decoded out of the varint/delta slab here, on first
+		// touch by a refresh, so the compact representation only pays the
+		// decode for rows the update stream actually modifies.
+		var row []Edge
+		if src, had := nv.edgeOver[key]; had {
+			row = make([]Edge, len(src), len(src)+2)
+			copy(row, src)
+		} else if b := nv.base; b.spill != nil && b.spill[key] != nil {
+			src := b.spill[key]
+			row = append(make([]Edge, 0, len(src)+2), src...)
+		} else if in {
+			row = b.in[t].appendRow(make([]Edge, 0, b.in[t].degreeAt(ord)+2), ord, b.nodes)
+		} else {
+			row = b.out[t].appendRow(make([]Edge, 0, b.out[t].degreeAt(ord)+2), ord, b.nodes)
 		}
-		if !had {
-			if in {
-				src = nv.base.in[t].neighbours(ord)
-			} else {
-				src = nv.base.out[t].neighbours(ord)
-			}
-		}
-		row := make([]Edge, len(src), len(src)+2)
-		copy(row, src)
 		if nv.edgeOver == nil {
 			nv.edgeOver = make(map[edgeKey][]Edge)
 		}

@@ -165,8 +165,11 @@ func Open(dir string, opts PersistOptions, register func(*Store)) (*Persistent, 
 			info.CheckpointTS = clock
 			break
 		}
-		if !errors.Is(err, ErrCorrupt) {
-			return nil, info, err // configuration error (version, indexes)
+		// Corruption and format-version mismatches both fall back to the
+		// next older checkpoint (ultimately to full WAL replay — the WAL
+		// format is version-stable, so v1-era logs replay under v2 builds).
+		if !errors.Is(err, ErrCorrupt) && !errors.Is(err, errCkptVersion) {
+			return nil, info, err // configuration error (indexes)
 		}
 		info.BadCheckpoints = append(info.BadCheckpoints, filepath.Base(ck.path))
 	}

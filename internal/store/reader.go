@@ -8,8 +8,9 @@ import "ldbcsnb/internal/ids"
 //
 //   - *Txn — MVCC snapshot filtering under shard read locks, overlaying the
 //     transaction's own buffered writes;
-//   - *SnapshotView — a frozen CSR image of one commit epoch, lock-free and
-//     allocation-free (Out/In return slab subslices).
+//   - *SnapshotView — a frozen compact CSR image of one commit epoch,
+//     lock-free and steady-state allocation-free (Out/In serve rows out of
+//     the view's decode cache over the varint/delta slab).
 //
 // Queries take a type parameter constrained by Reader
 // (func Q9[R Reader](r R, ...)) rather than the interface itself, so the
@@ -33,9 +34,11 @@ type Reader interface {
 	Out(id ids.ID, t EdgeType) []Edge
 	// In returns the visible incoming edges of one type.
 	In(id ids.ID, t EdgeType) []Edge
-	// OutDegree returns len(Out(id, t)); the Txn path counts without
-	// materialising the edge slice.
+	// OutDegree returns len(Out(id, t)) without materialising the edges:
+	// the Txn path counts in place, the view path reads the row header.
 	OutDegree(id ids.ID, t EdgeType) int
+	// InDegree returns len(In(id, t)) without materialising the edges.
+	InDegree(id ids.ID, t EdgeType) int
 	// NodesOfKind returns the visible nodes of a kind in insertion order.
 	NodesOfKind(kind ids.Kind) []ids.ID
 	// Frozen returns the reader's immutable snapshot view when it has one

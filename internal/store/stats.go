@@ -2,8 +2,10 @@ package store
 
 import (
 	"sort"
+	"unsafe"
 
 	"ldbcsnb/internal/ids"
+	"ldbcsnb/internal/intern"
 )
 
 // TableStat describes the approximate in-memory footprint of one logical
@@ -27,6 +29,116 @@ type Stats struct {
 	Edges   int
 	Tables  []TableStat // sorted by Bytes descending
 	Indexes []IndexStat // sorted by Bytes descending
+
+	// InternBytes is the footprint of the process-wide string intern table
+	// (arena payload plus index). String property values everywhere in the
+	// store are 4-byte symbols into it, so the payload is accounted once
+	// here rather than per occurrence under Tables.
+	InternBytes int64
+
+	// View is the footprint of the store's cached snapshot view (zero if no
+	// view has been built yet). It is era-aware: overlay rows accumulated by
+	// delta refreshes since the era's compaction are counted, not just the
+	// frozen base — a store serving a long refresh chain carries both.
+	View ViewMem
+}
+
+// ViewMem breaks down the resident footprint of one SnapshotView.
+// All byte figures are approximate heap footprints, consistent with
+// ComputeStats.
+type ViewMem struct {
+	Era   uint64
+	Nodes int // visible nodes, base plus refresh-appended
+	Edges int // stored direction-entries (each logical edge counts twice)
+
+	AdjBytes     int64 // encoded adjacency: shared varint slab + per-row offset indexes
+	PropBytes    int64 // dense property slab + row offset index
+	NodeBytes    int64 // ordinal tables: ordinal->ID slice and ID->ordinal map
+	KindBytes    int64 // per-kind scan lists
+	OverlayBytes int64 // copy-on-write refresh state: touched rows, props, appended ordinals, spill
+
+	// AdjCacheBytes is the decode cache: rows the read path has actually
+	// iterated, decoded once and kept as []Edge (codec.go). It grows with
+	// the touched working set — zero for a store that is loaded but not
+	// queried, bounded by UncompressedAdjBytes when every row is hot — and
+	// is the price of serving hot-row iteration at materialised-slice
+	// speed while AdjBytes stays the resident, authoritative form.
+	AdjCacheBytes int64
+
+	// UncompressedAdjBytes is what the frozen adjacency would occupy in the
+	// pre-compaction layout (16-byte Edge structs in per-type slabs plus the
+	// same row offsets) — the baseline AdjBytes is measured against.
+	// UncompressedAdjBytes/AdjBytes is the codec's compression ratio.
+	UncompressedAdjBytes int64
+}
+
+// TotalBytes is the view's whole footprint, decode cache included.
+func (m ViewMem) TotalBytes() int64 {
+	return m.AdjBytes + m.AdjCacheBytes + m.PropBytes + m.NodeBytes + m.KindBytes + m.OverlayBytes
+}
+
+// BytesPerNode is the all-in footprint divided over visible nodes.
+func (m ViewMem) BytesPerNode() float64 {
+	if m.Nodes == 0 {
+		return 0
+	}
+	return float64(m.TotalBytes()) / float64(m.Nodes)
+}
+
+// BytesPerEdge is the adjacency footprint per stored direction-entry.
+func (m ViewMem) BytesPerEdge() float64 {
+	if m.Edges == 0 {
+		return 0
+	}
+	return float64(m.AdjBytes) / float64(m.Edges)
+}
+
+const (
+	viewEdgeBytes = 16 // Edge{To, Stamp} — the uncompressed per-entry cost
+	mapEntryBytes = 24 // approximate per-entry bucket cost of a small-value map
+	sliceHdrBytes = 24
+)
+
+// MemStats measures the view's resident footprint. The view is immutable,
+// so the walk needs no locks; cost is proportional to the overlay (the
+// frozen base is measured from slab lengths, not by iterating rows).
+func (v *SnapshotView) MemStats() ViewMem {
+	b := v.base
+	m := ViewMem{Era: v.era, Nodes: v.NumNodes()}
+
+	propSize := int64(unsafe.Sizeof(Prop{}))
+	for t := EdgeType(1); t < edgeTypeMax; t++ {
+		for _, c := range [2]*csr{&b.out[t], &b.in[t]} {
+			if c.offsets == nil {
+				continue
+			}
+			m.Edges += c.entries
+			m.AdjBytes += c.bytes()
+			m.AdjCacheBytes += c.cacheBytes()
+			m.UncompressedAdjBytes += int64(c.entries)*viewEdgeBytes + int64(len(c.offsets))*4
+		}
+	}
+	m.PropBytes = int64(len(b.props))*propSize + int64(len(b.propOff))*4
+	m.NodeBytes = int64(len(b.nodes))*8 + int64(len(b.ord))*mapEntryBytes
+	for _, list := range v.byKind {
+		m.KindBytes += int64(len(list)) * 8
+	}
+
+	// Overlay state: refresh-appended ordinals, touched property rows and
+	// decoded adjacency rows, plus any spill rows the encoder kept raw.
+	m.OverlayBytes += int64(len(v.nodesOver))*8 + int64(len(v.ordOver))*mapEntryBytes
+	for _, ps := range v.propsOver {
+		m.OverlayBytes += mapEntryBytes + sliceHdrBytes + int64(len(ps))*propSize
+	}
+	for _, row := range v.edgeOver {
+		m.Edges += len(row)
+		m.OverlayBytes += mapEntryBytes + sliceHdrBytes + int64(len(row))*viewEdgeBytes
+	}
+	for _, row := range b.spill {
+		m.Edges += len(row)
+		m.OverlayBytes += mapEntryBytes + sliceHdrBytes + int64(len(row))*viewEdgeBytes
+	}
+	return m
 }
 
 const (
@@ -111,5 +223,15 @@ func (s *Store) ComputeStats() Stats {
 		})
 	}
 	sort.Slice(st.Indexes, func(i, j int) bool { return st.Indexes[i].Bytes > st.Indexes[j].Bytes })
+
+	st.InternBytes = intern.Default.Bytes()
+	// Measure the cached view as it is — era, overlays and all. Loading the
+	// pointer rather than calling CurrentView keeps ComputeStats passive: it
+	// reports what is resident, it does not trigger a refresh or rebuild
+	// (and earlier revisions that re-measured only the frozen base
+	// under-reported stores sitting at the end of a long refresh chain).
+	if v := s.view.Load(); v != nil {
+		st.View = v.MemStats()
+	}
 	return st
 }

@@ -211,7 +211,8 @@ func (tx *Txn) Props(id ids.ID) (Props, bool) {
 }
 
 // Out returns the visible outgoing edges of a node for one edge type, in
-// insertion order, including the transaction's own buffered edges.
+// insertion order, including the transaction's own buffered edges. The
+// slice is materialised at this call; it does not observe later writes.
 func (tx *Txn) Out(id ids.ID, t EdgeType) []Edge {
 	return tx.neighbours(id, t, false)
 }
@@ -224,12 +225,26 @@ func (tx *Txn) In(id ids.ID, t EdgeType) []Edge {
 // OutDegree returns the number of visible outgoing edges without
 // materialising them.
 func (tx *Txn) OutDegree(id ids.ID, t EdgeType) int {
+	return tx.degree(id, t, false)
+}
+
+// InDegree returns the number of visible incoming edges without
+// materialising them.
+func (tx *Txn) InDegree(id ids.ID, t EdgeType) int {
+	return tx.degree(id, t, true)
+}
+
+func (tx *Txn) degree(id ids.ID, t EdgeType, in bool) int {
 	n := 0
 	sh := tx.s.shardFor(id)
 	sh.mu.RLock()
 	if rec := sh.nodes[id]; rec != nil {
-		for i := range rec.adj.out[t] {
-			if rec.adj.out[t][i].visibleAt(tx.snapshot) {
+		list := rec.adj.out[t]
+		if in {
+			list = rec.adj.in[t]
+		}
+		for i := range list {
+			if list[i].visibleAt(tx.snapshot) {
 				n++
 			}
 		}
@@ -237,7 +252,14 @@ func (tx *Txn) OutDegree(id ids.ID, t EdgeType) int {
 	sh.mu.RUnlock()
 	for _, ei := range tx.edgeIndex[id] {
 		pe := tx.newEdges[ei]
-		if pe.t == t && (pe.from == id || (pe.sym && pe.to == id)) {
+		if pe.t != t {
+			continue
+		}
+		if in {
+			if pe.to == id || (pe.sym && pe.from == id) {
+				n++
+			}
+		} else if pe.from == id || (pe.sym && pe.to == id) {
 			n++
 		}
 	}

@@ -57,7 +57,11 @@
 // rebuilds, era bumps and overflows.
 package store
 
-import "fmt"
+import (
+	"fmt"
+
+	"ldbcsnb/internal/intern"
+)
 
 // PropKey identifies a node property. Properties are stored as small
 // (key, value) slices — SNB entities have at most ~12 properties.
@@ -123,17 +127,30 @@ const (
 // Value is a compact tagged union of the property value types the SNB
 // schema needs (64-bit integers — including all timestamps — and strings).
 // The zero Value is "absent".
+//
+// Values are fixed-width: strings are held as interned symbols
+// (internal/intern), so every Value is one machine word plus a tag and two
+// Values holding equal strings are structurally equal. The string bytes
+// themselves live once in the process-wide intern arena; Str resolves the
+// symbol with one wait-free lookup.
 type Value struct {
-	str string
-	i   int64
-	k   valueKind
+	bits int64
+	k    valueKind
 }
 
 // Int64 wraps an integer value.
-func Int64(v int64) Value { return Value{i: v, k: kindInt} }
+func Int64(v int64) Value { return Value{bits: v, k: kindInt} }
 
-// String wraps a string value.
-func String(v string) Value { return Value{str: v, k: kindString} }
+// String wraps a string value, interning it. Repeated values (names,
+// browsers, languages, tag strings) cost one arena entry no matter how many
+// nodes carry them.
+func String(v string) Value {
+	return Value{bits: int64(intern.Intern(v)), k: kindString}
+}
+
+// symValue wraps an already-interned symbol (checkpoint restore, which
+// re-interns its dictionary section in bulk).
+func symValue(y intern.Sym) Value { return Value{bits: int64(y), k: kindString} }
 
 // IsZero reports whether the value is absent.
 func (v Value) IsZero() bool { return v.k == kindNone }
@@ -143,7 +160,7 @@ func (v Value) Int() int64 {
 	if v.k != kindInt {
 		return 0
 	}
-	return v.i
+	return v.bits
 }
 
 // Str returns the string content ("" for non-string values).
@@ -151,25 +168,35 @@ func (v Value) Str() string {
 	if v.k != kindString {
 		return ""
 	}
-	return v.str
+	return intern.Lookup(intern.Sym(v.bits))
+}
+
+// Sym returns the interned symbol of a string value (the zero Sym for
+// non-string values, which is the empty string).
+func (v Value) Sym() intern.Sym {
+	if v.k != kindString {
+		return 0
+	}
+	return intern.Sym(v.bits)
 }
 
 // GoString formats the value for diagnostics.
 func (v Value) GoString() string {
 	switch v.k {
 	case kindInt:
-		return fmt.Sprintf("Int64(%d)", v.i)
+		return fmt.Sprintf("Int64(%d)", v.bits)
 	case kindString:
-		return fmt.Sprintf("String(%q)", v.str)
+		return fmt.Sprintf("String(%q)", v.Str())
 	default:
 		return "Value{}"
 	}
 }
 
 // bytes approximates the heap footprint of the value, for Stats (Table 8).
+// String payloads live in the shared intern arena and are accounted once,
+// under Stats.InternBytes — not per occurrence here.
 func (v Value) bytes() int {
-	const header = 24 // tagged-union struct
-	return header + len(v.str)
+	return 16 // fixed-width tagged union
 }
 
 // Prop is one (key, value) property pair.

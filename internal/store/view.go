@@ -8,17 +8,22 @@ import (
 
 // SnapshotView is a frozen, read-optimised image of the store at one commit
 // timestamp. Its bulk lives in a per-era viewBase: every shard's visible
-// adjacency compacted into flat CSR arrays (one contiguous []Edge slab plus
-// per-node offsets, per edge type and direction) and the visible node
-// properties gathered into a dense table indexed by compact node ordinals.
+// adjacency compacted into varint/delta-coded CSR rows in one shared byte
+// slab (codec.go), and the visible node properties packed into one dense
+// property slab indexed by compact node ordinals. The compact layout is
+// what lets thousand-person scale factors stay resident: a stored
+// direction-entry costs a few bytes instead of the 16-byte Edge struct of
+// the PR 1 layout, and property lists are fixed-width rows (interned string
+// symbols, internal/intern) in a single allocation.
 //
 // A view is immutable after construction, so every read is lock-free and
-// allocation-free: Out and In return subslices of the CSR slab (or of a
-// copy-on-write overlay row, see below), Prop and Props return the
-// already-materialised version data. This is the read path the Interactive
-// workload's 2-3-hop knows expansions run on; MVCC transactions (Txn)
-// remain the write path and the read path for transactional reads that must
-// overlay their own uncommitted writes.
+// steady-state allocation-free: Out and In return []Edge rows served from
+// the per-csr decode cache (decoded out of the slab once, on first read)
+// or from a copy-on-write overlay row, and Prop and Props return the
+// already-materialised fixed-width data. This is the read path
+// the Interactive workload's 2-3-hop knows expansions run on; MVCC
+// transactions (Txn) remain the write path and the read path for
+// transactional reads that must overlay their own uncommitted writes.
 //
 // # Incremental maintenance, eras and ordinal stability
 //
@@ -27,12 +32,13 @@ import (
 //   - Delta refresh: a new view is derived from the cached one by applying
 //     the commit deltas of the intervening transactions (internal/store
 //     delta.go). The refreshed view shares the predecessor's viewBase and
-//     copy-on-writes only the touched adjacency rows, property entries and
+//     copy-on-writes only the touched adjacency rows (decoded from the slab
+//     into plain []Edge overlay rows on first touch), property entries and
 //     kind lists; new nodes receive ordinals appended after the existing
 //     ones. Cost is proportional to the delta, not the dataset.
 //   - Full rebuild (compaction): the whole visible state is recompacted
-//     into a fresh viewBase — node IDs sorted, ordinals reassigned densely —
-//     and the view's era counter is bumped.
+//     into a fresh viewBase — node IDs sorted, ordinals reassigned densely,
+//     adjacency re-encoded — and the view's era counter is bumped.
 //
 // Ordinals are dense indices 0..NumNodes()-1. Within one era they are
 // stable: a delta refresh never reassigns an existing node's ordinal, it
@@ -42,8 +48,8 @@ import (
 // ordinal-keyed state must be discarded; Era() is the caller's signal.
 // Ordinals are only comparable between two views of the same era.
 //
-// Slices returned by view methods alias the view's internal arrays and must
-// not be mutated by callers.
+// Slices returned by view methods alias the view's internal arrays and
+// must not be mutated by callers.
 //
 // Immutability is also what makes a view the checkpointing unit: the
 // durable checkpointer (checkpoint.go) serialises a SnapshotView to disk
@@ -70,32 +76,29 @@ type SnapshotView struct {
 }
 
 // viewBase is the compacted, era-shared bulk of one or more snapshot views:
-// the CSR slabs, the dense property table and the ordinal mapping of every
-// node visible when the era was compacted. It is immutable after buildView
-// returns; delta refreshes layer overlays on top without touching it.
+// the encoded CSR slabs, the dense property slab and the ordinal mapping of
+// every node visible when the era was compacted. It is immutable after
+// buildView returns; delta refreshes layer overlays on top without touching
+// it.
 type viewBase struct {
 	nodes []ids.ID         // ordinal -> node ID, ascending
 	ord   map[ids.ID]int32 // node ID -> ordinal
-	props []Props          // ordinal -> visible property list (shared, immutable)
-	out   [edgeTypeMax]csr
-	in    [edgeTypeMax]csr
-}
 
-// csr is one compressed-sparse-row adjacency: the edges of ordinal v are
-// edges[offsets[v]:offsets[v+1]]. offsets is nil when no edge of this
-// type/direction is visible, saving the per-node offset array entirely.
-type csr struct {
-	offsets []int32
-	edges   []Edge
-}
+	// Dense property storage: the property rows of all ordinals packed
+	// back to back in one slab. Row of ordinal o is
+	// props[propOff[o]:propOff[o+1]] — fixed-width (Key, Value) pairs,
+	// strings as interned symbols — replacing the per-node Props slice
+	// headers (and their per-node allocations) of the uncompacted store.
+	props   []Prop
+	propOff []uint32
 
-func (c *csr) neighbours(ord int32) []Edge {
-	// Ordinals appended after compaction lie beyond the offset array; their
-	// adjacency lives entirely in the view's edge overlay.
-	if c.offsets == nil || int(ord)+1 >= len(c.offsets) {
-		return nil
-	}
-	return c.edges[c.offsets[ord]:c.offsets[ord+1]]
+	slab    []byte // the shared adjacency byte slab every csr.data aliases
+	out, in [edgeTypeMax]csr
+
+	// spill holds any row the ordinal codec could not encode (a neighbour
+	// without an ordinal — impossible for a consistent view, kept as a
+	// correctness backstop rather than a panic on the build path).
+	spill map[edgeKey][]Edge
 }
 
 // edgeKey identifies one overlay adjacency row: ordinal, edge type and
@@ -150,30 +153,57 @@ func (v *SnapshotView) Exists(id ids.ID) bool {
 	return ok
 }
 
-// row returns the adjacency row of one (ordinal, type, direction): the
-// overlay row when the refresh chain touched it, the CSR slab subslice
-// otherwise.
-func (v *SnapshotView) row(ord int32, t EdgeType, in bool) []Edge {
+// edgesAt returns one (ordinal, type, direction) row: the overlay row when
+// the refresh chain touched it, the decode-cached slab row otherwise.
+func (v *SnapshotView) edgesAt(ord int32, t EdgeType, in bool) []Edge {
 	if v.edgeOver != nil {
 		if row, ok := v.edgeOver[makeEdgeKey(ord, t, in)]; ok {
 			return row
 		}
 	}
-	if in {
-		return v.base.in[t].neighbours(ord)
+	b := v.base
+	if b.spill != nil {
+		if row, ok := b.spill[makeEdgeKey(ord, t, in)]; ok {
+			return row
+		}
 	}
-	return v.base.out[t].neighbours(ord)
+	if in {
+		return b.in[t].rowAt(ord, b.nodes)
+	}
+	return b.out[t].rowAt(ord, b.nodes)
+}
+
+// appendEdges appends one (ordinal, type, direction) row onto dst without
+// touching the decode cache: the row-materialisation path for full-store
+// walks (checkpoint serialisation) that must not inflate the cache.
+func (v *SnapshotView) appendEdges(dst []Edge, ord int32, t EdgeType, in bool) []Edge {
+	if v.edgeOver != nil {
+		if row, ok := v.edgeOver[makeEdgeKey(ord, t, in)]; ok {
+			return append(dst, row...)
+		}
+	}
+	b := v.base
+	if b.spill != nil {
+		if row, ok := b.spill[makeEdgeKey(ord, t, in)]; ok {
+			return append(dst, row...)
+		}
+	}
+	if in {
+		return b.in[t].appendRow(dst, ord, b.nodes)
+	}
+	return b.out[t].appendRow(dst, ord, b.nodes)
 }
 
 // Out returns the visible outgoing edges of a node for one edge type, in
-// insertion order. The slice aliases the CSR slab (or an overlay row): zero
-// allocation, and the caller must not mutate it.
+// insertion order. The slice aliases the view's decode cache (or an
+// overlay row): lock-free, allocation-free once the row is hot, and the
+// caller must not mutate it.
 func (v *SnapshotView) Out(id ids.ID, t EdgeType) []Edge {
 	o, ok := v.Ord(id)
 	if !ok {
 		return nil
 	}
-	return v.row(o, t, false)
+	return v.edgesAt(o, t, false)
 }
 
 // In returns the visible incoming edges of a node for one edge type.
@@ -182,24 +212,58 @@ func (v *SnapshotView) In(id ids.ID, t EdgeType) []Edge {
 	if !ok {
 		return nil
 	}
-	return v.row(o, t, true)
+	return v.edgesAt(o, t, true)
+}
+
+// degree returns the row's entry count without decoding it (one uvarint
+// read for slab rows).
+func (v *SnapshotView) degree(id ids.ID, t EdgeType, in bool) int {
+	o, ok := v.Ord(id)
+	if !ok {
+		return 0
+	}
+	if v.edgeOver != nil {
+		if row, ok := v.edgeOver[makeEdgeKey(o, t, in)]; ok {
+			return len(row)
+		}
+	}
+	b := v.base
+	if b.spill != nil {
+		if row, ok := b.spill[makeEdgeKey(o, t, in)]; ok {
+			return len(row)
+		}
+	}
+	if in {
+		return b.in[t].degreeAt(o)
+	}
+	return b.out[t].degreeAt(o)
 }
 
 // OutDegree returns the number of visible outgoing edges of a node.
 func (v *SnapshotView) OutDegree(id ids.ID, t EdgeType) int {
-	return len(v.Out(id, t))
+	return v.degree(id, t, false)
+}
+
+// InDegree returns the number of visible incoming edges of a node.
+func (v *SnapshotView) InDegree(id ids.ID, t EdgeType) int {
+	return v.degree(id, t, true)
 }
 
 // propsAt returns the property list of a visible ordinal. Every appended
 // ordinal has a propsOver entry (written when the refresh created it), so
-// the base-table fallback only runs for compacted ordinals.
+// the slab fallback only runs for compacted ordinals.
 func (v *SnapshotView) propsAt(ord int32) Props {
 	if v.propsOver != nil {
 		if ps, ok := v.propsOver[ord]; ok {
 			return ps
 		}
 	}
-	return v.base.props[ord]
+	b := v.base
+	row := b.props[b.propOff[ord]:b.propOff[ord+1]]
+	if len(row) == 0 {
+		return nil
+	}
+	return Props(row)
 }
 
 // Prop returns one property of a node (zero Value if the node or property
@@ -213,7 +277,7 @@ func (v *SnapshotView) Prop(id ids.ID, key PropKey) Value {
 }
 
 // Props returns the visible property list of a node. The slice aliases the
-// stored version and must not be mutated.
+// view's property slab and must not be mutated.
 func (v *SnapshotView) Props(id ids.ID) (Props, bool) {
 	o, ok := v.Ord(id)
 	if !ok {
@@ -342,6 +406,13 @@ func (s *Store) ViewAt(ts int64) *SnapshotView {
 // pass (never the commit lock), so it can run concurrently with commits;
 // the visibility filter commit <= ts makes the result independent of any
 // in-flight installs.
+//
+// Compaction runs in three phases: the two shard-grouped passes of the
+// PR 1 layout gather the visible edges into transient uncompressed slabs
+// (exact-sized, lock-friendly), and a lock-free encode pass then
+// delta/varint-codes each row into the shared byte slab and packs the
+// property rows, after which the transient slabs are dropped. The build
+// briefly holds both layouts; the resident result is only the compact one.
 func (s *Store) buildView(ts int64) *SnapshotView {
 	b := &viewBase{}
 	v := &SnapshotView{ts: ts, era: s.viewEra.Add(1), base: b}
@@ -364,7 +435,6 @@ func (s *Store) buildView(ts int64) *SnapshotView {
 	for i, id := range b.nodes {
 		b.ord[id] = int32(i)
 	}
-	b.props = make([]Props, n)
 
 	// Group ordinals by owning shard so each pass locks every shard once
 	// instead of paying two lock round-trips per node.
@@ -373,12 +443,20 @@ func (s *Store) buildView(ts int64) *SnapshotView {
 		ordsByShard[shardIndex(id)] = append(ordsByShard[shardIndex(id)], int32(i))
 	}
 
+	// Transient uncompressed layout, dropped after the encode pass.
+	type rawCSR struct {
+		offsets []int32
+		edges   []Edge
+	}
+	var rawOut, rawIn [edgeTypeMax]rawCSR
+	rawProps := make([]Props, n)
+
 	// Pass 1: per-node visible edge counts into the (future) offset
-	// arrays, plus the props table. Offsets are allocated for every edge
+	// arrays, plus the property rows. Offsets are allocated for every edge
 	// type up front and dropped again for types that turn out empty.
 	for t := EdgeType(1); t < edgeTypeMax; t++ {
-		b.out[t].offsets = make([]int32, n+1)
-		b.in[t].offsets = make([]int32, n+1)
+		rawOut[t].offsets = make([]int32, n+1)
+		rawIn[t].offsets = make([]int32, n+1)
 	}
 	for si := range s.shards {
 		sh := &s.shards[si]
@@ -386,17 +464,17 @@ func (s *Store) buildView(ts int64) *SnapshotView {
 		for _, ord := range ordsByShard[si] {
 			rec := sh.nodes[b.nodes[ord]]
 			ps, _ := rec.visibleProps(ts)
-			b.props[ord] = ps
+			rawProps[ord] = ps
 			for t := EdgeType(1); t < edgeTypeMax; t++ {
-				b.out[t].offsets[ord+1] = int32(countVisible(rec.adj.out[t], ts))
-				b.in[t].offsets[ord+1] = int32(countVisible(rec.adj.in[t], ts))
+				rawOut[t].offsets[ord+1] = int32(countVisible(rec.adj.out[t], ts))
+				rawIn[t].offsets[ord+1] = int32(countVisible(rec.adj.in[t], ts))
 			}
 		}
 		sh.mu.RUnlock()
 	}
 	// Prefix-sum the counts into offsets and size the slabs; empty types
-	// lose their offset array entirely (csr.neighbours returns nil).
-	finishCSR := func(c *csr) {
+	// lose their offset array entirely.
+	finishRaw := func(c *rawCSR) {
 		for i := 1; i <= n; i++ {
 			c.offsets[i] += c.offsets[i-1]
 		}
@@ -407,29 +485,113 @@ func (s *Store) buildView(ts int64) *SnapshotView {
 		}
 	}
 	for t := EdgeType(1); t < edgeTypeMax; t++ {
-		finishCSR(&b.out[t])
-		finishCSR(&b.in[t])
+		finishRaw(&rawOut[t])
+		finishRaw(&rawIn[t])
 	}
 
-	// Pass 2: fill the slabs by offset position — order-independent, so
-	// it can also run shard-grouped; within one node each adjacency list
-	// keeps its insertion order (the order Txn.Out reports).
+	// Pass 2: fill the transient slabs by offset position — order-
+	// independent, so it can also run shard-grouped; within one node each
+	// adjacency list keeps its insertion order (the order Txn.Out reports).
 	for si := range s.shards {
 		sh := &s.shards[si]
 		sh.mu.RLock()
 		for _, ord := range ordsByShard[si] {
 			rec := sh.nodes[b.nodes[ord]]
 			for t := EdgeType(1); t < edgeTypeMax; t++ {
-				if c := &b.out[t]; c.offsets != nil {
+				if c := &rawOut[t]; c.offsets != nil {
 					fillVisible(c.edges[c.offsets[ord]:c.offsets[ord+1]], rec.adj.out[t], ts)
 				}
-				if c := &b.in[t]; c.offsets != nil {
+				if c := &rawIn[t]; c.offsets != nil {
 					fillVisible(c.edges[c.offsets[ord]:c.offsets[ord+1]], rec.adj.in[t], ts)
 				}
 			}
 		}
 		sh.mu.RUnlock()
 	}
+
+	// Encode pass (no locks): delta/varint-code every row into one shared
+	// byte slab, trimming each type/direction's offset index to the ordinal
+	// range that has edges at all (ID-sorted ordinals group nodes by kind,
+	// so a relation touching one kind pays offsets only across that kind's
+	// range). csr.data stays nil until the slab stops growing — appends may
+	// reallocate it — and is patched to its subslice at the end.
+	type slabRange struct{ start, end int }
+	var ranges [2][edgeTypeMax]slabRange
+	var slab []byte
+	encode := func(raw *rawCSR, c *csr, t EdgeType, dir int) {
+		if raw.offsets == nil {
+			return
+		}
+		lo, hi := int32(-1), int32(-1) // first/last ordinal with a non-empty row
+		for o := 0; o < n; o++ {
+			if raw.offsets[o+1] > raw.offsets[o] {
+				if lo < 0 {
+					lo = int32(o)
+				}
+				hi = int32(o)
+			}
+		}
+		if lo < 0 {
+			return
+		}
+		c.lo = lo
+		c.offsets = make([]uint32, int(hi-lo)+2)
+		ranges[dir][t].start = len(slab)
+		base := len(slab)
+		for o := lo; o <= hi; o++ {
+			c.offsets[o-lo] = uint32(len(slab) - base)
+			row := raw.edges[raw.offsets[o]:raw.offsets[o+1]]
+			if len(row) == 0 {
+				continue
+			}
+			next, ok := appendAdjRow(slab, row, b.ord)
+			if !ok {
+				// A neighbour without an ordinal: keep the raw row.
+				if b.spill == nil {
+					b.spill = make(map[edgeKey][]Edge)
+				}
+				b.spill[makeEdgeKey(o, t, dir == 1)] = append([]Edge(nil), row...)
+				continue
+			}
+			slab = next
+			c.entries += len(row)
+		}
+		c.offsets[hi-lo+1] = uint32(len(slab) - base)
+		ranges[dir][t].end = len(slab)
+		if c.entries > 0 {
+			// Decode-cache header only; the per-row table inside is
+			// allocated lazily, on the first long-row read.
+			c.dec = &decCache{}
+		}
+	}
+	for t := EdgeType(1); t < edgeTypeMax; t++ {
+		encode(&rawOut[t], &b.out[t], t, 0)
+		encode(&rawIn[t], &b.in[t], t, 1)
+	}
+	b.slab = slab
+	for t := EdgeType(1); t < edgeTypeMax; t++ {
+		if b.out[t].offsets != nil {
+			r := ranges[0][t]
+			b.out[t].data = slab[r.start:r.end]
+		}
+		if b.in[t].offsets != nil {
+			r := ranges[1][t]
+			b.in[t].data = slab[r.start:r.end]
+		}
+	}
+
+	// Pack the property rows into the dense slab.
+	total := 0
+	for _, ps := range rawProps {
+		total += len(ps)
+	}
+	b.props = make([]Prop, 0, total)
+	b.propOff = make([]uint32, n+1)
+	for i, ps := range rawProps {
+		b.propOff[i] = uint32(len(b.props))
+		b.props = append(b.props, ps...)
+	}
+	b.propOff[n] = uint32(len(b.props))
 
 	// Per-kind scan lists, matching Txn.NodesOfKind's visible-prefix
 	// semantics over the commit-ordered kind lists.
@@ -458,8 +620,9 @@ func countVisible(list []edgeRec, ts int64) int {
 	return n
 }
 
-// fillVisible writes the visible edges of one adjacency list into its CSR
-// slab slice (whose length pass 1 sized to the exact visible count).
+// fillVisible writes the visible edges of one adjacency list into its
+// transient slab slice (whose length pass 1 sized to the exact visible
+// count).
 func fillVisible(dst []Edge, list []edgeRec, ts int64) {
 	j := 0
 	for i := range list {

@@ -148,11 +148,15 @@ func appendProp(b []byte, p Prop) []byte {
 	switch p.Val.k {
 	case kindInt:
 		b = append(b, 1)
-		b = appendU64(b, uint64(p.Val.i))
+		b = appendU64(b, uint64(p.Val.bits))
 	case kindString:
+		// WAL records carry strings inline (not interned symbols), so the
+		// format — and v1-era tail replay — is independent of any process's
+		// symbol assignment.
+		s := p.Val.Str()
 		b = append(b, 2)
-		b = appendU32(b, uint32(len(p.Val.str)))
-		b = append(b, p.Val.str...)
+		b = appendU32(b, uint32(len(s)))
+		b = append(b, s...)
 	default:
 		b = append(b, 0)
 	}
@@ -350,6 +354,23 @@ func (d *walDecoder) u64() uint64 {
 	d.pos += 8
 	return v
 }
+
+// uvarint reads one unsigned varint (checkpoint v2 adjacency and counts).
+func (d *walDecoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b[d.pos:])
+	if n <= 0 {
+		d.err = io.ErrUnexpectedEOF
+		return 0
+	}
+	d.pos += n
+	return v
+}
+
+// varint reads one zigzag-coded signed varint.
+func (d *walDecoder) varint() int64 { return unzigzag(d.uvarint()) }
 
 func (d *walDecoder) str(n int) string {
 	if d.err != nil || d.pos+n > len(d.b) {

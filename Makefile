@@ -2,16 +2,26 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-bi bench-recovery bench-mem bench-smoke docs-check
+.PHONY: check fmt vet build test race lint bench bench-bi bench-recovery bench-mem bench-smoke docs-check
 
-check: fmt vet build test
+check: fmt vet build test lint
 
-# Incremental view maintenance runs concurrently with commits, and the BI
-# lane's morsel workers fan out over shared views while updates land; the
-# store, driver, bi and exec suites under -race cover both surfaces
-# (wired into CI).
+# The whole module under the race detector. The hottest surfaces are the
+# incremental view maintenance racing commits, the BI lane's morsel
+# workers fanning out over shared views, and the background checkpointer —
+# but every package rides along so a new concurrent path is covered the
+# day it lands (wired into CI).
 race:
-	$(GO) test -race ./internal/store/... ./internal/driver/... ./internal/bi/... ./internal/exec/...
+	$(GO) test -race ./...
+
+# Static invariant enforcement (docs/ANALYZERS.md): snblint runs the
+# internal/lint analyzer suite (view aliasing, lock guards,
+# publish-then-freeze, determinism, durability errors) over the whole
+# module, and allocbound gates //snb:noalloc functions against the
+# compiler's escape analysis.
+lint:
+	$(GO) run ./cmd/snblint ./...
+	$(GO) run ./cmd/allocbound
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

@@ -1,0 +1,71 @@
+// Command allocbound gates the `//snb:noalloc` invariant: it scans the
+// tree for marked functions, rebuilds the module with the compiler's
+// escape analysis enabled (`go build -gcflags=-m`), and fails if any
+// heap-allocation diagnostic lands inside a marked function's line
+// range. The AST cannot decide what allocates — the escape analyzer
+// can, so the gate is the compiler's own verdict. Results replay from
+// the build cache, so a warm run is cheap.
+//
+// Usage:
+//
+//	allocbound [dirs]   (default: . — the whole module)
+//
+// Exit status: 0 clean, 1 if a marked function allocates, 2 on
+// build/scan failure.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+
+	"ldbcsnb/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	roots := args
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+	marked, err := lint.ScanNoalloc(roots...)
+	if err != nil {
+		fmt.Fprintf(stderr, "allocbound: scanning for //snb:noalloc: %v\n", err)
+		return 2
+	}
+	if len(marked) == 0 {
+		fmt.Fprintln(stdout, "allocbound: no //snb:noalloc functions found")
+		return 0
+	}
+
+	cmd := exec.Command("go", "build", "-gcflags=-m", "./...")
+	var diag bytes.Buffer
+	cmd.Stderr = &diag
+	if err := cmd.Run(); err != nil {
+		fmt.Fprintf(stderr, "allocbound: go build -gcflags=-m: %v\n%s", err, diag.Bytes())
+		return 2
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(stderr, "allocbound: %v\n", err)
+		return 2
+	}
+	escapes, err := lint.MatchEscapes(&diag, cwd, marked)
+	if err != nil {
+		fmt.Fprintf(stderr, "allocbound: parsing escape diagnostics: %v\n", err)
+		return 2
+	}
+	for _, e := range escapes {
+		fmt.Fprintln(stdout, e)
+	}
+	if len(escapes) > 0 {
+		fmt.Fprintf(stderr, "allocbound: %d heap allocation(s) in //snb:noalloc functions\n", len(escapes))
+		return 1
+	}
+	fmt.Fprintf(stdout, "allocbound: %d //snb:noalloc function(s) clean\n", len(marked))
+	return 0
+}

@@ -19,6 +19,7 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -79,17 +80,23 @@ func anchorsOf(path string) (map[string]bool, error) {
 }
 
 func main() {
-	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: docscheck FILE.md ...")
-		os.Exit(2)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run checks every file and reports problems to stderr; it returns the
+// process exit status (0 clean, 1 problems found, 2 usage error).
+func run(files []string, stdout, stderr io.Writer) int {
+	if len(files) == 0 {
+		fmt.Fprintln(stderr, "usage: docscheck FILE.md ...")
+		return 2
 	}
 	anchorCache := map[string]map[string]bool{}
 	fails := 0
 	fail := func(file, format string, args ...any) {
-		fmt.Fprintf(os.Stderr, "%s: %s\n", file, fmt.Sprintf(format, args...))
+		fmt.Fprintf(stderr, "%s: %s\n", file, fmt.Sprintf(format, args...))
 		fails++
 	}
-	for _, file := range os.Args[1:] {
+	for _, file := range files {
 		data, err := os.ReadFile(file)
 		if err != nil {
 			fail(file, "%v", err)
@@ -138,8 +145,9 @@ func main() {
 		}
 	}
 	if fails > 0 {
-		fmt.Fprintf(os.Stderr, "docscheck: %d problem(s)\n", fails)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "docscheck: %d problem(s)\n", fails)
+		return 1
 	}
-	fmt.Printf("docscheck: %d file(s) clean\n", len(os.Args)-1)
+	fmt.Fprintf(stdout, "docscheck: %d file(s) clean\n", len(files))
+	return 0
 }

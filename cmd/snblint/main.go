@@ -1,0 +1,81 @@
+// Command snblint runs the repo's static analysis suite — the
+// internal/lint analyzers that enforce the store's concurrency,
+// aliasing and determinism invariants — over the packages matching the
+// given patterns (default ./...). It prints one line per finding and
+// exits 1 if there are any, 2 on a load or usage error.
+//
+// Usage:
+//
+//	snblint [-only name,name] [-list] [packages]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ldbcsnb/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("snblint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range lint.All {
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers := lint.All
+	if *only != "" {
+		byName := make(map[string]*lint.Analyzer, len(lint.All))
+		for _, a := range lint.All {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(stderr, "snblint: unknown analyzer %q (try -list)\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(stderr, "snblint: %v\n", err)
+		return 2
+	}
+	pkgs, err := lint.Load(cwd, patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "snblint: %v\n", err)
+		return 2
+	}
+
+	diags := lint.Run(analyzers, pkgs)
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "snblint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

@@ -97,6 +97,8 @@ func (p *bi1Partial) init() { p.groups = make(map[bi1Key]bi1Agg) }
 
 // bi1Add is the BI1 kernel: classify one message into its
 // (year, month, kind, length class) group.
+//
+//snb:deterministic
 func bi1Add[R store.Reader](r R, p *bi1Partial, id ids.ID) {
 	length := int(r.Prop(id, store.PropLength).Int())
 	lc := 0
@@ -114,9 +116,11 @@ func bi1Add[R store.Reader](r R, p *bi1Partial, id ids.ID) {
 	p.groups[k] = agg
 }
 
+//snb:deterministic
 func bi1Finalize(parts []bi1Partial) []BI1Row {
 	groups := parts[0].groups
 	for _, part := range parts[1:] {
+		//snb:mapiter-ok commutative merge of disjoint-scan partials
 		for k, g := range part.groups {
 			agg := groups[k]
 			agg.count += g.count
@@ -125,6 +129,7 @@ func bi1Finalize(parts []bi1Partial) []BI1Row {
 		}
 	}
 	out := make([]BI1Row, 0, len(groups))
+	//snb:mapiter-ok collect-then-sort: order is discarded below
 	for k, g := range groups {
 		out = append(out, BI1Row{
 			Year: k.y, Month: k.m, IsComment: k.c, LengthClass: k.lc,
@@ -183,6 +188,8 @@ func (p *bi2Partial) init() {
 
 // bi2Add is the BI2 kernel: one scan classifies a message into window A or
 // B (or neither) and counts its tags there.
+//
+//snb:deterministic
 func bi2Add[R store.Reader](r R, p *bi2Partial, id ids.ID, windowStart, windowLen int64) {
 	created := r.Prop(id, store.PropCreationDate).Int()
 	var counts map[ids.ID]int
@@ -199,24 +206,30 @@ func bi2Add[R store.Reader](r R, p *bi2Partial, id ids.ID, windowStart, windowLe
 	}
 }
 
+//snb:deterministic
 func bi2Finalize[R store.Reader](r R, parts []bi2Partial, limit int) []BI2Row {
 	a, b := parts[0].a, parts[0].b
 	for _, part := range parts[1:] {
+		//snb:mapiter-ok commutative merge of disjoint-scan partials
 		for t, c := range part.a {
 			a[t] += c
 		}
+		//snb:mapiter-ok commutative merge of disjoint-scan partials
 		for t, c := range part.b {
 			b[t] += c
 		}
 	}
 	tags := map[ids.ID]bool{}
+	//snb:mapiter-ok building a set: insertion order is irrelevant
 	for t := range a {
 		tags[t] = true
 	}
+	//snb:mapiter-ok building a set: insertion order is irrelevant
 	for t := range b {
 		tags[t] = true
 	}
 	out := make([]BI2Row, 0, len(tags))
+	//snb:mapiter-ok collect-then-sort: order is discarded below
 	for t := range tags {
 		diff := a[t] - b[t]
 		if diff < 0 {
@@ -278,6 +291,8 @@ func (p *bi3Partial) init() { p.counts = make(map[bi3Key]int) }
 
 // bi3Add is the BI3 kernel: count one message's tags under its country
 // dimension.
+//
+//snb:deterministic
 func bi3Add[R store.Reader](r R, p *bi3Partial, id ids.ID) {
 	country := int(r.Prop(id, store.PropCountry).Int())
 	for _, te := range r.Out(id, store.EdgeHasTag) {
@@ -285,14 +300,17 @@ func bi3Add[R store.Reader](r R, p *bi3Partial, id ids.ID) {
 	}
 }
 
+//snb:deterministic
 func bi3Finalize(parts []bi3Partial) []BI3Row {
 	counts := parts[0].counts
 	for _, part := range parts[1:] {
+		//snb:mapiter-ok commutative merge of disjoint-scan partials
 		for k, c := range part.counts {
 			counts[k] += c
 		}
 	}
 	best := map[int]BI3Row{}
+	//snb:mapiter-ok argmax with a total tie-break (count, then tag): any visit order picks the same winner
 	for k, c := range counts {
 		cur, ok := best[k.country]
 		if !ok || c > cur.Count || (c == cur.Count && k.tag < cur.Tag) {
@@ -300,6 +318,7 @@ func bi3Finalize(parts []bi3Partial) []BI3Row {
 		}
 	}
 	out := make([]BI3Row, 0, len(best))
+	//snb:mapiter-ok collect-then-sort: order is discarded below
 	for _, r := range best {
 		out = append(out, r)
 	}
@@ -343,6 +362,8 @@ func (p *bi4Partial) init() { p.rows = make(map[ids.ID]bi4Agg) }
 
 // bi4Add is the BI4 kernel: credit one message (and the likes/replies it
 // received) to its creator.
+//
+//snb:deterministic
 func bi4Add[R store.Reader](r R, p *bi4Partial, id ids.ID) {
 	creators := r.Out(id, store.EdgeHasCreator)
 	if len(creators) == 0 {
@@ -356,9 +377,11 @@ func bi4Add[R store.Reader](r R, p *bi4Partial, id ids.ID) {
 	p.rows[creator.To] = agg
 }
 
+//snb:deterministic
 func bi4Finalize(parts []bi4Partial, limit int) []BI4Row {
 	rows := parts[0].rows
 	for _, part := range parts[1:] {
+		//snb:mapiter-ok commutative merge of disjoint-scan partials
 		for p, a := range part.rows {
 			agg := rows[p]
 			agg.messages += a.messages
@@ -368,6 +391,7 @@ func bi4Finalize(parts []bi4Partial, limit int) []BI4Row {
 		}
 	}
 	out := make([]BI4Row, 0, len(rows))
+	//snb:mapiter-ok collect-then-sort: order is discarded below
 	for p, a := range rows {
 		out = append(out, BI4Row{
 			Person: p, Messages: a.messages, Likes: a.likes, Replies: a.replies,

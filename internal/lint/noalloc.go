@@ -1,0 +1,188 @@
+package lint
+
+import (
+	"bufio"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"io/fs"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// The noalloc invariant: a function marked `//snb:noalloc` sits on a
+// hot path (CSR row decode, snapshot-read fast path, WAL commit append)
+// where a heap allocation per call would dominate the operation it
+// performs. The AST cannot see allocations — whether a composite
+// literal or closure heap-allocates is the escape analyzer's verdict —
+// so the invariant is enforced against the compiler itself:
+// cmd/allocbound runs `go build -gcflags=-m` and fails if any
+// escape-analysis diagnostic ("escapes to heap", "moved to heap")
+// lands inside a marked function's line range. This file holds the
+// shared machinery: the marker scanner and the -m output matcher.
+
+// NoallocFunc is one `//snb:noalloc`-marked function: its file, name,
+// and the line range its body spans.
+type NoallocFunc struct {
+	File      string // absolute path
+	Name      string
+	StartLine int
+	EndLine   int
+}
+
+// contains reports whether file:line falls inside the function.
+func (f NoallocFunc) contains(file string, line int) bool {
+	return file == f.File && line >= f.StartLine && line <= f.EndLine
+}
+
+// ScanNoalloc parses every non-test .go file under each root directory
+// (recursively, skipping testdata and hidden directories) and returns
+// the marked functions, sorted by file and line. Only syntax is needed,
+// so no type-checking or export data is involved.
+func ScanNoalloc(roots ...string) ([]NoallocFunc, error) {
+	fset := token.NewFileSet()
+	var out []NoallocFunc
+	for _, root := range roots {
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				name := d.Name()
+				if name == "testdata" || (strings.HasPrefix(name, ".") && path != root) {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+				return nil
+			}
+			f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return err
+			}
+			abs, err := filepath.Abs(path)
+			if err != nil {
+				return err
+			}
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if _, marked := funcDirective(fd, "noalloc"); !marked {
+					continue
+				}
+				out = append(out, NoallocFunc{
+					File:      abs,
+					Name:      funcDisplayName(fd),
+					StartLine: fset.Position(fd.Pos()).Line,
+					EndLine:   fset.Position(fd.Body.Rbrace).Line,
+				})
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		return out[i].StartLine < out[j].StartLine
+	})
+	return out, nil
+}
+
+// funcDisplayName renders "(*T).Method" / "T.Method" / "Func".
+func funcDisplayName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	if se, ok := t.(*ast.StarExpr); ok {
+		if base := recvTypeName(se.X); base != "" {
+			return "(*" + base + ")." + fd.Name.Name
+		}
+	}
+	if base := recvTypeName(t); base != "" {
+		return base + "." + fd.Name.Name
+	}
+	return fd.Name.Name
+}
+
+func recvTypeName(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.IndexExpr: // generic receiver T[P]
+		return recvTypeName(x.X)
+	case *ast.IndexListExpr:
+		return recvTypeName(x.X)
+	}
+	return ""
+}
+
+// escapeRE matches the compiler's escape-analysis diagnostics that
+// indicate a heap allocation attributed to a source position:
+//
+//	./codec.go:101:12: make([]Edge, n) escapes to heap
+//	./wal.go:57:6: moved to heap: buf
+//
+// "does not escape" lines are the compiler confirming stack placement
+// and must not match.
+var escapeRE = regexp.MustCompile(`^(.+\.go):(\d+):\d+: (.*(?:escapes to heap|moved to heap).*)$`)
+
+// Escape is one heap-allocation diagnostic attributed to a marked
+// function.
+type Escape struct {
+	Func    NoallocFunc
+	File    string
+	Line    int
+	Message string
+}
+
+func (e Escape) String() string {
+	return fmt.Sprintf("%s:%d: %s in //snb:noalloc %s", e.File, e.Line, e.Message, e.Func.Name)
+}
+
+// MatchEscapes reads `go build -gcflags=-m` diagnostics from r (the
+// compiler writes them to stderr), resolving relative paths against
+// dir, and returns every heap allocation that lands inside one of the
+// marked functions.
+func MatchEscapes(r io.Reader, dir string, marked []NoallocFunc) ([]Escape, error) {
+	var out []Escape
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		m := escapeRE.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		if strings.Contains(m[3], "does not escape") {
+			continue
+		}
+		file := m[1]
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(dir, file)
+		}
+		abs, err := filepath.Abs(file)
+		if err != nil {
+			return nil, err
+		}
+		var line int
+		fmt.Sscanf(m[2], "%d", &line)
+		for _, fn := range marked {
+			if fn.contains(abs, line) {
+				out = append(out, Escape{Func: fn, File: abs, Line: line, Message: m[3]})
+				break
+			}
+		}
+	}
+	return out, sc.Err()
+}

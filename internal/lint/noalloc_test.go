@@ -1,0 +1,74 @@
+package lint
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func scanNoallocFixture(t *testing.T) (string, map[string]NoallocFunc) {
+	t.Helper()
+	root := filepath.Join("testdata", "src", "noalloc")
+	fns, err := ScanNoalloc(root)
+	if err != nil {
+		t.Fatalf("ScanNoalloc: %v", err)
+	}
+	byName := make(map[string]NoallocFunc, len(fns))
+	for _, f := range fns {
+		byName[f.Name] = f
+	}
+	return root, byName
+}
+
+func TestScanNoalloc(t *testing.T) {
+	_, byName := scanNoallocFixture(t)
+	if len(byName) != 2 {
+		t.Fatalf("got %d marked functions, want 2 (Sum, (*Ring).Append): %v", len(byName), byName)
+	}
+	for _, name := range []string{"Sum", "(*Ring).Append"} {
+		fn, ok := byName[name]
+		if !ok {
+			t.Fatalf("marked function %s not found", name)
+		}
+		if fn.StartLine <= 0 || fn.EndLine < fn.StartLine {
+			t.Errorf("%s: bad line range %d..%d", name, fn.StartLine, fn.EndLine)
+		}
+	}
+	// Grow carries no marker and must not be scanned.
+	if _, ok := byName["Grow"]; ok {
+		t.Error("unmarked function Grow was scanned as //snb:noalloc")
+	}
+}
+
+func TestMatchEscapes(t *testing.T) {
+	root, byName := scanNoallocFixture(t)
+	sum, app := byName["Sum"], byName["(*Ring).Append"]
+	fns := []NoallocFunc{sum, app}
+
+	var b strings.Builder
+	// Inside Sum: flagged.
+	fmt.Fprintf(&b, "%s:%d:2: t escapes to heap\n", sum.File, sum.StartLine+2)
+	// Between the marked ranges (Grow): allowed.
+	fmt.Fprintf(&b, "%s:%d:9: append escapes to heap\n", sum.File, sum.EndLine+2)
+	// Stack-placement confirmation: never a finding.
+	fmt.Fprintf(&b, "%s:%d:10: xs does not escape\n", sum.File, sum.StartLine)
+	// Inside Append: flagged.
+	fmt.Fprintf(&b, "%s:%d:6: moved to heap: b\n", app.File, app.StartLine+1)
+	// Noise the compiler also prints on -m.
+	fmt.Fprintf(&b, "# ldbcsnb/internal/lint/testdata\n")
+
+	escapes, err := MatchEscapes(strings.NewReader(b.String()), root, fns)
+	if err != nil {
+		t.Fatalf("MatchEscapes: %v", err)
+	}
+	if len(escapes) != 2 {
+		t.Fatalf("got %d escapes, want 2: %v", len(escapes), escapes)
+	}
+	if escapes[0].Func.Name != "Sum" || !strings.Contains(escapes[0].Message, "escapes to heap") {
+		t.Errorf("first escape should land in Sum: %v", escapes[0])
+	}
+	if escapes[1].Func.Name != "(*Ring).Append" || !strings.Contains(escapes[1].Message, "moved to heap") {
+		t.Errorf("second escape should land in (*Ring).Append: %v", escapes[1])
+	}
+}

@@ -1,0 +1,194 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// PubFreeze enforces immutable-after-publication around atomic.Pointer
+// installs (the snapshot-view install, the decode-cache publish, the
+// interner snapshot publish): once a value has been passed to
+// atomic.Pointer.Store it is visible to concurrent readers without any
+// happens-before edge for later writes, so
+//
+//   - writing through the stored value after the Store call in the same
+//     function is flagged, and
+//   - passing the stored value to a same-package callee that writes
+//     through the corresponding parameter is flagged (one level deep —
+//     the common "publish then let a helper finish initialising" bug).
+//
+// Writes *before* the Store are the normal build-then-publish pattern
+// and are fine, so the pass is position-sensitive within the function.
+var PubFreeze = &Analyzer{
+	Name: "pubfreeze",
+	Doc:  "flag writes through a value after it was published via atomic.Pointer.Store",
+	Run:  runPubFreeze,
+}
+
+// isAtomicPointerStore reports whether call is atomic.Pointer[T].Store
+// (or atomic.Value.Store, which shares the publication semantics).
+func isAtomicPointerStore(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Name() != "Store" || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	return recv != nil
+}
+
+// storedObj extracts the published object from a Store argument: the
+// identifier itself (p.Store(v)) or the target of an address-of
+// (p.Store(&v)).
+func storedObj(info *types.Info, arg ast.Expr) types.Object {
+	arg = ast.Unparen(arg)
+	if ue, ok := arg.(*ast.UnaryExpr); ok && ue.Op == token.AND {
+		arg = ast.Unparen(ue.X)
+	}
+	id, ok := arg.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		obj = info.Defs[id]
+	}
+	return obj
+}
+
+// mutatedParams summarises, for every function declared in the pass's
+// package, which parameters (by index) the body writes through
+// (param.field = x, param[i] = x, *param = x).
+func mutatedParams(pass *Pass) map[*types.Func]map[int]bool {
+	out := make(map[*types.Func]map[int]bool)
+	eachFunc(pass, func(_ *ast.File, decl *ast.FuncDecl) {
+		fn, _ := pass.Info.Defs[decl.Name].(*types.Func)
+		if fn == nil {
+			return
+		}
+		paramIndex := make(map[types.Object]int)
+		i := 0
+		for _, field := range decl.Type.Params.List {
+			for _, name := range field.Names {
+				if obj := pass.Info.Defs[name]; obj != nil {
+					paramIndex[obj] = i
+				}
+				i++
+			}
+			if len(field.Names) == 0 {
+				i++
+			}
+		}
+		record := func(e ast.Expr) {
+			id, via := rootIdent(e)
+			if id == nil {
+				return
+			}
+			// A bare `param = x` rebinds the local, it does not mutate
+			// the caller's value; only writes *through* the parameter
+			// (selector, index, or explicit deref) count.
+			if !via {
+				if _, sel := e.(*ast.SelectorExpr); !sel {
+					if _, star := e.(*ast.StarExpr); !star {
+						return
+					}
+				}
+			}
+			obj := pass.Info.Uses[id]
+			if obj == nil {
+				return
+			}
+			if idx, ok := paramIndex[obj]; ok {
+				m := out[fn]
+				if m == nil {
+					m = make(map[int]bool)
+					out[fn] = m
+				}
+				m[idx] = true
+			}
+		}
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range st.Lhs {
+					record(lhs)
+				}
+			case *ast.IncDecStmt:
+				record(st.X)
+			}
+			return true
+		})
+	})
+	return out
+}
+
+func runPubFreeze(pass *Pass) {
+	mutators := mutatedParams(pass)
+	eachFunc(pass, func(_ *ast.File, decl *ast.FuncDecl) {
+		// published maps each stored object to the position of its
+		// earliest Store call in this function.
+		published := make(map[types.Object]token.Pos)
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicPointerStore(pass.Info, call) || len(call.Args) != 1 {
+				return true
+			}
+			if obj := storedObj(pass.Info, call.Args[0]); obj != nil {
+				if prev, seen := published[obj]; !seen || call.Pos() < prev {
+					published[obj] = call.Pos()
+				}
+			}
+			return true
+		})
+		if len(published) == 0 {
+			return
+		}
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range st.Lhs {
+					id, via := rootIdent(lhs)
+					if id == nil {
+						continue
+					}
+					_, isSel := lhs.(*ast.SelectorExpr)
+					_, isStar := lhs.(*ast.StarExpr)
+					if !via && !isSel && !isStar {
+						continue
+					}
+					obj := pass.Info.Uses[id]
+					if obj == nil {
+						continue
+					}
+					if pos, ok := published[obj]; ok && lhs.Pos() > pos {
+						pass.Reportf(lhs.Pos(), "write through %s after it was published via atomic.Pointer.Store; concurrent readers already see it — mutate before the Store, or copy-on-write", id.Name)
+					}
+				}
+			case *ast.IncDecStmt:
+				if id, via := rootIdent(st.X); id != nil && via {
+					if obj := pass.Info.Uses[id]; obj != nil {
+						if pos, ok := published[obj]; ok && st.X.Pos() > pos {
+							pass.Reportf(st.X.Pos(), "write through %s after it was published via atomic.Pointer.Store", id.Name)
+						}
+					}
+				}
+			case *ast.CallExpr:
+				fn := calleeFunc(pass.Info, st)
+				muts := mutators[fn]
+				if muts == nil {
+					return true
+				}
+				for i, arg := range st.Args {
+					obj := storedObj(pass.Info, arg)
+					if obj == nil {
+						continue
+					}
+					if pos, ok := published[obj]; ok && arg.Pos() > pos && muts[i] {
+						pass.Reportf(arg.Pos(), "%s escapes to %s, which writes through parameter %d, after being published via atomic.Pointer.Store", obj.Name(), fn.Name(), i)
+					}
+				}
+			}
+			return true
+		})
+	})
+}

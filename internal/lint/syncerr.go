@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SyncErr guards the durability contract of the store's persistence
+// layer (WAL segments, checkpoints, directory fsyncs): an error from
+// Sync, Close, Write or Rename that is silently dropped can turn an
+// acknowledged commit into a lost one — the kernel is allowed to report
+// a writeback failure exactly once, at fsync or close, and a discarded
+// return is that report thrown away.
+//
+// The pass runs only over packages named "store" (the persistence code
+// lives there) and flags:
+//
+//   - a call statement whose result set includes an error and whose
+//     callee is named Sync/Close/Write/WriteString/Rename/Flush:
+//     `f.Close()` as a statement, or `defer f.Sync()`
+//   - an explicit blank-discard: `_ = f.Sync()`
+//
+// Read-side closes, where nothing durable is at stake, are suppressed
+// with `//snb:errok <reason>` on or above the call line. A defer that
+// wants to honour the contract uses the named-error-return pattern
+// (`defer func() { err = errors.Join(err, f.Close()) }()`).
+var SyncErr = &Analyzer{
+	Name: "syncerr",
+	Doc:  "flag discarded errors from Sync/Close/Write/Rename in the store's persistence code",
+	Run:  runSyncErr,
+}
+
+// syncErrFuncs are the callee names whose error results must be
+// consumed.
+var syncErrFuncs = map[string]bool{
+	"Sync":        true,
+	"Close":       true,
+	"Write":       true,
+	"WriteString": true,
+	"Rename":      true,
+	"Flush":       true,
+}
+
+// returnsError reports whether fn's last result is error.
+func returnsError(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return false
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	named, ok := last.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// syncErrCall resolves call to a flaggable callee, or nil.
+func syncErrCall(info *types.Info, call *ast.CallExpr) *types.Func {
+	fn := calleeFunc(info, call)
+	if fn == nil || !syncErrFuncs[fn.Name()] || !returnsError(fn) {
+		return nil
+	}
+	return fn
+}
+
+func runSyncErr(pass *Pass) {
+	if pass.Pkg.Name() != "store" {
+		return
+	}
+	errok := directiveLines(pass, "errok")
+	eachFunc(pass, func(file *ast.File, decl *ast.FuncDecl) {
+		ok := errok[file]
+		report := func(call *ast.CallExpr, how string) {
+			fn := syncErrCall(pass.Info, call)
+			if fn == nil || ok[pass.Fset.Position(call.Pos()).Line] {
+				return
+			}
+			pass.Reportf(call.Pos(), "%s error %s; a dropped %s error can silently void durability — propagate it, or annotate //snb:errok with why it cannot matter here", fn.Name(), how, fn.Name())
+		}
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				if call, isCall := st.X.(*ast.CallExpr); isCall {
+					report(call, "discarded (call used as a statement)")
+				}
+			case *ast.DeferStmt:
+				report(st.Call, "discarded (deferred without capturing the result)")
+			case *ast.GoStmt:
+				report(st.Call, "discarded (go statement drops the result)")
+			case *ast.AssignStmt:
+				// `_ = f.Sync()` and `n, _ := f.Write(b)` with the error
+				// position blanked.
+				for i, rhs := range st.Rhs {
+					call, isCall := ast.Unparen(rhs).(*ast.CallExpr)
+					if !isCall {
+						continue
+					}
+					fn := syncErrCall(pass.Info, call)
+					if fn == nil {
+						continue
+					}
+					// The error is the last result; with a single RHS call
+					// it lands in the last LHS slot, else pairwise.
+					var target ast.Expr
+					if len(st.Rhs) == 1 {
+						target = st.Lhs[len(st.Lhs)-1]
+					} else if i < len(st.Lhs) {
+						target = st.Lhs[i]
+					}
+					if id, isID := target.(*ast.Ident); isID && id.Name == "_" {
+						report(call, "assigned to _")
+					}
+				}
+			}
+			return true
+		})
+	})
+}

@@ -1,0 +1,62 @@
+package a
+
+import "sync"
+
+type S struct {
+	mu sync.Mutex
+	// guarded by mu
+	count int
+
+	vmu  sync.RWMutex
+	data []int // guarded by vmu
+
+	free int // unannotated: never flagged
+}
+
+func (s *S) good() {
+	s.mu.Lock()
+	s.count++
+	s.mu.Unlock()
+}
+
+func (s *S) goodRead() int {
+	s.vmu.RLock()
+	defer s.vmu.RUnlock()
+	return len(s.data)
+}
+
+// newS constructs through a composite literal; construction is not a
+// guarded field access.
+func newS() *S {
+	return &S{count: 1, free: 2}
+}
+
+// goodLocked documents the caller-holds contract.
+//
+//snb:locked mu
+func (s *S) goodLocked() {
+	s.count = 0
+}
+
+func (s *S) goodFree() int {
+	s.free = 3
+	return s.free
+}
+
+func (s *S) badWrite() {
+	s.count = 1 // want `write to count without holding mu`
+}
+
+func (s *S) badRead() int {
+	return s.count // want `read of count without holding mu`
+}
+
+func (s *S) badRLockWrite() {
+	s.vmu.RLock()
+	defer s.vmu.RUnlock()
+	s.data = append(s.data, 1) // want `write to data \(guarded by vmu\) under RLock only`
+}
+
+func (s *S) badElemWrite(i int) {
+	s.data[i] = 0 // want `write to data without holding vmu`
+}

@@ -1,0 +1,29 @@
+// Package a is a fixture for the noalloc marker scanner and the
+// escape-analysis output matcher.
+package a
+
+// Sum is a hot-path reduction.
+//
+//snb:noalloc
+func Sum(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+// Grow may allocate; it carries no marker.
+func Grow(xs []int) []int {
+	return append(xs, 1)
+}
+
+// Ring is a marked method's receiver.
+type Ring struct{ buf []byte }
+
+// Append extends the ring buffer in place.
+//
+//snb:noalloc
+func (r *Ring) Append(b byte) {
+	r.buf = append(r.buf, b)
+}

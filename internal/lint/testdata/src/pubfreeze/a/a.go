@@ -1,0 +1,46 @@
+package a
+
+import "sync/atomic"
+
+type view struct {
+	rows []int
+	n    int
+}
+
+type holder struct {
+	cur atomic.Pointer[view]
+}
+
+// good builds fully, then publishes: the write-before-Store pattern.
+func good(h *holder) {
+	v := &view{n: 1}
+	v.rows = append(v.rows, 1)
+	h.cur.Store(v)
+}
+
+func bad(h *holder) {
+	v := &view{}
+	h.cur.Store(v)
+	v.n = 2                    // want `write through v after it was published`
+	v.rows = append(v.rows, 1) // want `write through v after it was published`
+	finish(v)                  // want `escapes to finish`
+}
+
+func badAddr(h *holder) {
+	var v view
+	h.cur.Store(&v)
+	v.n = 3 // want `write through v after it was published`
+}
+
+func finish(v *view) {
+	v.n = 99
+}
+
+func inspect(v *view) int { return v.n }
+
+// goodPass hands the published value to a read-only callee.
+func goodPass(h *holder) int {
+	v := &view{}
+	h.cur.Store(v)
+	return inspect(v)
+}

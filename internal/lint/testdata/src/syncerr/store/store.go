@@ -1,0 +1,49 @@
+// Package store is a fixture for the syncerr analyzer, which is gated
+// on the package name.
+package store
+
+import (
+	"errors"
+	"os"
+)
+
+func bad(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		return
+	}
+	f.Write([]byte("x"))         // want `Write error discarded`
+	f.Sync()                     // want `Sync error discarded`
+	defer f.Sync()               // want `Sync error discarded`
+	_ = f.Close()                // want `Close error assigned to _`
+	os.Rename(path, path+".new") // want `Rename error discarded`
+}
+
+// good propagates every durability-relevant error, including the
+// deferred close via the named-return join.
+func good(path string) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		err = errors.Join(err, f.Close())
+	}()
+	if _, err := f.Write([]byte("x")); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// goodRead closes a read-only handle; nothing durable is at stake, so
+// the suppression applies.
+func goodRead(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() //snb:errok read-only handle, no durability at stake
+	var buf [8]byte
+	_, err = f.Read(buf[:])
+	return err
+}

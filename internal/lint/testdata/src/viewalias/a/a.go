@@ -1,0 +1,61 @@
+package a
+
+import (
+	"sort"
+
+	"store"
+)
+
+var global []store.Edge
+
+type holder struct {
+	rows []store.Edge
+}
+
+func bad(v *store.SnapshotView, h *holder, ch chan []store.Edge) {
+	out := v.Out(1)
+	out[0] = store.Edge{}                                                   // want `write into out`
+	out[0].Stamp = 7                                                        // want `write into out`
+	out[0].Stamp++                                                          // want `write into out`
+	h.rows = out                                                            // want `stored into field rows`
+	global = out                                                            // want `package variable global`
+	ch <- out                                                               // want `sent on a channel`
+	out = append(out, store.Edge{})                                         // want `append to out`
+	sort.Slice(out, func(i, j int) bool { return out[i].Dst < out[j].Dst }) // want `in-place sort of out`
+
+	alias := out
+	alias[1] = store.Edge{} // want `write into alias`
+
+	sub := out[1:]
+	sub[0] = store.Edge{} // want `write into sub`
+
+	kinds := v.NodesOfKind(3)
+	kinds[0] = 9 // want `write into kinds`
+}
+
+func good(v *store.SnapshotView) []store.Edge {
+	out := v.Out(1)
+
+	// Copy-out is the sanctioned idiom: make+copy, or append into a
+	// caller-owned destination with the tainted slice as the source.
+	cp := make([]store.Edge, len(out))
+	copy(cp, out)
+	cp[0] = store.Edge{}
+
+	dst := append([]store.Edge(nil), out...)
+	sort.Slice(dst, func(i, j int) bool { return dst[i].Dst < dst[j].Dst })
+
+	// Ranging yields element copies; reading fields is fine.
+	var sum int64
+	for _, e := range out {
+		sum += int64(e.Dst)
+	}
+	_ = sum
+
+	// Multi-value form: the slice result is tainted, reads stay legal.
+	ps, ok := v.Props(1)
+	if ok && len(ps) > 0 {
+		_ = ps[0]
+	}
+	return cp
+}

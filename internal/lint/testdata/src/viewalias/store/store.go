@@ -1,0 +1,29 @@
+// Package store is a fixture stand-in for ldbcsnb/internal/store: the
+// viewalias analyzer keys on methods named Out/In/Props/NodesOfKind/
+// KindRange declared in a package named "store".
+package store
+
+// NodeID is a node identifier.
+type NodeID uint64
+
+// Edge is one adjacency entry.
+type Edge struct {
+	Dst   NodeID
+	Stamp int64
+}
+
+// SnapshotView mimics the real read surface.
+type SnapshotView struct{}
+
+// Out returns the outgoing adjacency of id. The slice aliases shared
+// view memory and must not be mutated.
+func (v *SnapshotView) Out(id NodeID) []Edge { return nil }
+
+// In returns the incoming adjacency of id.
+func (v *SnapshotView) In(id NodeID) []Edge { return nil }
+
+// Props returns the property row of id.
+func (v *SnapshotView) Props(id NodeID) ([]string, bool) { return nil, false }
+
+// NodesOfKind returns the ids of one node kind.
+func (v *SnapshotView) NodesOfKind(kind int) []NodeID { return nil }

@@ -159,23 +159,23 @@ func writeCheckpoint(dir string, v *SnapshotView, s *Store, hookBeforeRename fun
 	bw := bufio.NewWriterSize(f, 1<<16)
 	crc := crc32.NewIEEE()
 	w := io.MultiWriter(bw, crc)
+	// fail closes the temp file on an error path, joining rather than
+	// dropping the close error: a failed close can be the kernel's first
+	// (and only) report of a writeback failure.
+	fail := func(e error) (string, error) { return "", errors.Join(e, f.Close()) }
 	if err := encodeCheckpoint(w, v, s); err != nil {
-		f.Close()
-		return "", err
+		return fail(err)
 	}
 	var sum [4]byte
 	binary.LittleEndian.PutUint32(sum[:], crc.Sum32())
 	if _, err := bw.Write(sum[:]); err != nil {
-		f.Close()
-		return "", err
+		return fail(err)
 	}
 	if err := bw.Flush(); err != nil {
-		f.Close()
-		return "", err
+		return fail(err)
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
-		return "", err
+		return fail(err)
 	}
 	if err := f.Close(); err != nil {
 		return "", err
@@ -430,7 +430,10 @@ func encodeCheckpoint(w io.Writer, v *SnapshotView, s *Store) error {
 //
 // Installation is direct (shard maps, adjacency, kind lists, indexes — no
 // transactions): every restored fact carries commit timestamp C, the
-// checkpoint clock. Open is single-threaded, so no locks are taken.
+// checkpoint clock. Open is single-threaded and the store unpublished, so
+// no locks are taken.
+//
+//snb:locked mu kindMu
 func loadCheckpoint(s *Store, path string) (int64, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {

@@ -95,6 +95,8 @@ type decCache struct {
 // one bounds check (checked against the cache table, which has exactly one
 // slot per offsets row), chosen small enough for the compiler to inline
 // into Out/In; everything else falls through to decodeRowAt.
+//
+//snb:noalloc
 func (c *csr) rowAt(ord int32, nodes []ids.ID) []Edge {
 	if d := c.dec; d != nil {
 		if tbl := d.rows.Load(); tbl != nil {
@@ -202,6 +204,8 @@ func (c *csr) cacheBytes() int64 {
 
 // degreeAt returns the row's entry count without decoding entries: one
 // uvarint read off the row head.
+//
+//snb:noalloc
 func (c *csr) degreeAt(ord int32) int {
 	i := int(ord) - int(c.lo)
 	if i < 0 || i+1 >= len(c.offsets) {

@@ -168,6 +168,8 @@ func (s *Store) recordDelta(d *CommitDelta) {
 // released: deltas are immutable, appends land beyond the returned range
 // (trimming only advances the slice start), and the overflow path abandons
 // the backing array instead of reusing its slots.
+//
+//snb:locked deltaMu
 func (s *Store) pendingLocked(after, upto int64) ([]*CommitDelta, bool) {
 	if s.deltaDropped || len(s.deltas) == 0 {
 		return nil, false
@@ -202,7 +204,11 @@ func (s *Store) trimDeltas(ts int64) {
 }
 
 // resetDeltas re-arms the ring after a full rebuild at ts: everything the
-// rebuild folded in is dropped and the overflow marker cleared.
+// rebuild folded in is dropped and the overflow marker cleared. The
+// appliedCost reset belongs to the maintenance path, so the caller (the
+// rebuild branch of AcquireView/CurrentView) holds viewMu.
+//
+//snb:locked viewMu
 func (s *Store) resetDeltas(ts int64) {
 	s.deltaMu.Lock()
 	i := 0
@@ -223,6 +229,8 @@ func (s *Store) resetDeltas(ts int64) {
 // pending deltas, or reports ok=false when the caller must rebuild (ring
 // gap, or the accumulated overlay would cross the compaction threshold).
 // Called under viewMu.
+//
+//snb:locked viewMu
 func (s *Store) refreshView(old *SnapshotView, ts int64) (*SnapshotView, bool) {
 	s.deltaMu.Lock()
 	ds, ok := s.pendingLocked(old.ts, ts)

@@ -290,7 +290,7 @@ func (s *Store) replaySegment(sf segmentFile, ckptTS int64, last bool, info *Rec
 	if err != nil {
 		return 0, 0, err
 	}
-	defer f.Close()
+	defer f.Close() //snb:errok read-only replay handle, no durability at stake
 	if _, err := f.Seek(segHeaderSize, 0); err != nil {
 		return 0, 0, err
 	}

@@ -14,7 +14,7 @@ const shardCount = 64
 // and every nodeRec it owns (property versions and adjacency lists).
 type shard struct {
 	mu    sync.RWMutex
-	nodes map[ids.ID]*nodeRec
+	nodes map[ids.ID]*nodeRec // guarded by mu
 }
 
 // orderedIndex is a B+tree secondary index over an int64 node property.
@@ -46,7 +46,7 @@ type Store struct {
 	clock atomic.Int64
 
 	kindMu sync.RWMutex
-	byKind map[ids.Kind][]ids.ID
+	byKind map[ids.Kind][]ids.ID // guarded by kindMu
 
 	ordered []*orderedIndex
 	hashed  []*hashIndex
@@ -60,15 +60,15 @@ type Store struct {
 	view   atomic.Pointer[SnapshotView]
 	viewMu sync.Mutex
 
-	// Incremental view maintenance (delta.go). deltaMu guards the ring;
-	// compactThreshold and appliedCost are guarded by viewMu (only
-	// maintenance touches them).
-	deltaMu          sync.Mutex
-	deltas           []*CommitDelta // pending commit deltas, consecutive ts
-	deltaDropped     bool           // ring overflowed since the last rebuild
-	deltaCap         int
-	compactThreshold int
-	appliedCost      int // overlay entries accumulated in the cached era
+	// Incremental view maintenance (delta.go): the ring of pending commit
+	// deltas plus the refresh accounting.
+	deltaMu      sync.Mutex
+	deltas       []*CommitDelta // guarded by deltaMu; pending commit deltas, consecutive ts
+	deltaDropped bool           // guarded by deltaMu; ring overflowed since the last rebuild
+	deltaCap     int            // guarded by deltaMu
+	// Only the maintenance path (refresh/rebuild) touches the next two.
+	compactThreshold int // guarded by viewMu
+	appliedCost      int // guarded by viewMu; overlay entries accumulated in the cached era
 
 	viewEra       atomic.Uint64
 	viewRefreshes atomic.Int64
@@ -81,7 +81,10 @@ type Store struct {
 	wal *walWriter
 }
 
-// New returns an empty store.
+// New returns an empty store. The store is unpublished until New returns,
+// so shard initialisation needs no locks.
+//
+//snb:locked mu
 func New() *Store {
 	s := &Store{
 		byKind:           make(map[ids.Kind][]ids.ID),

@@ -155,6 +155,8 @@ func (v *SnapshotView) Exists(id ids.ID) bool {
 
 // edgesAt returns one (ordinal, type, direction) row: the overlay row when
 // the refresh chain touched it, the decode-cached slab row otherwise.
+//
+//snb:noalloc
 func (v *SnapshotView) edgesAt(ord int32, t EdgeType, in bool) []Edge {
 	if v.edgeOver != nil {
 		if row, ok := v.edgeOver[makeEdgeKey(ord, t, in)]; ok {
@@ -198,6 +200,8 @@ func (v *SnapshotView) appendEdges(dst []Edge, ord int32, t EdgeType, in bool) [
 // insertion order. The slice aliases the view's decode cache (or an
 // overlay row): lock-free, allocation-free once the row is hot, and the
 // caller must not mutate it.
+//
+//snb:noalloc
 func (v *SnapshotView) Out(id ids.ID, t EdgeType) []Edge {
 	o, ok := v.Ord(id)
 	if !ok {
@@ -207,6 +211,8 @@ func (v *SnapshotView) Out(id ids.ID, t EdgeType) []Edge {
 }
 
 // In returns the visible incoming edges of a node for one edge type.
+//
+//snb:noalloc
 func (v *SnapshotView) In(id ids.ID, t EdgeType) []Edge {
 	o, ok := v.Ord(id)
 	if !ok {
@@ -268,6 +274,8 @@ func (v *SnapshotView) propsAt(ord int32) Props {
 
 // Prop returns one property of a node (zero Value if the node or property
 // is absent).
+//
+//snb:noalloc
 func (v *SnapshotView) Prop(id ids.ID, key PropKey) Value {
 	o, ok := v.Ord(id)
 	if !ok {
@@ -289,6 +297,8 @@ func (v *SnapshotView) Props(id ids.ID) (Props, bool) {
 // NodesOfKind returns the IDs of all visible nodes of a kind in insertion
 // order. The slice is shared by all callers of the view and must not be
 // mutated.
+//
+//snb:noalloc
 func (v *SnapshotView) NodesOfKind(kind ids.Kind) []ids.ID {
 	return v.byKind[kind]
 }

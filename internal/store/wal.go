@@ -38,14 +38,14 @@ import (
 type walWriter struct {
 	mu  sync.Mutex
 	w   *bufio.Writer
-	buf []byte
+	buf []byte // guarded by mu; pooled record-assembly scratch
 
 	// seg is the file-backed segmented sink; nil when the WAL streams to a
 	// plain io.Writer. lastTS tracks the newest appended record's commit
 	// timestamp so explicit rotation can stamp the next segment's firstTS
 	// without racing the commit clock.
 	seg    *walSegments
-	lastTS int64
+	lastTS int64 // guarded by mu
 	// syncEvery makes every append an fsync barrier (fsync-on-commit);
 	// onAppend, when set, observes each appended record's size after a
 	// successful append (the checkpoint trigger hook). Both only apply to
@@ -172,6 +172,8 @@ func appendProp(b []byte, p Prop) []byte {
 // and zero allocations once the buffer has warmed to the largest record
 // size (wal_test.go pins this; BenchmarkWALLogCommit tracks it with
 // -benchmem).
+//
+//snb:noalloc
 func (s *Store) logCommit(ts int64, created []*pendingNode, sets []pendingProp, edges []pendingEdge, dels []pendingDel) error {
 	w := s.wal
 	w.mu.Lock()

@@ -35,14 +35,23 @@
 // recovery timings are printed, and the run serves the read-only mix over
 // the recovered state (the update stream was already applied in the run
 // that wrote the directory; re-applying it would double-create entities).
-// -wal-sync upgrades durability to fsync-on-commit; see
-// store.PersistOptions for the exact guarantee of each mode.
+// -wal-sync selects the durability mode (none|flush|commit); commits go
+// through the group-commit batcher, so fsync-on-commit amortises one fsync
+// over every commit in a batch. -wal-lanes stripes the WAL over per-shard
+// lanes with independent flushers, and -wal-batch caps records per batch.
+// See store.PersistOptions for the exact guarantee of each mode.
+//
+// -write-clients adds a dedicated write lane to the mixed run: concurrent
+// clients issuing small insert transactions back to back, reported as an
+// end-to-end commit-latency bucket (the group-commit pipeline's metric).
 //
 // Usage:
 //
 //	snb-run -sf 0.05 [-streams 4] [-readclients 2] [-pertype 3] [-uniform] [-readpath txn|view]
 //	        [-view-compact-threshold N] [-bi] [-bi-workers N] [-bi-clients N] [-bi-rounds N]
-//	        [-data-dir DIR] [-wal-sync] [-wal-segment-bytes N] [-checkpoint-bytes N] [-checkpoint-commits N]
+//	        [-data-dir DIR] [-wal-sync none|flush|commit] [-wal-lanes N] [-wal-batch N]
+//	        [-wal-segment-bytes N] [-checkpoint-bytes N] [-checkpoint-commits N]
+//	        [-write-clients N] [-write-ops N]
 package main
 
 import (
@@ -78,6 +87,19 @@ func writeRunConfig(dir string, cfg runConfig) error {
 		return err
 	}
 	return os.WriteFile(filepath.Join(dir, runConfigName), append(data, '\n'), 0o644)
+}
+
+// parseWALSync maps the -wal-sync flag to a store.WALSyncMode.
+func parseWALSync(s string) (store.WALSyncMode, error) {
+	switch s {
+	case "none", "":
+		return store.SyncClose, nil
+	case "flush":
+		return store.SyncFlush, nil
+	case "commit":
+		return store.SyncCommit, nil
+	}
+	return store.SyncClose, fmt.Errorf("invalid -wal-sync %q (want none, flush or commit)", s)
 }
 
 func checkRunConfig(dir string, cfg runConfig) {
@@ -122,18 +144,31 @@ func main() {
 			"-1 = store default)")
 	dataDir := flag.String("data-dir", "",
 		"durable mode: open or recover a data directory (segmented WAL + checkpoints); empty = in-memory run")
-	walSync := flag.Bool("wal-sync", false,
-		"with -data-dir: fsync the WAL on every commit (durable before Commit returns) instead of flush-on-close")
+	walSync := flag.String("wal-sync", "none",
+		"with -data-dir: WAL durability mode — 'none' (flush on close), 'flush' (flush each batch), "+
+			"'commit' (fsync each group-commit batch; Commit returns only once durable)")
+	walLanes := flag.Int("wal-lanes", 0,
+		"with -data-dir: number of WAL lanes with independent group-commit flushers (0 = 1 lane)")
+	walBatch := flag.Int("wal-batch", 0,
+		"with -data-dir: max records per group-commit batch (0 = unbounded)")
 	segmentBytes := flag.Int64("wal-segment-bytes", 0,
 		"with -data-dir: WAL segment rotation threshold in bytes (0 = default 4 MiB)")
 	ckptBytes := flag.Int64("checkpoint-bytes", 0,
 		"with -data-dir: background checkpoint after this many WAL bytes (0 = default 32 MiB, negative = disable)")
 	ckptCommits := flag.Int64("checkpoint-commits", 0,
 		"with -data-dir: background checkpoint after this many commits (0 = disabled)")
+	writeClients := flag.Int("write-clients", 0,
+		"dedicated write-lane clients issuing small insert transactions (0 = lane disabled)")
+	writeOps := flag.Int("write-ops", 0,
+		"commits per write-lane client (0 = 100)")
 	flag.Parse()
 
 	if *readPath != driver.ReadPathView && *readPath != driver.ReadPathTxn {
 		log.Fatalf("invalid -readpath %q (want %q or %q)", *readPath, driver.ReadPathView, driver.ReadPathTxn)
+	}
+	syncMode, err := parseWALSync(*walSync)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	persons := *personsFlag
@@ -149,10 +184,12 @@ func main() {
 	recovered := false
 	if *dataDir != "" {
 		opts := store.PersistOptions{
-			SegmentBytes:      *segmentBytes,
-			SyncOnCommit:      *walSync,
-			CheckpointBytes:   *ckptBytes,
-			CheckpointCommits: *ckptCommits,
+			SegmentBytes:       *segmentBytes,
+			WALSync:            syncMode,
+			WALLanes:           *walLanes,
+			GroupCommitRecords: *walBatch,
+			CheckpointBytes:    *ckptBytes,
+			CheckpointCommits:  *ckptCommits,
 		}
 		p, info, err := store.Open(*dataDir, opts, schema.RegisterIndexes)
 		if err != nil {
@@ -232,6 +269,12 @@ func main() {
 		fmt.Printf("BI lane: %d client(s), %d round(s), workers=%d (0 = GOMAXPROCS)\n",
 			*biClients, *biRounds, *biWorkers)
 	}
+	if *writeClients > 0 {
+		mixed.WriteClients = *writeClients
+		mixed.WriteOps = *writeOps
+		fmt.Printf("write lane: %d client(s), wal-sync=%s, lanes=%d\n",
+			*writeClients, syncMode, *walLanes)
+	}
 	rep := driver.RunMixed(mixed)
 
 	fmt.Println()
@@ -257,10 +300,20 @@ func main() {
 		fmt.Printf("view maintenance: %d delta refreshes, %d rebuilds, %d era bumps, %d ring overflows\n",
 			vs.Refreshes, vs.Rebuilds, vs.EraBumps, vs.Overflows)
 	}
+	if rep.Commit.Count > 0 {
+		fmt.Printf("write lane: %d commits, latency mean %v p95 %v max %v\n",
+			rep.Commit.Count, rep.Commit.Mean(), rep.Commit.Percentile(95), rep.Commit.Max)
+	}
 	if rep.Persist != nil {
 		fmt.Printf("durability: %d WAL bytes appended, %d rotations, %d checkpoints (last at commit %d), %d segments truncated, final sync %v\n",
 			rep.Persist.WALBytes, rep.Persist.WALRotations, rep.Persist.Checkpoints,
 			rep.Persist.LastCheckpointTS, rep.Persist.SegmentsRemoved, rep.FinalSync.Round(1000))
+		if rep.Persist.Batches > 0 {
+			fmt.Printf("group commit: %d batches, %d records (%.1f recs/batch), %d fsyncs\n",
+				rep.Persist.Batches, rep.Persist.BatchedRecords,
+				float64(rep.Persist.BatchedRecords)/float64(rep.Persist.Batches),
+				rep.Persist.Fsyncs)
+		}
 		if rep.FinalSyncErr != nil {
 			log.Printf("final WAL sync FAILED: %v (commits since the last successful sync may not be durable)", rep.FinalSyncErr)
 		}

@@ -76,6 +76,15 @@ type MixedConfig struct {
 	// durability counters into MixedReport.Persist. The store field of the
 	// handle must be the same Store the run executes against.
 	Persist *store.Persistent
+	// WriteClients is the number of dedicated write-lane clients running
+	// alongside the update streams: each issues WriteOps small insert
+	// transactions back to back, timing Commit end to end (including the
+	// group-commit durability wait when the store fsyncs on commit).
+	// 0 disables the lane.
+	WriteClients int
+	// WriteOps is the number of commits each write client performs
+	// (0 = 100).
+	WriteOps int
 }
 
 // MixedReport is the outcome of a mixed run: the per-query latency tables
@@ -89,8 +98,14 @@ type MixedReport struct {
 	// apart from Complex: a BI execution is a graph-wide scan orders of
 	// magnitude above the Interactive point queries, and folding the two
 	// together would drown the Table 6 numbers.
-	BI   [bi.NumQueries]LatencyStats
-	Wall time.Duration
+	BI [bi.NumQueries]LatencyStats
+	// Commit is the write lane's end-to-end commit latency bucket
+	// (WriteClients > 0): the short critical section plus, in
+	// fsync-on-commit mode, the wait for the group-commit batch holding the
+	// transaction to reach disk. Update-stream latencies stay in Update;
+	// this bucket isolates pure commit cost from dependency-wait time.
+	Commit LatencyStats
+	Wall   time.Duration
 	// ViewAcquire aggregates the cost of every frozen-view acquisition the
 	// read clients performed (view path only; twice per iteration — before
 	// the complex query and again before the short-read walk, so the walk
@@ -120,6 +135,12 @@ type MixedReport struct {
 // numQ11Countries bounds the Q11 country parameter draw (the dict's
 // country table size used by the generator).
 const numQ11Countries = 25
+
+// writeLaneBucket is the minute-bucket floor for write-lane entity IDs —
+// far above any creation date the generator emits (~2^25 minutes since
+// epoch), so lane inserts never collide with dataset or update-stream
+// entities.
+const writeLaneBucket = 1 << 32
 
 // prepareParams runs the parameter-curation pipeline (§4.1) over the
 // dataset: PC tables per query template, greedy window selection, plus
@@ -336,6 +357,45 @@ func RunMixed(cfg MixedConfig) *MixedReport {
 	if biRounds <= 0 {
 		biRounds = 1
 	}
+	// Dedicated write lane: WriteClients goroutines issue small insert
+	// transactions back to back, each a single-person create with an ID far
+	// above the generated dataset's minute buckets (no collisions with
+	// update-stream entities). The timed region is Begin..Commit, so in
+	// fsync-on-commit mode the bucket captures the full group-commit wait —
+	// the metric the commit-pipeline split exists to improve.
+	writeOps := cfg.WriteOps
+	if writeOps <= 0 {
+		writeOps = 100
+	}
+	for c := 0; c < cfg.WriteClients; c++ {
+		wg.Add(1)
+		go func(client int) {
+			defer wg.Done()
+			for op := 0; op < writeOps; op++ {
+				idx := client*writeOps + op
+				id := ids.Compose(ids.KindPerson, writeLaneBucket+int64(idx>>16), uint32(idx&0xffff))
+				t0 := time.Now()
+				tx := cfg.Store.Begin()
+				err := tx.CreateNode(id, store.Props{
+					{Key: store.PropFirstName, Val: store.String("writer")},
+					{Key: store.PropCreationDate, Val: store.Int64(int64(idx))},
+				})
+				if err == nil {
+					err = tx.Commit()
+				} else {
+					tx.Abort()
+				}
+				lat := time.Since(t0)
+				mu.Lock()
+				if err != nil {
+					rep.Errors++
+				} else {
+					rep.Commit.Add(lat)
+				}
+				mu.Unlock()
+			}
+		}(c)
+	}
 	for c := 0; c < cfg.BIClients; c++ {
 		wg.Add(1)
 		go func(client int) {
@@ -392,7 +452,7 @@ func RunMixed(cfg MixedConfig) *MixedReport {
 	}
 
 	rep.Wall = time.Since(start)
-	total := len(cfg.Updates)
+	total := len(cfg.Updates) + rep.Commit.Count
 	for i := range rep.Complex {
 		total += rep.Complex[i].Count
 	}

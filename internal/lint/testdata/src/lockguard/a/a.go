@@ -43,6 +43,21 @@ func (s *S) goodFree() int {
 	return s.free
 }
 
+// goodHandoff is the group-commit double-buffer idiom: the guarded slice
+// is swapped to a local under the lock, and the detached batch is then
+// used (and handed to another goroutine) after Unlock — the local alias is
+// exclusively owned once swapped out, so the post-unlock reads are clean.
+func (s *S) goodHandoff(out chan<- []int) {
+	s.vmu.Lock()
+	batch := s.data
+	s.data = nil
+	s.vmu.Unlock()
+	for i := range batch {
+		batch[i]++
+	}
+	out <- batch
+}
+
 func (s *S) badWrite() {
 	s.count = 1 // want `write to count without holding mu`
 }

@@ -1,0 +1,473 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"ldbcsnb/internal/ids"
+	"ldbcsnb/internal/xrand"
+)
+
+// Group-commit and multi-lane WAL tests: the recovered-equals-live
+// equivalence sweep over a lane-striped log, crash injection at the
+// group-commit boundaries (batch written but not fsynced, torn record
+// mid-batch, lanes unevenly advanced), fsync-on-commit durability without
+// a clean shutdown, and concurrent-writer stress for the race detector.
+
+// commitPersonErr commits one transaction creating person n (commit
+// timestamp n when commits are sequential).
+func commitPersonErr(s *Store, n int) error {
+	tx := s.Begin()
+	if err := tx.CreateNode(personID(uint32(n)), Props{
+		{PropFirstName, String([]string{"ada", "bob", "eve"}[n%3])},
+		{PropCreationDate, Int64(int64(n))},
+	}); err != nil {
+		tx.Abort()
+		return err
+	}
+	return tx.Commit()
+}
+
+func commitPerson(t *testing.T, s *Store, n int) {
+	t.Helper()
+	if err := commitPersonErr(s, n); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// laneFile returns the path of lane's newest segment in dir's WAL.
+func laneFile(t *testing.T, dir string, lane int) string {
+	t.Helper()
+	segs, err := scanSegments(filepath.Join(dir, "wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := ""
+	for _, sf := range segs {
+		if sf.lane == lane {
+			path = sf.path
+		}
+	}
+	if path == "" {
+		t.Fatalf("no segments for lane %d", lane)
+	}
+	return path
+}
+
+type segRec struct {
+	off int64 // record's byte offset in the file
+	ts  int64
+}
+
+// readSegRecords lists one segment file's records (offset, commit ts).
+func readSegRecords(t *testing.T, path string) []segRec {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []segRec
+	off := int64(segHeaderSize)
+	for off+8 <= int64(len(data)) {
+		end := off + 8 + int64(binary.LittleEndian.Uint32(data[off:]))
+		if end > int64(len(data)) {
+			break
+		}
+		out = append(out, segRec{off: off, ts: int64(binary.LittleEndian.Uint64(data[off+8:]))})
+		off = end
+	}
+	return out
+}
+
+func truncAt(t *testing.T, path string, off int64) {
+	t.Helper()
+	if err := os.Truncate(path, off); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// assertPersonPrefix asserts persons 1..k exist and k+1..n do not.
+func assertPersonPrefix(t *testing.T, s *Store, k, n int) {
+	t.Helper()
+	s.View(func(tx *Txn) {
+		for i := 1; i <= n; i++ {
+			want := i <= k
+			if got := tx.Exists(personID(uint32(i))); got != want {
+				t.Fatalf("person %d: exists=%v want %v (clock %d)", i, got, want, s.LastCommit())
+			}
+		}
+	})
+}
+
+// TestMultiLaneEquivalenceEveryEpoch is the multi-lane twin of
+// TestPersistEquivalenceEveryEpoch: a 3-lane WAL under a randomised update
+// stream with frequent rotation and periodic checkpoints, crash-copied and
+// recovered at EVERY epoch, asserting the recovered store equals the live
+// one on every read primitive. The reopen deliberately omits WALLanes:
+// recovery must adopt the on-disk lane count (and a single-lane v1 layout
+// stays recoverable the same way).
+func TestMultiLaneEquivalenceEveryEpoch(t *testing.T) {
+	dir := t.TempDir()
+	opts := manualOpts()
+	opts.SegmentBytes = 512 // force frequent rotation
+	opts.WALLanes = 3
+	p, _, err := Open(dir, opts, registerTestIndexes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	live := New()
+	registerTestIndexes(live)
+	rl, rd := xrand.New(17), xrand.New(17)
+	var pop []ids.ID
+	for step := 1; step <= 24; step++ {
+		pop = growBoth(t, live, p.Store, rl, rd, pop, step)
+		if step%9 == 0 {
+			if err := p.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := p.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		crash := filepath.Join(t.TempDir(), "crash")
+		copyDir(t, dir, crash)
+		re, info := reopen(t, crash, manualOpts())
+		if info.Clock != live.LastCommit() {
+			t.Fatalf("step %d: recovered clock %d, live %d (%+v)", step, info.Clock, live.LastCommit(), info)
+		}
+		assertStoresEqual(t, live, re.Store, pop)
+		re.Close()
+	}
+	if st := p.Stats(); st.WALRotations == 0 || st.Checkpoints == 0 || st.Batches == 0 {
+		t.Fatalf("sweep never rotated, checkpointed or batched: %+v", st)
+	}
+}
+
+// multiLaneFixture commits n sequential single-person transactions over a
+// 2-lane WAL and returns a crash image of the closed directory. Odd
+// timestamps land in lane 0, even in lane 1.
+func multiLaneFixture(t *testing.T, n int) (crash string, opts PersistOptions) {
+	t.Helper()
+	dir := t.TempDir()
+	opts = manualOpts()
+	opts.WALLanes = 2
+	p, _, err := Open(dir, opts, registerTestIndexes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= n; i++ {
+		commitPerson(t, p.Store, i)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	crash = filepath.Join(t.TempDir(), "crash")
+	copyDir(t, dir, crash)
+	return crash, opts
+}
+
+// TestCrashLaneBatchWrittenNotSynced: one lane's whole tail batch
+// vanishes (the crash landed between the batch write and its fsync, and
+// the OS never flushed the pages). Every commit above the resulting gap is
+// un-acknowledged, so recovery truncates back to the last gapless prefix.
+func TestCrashLaneBatchWrittenNotSynced(t *testing.T) {
+	const n = 9
+	crash, opts := multiLaneFixture(t, n)
+	truncAt(t, laneFile(t, crash, 1), segHeaderSize) // lane 1 loses ts 2,4,6,8
+	re, info := reopen(t, crash, opts)
+	if info.Clock != 1 || info.Discarded != 4 {
+		t.Fatalf("want clock 1 with 4 discards, got %+v", info)
+	}
+	assertPersonPrefix(t, re.Store, 1, n)
+
+	// The surviving prefix is a fully working store: recommit and recover.
+	commitPerson(t, re.Store, 2)
+	if err := re.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re2, info2 := reopen(t, crash, opts)
+	if info2.Clock != 2 || info2.Discarded != 0 {
+		t.Fatalf("want clean clock-2 recovery after recommit, got %+v", info2)
+	}
+	assertPersonPrefix(t, re2.Store, 2, n)
+	re2.Close()
+}
+
+// TestCrashTornRecordMidBatch: a record in the middle of one lane's last
+// batch is torn (partial write). The lane's clean prefix ends there; the
+// other lane's records merge in as long as the timestamp sequence stays
+// gapless.
+func TestCrashTornRecordMidBatch(t *testing.T) {
+	const n = 9
+	crash, opts := multiLaneFixture(t, n)
+	lane0 := laneFile(t, crash, 0)
+	recs := readSegRecords(t, lane0) // ts 1,3,5,7,9
+	last := recs[len(recs)-1]
+	truncAt(t, lane0, last.off+5) // tear ts 9 mid-record
+	re, info := reopen(t, crash, opts)
+	defer re.Close()
+	if info.Clock != n-1 || info.TornBytes == 0 || info.Discarded != 0 {
+		t.Fatalf("want clock %d with torn tail, got %+v", n-1, info)
+	}
+	assertPersonPrefix(t, re.Store, n-1, n)
+}
+
+// TestCrashLanesUnevenlyAdvanced: lane 1 lost a clean suffix of records
+// (ts 6,8) while lane 0 kept later ones (7,9). The merged sequence gaps at
+// 6; 7 and 9 were never acknowledged (the watermark cannot pass 5), so
+// recovery discards them and truncates both lanes' files — durably, so a
+// second recovery sees a clean log.
+func TestCrashLanesUnevenlyAdvanced(t *testing.T) {
+	const n = 9
+	crash, opts := multiLaneFixture(t, n)
+	lane1 := laneFile(t, crash, 1)
+	recs := readSegRecords(t, lane1) // ts 2,4,6,8
+	truncAt(t, lane1, recs[2].off)   // keep 2,4; drop 6,8
+	re, info := reopen(t, crash, opts)
+	if info.Clock != 5 || info.Discarded != 2 {
+		t.Fatalf("want clock 5 with 2 discards (ts 7,9), got %+v", info)
+	}
+	assertPersonPrefix(t, re.Store, 5, n)
+	if err := re.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second recovery of the truncated image is clean, and the store
+	// catches back up through the normal commit path.
+	re2, info2 := reopen(t, crash, opts)
+	if info2.Clock != 5 || info2.Discarded != 0 || info2.Replayed != 5 {
+		t.Fatalf("want clean clock-5 recovery, got %+v", info2)
+	}
+	for i := 6; i <= n; i++ {
+		commitPerson(t, re2.Store, i)
+	}
+	if err := re2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re3, info3 := reopen(t, crash, opts)
+	defer re3.Close()
+	if info3.Clock != n {
+		t.Fatalf("want clock %d after recommit, got %+v", n, info3)
+	}
+	assertPersonPrefix(t, re3.Store, n, n)
+}
+
+// TestCrashMissingRecordSameLane: a hole in a lane that still holds later
+// records cannot be a crash artifact (per-lane timestamps are monotone and
+// tears only eat suffixes) — recovery must refuse with ErrCorrupt rather
+// than silently truncate acknowledged commits.
+func TestCrashMissingRecordSameLane(t *testing.T) {
+	const n = 9
+	crash, opts := multiLaneFixture(t, n)
+	lane1 := laneFile(t, crash, 1)
+	recs := readSegRecords(t, lane1) // ts 2,4,6,8
+	data, err := os.ReadFile(lane1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Splice record ts 4 out of the middle of lane 1.
+	spliced := append([]byte(nil), data[:recs[1].off]...)
+	spliced = append(spliced, data[recs[2].off:]...)
+	if err := os.WriteFile(lane1, spliced, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(crash, opts, registerTestIndexes); !errorsIsCorrupt(err) {
+		t.Fatalf("want ErrCorrupt for same-lane hole, got %v", err)
+	}
+}
+
+func errorsIsCorrupt(err error) bool {
+	for ; err != nil; err = unwrapOnce(err) {
+		if err == ErrCorrupt {
+			return true
+		}
+	}
+	return false
+}
+
+func unwrapOnce(err error) error {
+	type single interface{ Unwrap() error }
+	type multi interface{ Unwrap() []error }
+	switch e := err.(type) {
+	case single:
+		return e.Unwrap()
+	case multi:
+		for _, u := range e.Unwrap() {
+			if errorsIsCorrupt(u) {
+				return ErrCorrupt
+			}
+		}
+		return nil
+	default:
+		return nil
+	}
+}
+
+// TestSyncCommitDurableWithoutClose: in fsync-on-commit mode every
+// returned Commit must survive a crash with NO shutdown cooperation — the
+// crash image is copied while the store is still open, without Sync or
+// Close. Concurrent writers shared batches, so fsyncs stay well below one
+// per commit.
+func TestSyncCommitDurableWithoutClose(t *testing.T) {
+	const writers, commits = 4, 32
+	dir := t.TempDir()
+	opts := manualOpts()
+	opts.WALLanes = 2
+	opts.WALSync = SyncCommit
+	p, _, err := Open(dir, opts, registerTestIndexes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ctr atomic.Int64
+	var wg sync.WaitGroup
+	errs := make(chan error, commits)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(ctr.Add(1))
+				if i > commits {
+					return
+				}
+				if err := commitPersonErr(p.Store, i); err != nil {
+					errs <- fmt.Errorf("commit %d: %w", i, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	crash := filepath.Join(t.TempDir(), "crash")
+	copyDir(t, dir, crash)
+	re, info := reopen(t, crash, opts)
+	if info.Clock != commits {
+		t.Fatalf("lost acknowledged commits: recovered clock %d want %d (%+v)", info.Clock, commits, info)
+	}
+	assertPersonPrefix(t, re.Store, commits, commits)
+	re.Close()
+
+	st := p.Stats()
+	if st.Fsyncs == 0 || st.Batches == 0 || st.BatchedRecords != commits {
+		t.Fatalf("batcher counters off: %+v", st)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGroupCommitConcurrentStress drives many writers over a 4-lane WAL
+// with frequent rotation, racing Stats, Sync and a checkpoint against the
+// flushers — primarily race-detector coverage for the batcher's locking.
+func TestGroupCommitConcurrentStress(t *testing.T) {
+	const writers, commits = 8, 200
+	dir := t.TempDir()
+	opts := manualOpts()
+	opts.SegmentBytes = 512
+	opts.WALLanes = 4
+	opts.WALSync = SyncFlush
+	p, _, err := Open(dir, opts, registerTestIndexes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ctr atomic.Int64
+	var wg sync.WaitGroup
+	errs := make(chan error, commits)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(ctr.Add(1))
+				if i > commits {
+					return
+				}
+				if err := commitPersonErr(p.Store, i); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	stop := make(chan struct{})
+	var obs sync.WaitGroup
+	obs.Add(1)
+	go func() {
+		defer obs.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = p.Stats()
+				_ = p.Sync()
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	obs.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if err := p.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, info := reopen(t, dir, opts)
+	defer re.Close()
+	if info.Clock != commits {
+		t.Fatalf("recovered clock %d want %d (%+v)", info.Clock, commits, info)
+	}
+	assertPersonPrefix(t, re.Store, commits, commits)
+}
+
+// TestParallelRecoveryMatchesSerial: the same multi-segment directory
+// recovered with serial and parallel segment decode yields identical
+// stores.
+func TestParallelRecoveryMatchesSerial(t *testing.T) {
+	dir := t.TempDir()
+	opts := manualOpts()
+	opts.SegmentBytes = 512
+	opts.WALLanes = 2
+	p, _, err := Open(dir, opts, registerTestIndexes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl := xrand.New(23)
+	var pop []ids.ID
+	for step := 1; step <= 24; step++ {
+		pop = randomGraphStep(t, p.Store, rl, pop, step)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	serialOpts := opts
+	serialOpts.RecoveryWorkers = 1
+	parOpts := opts
+	parOpts.RecoveryWorkers = 4
+	ser, serInfo := reopen(t, dir, serialOpts)
+	defer ser.Close()
+	par, parInfo := reopen(t, dir, parOpts)
+	defer par.Close()
+	if serInfo.Clock != parInfo.Clock || serInfo.Replayed != parInfo.Replayed {
+		t.Fatalf("serial %+v vs parallel %+v", serInfo, parInfo)
+	}
+	assertStoresEqual(t, ser.Store, par.Store, pop)
+}

@@ -1,10 +1,7 @@
 package store
 
 import (
-	"bufio"
-	"encoding/binary"
 	"errors"
-	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -23,23 +20,43 @@ import (
 // Layout of a data directory:
 //
 //	<dir>/
-//	  ckpt-<clock>.ckpt   checkpoints, newest wins (checkpoint.go)
-//	  wal/wal-<seq>.seg   WAL segments, ascending (segment.go)
+//	  ckpt-<clock>.ckpt          checkpoints, newest wins (checkpoint.go)
+//	  wal/wal-<seq>.seg          lane 0 WAL segments, ascending (segment.go)
+//	  wal/wal-<lane>-<seq>.seg   lane >= 1 segments (WALLanes > 1)
 
 // PersistOptions configures Open. The zero value is usable: 4 MiB
-// segments, flush-on-close durability, auto-checkpoint every 32 MiB of WAL,
-// two checkpoints retained.
+// segments, one WAL lane, flush-on-close durability, auto-checkpoint every
+// 32 MiB of WAL, two checkpoints retained.
 type PersistOptions struct {
 	// SegmentBytes is the WAL rotation threshold: the active segment is
 	// sealed once appending would push it past this size (default 4 MiB).
 	SegmentBytes int64
-	// SyncOnCommit makes every commit an fsync barrier: Commit does not
-	// return before its redo record is durable on disk. Without it the
-	// durability contract is flush-on-close — a machine crash may lose the
-	// records buffered since the last SyncWAL/Close/checkpoint rotation
-	// (process death alone loses at most the bufio buffer, which SyncWAL
-	// and Close drain).
+	// WALLanes is the number of WAL lanes (default 1). Commits distribute
+	// round-robin over lanes by commit timestamp, each lane flushed and
+	// fsynced by its own goroutine, so durability barriers proceed in
+	// parallel. Opening a directory written with more lanes than requested
+	// keeps the on-disk count (lanes never vanish under an existing log);
+	// single-lane directories are byte-for-byte the v1 layout.
+	WALLanes int
+	// WALSync selects the per-batch durability barrier (see WALSyncMode).
+	WALSync WALSyncMode
+	// SyncOnCommit is the pre-lane spelling of WALSync == SyncCommit, kept
+	// as a compatibility alias: every commit is acknowledged only after
+	// its redo record is fsynced. Without either, the durability contract
+	// is flush-on-close — a machine crash may lose the records buffered
+	// since the last SyncWAL/Close/checkpoint rotation (process death
+	// alone loses at most the in-process buffers, which SyncWAL and Close
+	// drain).
 	SyncOnCommit bool
+	// GroupCommitRecords caps how many records one group-commit batch may
+	// coalesce (0 = unbounded: drain everything pending). Mostly a test
+	// and ablation knob; the cap trades fsync amortisation for bounded
+	// worst-case commit latency.
+	GroupCommitRecords int
+	// RecoveryWorkers is the segment-decode parallelism at Open: 0 uses
+	// GOMAXPROCS, 1 forces serial decode (the apply stage is always a
+	// single timestamp-ordered pass).
+	RecoveryWorkers int
 	// CheckpointBytes triggers a background checkpoint once this many WAL
 	// bytes accumulate since the last one (0 = default 32 MiB, negative =
 	// never trigger by bytes).
@@ -74,9 +91,14 @@ type RecoveryInfo struct {
 	// Replayed and Skipped count WAL records applied vs records below the
 	// checkpoint clock inside the boundary segment.
 	Replayed, Skipped int
-	// TornBytes is the size of the incomplete record discarded from the
-	// tail of the last segment (crash mid-append).
+	// TornBytes is the size of the incomplete records discarded from the
+	// tails of each lane's last segment (crash mid-append).
 	TornBytes int64
+	// Discarded counts intact records dropped above a multi-lane crash
+	// gap: a crash with lanes unevenly advanced leaves a hole in the
+	// merged timestamp sequence, and everything above the hole is
+	// un-acknowledged by construction (see recovery.go).
+	Discarded int
 	// Clock is the store's commit clock after recovery.
 	Clock int64
 }
@@ -94,6 +116,13 @@ type PersistStats struct {
 	WALBytes        int64
 	WALRotations    int64
 	SegmentsRemoved int64
+	// Group-commit batcher counters: Fsyncs is durability barriers issued,
+	// Batches is flush batches written, BatchedRecords the records they
+	// carried — fsyncs/commit and records/batch are the amortisation
+	// metrics BenchmarkWrite tracks.
+	Fsyncs         int64
+	Batches        int64
+	BatchedRecords int64
 }
 
 // Persistent is a Store bound to a data directory. All Store methods are
@@ -174,12 +203,24 @@ func Open(dir string, opts PersistOptions, register func(*Store)) (*Persistent, 
 		info.BadCheckpoints = append(info.BadCheckpoints, filepath.Base(ck.path))
 	}
 
-	// Replay the WAL tail above the checkpoint clock.
+	// Replay the WAL tail above the checkpoint clock (parallel segment
+	// decode, serial timestamp-ordered apply; recovery.go). The effective
+	// lane count is the larger of the requested count and what the
+	// directory already holds, so lanes never vanish under an existing log.
 	segs, err := scanSegments(walDir)
 	if err != nil {
 		return nil, info, err
 	}
-	validLen, err := s.recoverSegments(segs, info.CheckpointTS, info)
+	lanes := opts.WALLanes
+	if lanes < 1 {
+		lanes = 1
+	}
+	for _, sf := range segs {
+		if sf.lane+1 > lanes {
+			lanes = sf.lane + 1
+		}
+	}
+	validLens, err := s.recoverSegments(segs, info.CheckpointTS, opts.RecoveryWorkers, lanes, info)
 	if err != nil {
 		return nil, info, err
 	}
@@ -202,131 +243,27 @@ func Open(dir string, opts PersistOptions, register func(*Store)) (*Persistent, 
 	}
 	p.lastCkptTS.Store(info.CheckpointTS)
 
-	seg, err := openActiveSegment(walDir, opts.SegmentBytes, segs, validLen, s.clock.Load()+1)
-	if err != nil {
-		return nil, info, err
+	// One active segment per lane, then the group-commit batcher over them.
+	laneSegs := make(map[int][]segmentFile)
+	for _, sf := range segs {
+		laneSegs[sf.lane] = append(laneSegs[sf.lane], sf)
 	}
-	s.attachSegmentedWAL(seg, opts.SyncOnCommit, p.onAppend)
+	wsegs := make([]*walSegments, lanes)
+	for l := 0; l < lanes; l++ {
+		wsegs[l], err = openActiveSegment(walDir, l, opts.SegmentBytes, laneSegs[l], validLens[l], s.clock.Load()+1)
+		if err != nil {
+			return nil, info, err
+		}
+	}
+	mode := opts.WALSync
+	if opts.SyncOnCommit && mode == SyncClose {
+		mode = SyncCommit
+	}
+	s.gwal = newGroupWAL(mode, wsegs, opts.GroupCommitRecords, s.clock.Load(), p.onAppend)
 
 	p.wg.Add(1)
 	go p.checkpointLoop()
 	return p, info, nil
-}
-
-// recoverSegments replays the records of segs (ascending) whose commit
-// timestamps exceed ckptTS. It returns the valid byte length of the last
-// segment (the truncation point for reopening: everything past it is a
-// torn tail). Gaps, CRC failures and torn records anywhere but the tail of
-// the last segment are corruption, reported with the segment's name.
-func (s *Store) recoverSegments(segs []segmentFile, ckptTS int64, info *RecoveryInfo) (int64, error) {
-	validLen := int64(segHeaderSize)
-	if len(segs) == 0 {
-		return validLen, nil
-	}
-	if first := segs[0]; first.firstTS >= 0 && first.firstTS > ckptTS+1 {
-		return 0, fmt.Errorf("%w: segment %s starts at commit %d but checkpoint covers only through %d (missing earlier segments)",
-			ErrCorrupt, filepath.Base(first.path), first.firstTS, ckptTS)
-	}
-	for i, sf := range segs {
-		last := i == len(segs)-1
-		if sf.firstTS < 0 {
-			if last {
-				// Crash remnant from rotation: the header never became
-				// durable, so the segment holds no durable records (rotation
-				// syncs its predecessor first). openActiveSegment recreates
-				// it.
-				return 0, nil
-			}
-			if _, err := readSegHeader(sf.path); err != nil {
-				return 0, err
-			}
-		}
-		// Wholly covered by the checkpoint? Provable from the next header
-		// alone (consecutive commit timestamps).
-		if !last && segs[i+1].firstTS >= 0 && segs[i+1].firstTS <= ckptTS+1 {
-			info.SegmentsSkipped++
-			continue
-		}
-		info.SegmentsScanned++
-		_, clean, err := s.replaySegment(sf, ckptTS, last, info)
-		if err != nil {
-			return 0, err
-		}
-		if last {
-			validLen = clean
-		} else if clean != sf.size {
-			// A torn or unparseable suffix mid-chain cannot be a crash
-			// artifact (rotation fsyncs before the next segment exists):
-			// stop and name the segment rather than replaying past a hole.
-			return 0, fmt.Errorf("%w: segment %s: %d undecodable trailing bytes mid-log (records resume in a later segment)",
-				ErrCorrupt, filepath.Base(sf.path), sf.size-clean)
-		}
-	}
-	if len(segs) > 0 {
-		info.TornBytes = segs[len(segs)-1].size - validLen
-	}
-	return validLen, nil
-}
-
-// errLogGap marks a record whose commit timestamp does not extend the
-// recovered sequence: a missing segment or out-of-order log, never a
-// crash artifact (torn writes cannot produce a CRC-valid record). It is
-// reported as corruption even at the tail of the last segment, where
-// undecodable bytes would merely be truncated.
-var errLogGap = errors.New("log sequence gap")
-
-// replaySegment scans one segment, skipping records at or below ckptTS and
-// applying the rest in order, verifying that applied records carry exactly
-// the next commit timestamp. last marks the final segment of the log,
-// whose tail is allowed to be torn: in flush-on-close mode a power loss
-// can leave the unsynced tail not just short but zero-filled or garbage
-// (filesystem delayed allocation), so any undecodable suffix of the LAST
-// segment — torn header/payload, CRC mismatch, structurally invalid
-// record — ends recovery cleanly at the last valid record instead of
-// failing Open; only a sequence gap (errLogGap) stays fatal there.
-// Returns records applied and the clean length (header included).
-func (s *Store) replaySegment(sf segmentFile, ckptTS int64, last bool, info *RecoveryInfo) (int, int64, error) {
-	f, err := os.Open(sf.path)
-	if err != nil {
-		return 0, 0, err
-	}
-	defer f.Close() //snb:errok read-only replay handle, no durability at stake
-	if _, err := f.Seek(segHeaderSize, 0); err != nil {
-		return 0, 0, err
-	}
-	applied := 0
-	next := sf.firstTS
-	apply := func(payload []byte) error {
-		if len(payload) < 8 {
-			return fmt.Errorf("%w: record shorter than its timestamp", ErrCorrupt)
-		}
-		ts := int64(binary.LittleEndian.Uint64(payload[:8]))
-		if ts != next {
-			return fmt.Errorf("%w: %w: record carries commit %d, expected %d", ErrCorrupt, errLogGap, ts, next)
-		}
-		next++
-		if ts <= ckptTS {
-			info.Skipped++
-			return nil
-		}
-		if want := s.clock.Load() + 1; ts != want {
-			return fmt.Errorf("%w: %w: record commit %d does not extend recovered clock %d", ErrCorrupt, errLogGap, ts, want-1)
-		}
-		if err := s.applyRecord(payload); err != nil {
-			return err
-		}
-		applied++
-		info.Replayed++
-		return nil
-	}
-	n, clean, err := scanRecords(bufio.NewReaderSize(f, 1<<16), apply)
-	if err != nil {
-		if last && errors.Is(err, ErrCorrupt) && !errors.Is(err, errLogGap) {
-			return applied, segHeaderSize + clean, nil // undecodable tail: truncate
-		}
-		return applied, 0, fmt.Errorf("segment %s: record %d: %w", filepath.Base(sf.path), n+1, err)
-	}
-	return applied, segHeaderSize + clean, nil
 }
 
 // removeStaleTemps deletes checkpoint temp files left by a crash between
@@ -345,8 +282,8 @@ func removeStaleTemps(dir string) {
 }
 
 // onAppend is the WAL append hook: account the record and wake the
-// background checkpointer when a trigger threshold is crossed. Runs under
-// the WAL mutex — cheap atomics and a non-blocking send only.
+// background checkpointer when a trigger threshold is crossed. Runs on the
+// lane flusher goroutines — cheap atomics and a non-blocking send only.
 func (p *Persistent) onAppend(n int) {
 	p.walBytes.Add(int64(n))
 	b := p.bytesSince.Add(int64(n))
@@ -478,34 +415,27 @@ func (p *Persistent) Stats() PersistStats {
 		WALBytes:         p.walBytes.Load(),
 		SegmentsRemoved:  p.segsRemoved.Load(),
 	}
-	if w := p.Store.wal; w != nil {
-		w.mu.Lock()
-		if w.seg != nil {
-			st.WALRotations = w.seg.rotations
-		}
-		w.mu.Unlock()
+	if gw := p.Store.gwal; gw != nil {
+		st.WALRotations = gw.rotationCount()
+		st.Fsyncs = gw.fsyncs.Load()
+		st.Batches = gw.batches.Load()
+		st.BatchedRecords = gw.batched.Load()
 	}
 	return st
 }
 
-// Close stops the background checkpointer, flushes and fsyncs the WAL and
-// closes the active segment: a clean shutdown, after which Open recovers
-// every committed transaction. Close does not checkpoint — call Checkpoint
-// first when the next Open should skip tail replay. Idempotent.
+// Close stops the background checkpointer, drains and fsyncs every WAL
+// lane and closes the active segments: a clean shutdown, after which Open
+// recovers every committed transaction. Close does not checkpoint — call
+// Checkpoint first when the next Open should skip tail replay. Idempotent.
 func (p *Persistent) Close() error {
 	if !p.closed.CompareAndSwap(false, true) {
 		return nil
 	}
 	close(p.stop)
 	p.wg.Wait()
-	w := p.Store.wal
-	if w == nil {
-		return nil
+	if gw := p.Store.gwal; gw != nil {
+		return gw.close()
 	}
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	if w.seg == nil {
-		return w.w.Flush()
-	}
-	return w.seg.close(w.w)
+	return nil
 }

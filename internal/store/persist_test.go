@@ -586,6 +586,11 @@ func TestCheckpointTruncatesSegments(t *testing.T) {
 	for step := 1; step <= 8; step++ {
 		pop = randomGraphStep(t, p.Store, rl, pop, step)
 	}
+	// Drain the group-commit batcher so every record (and its rotations)
+	// has reached the directory before counting segments.
+	if err := p.Store.FlushWAL(); err != nil {
+		t.Fatal(err)
+	}
 	before, _ := scanSegments(filepath.Join(dir, "wal"))
 	if len(before) < 3 {
 		t.Fatalf("want >=3 segments before checkpoint, got %d", len(before))

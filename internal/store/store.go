@@ -77,8 +77,11 @@ type Store struct {
 	viewOverflows atomic.Int64
 
 	// wal, when attached, receives a redo record per committed
-	// transaction, in commit order (appends happen under commitMu).
-	wal *walWriter
+	// transaction, in commit order (appends happen under commitMu). gwal
+	// is the durable path's group-commit batcher (groupcommit.go); at most
+	// one of the two is set, and gwal wins when both are.
+	wal  *walWriter
+	gwal *groupWAL
 }
 
 // New returns an empty store. The store is unpublished until New returns,

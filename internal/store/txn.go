@@ -372,6 +372,13 @@ func (tx *Txn) Abort() {
 // Commit validates and installs the transaction's writes atomically,
 // returning ErrConflict under first-committer-wins validation failure and
 // ErrExists if a created node ID was concurrently taken.
+//
+// The critical section under commitMu is short: validate, install, claim
+// the commit timestamp and serialise the redo record into its WAL lane's
+// pending buffer. The durability wait — in fsync-on-commit mode — happens
+// after commitMu is released, parked on the group-commit batcher's
+// watermark, so concurrent committers share fsyncs instead of serialising
+// behind them (groupcommit.go).
 func (tx *Txn) Commit() error {
 	if tx.done {
 		return errors.New("store: transaction finished")
@@ -383,7 +390,28 @@ func (tx *Txn) Commit() error {
 	}
 	s := tx.s
 	s.commitMu.Lock()
-	defer s.commitMu.Unlock()
+	ts, err := tx.commitLocked()
+	s.commitMu.Unlock()
+	if err != nil {
+		return err
+	}
+	if s.gwal != nil && s.gwal.mode == SyncCommit {
+		// fsync-on-commit: the record is durable before Commit returns.
+		// Readers may observe the transaction before the fsync lands (the
+		// clock advanced inside the critical section), matching the
+		// pre-batching visibility order of concurrent commits.
+		if werr := s.gwal.waitDurable(ts); werr != nil {
+			return fmt.Errorf("store: commit logged partially: %w", werr)
+		}
+	}
+	return nil
+}
+
+// commitLocked runs Commit's critical section under commitMu: validation,
+// installation, timestamp claim and WAL deposit. It returns the claimed
+// commit timestamp (0 when validation failed).
+func (tx *Txn) commitLocked() (int64, error) {
+	s := tx.s
 
 	// Validation.
 	for id := range tx.newNodes {
@@ -393,7 +421,7 @@ func (tx *Txn) Commit() error {
 		sh.mu.RUnlock()
 		if exists {
 			s.aborts.Add(1)
-			return fmt.Errorf("%w: %v", ErrExists, id)
+			return 0, fmt.Errorf("%w: %v", ErrExists, id)
 		}
 	}
 	for _, set := range tx.propSets {
@@ -409,7 +437,7 @@ func (tx *Txn) Commit() error {
 		sh.mu.RUnlock()
 		if conflict {
 			s.aborts.Add(1)
-			return fmt.Errorf("%w: node %v", ErrConflict, set.id)
+			return 0, fmt.Errorf("%w: node %v", ErrConflict, set.id)
 		}
 	}
 
@@ -457,20 +485,51 @@ func (tx *Txn) Commit() error {
 	// but here we tolerate missing peers by creating bare records so the
 	// adjacency stays navigable (mirrors how column stores keep FK rows).
 	for _, pe := range tx.newEdges {
-		tx.installEdge(delta, pe.from, pe.t, pe.to, pe.stamp, ts, false)
+		s.installEdge(delta, pe.from, pe.t, pe.to, pe.stamp, ts, false)
 		if pe.sym {
-			tx.installEdge(delta, pe.to, pe.t, pe.from, pe.stamp, ts, false)
+			s.installEdge(delta, pe.to, pe.t, pe.from, pe.stamp, ts, false)
 		} else {
-			tx.installEdge(delta, pe.to, pe.t, pe.from, pe.stamp, ts, true)
+			s.installEdge(delta, pe.to, pe.t, pe.from, pe.stamp, ts, true)
 		}
 	}
 
 	// Edge deletions: tombstone the newest live match and its mirror.
 	for _, pd := range tx.edgeDels {
-		tx.applyDelete(delta, pd, ts)
+		s.applyDelete(delta, pd, ts)
 	}
 
 	// Secondary index maintenance for created nodes.
+	s.indexNewNodes(created)
+
+	// Record the view-maintenance delta before the clock advances so a
+	// refresh observing the new watermark always finds its deltas.
+	s.recordDelta(delta)
+
+	// Hand the redo record to its WAL lane before publishing the commit
+	// (still under commitMu, so deposits preserve commit order — the
+	// invariant behind the durability watermark). The plain io.Writer WAL
+	// keeps the direct synchronous append.
+	if s.gwal != nil {
+		s.gwal.deposit(ts, created, tx.propSets, tx.newEdges, tx.edgeDels)
+	} else if s.wal != nil {
+		if err := s.logCommit(ts, created, tx.propSets, tx.newEdges, tx.edgeDels); err != nil {
+			// The in-memory install already happened; surface the log
+			// failure but keep the store consistent.
+			s.clock.Store(ts)
+			s.commits.Add(1)
+			return ts, fmt.Errorf("store: commit logged partially: %w", err)
+		}
+	}
+
+	// Advance the watermark: the transaction becomes visible atomically.
+	s.clock.Store(ts)
+	s.commits.Add(1)
+	return ts, nil
+}
+
+// indexNewNodes inserts created nodes into the registered secondary
+// indexes. Shared by Commit and recovery's lean replay (recovery.go).
+func (s *Store) indexNewNodes(created []*pendingNode) {
 	for _, n := range created {
 		for _, oi := range s.ordered {
 			if oi.kind != n.id.Kind() {
@@ -493,41 +552,23 @@ func (tx *Txn) Commit() error {
 			}
 		}
 	}
-
-	// Record the view-maintenance delta before the clock advances so a
-	// refresh observing the new watermark always finds its deltas.
-	s.recordDelta(delta)
-
-	// Append the redo record before publishing the commit (still under
-	// commitMu, so the log preserves commit order).
-	if s.wal != nil {
-		if err := s.logCommit(ts, created, tx.propSets, tx.newEdges, tx.edgeDels); err != nil {
-			// The in-memory install already happened; surface the log
-			// failure but keep the store consistent.
-			s.clock.Store(ts)
-			s.commits.Add(1)
-			return fmt.Errorf("store: commit logged partially: %w", err)
-		}
-	}
-
-	// Advance the watermark: the transaction becomes visible atomically.
-	s.clock.Store(ts)
-	s.commits.Add(1)
-	return nil
 }
 
 // installEdge appends one adjacency entry; reverse=true stores it in the
 // peer's in-list instead of the out-list. The install is mirrored into the
 // commit delta, including any bare node record materialised for a missing
-// endpoint.
-func (tx *Txn) installEdge(delta *CommitDelta, from ids.ID, t EdgeType, to ids.ID, stamp, ts int64, reverse bool) {
-	sh := tx.s.shardFor(from)
+// endpoint; recovery's lean replay passes delta == nil (no cached view
+// exists to maintain).
+func (s *Store) installEdge(delta *CommitDelta, from ids.ID, t EdgeType, to ids.ID, stamp, ts int64, reverse bool) {
+	sh := s.shardFor(from)
 	sh.mu.Lock()
 	rec := sh.nodes[from]
 	if rec == nil {
 		rec = &nodeRec{id: from, versions: []nodeVersion{{commit: ts, props: nil}}}
 		sh.nodes[from] = rec
-		delta.nodes = append(delta.nodes, deltaNode{id: from})
+		if delta != nil {
+			delta.nodes = append(delta.nodes, deltaNode{id: from})
+		}
 	}
 	if reverse {
 		rec.adj.in[t] = append(rec.adj.in[t], edgeRec{peer: to, stamp: stamp, commit: ts})
@@ -535,15 +576,17 @@ func (tx *Txn) installEdge(delta *CommitDelta, from ids.ID, t EdgeType, to ids.I
 		rec.adj.out[t] = append(rec.adj.out[t], edgeRec{peer: to, stamp: stamp, commit: ts})
 	}
 	sh.mu.Unlock()
-	delta.edges = append(delta.edges, deltaEdge{owner: from, peer: to, stamp: stamp, t: t, in: reverse})
+	if delta != nil {
+		delta.edges = append(delta.edges, deltaEdge{owner: from, peer: to, stamp: stamp, t: t, in: reverse})
+	}
 }
 
 // applyDelete tombstones the newest live from->to edge of one type plus its
 // counterpart on the peer: the reverse-adjacency entry for directed edges,
 // or the mirrored out-entry for symmetric (knows) edges — identified by
 // sharing the original insertion's commit timestamp. A miss is a no-op.
-func (tx *Txn) applyDelete(delta *CommitDelta, pd pendingDel, ts int64) {
-	s := tx.s
+// delta may be nil (recovery's lean replay).
+func (s *Store) applyDelete(delta *CommitDelta, pd pendingDel, ts int64) {
 	var matchCommit, matchStamp int64
 	found := false
 	sh := s.shardFor(pd.from)
@@ -563,14 +606,18 @@ func (tx *Txn) applyDelete(delta *CommitDelta, pd pendingDel, ts int64) {
 	if !found {
 		return
 	}
-	delta.dels = append(delta.dels, deltaDel{owner: pd.from, peer: pd.to, stamp: matchStamp, t: pd.t, in: false})
+	if delta != nil {
+		delta.dels = append(delta.dels, deltaDel{owner: pd.from, peer: pd.to, stamp: matchStamp, t: pd.t, in: false})
+	}
 
 	sh = s.shardFor(pd.to)
 	sh.mu.Lock()
 	if rec := sh.nodes[pd.to]; rec != nil {
 		if e, in := mirrorEdge(rec, pd.t, pd.from, matchCommit); e != nil {
 			e.del = ts
-			delta.dels = append(delta.dels, deltaDel{owner: pd.to, peer: pd.from, stamp: e.stamp, t: pd.t, in: in})
+			if delta != nil {
+				delta.dels = append(delta.dels, deltaDel{owner: pd.to, peer: pd.from, stamp: e.stamp, t: pd.t, in: in})
+			}
 		}
 	}
 	sh.mu.Unlock()

@@ -31,27 +31,15 @@ import (
 //	prop    := key:u8 valKind:u8 (int:u64 | len:u32 bytes)
 //
 // The log has two sinks. AttachWAL streams records to one caller-owned
-// io.Writer (tests, ablations, piping to external storage); the durable
-// path (Open in persist.go) attaches a segmented, file-backed sink
-// (segment.go) that rotates the stream into numbered segment files and
-// supports fsync barriers and checkpoint truncation.
+// io.Writer through this walWriter (tests, ablations, piping to external
+// storage); the durable path (Open in persist.go) instead wires the
+// group-commit batcher (groupcommit.go), which coalesces records into
+// per-lane segmented files (segment.go) with batched fsync barriers and
+// checkpoint truncation.
 type walWriter struct {
 	mu  sync.Mutex
 	w   *bufio.Writer
 	buf []byte // guarded by mu; pooled record-assembly scratch
-
-	// seg is the file-backed segmented sink; nil when the WAL streams to a
-	// plain io.Writer. lastTS tracks the newest appended record's commit
-	// timestamp so explicit rotation can stamp the next segment's firstTS
-	// without racing the commit clock.
-	seg    *walSegments
-	lastTS int64 // guarded by mu
-	// syncEvery makes every append an fsync barrier (fsync-on-commit);
-	// onAppend, when set, observes each appended record's size after a
-	// successful append (the checkpoint trigger hook). Both only apply to
-	// segmented WALs.
-	syncEvery bool
-	onAppend  func(recBytes int)
 }
 
 // ErrCorrupt reports a CRC mismatch mid-log (not a clean torn tail).
@@ -70,29 +58,17 @@ func (s *Store) AttachWAL(w io.Writer) {
 	s.wal = &walWriter{w: bufio.NewWriterSize(w, 1<<16)}
 }
 
-// attachSegmentedWAL directs commit redo records to a file-backed segmented
-// sink (see Open). syncEvery selects fsync-on-commit; onAppend, when
-// non-nil, is called with each record's size after a successful append —
-// under the WAL mutex, so it must be cheap and must not call back into the
-// store.
-func (s *Store) attachSegmentedWAL(seg *walSegments, syncEvery bool, onAppend func(int)) {
-	s.wal = &walWriter{
-		w:         bufio.NewWriterSize(seg.f, 1<<16),
-		seg:       seg,
-		lastTS:    s.clock.Load(),
-		syncEvery: syncEvery,
-		onAppend:  onAppend,
-	}
-}
-
 // FlushWAL flushes buffered log records to the underlying writer (the
-// attached io.Writer, or the active segment file).
+// attached io.Writer, or every lane's active segment file).
 //
 // Durability guarantee: flushed records have left the process but are NOT
 // fsynced — after FlushWAL a crash of the process cannot lose them, but a
-// crash of the machine can. SyncWAL (or PersistOptions.SyncOnCommit) adds
-// the fsync barrier.
+// crash of the machine can. SyncWAL (or PersistOptions.WALSync=SyncCommit)
+// adds the fsync barrier.
 func (s *Store) FlushWAL() error {
+	if s.gwal != nil {
+		return s.gwal.barrier(laneBarrier{flush: true})
+	}
 	if s.wal == nil {
 		return nil
 	}
@@ -102,37 +78,33 @@ func (s *Store) FlushWAL() error {
 }
 
 // SyncWAL flushes buffered log records and, on a segmented file-backed WAL,
-// fsyncs the active segment: when it returns nil, every commit that
-// completed before the call is durable on disk. On a plain io.Writer WAL it
-// is equivalent to FlushWAL (the store cannot fsync a writer it does not
-// own).
+// fsyncs every lane's active segment: when it returns nil, every commit
+// that completed before the call is durable on disk. On a plain io.Writer
+// WAL it is equivalent to FlushWAL (the store cannot fsync a writer it
+// does not own).
 func (s *Store) SyncWAL() error {
+	if s.gwal != nil {
+		return s.gwal.barrier(laneBarrier{sync: true})
+	}
 	if s.wal == nil {
 		return nil
 	}
 	s.wal.mu.Lock()
 	defer s.wal.mu.Unlock()
-	if s.wal.seg != nil {
-		return s.wal.seg.sync(s.wal.w)
-	}
 	return s.wal.w.Flush()
 }
 
-// rotateWAL seals the active WAL segment and opens the next one, so that
-// every previously logged record lives in a sealed (immutable, fsynced)
-// segment. Used by the checkpointer: a checkpoint taken after rotation
-// covers every sealed segment, making them truncatable. No-op when the WAL
-// is not segmented or the active segment is still empty.
+// rotateWAL seals every lane's active WAL segment and opens the next one,
+// so that every previously logged record lives in a sealed (immutable,
+// fsynced) segment. Used by the checkpointer: a checkpoint taken after
+// rotation covers every sealed segment, making them truncatable. No-op
+// when the WAL is not segmented; a lane whose active segment is still
+// empty keeps it.
 func (s *Store) rotateWAL() error {
-	if s.wal == nil || s.wal.seg == nil {
+	if s.gwal == nil {
 		return nil
 	}
-	s.wal.mu.Lock()
-	defer s.wal.mu.Unlock()
-	if s.wal.seg.size <= segHeaderSize {
-		return nil
-	}
-	return s.wal.seg.rotate(s.wal.w, s.wal.lastTS+1)
+	return s.gwal.barrier(laneBarrier{rotate: true})
 }
 
 func appendU16(b []byte, v uint16) []byte { return append(b, byte(v), byte(v>>8)) }
@@ -163,22 +135,18 @@ func appendProp(b []byte, p Prop) []byte {
 	return b
 }
 
-// logCommit serialises one committed transaction. Called under commitMu,
-// so records land in commit order.
-//
-// The whole record — 8-byte length/CRC header plus payload — is assembled
-// in the writer's pooled buffer, with the header patched in once the
-// payload is complete. One commit therefore costs a single buffered Write
-// and zero allocations once the buffer has warmed to the largest record
-// size (wal_test.go pins this; BenchmarkWALLogCommit tracks it with
-// -benchmem).
+// appendCommitRecord serialises one committed transaction onto b — 8-byte
+// length/CRC header plus payload, header patched in once the payload is
+// complete — and returns the grown slice. It is the single encoder shared
+// by the plain walWriter (logCommit) and the group-commit batcher
+// (deposit): both sinks emit byte-identical records. Appending into a
+// caller-pooled buffer keeps the hot commit path allocation-free once the
+// buffer has warmed to the largest record size.
 //
 //snb:noalloc
-func (s *Store) logCommit(ts int64, created []*pendingNode, sets []pendingProp, edges []pendingEdge, dels []pendingDel) error {
-	w := s.wal
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	b := append(w.buf[:0], 0, 0, 0, 0, 0, 0, 0, 0) // header placeholder
+func appendCommitRecord(buf []byte, ts int64, created []*pendingNode, sets []pendingProp, edges []pendingEdge, dels []pendingDel) []byte {
+	start := len(buf)
+	b := append(buf, 0, 0, 0, 0, 0, 0, 0, 0) // header placeholder
 	b = appendU64(b, uint64(ts))
 	b = appendU32(b, uint32(len(created)+len(sets)+len(edges)+len(dels)))
 	for _, n := range created {
@@ -212,37 +180,27 @@ func (s *Store) logCommit(ts int64, created []*pendingNode, sets []pendingProp, 
 		b = append(b, byte(d.t))
 		b = appendU64(b, uint64(d.to))
 	}
-	w.buf = b
+	payload := b[start+8:]
+	binary.LittleEndian.PutUint32(b[start:start+4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(b[start+4:start+8], crc32.ChecksumIEEE(payload))
+	return b
+}
 
-	payload := b[8:]
-	binary.LittleEndian.PutUint32(b[0:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(b[4:8], crc32.ChecksumIEEE(payload))
-	if w.seg != nil {
-		// Rotate before the append so a record never spans two segments;
-		// the incoming record's timestamp becomes the new segment's firstTS.
-		if err := w.seg.maybeRotate(w.w, int64(len(b)), ts); err != nil {
-			return err
-		}
-	}
-	if _, err := w.w.Write(b); err != nil {
-		return err
-	}
-	w.lastTS = ts
-	if w.seg != nil {
-		w.seg.size += int64(len(b))
-		if w.syncEvery {
-			// fsync-on-commit: the record is durable before Commit returns
-			// (the commit clock has not advanced yet, so no reader observes
-			// a transaction that a crash could lose).
-			if err := w.seg.sync(w.w); err != nil {
-				return err
-			}
-		}
-	}
-	if w.onAppend != nil {
-		w.onAppend(len(b))
-	}
-	return nil
+// logCommit serialises one committed transaction to the plain attached
+// writer. Called under commitMu, so records land in commit order. One
+// commit costs a single buffered Write and zero allocations once the
+// pooled buffer has warmed (wal_test.go pins this; BenchmarkWALLogCommit
+// tracks it with -benchmem).
+//
+//snb:noalloc
+func (s *Store) logCommit(ts int64, created []*pendingNode, sets []pendingProp, edges []pendingEdge, dels []pendingDel) error {
+	w := s.wal
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	b := appendCommitRecord(w.buf[:0], ts, created, sets, edges, dels)
+	w.buf = b
+	_, err := w.w.Write(b)
+	return err
 }
 
 // Recover replays a WAL into the store (which must be freshly constructed,

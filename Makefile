@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race lint bench bench-bi bench-recovery bench-mem bench-write bench-smoke docs-check
+.PHONY: check fmt vet build test race lint bench bench-bi bench-recovery bench-mem bench-write bench-serve bench-smoke serve-smoke docs-check
 
 check: fmt vet build test lint
 
@@ -108,6 +108,24 @@ bench-write:
 		-note "durable commit throughput: N concurrent writers of minimal insert transactions per WAL sync mode; commits/s is throughput, fsyncs/commit the group-commit amortisation (acceptance bar < 0.3 at sync=commit/writers=8 on a multi-core host; single-core containers schedule writers and flushers on one CPU, so batching and the bar are understated there), recs/batch the mean batch size; lanes=N stripes the WAL over independent flusher lanes; regenerate with \`make bench-write\`" \
 		< $(BENCH_TMP)
 	@rm -f $(BENCH_TMP)
+
+# The serving layer end to end: an in-process server and an open-loop
+# Poisson client at a steady rate, at 2x rate against small gates
+# (overload), and through deliberate frame drop/garbage faults, emitted
+# as BENCH_serve.json. Percentiles are client-observed complex-read
+# latency; shed/timeout/retry counts record the degradation behavior.
+bench-serve:
+	$(GO) test ./internal/bench/ -run xxx -bench 'BenchmarkServe' -benchtime 2000x > $(BENCH_TMP)
+	$(GO) run ./cmd/benchjson -out BENCH_serve.json \
+		-note "serving layer end to end: open-loop Poisson client against an in-process server, ~2000 arrivals per variant; steady runs inside capacity with default gates, overload doubles the rate against small admission gates (100ms deadlines), faulty drops every 31st frame mid-write and garbles every 47th; p50/p99/p999-us are client-observed complex-read latencies, ok/shed/timeouts/dropped/retries the outcome counts (single-core hosts serialize handlers in the scheduler, so overload sheds are understated there — the shed contract is pinned by internal/server wire tests); regenerate with \`make bench-serve\`" \
+		< $(BENCH_TMP)
+	@rm -f $(BENCH_TMP)
+
+# The serving layer's leak-and-fault gate under the race detector: an
+# open-loop run through drop/garbage/stall faults plus a clean drain,
+# asserting the goroutine count returns to baseline (wired into CI).
+serve-smoke:
+	$(GO) test -race ./internal/server/... -run 'TestServeSmokeGoroutineLeak' -count=1
 
 # One short iteration of every query benchmark on every path (Interactive
 # txn/view plus the BI serial/parallel sweep, the recovery comparison and

@@ -45,6 +45,22 @@
 // clients issuing small insert transactions back to back, reported as an
 // end-to-end commit-latency bucket (the group-commit pipeline's metric).
 //
+// SIGINT/SIGTERM interrupt a run gracefully: read, write and BI lanes
+// stop at their next operation boundary, started update transactions
+// finish (so dependency holds release), and durable mode still runs the
+// clean-shutdown path — final checkpoint, group-commit lanes flushed, WAL
+// synced — so everything Commit acknowledged before the signal survives
+// recovery.
+//
+// # Serve mode
+//
+// -serve-addr turns snb-run into the open-loop network driver for a
+// snb-serve instance: no local dataset or store is built; requests are
+// issued over the wire on a Poisson schedule at -arrival-rate requests/s
+// for -serve-duration (the paper's scheduled-start-time driver model),
+// with retry/backoff honoring the server's RETRY_AFTER hints, and the
+// report prints per-class p50/p99/p999 plus shed/timeout/retry counts.
+//
 // Usage:
 //
 //	snb-run -sf 0.05 [-streams 4] [-readclients 2] [-pertype 3] [-uniform] [-readpath txn|view]
@@ -52,20 +68,27 @@
 //	        [-data-dir DIR] [-wal-sync none|flush|commit] [-wal-lanes N] [-wal-batch N]
 //	        [-wal-segment-bytes N] [-checkpoint-bytes N] [-checkpoint-commits N]
 //	        [-write-clients N] [-write-ops N]
+//	snb-run -serve-addr HOST:PORT -arrival-rate N [-serve-duration DUR]
+//	        [-serve-deadline MS] [-serve-retries N] [-serve-inflight N]
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
+	"time"
 
 	"ldbcsnb/internal/bench"
 	"ldbcsnb/internal/datagen"
 	"ldbcsnb/internal/driver"
 	"ldbcsnb/internal/schema"
+	"ldbcsnb/internal/server/client"
 	"ldbcsnb/internal/store"
 )
 
@@ -161,8 +184,25 @@ func main() {
 		"dedicated write-lane clients issuing small insert transactions (0 = lane disabled)")
 	writeOps := flag.Int("write-ops", 0,
 		"commits per write-lane client (0 = 100)")
+	serveAddr := flag.String("serve-addr", "",
+		"serve mode: drive a snb-serve instance at HOST:PORT with the open-loop client instead of running locally")
+	arrivalRate := flag.Float64("arrival-rate", 0,
+		"serve mode: target Poisson arrival rate in requests/second (required with -serve-addr)")
+	serveDuration := flag.Duration("serve-duration", 10*time.Second,
+		"serve mode: issuing window")
+	serveDeadline := flag.Uint("serve-deadline", 0,
+		"serve mode: per-request deadline in ms sent on the wire (0 = server default)")
+	serveRetries := flag.Int("serve-retries", 3,
+		"serve mode: max retries per request after shed or transport failure")
+	serveInflight := flag.Int("serve-inflight", 0,
+		"serve mode: max outstanding requests; arrivals beyond it are dropped (0 = 256)")
 	flag.Parse()
 
+	if *serveAddr != "" {
+		runServeMode(*serveAddr, *arrivalRate, *serveDuration, uint32(*serveDeadline),
+			*serveRetries, *serveInflight, *seed)
+		return
+	}
 	if *readPath != driver.ReadPathView && *readPath != driver.ReadPathTxn {
 		log.Fatalf("invalid -readpath %q (want %q or %q)", *readPath, driver.ReadPathView, driver.ReadPathTxn)
 	}
@@ -246,11 +286,19 @@ func main() {
 		fmt.Printf("view compaction threshold: %d overlay entries\n", *compactThreshold)
 	}
 
+	// Graceful shutdown: SIGINT/SIGTERM cancel the run's context; the
+	// driver lanes stop at their next operation boundary and control falls
+	// through to the clean-shutdown path below (checkpoint, flush, close),
+	// so an interrupted durable run keeps every acknowledged commit.
+	sigCtx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	updates := env.Updates
 	if recovered {
 		updates = nil
 	}
 	mixed := driver.MixedConfig{
+		Ctx:            sigCtx,
 		Store:          env.Store,
 		Dataset:        env.Full,
 		Updates:        updates,
@@ -276,6 +324,12 @@ func main() {
 			*writeClients, syncMode, *walLanes)
 	}
 	rep := driver.RunMixed(mixed)
+	// Stop relaying signals: a second ^C during shutdown kills the process
+	// the default way instead of being swallowed.
+	stopSignals()
+	if rep.Interrupted {
+		fmt.Println("\ninterrupted by signal: lanes stopped at operation boundaries; partial results follow")
+	}
 
 	fmt.Println()
 	fmt.Print(bench.Table6(rep).Render())
@@ -336,4 +390,51 @@ func main() {
 	if rep.Errors > 0 {
 		os.Exit(1)
 	}
+}
+
+// runServeMode drives a remote snb-serve instance with the open-loop
+// Poisson generator and prints the per-class latency/outcome report.
+func runServeMode(addr string, rate float64, duration time.Duration, deadlineMs uint32,
+	retries, inflight int, seed uint64) {
+	if rate <= 0 {
+		log.Fatal("serve mode needs -arrival-rate > 0")
+	}
+	fmt.Printf("open-loop driver: %s at %.0f req/s for %v (deadline %dms, retries %d)\n",
+		addr, rate, duration, deadlineMs, retries)
+	rep, err := client.RunOpenLoop(client.LoadConfig{
+		Client: client.Options{
+			Addr:     addr,
+			RetryMax: retries,
+			Seed:     seed,
+		},
+		Rate:        rate,
+		Duration:    duration,
+		MaxInFlight: inflight,
+		DeadlineMs:  deadlineMs,
+		Seed:        seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println()
+	fmt.Printf("%-8s %8s %8s %8s %8s %8s %10s %10s %10s\n",
+		"class", "issued", "ok", "shed", "timeout", "failed", "p50", "p99", "p999")
+	for i := range rep.Classes {
+		cs := &rep.Classes[i]
+		if cs.Issued == 0 {
+			continue
+		}
+		fmt.Printf("%-8s %8d %8d %8d %8d %8d %10v %10v %10v\n",
+			cs.Name, cs.Issued, cs.OK, cs.Shed, cs.Timeout, cs.Failed+cs.Errors,
+			cs.Latency.Percentile(50).Round(time.Microsecond),
+			cs.Latency.Percentile(99).Round(time.Microsecond),
+			cs.Latency.Percentile(99.9).Round(time.Microsecond))
+	}
+	fmt.Println()
+	fmt.Printf("achieved %.0f req/s over %v (target %.0f); %d dropped at the generator\n",
+		rep.Rate, rep.Elapsed.Round(time.Millisecond), rep.Target, rep.Dropped)
+	c := rep.Client
+	fmt.Printf("transport: %d retries, %d failed attempts, %d gave up, %d faults injected\n",
+		c.Retries, c.Transport, c.GaveUp, c.FaultsInjected)
 }

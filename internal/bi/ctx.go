@@ -1,0 +1,21 @@
+package bi
+
+import (
+	"context"
+
+	"ldbcsnb/internal/store"
+	"ldbcsnb/internal/workload"
+)
+
+// RunViewCtx executes the BI query serially on the view path under ctx:
+// cancellation or deadline expiry aborts the scan at the next cooperative
+// check in the view's read entry points and returns
+// store.ErrQueryCanceled. The serving layer's BI lane uses this hook; the
+// morsel-parallel path (RunPar) stays uncancellable — a cancellable view
+// must not be shared across workers — and is reserved for in-process
+// analytics that own their runtime.
+func (sp *Spec) RunViewCtx(ctx context.Context, v *store.SnapshotView, sc *workload.Scratch, p Params) (res Result, err error) {
+	defer store.CatchCanceled(&err)
+	res = sp.RunView(v.WithCancel(ctx), sc, p)
+	return res, err
+}

@@ -1,6 +1,7 @@
 package driver
 
 import (
+	"context"
 	"sync"
 	"time"
 
@@ -85,6 +86,15 @@ type MixedConfig struct {
 	// WriteOps is the number of commits each write client performs
 	// (0 = 100).
 	WriteOps int
+	// Ctx, when non-nil, cancels the run: every lane (update streams, read
+	// clients, BI clients, write clients) stops at its next operation
+	// boundary once Ctx is done, and the report's Interrupted flag is set.
+	// Cancellation never weakens durability — an update stream abandons
+	// its remaining schedule but finishes the operation in flight, so
+	// "Commit returned ⇒ durable" holds for everything the report counts
+	// (snb-run's SIGINT/SIGTERM handler relies on this to shut down
+	// cleanly mid-run).
+	Ctx context.Context
 }
 
 // MixedReport is the outcome of a mixed run: the per-query latency tables
@@ -130,6 +140,10 @@ type MixedReport struct {
 	Persist      *store.PersistStats
 	FinalSync    time.Duration
 	FinalSyncErr error
+	// Interrupted reports that MixedConfig.Ctx was canceled before the
+	// workload drained: the latency tables cover only the operations that
+	// ran, and every counted commit is still durable.
+	Interrupted bool
 }
 
 // numQ11Countries bounds the Q11 country parameter draw (the dict's
@@ -187,6 +201,16 @@ func prepareParams(cfg *MixedConfig) *workload.ParamPools {
 	return pp
 }
 
+// PreparePools runs the parameter-curation pipeline (§4.1) over a dataset
+// and returns the pools, for callers outside the mixed run — the serving
+// layer binds per-request parameters from the same curated pools the
+// in-process driver uses, so served and in-process executions draw from
+// one distribution.
+func PreparePools(ds *schema.Dataset, seed uint64, uniform bool) *workload.ParamPools {
+	cfg := MixedConfig{Dataset: ds, Seed: seed, UniformParams: uniform}
+	return prepareParams(&cfg)
+}
+
 func simEndOf(d *schema.Dataset) int64 {
 	var end int64
 	for i := range d.Posts {
@@ -220,6 +244,25 @@ func RunMixed(cfg MixedConfig) *MixedReport {
 	rep := &MixedReport{}
 	var mu sync.Mutex // guards rep during concurrent execution
 
+	// Cancellation plumbing: every lane polls canceled() at its operation
+	// boundaries. A nil Ctx yields a nil done channel, which never selects
+	// — the poll is then one nil comparison.
+	var done <-chan struct{}
+	if cfg.Ctx != nil {
+		done = cfg.Ctx.Done()
+	}
+	canceled := func() bool {
+		select {
+		case <-done:
+			mu.Lock()
+			rep.Interrupted = true
+			mu.Unlock()
+			return true
+		default:
+			return false
+		}
+	}
+
 	start := time.Now()
 
 	// Update streams run exactly as in Run, while read clients interleave.
@@ -240,6 +283,13 @@ func RunMixed(cfg MixedConfig) *MixedReport {
 				defer wg.Done()
 				lds := gds.Stream(idx)
 				for j := range streams[idx] {
+					// A canceled stream abandons its remaining schedule but
+					// never an operation in flight; the lds.Finish below
+					// releases its dependency hold so sibling streams parked
+					// in WaitUntil drain instead of deadlocking.
+					if canceled() {
+						break
+					}
 					op := &streams[idx][j]
 					isDep := op.Type == schema.UpdateAddPerson
 					if isDep {
@@ -306,6 +356,9 @@ func RunMixed(cfg MixedConfig) *MixedReport {
 				mu.Unlock()
 			}
 			for si := client; si < len(schedule); si += cfg.ReadClients {
+				if canceled() {
+					break
+				}
 				q := schedule[si]
 				spec := &workload.Complex[q-1]
 				p := spec.Bind(qp, r)
@@ -372,6 +425,9 @@ func RunMixed(cfg MixedConfig) *MixedReport {
 		go func(client int) {
 			defer wg.Done()
 			for op := 0; op < writeOps; op++ {
+				if canceled() {
+					break
+				}
 				idx := client*writeOps + op
 				id := ids.Compose(ids.KindPerson, writeLaneBucket+int64(idx>>16), uint32(idx&0xffff))
 				t0 := time.Now()
@@ -404,6 +460,9 @@ func RunMixed(cfg MixedConfig) *MixedReport {
 			sc := workload.NewScratch()
 			for round := 0; round < biRounds; round++ {
 				for q := range bi.Registry {
+					if canceled() {
+						return
+					}
 					spec := &bi.Registry[q]
 					p := spec.Bind(qp, r)
 					if readTxn {

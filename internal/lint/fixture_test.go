@@ -35,7 +35,7 @@ func stdExportMap(t *testing.T) map[string]string {
 	t.Helper()
 	stdExportsOnce.Do(func() {
 		pkgs, err := goList(".",
-			"errors", "fmt", "io", "math/rand", "os", "runtime",
+			"errors", "fmt", "io", "math/rand", "net", "os", "runtime",
 			"sort", "strings", "sync", "sync/atomic", "time")
 		if err != nil {
 			stdExportsErr = err
@@ -195,4 +195,4 @@ func TestViewAlias(t *testing.T)     { runFixture(t, ViewAlias, "viewalias", "a"
 func TestLockGuard(t *testing.T)     { runFixture(t, LockGuard, "lockguard", "a") }
 func TestPubFreeze(t *testing.T)     { runFixture(t, PubFreeze, "pubfreeze", "a") }
 func TestDeterministic(t *testing.T) { runFixture(t, Deterministic, "deterministic", "a") }
-func TestSyncErr(t *testing.T)       { runFixture(t, SyncErr, "syncerr", "store") }
+func TestSyncErr(t *testing.T)       { runFixture(t, SyncErr, "syncerr", "store", "server") }

@@ -25,9 +25,11 @@
 //   - deterministic: functions marked `//snb:deterministic` must not
 //     iterate maps (unless `//snb:mapiter-ok`), read the clock, draw
 //     random numbers, or branch on GOMAXPROCS/NumCPU.
-//   - syncerr: in the store's persistence code, errors from
-//     Sync/Close/Write/Rename must not be discarded (a dropped fsync
-//     error voids the durability guarantee) unless `//snb:errok`.
+//   - syncerr: in the store's persistence code and the serving layer
+//     (server, client), errors from Sync/Close/Write/Rename and the
+//     net.Conn deadline setters must not be discarded (a dropped fsync
+//     error voids the durability guarantee; a dropped SetDeadline
+//     leaves a connection unguarded) unless `//snb:errok`.
 //   - noalloc: functions marked `//snb:noalloc` are gated against new
 //     heap allocations by cmd/allocbound, which parses the compiler's
 //     -m escape-analysis output (noalloc.go holds the marker scanner).

@@ -6,18 +6,22 @@ import (
 )
 
 // SyncErr guards the durability contract of the store's persistence
-// layer (WAL segments, checkpoints, directory fsyncs): an error from
-// Sync, Close, Write or Rename that is silently dropped can turn an
-// acknowledged commit into a lost one — the kernel is allowed to report
-// a writeback failure exactly once, at fsync or close, and a discarded
-// return is that report thrown away.
+// layer (WAL segments, checkpoints, directory fsyncs) and the serving
+// layer's connection hygiene: an error from Sync, Close, Write or
+// Rename that is silently dropped can turn an acknowledged commit into
+// a lost one — the kernel is allowed to report a writeback failure
+// exactly once, at fsync or close, and a discarded return is that
+// report thrown away. On the wire, a dropped SetDeadline error leaves a
+// connection with no I/O bound at all: the slow-loris guard silently
+// stops guarding.
 //
-// The pass runs only over packages named "store" (the persistence code
-// lives there) and flags:
+// The pass runs over the packages on the syncErrPkgs allowlist (store
+// for persistence, server and client for the wire layer) and flags:
 //
 //   - a call statement whose result set includes an error and whose
-//     callee is named Sync/Close/Write/WriteString/Rename/Flush:
-//     `f.Close()` as a statement, or `defer f.Sync()`
+//     callee is named Sync/Close/Write/WriteString/Rename/Flush or
+//     SetDeadline/SetReadDeadline/SetWriteDeadline: `f.Close()` as a
+//     statement, or `defer f.Sync()`
 //   - an explicit blank-discard: `_ = f.Sync()`
 //
 // Read-side closes, where nothing durable is at stake, are suppressed
@@ -26,19 +30,31 @@ import (
 // (`defer func() { err = errors.Join(err, f.Close()) }()`).
 var SyncErr = &Analyzer{
 	Name: "syncerr",
-	Doc:  "flag discarded errors from Sync/Close/Write/Rename in the store's persistence code",
+	Doc:  "flag discarded errors from Sync/Close/Write/Rename/SetDeadline in persistence and serving code",
 	Run:  runSyncErr,
+}
+
+// syncErrPkgs are the packages the pass runs over: the persistence
+// code, and the serving layer where connection deadlines and closes
+// carry the backpressure contract.
+var syncErrPkgs = map[string]bool{
+	"store":  true,
+	"server": true,
+	"client": true,
 }
 
 // syncErrFuncs are the callee names whose error results must be
 // consumed.
 var syncErrFuncs = map[string]bool{
-	"Sync":        true,
-	"Close":       true,
-	"Write":       true,
-	"WriteString": true,
-	"Rename":      true,
-	"Flush":       true,
+	"Sync":             true,
+	"Close":            true,
+	"Write":            true,
+	"WriteString":      true,
+	"Rename":           true,
+	"Flush":            true,
+	"SetDeadline":      true,
+	"SetReadDeadline":  true,
+	"SetWriteDeadline": true,
 }
 
 // returnsError reports whether fn's last result is error.
@@ -62,7 +78,7 @@ func syncErrCall(info *types.Info, call *ast.CallExpr) *types.Func {
 }
 
 func runSyncErr(pass *Pass) {
-	if pass.Pkg.Name() != "store" {
+	if !syncErrPkgs[pass.Pkg.Name()] {
 		return
 	}
 	errok := directiveLines(pass, "errok")

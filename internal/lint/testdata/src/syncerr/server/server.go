@@ -1,0 +1,30 @@
+// Package server is a fixture for the syncerr analyzer's serving-layer
+// allowlist: connection closes and I/O deadlines carry the
+// backpressure contract, so their errors must be consumed or
+// annotated.
+package server
+
+import (
+	"net"
+	"time"
+)
+
+func bad(c net.Conn, frame []byte) {
+	c.SetDeadline(time.Now().Add(time.Second))      // want `SetDeadline error discarded`
+	c.SetReadDeadline(time.Now().Add(time.Second))  // want `SetReadDeadline error discarded`
+	c.SetWriteDeadline(time.Now().Add(time.Second)) // want `SetWriteDeadline error discarded`
+	c.Write(frame)                                  // want `Write error discarded`
+	defer c.Close()                                 // want `Close error discarded`
+	_ = c.Close()                                   // want `Close error assigned to _`
+}
+
+// good propagates the deadline and write errors and annotates the
+// teardown close, where the response write has already reported.
+func good(c net.Conn, frame []byte) error {
+	defer c.Close() //snb:errok response writes reported their own errors; nothing left to flush
+	if err := c.SetWriteDeadline(time.Now().Add(time.Second)); err != nil {
+		return err
+	}
+	_, err := c.Write(frame)
+	return err
+}

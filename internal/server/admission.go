@@ -1,0 +1,141 @@
+package server
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+)
+
+// Per-class admission control: a bounded semaphore (execution slots) plus
+// a bounded wait queue with a hard residency cap — one queue tick. The cap
+// is the mechanism behind the latency contract: a request either starts
+// executing within QueueTick of arrival or is shed with a RETRY_AFTER
+// hint, so queue wait never exceeds one tick and a timed-out request is
+// answered at most one tick past its deadline. Under overload the queue
+// stays short by construction (excess arrivals are rejected in
+// microseconds, costing the server almost nothing), which is what keeps
+// admitted-request latency flat instead of collapsing under a growing
+// backlog.
+
+// GateConfig sizes one class's admission gate.
+type GateConfig struct {
+	// Slots is the maximum number of concurrently executing requests.
+	Slots int
+	// Queue is the maximum number of requests waiting for a slot; arrivals
+	// beyond it are shed immediately.
+	Queue int
+	// QueueTick caps how long one request may wait in the queue before it
+	// is shed. It also scales the RETRY_AFTER hint.
+	QueueTick time.Duration
+}
+
+// withDefaults fills zero fields with serving defaults.
+func (c GateConfig) withDefaults(slots, queue int, tick time.Duration) GateConfig {
+	if c.Slots <= 0 {
+		c.Slots = slots
+	}
+	if c.Queue <= 0 {
+		c.Queue = queue
+	}
+	if c.QueueTick <= 0 {
+		c.QueueTick = tick
+	}
+	return c
+}
+
+// admitOutcome is the result of one admission attempt.
+type admitOutcome uint8
+
+const (
+	// admitOK: a slot was acquired; the caller must release it.
+	admitOK admitOutcome = iota
+	// admitShed: the queue was full or the queue tick elapsed; the caller
+	// answers RETRY_AFTER without executing.
+	admitShed
+	// admitTimeout: the request's context expired while queued.
+	admitTimeout
+)
+
+// gate is one class's admission state. Slots are tokens in a buffered
+// channel; the queue is tracked by an atomic occupancy counter (waiters
+// block on the slot channel, not on each other).
+type gate struct {
+	slots    chan struct{}
+	queued   atomic.Int64
+	maxQueue int64
+	tick     time.Duration
+
+	// Outcome counters, reported via Server.Stats.
+	admitted atomic.Int64
+	shed     atomic.Int64
+	timedOut atomic.Int64
+}
+
+func newGate(cfg GateConfig) *gate {
+	g := &gate{
+		slots:    make(chan struct{}, cfg.Slots),
+		maxQueue: int64(cfg.Queue),
+		tick:     cfg.QueueTick,
+	}
+	for i := 0; i < cfg.Slots; i++ {
+		g.slots <- struct{}{}
+	}
+	return g
+}
+
+// acquire admits one request: immediately when a slot is free, after a
+// bounded queue wait otherwise. It returns admitShed without blocking when
+// the queue is at capacity, and sheds queued requests once QueueTick
+// elapses — queue residency is bounded by one tick, always.
+func (g *gate) acquire(ctx context.Context) admitOutcome {
+	select {
+	case <-g.slots:
+		g.admitted.Add(1)
+		return admitOK
+	default:
+	}
+	if g.queued.Add(1) > g.maxQueue {
+		g.queued.Add(-1)
+		g.shed.Add(1)
+		return admitShed
+	}
+	defer g.queued.Add(-1)
+	t := time.NewTimer(g.tick)
+	defer t.Stop()
+	select {
+	case <-g.slots:
+		g.admitted.Add(1)
+		return admitOK
+	case <-ctx.Done():
+		g.timedOut.Add(1)
+		return admitTimeout
+	case <-t.C:
+		g.shed.Add(1)
+		return admitShed
+	}
+}
+
+// release returns an execution slot.
+func (g *gate) release() {
+	g.slots <- struct{}{}
+}
+
+// pressured reports whether the gate has waiters: its slot pool is
+// saturated and arrivals are queueing. The interactive gate's pressure is
+// the overload signal that sheds the BI lane first.
+func (g *gate) pressured() bool {
+	return g.queued.Load() > 0
+}
+
+// retryHintMs is the backoff hint attached to a shed response: one queue
+// tick, scaled up by current queue occupancy so hints stretch as pressure
+// builds and retries decongest instead of re-stampeding.
+func (g *gate) retryHintMs() uint32 {
+	depth := g.queued.Load()
+	hint := time.Duration(1+depth) * g.tick
+	ms := hint.Milliseconds()
+	if ms < 1 {
+		ms = 1
+	}
+	return uint32(ms)
+}

@@ -1,0 +1,237 @@
+// Package client is the serving layer's counterpart to internal/server: a
+// retrying protocol client (capped exponential backoff with deterministic
+// jitter, honoring the server's RETRY_AFTER hints), a conn-layer fault
+// injector (dropped connections, stalled reads, garbage frames,
+// slow-loris trickle) for exercising the server's degradation paths, and
+// an open-loop Poisson load generator (openloop.go) reporting
+// p50/p99/p999 plus shed/timeout/retry counts — the paper's
+// scheduled-start-time driver model applied over the wire.
+package client
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ldbcsnb/internal/server"
+	"ldbcsnb/internal/xrand"
+)
+
+// Options configures a Client.
+type Options struct {
+	// Addr is the server's host:port.
+	Addr string
+	// DialTimeout bounds connection establishment; IOTimeout bounds one
+	// request/response round trip on the wire. IOTimeout must exceed the
+	// request deadline plus one queue tick or slow (but valid) TIMEOUT
+	// responses are misread as transport failures.
+	DialTimeout time.Duration
+	IOTimeout   time.Duration
+	// RetryMax is how many times one request may be re-sent after a shed
+	// or transport failure (0 = never retry). TIMEOUT responses are final:
+	// the deadline already expired, a retry would be a different request.
+	RetryMax int
+	// RetryBase and RetryCap shape the exponential backoff: attempt n
+	// sleeps ~RetryBase·2ⁿ (half-jittered), never more than RetryCap, and
+	// never less than the server's RETRY_AFTER hint.
+	RetryBase time.Duration
+	RetryCap  time.Duration
+	// Seed derives the per-request jitter streams.
+	Seed uint64
+	// Faults, when any field is non-zero, injects connection-layer faults
+	// on a deterministic schedule (see FaultConfig).
+	Faults FaultConfig
+}
+
+func (o *Options) applyDefaults() {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 2 * time.Second
+	}
+	if o.IOTimeout <= 0 {
+		o.IOTimeout = 5 * time.Second
+	}
+	if o.RetryBase <= 0 {
+		o.RetryBase = 5 * time.Millisecond
+	}
+	if o.RetryCap <= 0 {
+		o.RetryCap = 500 * time.Millisecond
+	}
+}
+
+// Counters aggregates the client-side outcome counts across requests.
+type Counters struct {
+	// Retries counts re-sent requests (after shed or transport failure);
+	// Transport counts failed round trips (dial, write, read, or a fault
+	// the injector made us inflict on ourselves); GaveUp counts requests
+	// that exhausted RetryMax without a final response.
+	Retries, Transport, GaveUp int64
+	// FaultsInjected counts deliberate conn-layer faults.
+	FaultsInjected int64
+}
+
+// Client issues protocol requests over a pooled set of connections with
+// retry/backoff. Safe for concurrent use.
+type Client struct {
+	opts Options
+
+	mu   sync.Mutex
+	free []*conn // guarded by mu
+
+	sendSeq  atomic.Uint64 // fault-injection schedule position
+	retries  atomic.Int64
+	transp   atomic.Int64
+	gaveUp   atomic.Int64
+	injected atomic.Int64
+}
+
+// New builds a Client over opts.
+func New(opts Options) *Client {
+	opts.applyDefaults()
+	return &Client{opts: opts}
+}
+
+// Counters snapshots the outcome counters.
+func (cl *Client) Counters() Counters {
+	return Counters{
+		Retries:        cl.retries.Load(),
+		Transport:      cl.transp.Load(),
+		GaveUp:         cl.gaveUp.Load(),
+		FaultsInjected: cl.injected.Load(),
+	}
+}
+
+// Close drops every pooled connection.
+func (cl *Client) Close() {
+	cl.mu.Lock()
+	free := cl.free
+	cl.free = nil
+	cl.mu.Unlock()
+	for _, c := range free {
+		c.nc.Close() //snb:errok read side already drained; nothing to flush
+	}
+}
+
+// conn is one pooled connection.
+type conn struct {
+	nc  net.Conn
+	br  *bufio.Reader
+	buf []byte
+}
+
+func (cl *Client) getConn() (*conn, error) {
+	cl.mu.Lock()
+	if n := len(cl.free); n > 0 {
+		c := cl.free[n-1]
+		cl.free = cl.free[:n-1]
+		cl.mu.Unlock()
+		return c, nil
+	}
+	cl.mu.Unlock()
+	nc, err := net.DialTimeout("tcp", cl.opts.Addr, cl.opts.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	return &conn{nc: nc, br: bufio.NewReaderSize(nc, 4096)}, nil
+}
+
+func (cl *Client) putConn(c *conn) {
+	cl.mu.Lock()
+	cl.free = append(cl.free, c)
+	cl.mu.Unlock()
+}
+
+// Do issues one request, retrying shed responses and transport failures
+// with capped exponential backoff + jitter (honoring RETRY_AFTER hints).
+// It returns the final response: possibly StatusRetryAfter when RetryMax
+// was exhausted while the server kept shedding — the caller counts that as
+// shed load, not an error. ErrGaveUp is returned only when every attempt
+// died on the transport.
+func (cl *Client) Do(req *server.Request) (server.Response, error) {
+	rnd := xrand.New(cl.opts.Seed, req.ReqID, uint64(req.Class))
+	backoff := cl.opts.RetryBase
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		resp, err := cl.attempt(req)
+		if err == nil {
+			if resp.Status != server.StatusRetryAfter {
+				return resp, nil
+			}
+			if attempt >= cl.opts.RetryMax {
+				// Out of retries while the server sheds: surface the shed
+				// response as final.
+				return resp, nil
+			}
+			// Honor the server's hint; never sleep less than it.
+			hint := time.Duration(resp.RetryAfterMs) * time.Millisecond
+			cl.sleepBackoff(rnd, &backoff, hint)
+			cl.retries.Add(1)
+			continue
+		}
+		lastErr = err
+		cl.transp.Add(1)
+		if attempt >= cl.opts.RetryMax {
+			cl.gaveUp.Add(1)
+			return server.Response{}, fmt.Errorf("%w: %v", ErrGaveUp, lastErr)
+		}
+		cl.sleepBackoff(rnd, &backoff, 0)
+		cl.retries.Add(1)
+	}
+}
+
+// ErrGaveUp marks a request whose every attempt failed on the transport.
+var ErrGaveUp = fmt.Errorf("client: retries exhausted")
+
+// sleepBackoff sleeps the jittered backoff (at least hint), then doubles
+// the backoff toward RetryCap. Jitter is half-fixed half-random so
+// synchronized retry stampedes decorrelate.
+func (cl *Client) sleepBackoff(rnd *xrand.Rand, backoff *time.Duration, hint time.Duration) {
+	d := *backoff
+	if d > cl.opts.RetryCap {
+		d = cl.opts.RetryCap
+	}
+	jittered := d/2 + time.Duration(rnd.Float64()*float64(d/2))
+	if jittered < hint {
+		jittered = hint
+	}
+	time.Sleep(jittered)
+	*backoff = d * 2
+	if *backoff > cl.opts.RetryCap {
+		*backoff = cl.opts.RetryCap
+	}
+}
+
+// attempt performs one wire round trip, injecting a scheduled fault when
+// the injector says so. Failed attempts close their connection (its
+// stream state is unknown); successes return it to the pool.
+func (cl *Client) attempt(req *server.Request) (server.Response, error) {
+	c, err := cl.getConn()
+	if err != nil {
+		return server.Response{}, err
+	}
+	fault := cl.opts.Faults.next(cl.sendSeq.Add(1))
+	if fault != faultNone {
+		cl.injected.Add(1)
+	}
+
+	c.buf = server.AppendRequest(c.buf[:0], req)
+	c.nc.SetDeadline(time.Now().Add(cl.opts.IOTimeout)) //snb:errok deadline errors surface on the I/O itself
+	if err := cl.opts.Faults.send(c.nc, c.buf, fault); err != nil {
+		c.nc.Close() //snb:errok already failed; best-effort teardown
+		return server.Response{}, err
+	}
+	payload, err := server.ReadFrame(c.br, c.buf[:0], server.DefaultMaxFrame)
+	if err != nil {
+		c.nc.Close() //snb:errok already failed; best-effort teardown
+		return server.Response{}, err
+	}
+	resp, err := server.ParseResponse(payload)
+	if err != nil {
+		c.nc.Close() //snb:errok already failed; best-effort teardown
+		return server.Response{}, err
+	}
+	cl.putConn(c)
+	return resp, nil
+}

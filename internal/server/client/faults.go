@@ -1,0 +1,124 @@
+package client
+
+import (
+	"encoding/binary"
+	"errors"
+	"net"
+	"time"
+)
+
+// Connection-layer fault injection: the client deliberately misbehaves on
+// a deterministic schedule so the server's degradation paths — torn
+// frames, oversized claims, stalled and trickled reads — are exercised by
+// tests and the smoke harness rather than waiting for a misbehaving
+// client in production. Faults are injected below the protocol layer
+// (inside the frame write), exactly where a real network or a buggy peer
+// would corrupt the stream.
+
+// FaultConfig schedules deliberate connection-layer faults. Each *Every
+// field injects its fault on every Nth send (0 disables it); schedules
+// are checked in the field order below, first match wins, so distinct
+// primes give interleaved fault mixes.
+type FaultConfig struct {
+	// DropEvery closes the connection after writing half the request
+	// frame — the server sees a torn frame and must drop the conn without
+	// leaking its handler.
+	DropEvery int
+	// StallEvery pauses StallDuration mid-frame — the server's whole-frame
+	// read deadline decides whether the request survives.
+	StallEvery int
+	// GarbageEvery sends a frame header claiming an absurd length — the
+	// server's max-frame guard must reject it and close the conn.
+	GarbageEvery int
+	// SlowLorisEvery trickles the frame one byte per LorisDelay — the
+	// classic hold-a-conn-open-forever attack; the server's read deadline
+	// must cut it.
+	SlowLorisEvery int
+	// StallDuration is the StallEvery pause (default 50ms); LorisDelay the
+	// per-byte trickle delay (default 10ms).
+	StallDuration time.Duration
+	LorisDelay    time.Duration
+}
+
+// Enabled reports whether any fault schedule is active.
+func (f *FaultConfig) Enabled() bool {
+	return f.DropEvery > 0 || f.StallEvery > 0 || f.GarbageEvery > 0 || f.SlowLorisEvery > 0
+}
+
+type faultKind uint8
+
+const (
+	faultNone faultKind = iota
+	faultDrop
+	faultStall
+	faultGarbage
+	faultLoris
+)
+
+// next returns the fault scheduled for send number seq (1-based).
+func (f *FaultConfig) next(seq uint64) faultKind {
+	switch {
+	case f.DropEvery > 0 && seq%uint64(f.DropEvery) == 0:
+		return faultDrop
+	case f.StallEvery > 0 && seq%uint64(f.StallEvery) == 0:
+		return faultStall
+	case f.GarbageEvery > 0 && seq%uint64(f.GarbageEvery) == 0:
+		return faultGarbage
+	case f.SlowLorisEvery > 0 && seq%uint64(f.SlowLorisEvery) == 0:
+		return faultLoris
+	}
+	return faultNone
+}
+
+// send writes one framed request, applying the scheduled fault.
+func (f *FaultConfig) send(nc net.Conn, frame []byte, fault faultKind) error {
+	switch fault {
+	case faultDrop:
+		if _, err := nc.Write(frame[:len(frame)/2]); err != nil {
+			return err
+		}
+		nc.Close() //snb:errok the drop fault is the close; nothing to report
+		return errInjected
+
+	case faultStall:
+		d := f.StallDuration
+		if d <= 0 {
+			d = 50 * time.Millisecond
+		}
+		if _, err := nc.Write(frame[:len(frame)/2]); err != nil {
+			return err
+		}
+		time.Sleep(d)
+		_, err := nc.Write(frame[len(frame)/2:])
+		return err
+
+	case faultGarbage:
+		var hdr [4]byte
+		binary.LittleEndian.PutUint32(hdr[:], 0xfffffff0)
+		if _, err := nc.Write(hdr[:]); err != nil {
+			return err
+		}
+		// The server rejects the length claim and closes; fail the attempt
+		// locally so the retry path reconnects.
+		return errInjected
+
+	case faultLoris:
+		d := f.LorisDelay
+		if d <= 0 {
+			d = 10 * time.Millisecond
+		}
+		for i := range frame {
+			if _, err := nc.Write(frame[i : i+1]); err != nil {
+				return err
+			}
+			time.Sleep(d)
+		}
+		return nil
+	}
+	_, err := nc.Write(frame)
+	return err
+}
+
+// errInjected marks an attempt the injector sabotaged on purpose; the
+// retry path treats it like any transport failure.
+var errInjected = errors.New("client: fault injected")

@@ -1,0 +1,224 @@
+package client
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ldbcsnb/internal/bi"
+	"ldbcsnb/internal/driver"
+	"ldbcsnb/internal/server"
+	"ldbcsnb/internal/workload"
+	"ldbcsnb/internal/xrand"
+)
+
+// The open-loop driver: requests are issued on a Poisson schedule at a
+// target arrival rate regardless of how fast responses come back — the
+// source paper's driver model, where the workload is defined by scheduled
+// operation start times, not by closed-loop think time. Under overload an
+// open-loop generator keeps arriving, which is exactly what exposes the
+// difference between a server that sheds (flat admitted-latency, explicit
+// shed counts) and one that collapses (unbounded queueing).
+
+// Mix weights the request classes of the open-loop stream. Weights are
+// relative, not percentages.
+type Mix struct {
+	Complex, Short, BI, Write float64
+}
+
+// DefaultMix approximates the paper's time-share calibration (§4):
+// complex and short reads dominate, writes ~10%, BI a light analyst lane.
+var DefaultMix = Mix{Complex: 30, Short: 50, BI: 5, Write: 15}
+
+// LoadConfig configures one open-loop run.
+type LoadConfig struct {
+	// Client carries the address, retry policy and fault schedule.
+	Client Options
+	// Rate is the target arrival rate in requests/second; Duration the
+	// issuing window (responses are drained past it).
+	Rate     float64
+	Duration time.Duration
+	// MaxInFlight bounds concurrently outstanding requests; arrivals
+	// beyond it are dropped and counted (the generator refuses to become
+	// an unbounded queue itself). Default 256.
+	MaxInFlight int
+	// DeadlineMs is the per-request deadline sent on the wire (0 = server
+	// default).
+	DeadlineMs uint32
+	// Mix weights the class draw (zero value = DefaultMix).
+	Mix Mix
+	// Seed drives the arrival schedule, class draw and parameter seeds.
+	Seed uint64
+}
+
+// ClassStats aggregates one class's outcomes over a run.
+type ClassStats struct {
+	Name string
+	// Issued counts requests sent; OK/Shed/Timeout/Errors/Failed split the
+	// final outcomes (Failed = transport gave up).
+	Issued, OK, Shed, Timeout, Errors, Failed int64
+	// Latency is the client-observed completion time of OK requests —
+	// first send to final response, retries included.
+	Latency driver.LatencyStats
+	// ServerMicros accumulates the server-reported time of OK responses,
+	// separating server time from network + retry time.
+	ServerMicros int64
+}
+
+// Report is one open-loop run's outcome.
+type Report struct {
+	// Rate and Elapsed describe the achieved run; Target the requested
+	// rate.
+	Target  float64
+	Rate    float64
+	Elapsed time.Duration
+	// Dropped counts arrivals discarded at MaxInFlight.
+	Dropped int64
+	// Client carries the transport/retry counters.
+	Client Counters
+	// Classes indexes per-class outcomes: complex, short, bi, write.
+	Classes [4]ClassStats
+}
+
+// classIndex maps a protocol class to its Report slot.
+func classIndex(class byte) int {
+	switch class {
+	case server.ClassComplex:
+		return 0
+	case server.ClassShort:
+		return 1
+	case server.ClassBI:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// TotalIssued sums issued requests across classes.
+func (r *Report) TotalIssued() int64 {
+	var n int64
+	for i := range r.Classes {
+		n += r.Classes[i].Issued
+	}
+	return n
+}
+
+// RunOpenLoop issues requests on a Poisson schedule for cfg.Duration,
+// waits for outstanding responses, and returns the aggregated report.
+func RunOpenLoop(cfg LoadConfig) (*Report, error) {
+	if cfg.Rate <= 0 {
+		return nil, fmt.Errorf("client: arrival rate %v must be positive", cfg.Rate)
+	}
+	if cfg.Duration <= 0 {
+		return nil, fmt.Errorf("client: duration %v must be positive", cfg.Duration)
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 256
+	}
+	mix := cfg.Mix
+	if mix.Complex == 0 && mix.Short == 0 && mix.BI == 0 && mix.Write == 0 {
+		mix = DefaultMix
+	}
+
+	cl := New(cfg.Client)
+	defer cl.Close()
+
+	rep := &Report{Target: cfg.Rate}
+	rep.Classes[0].Name = "complex"
+	rep.Classes[1].Name = "short"
+	rep.Classes[2].Name = "bi"
+	rep.Classes[3].Name = "write"
+	var mu sync.Mutex // guards rep.Classes aggregation
+
+	sem := make(chan struct{}, cfg.MaxInFlight)
+	var wg sync.WaitGroup
+	var reqID atomic.Uint64
+	var dropped atomic.Int64
+
+	rnd := xrand.New(cfg.Seed, xrand.PurposeShortRead, 0xfeed)
+	meanGapNs := 1e9 / cfg.Rate
+	start := time.Now()
+	next := start
+	for {
+		// Poisson arrivals: exponential inter-arrival gaps at the target
+		// rate. The schedule is absolute (next is advanced, not reset), so
+		// a slow dispatch iteration is caught up by issuing late arrivals
+		// back to back instead of silently lowering the rate.
+		next = next.Add(time.Duration(rnd.Exp(meanGapNs)))
+		if next.Sub(start) > cfg.Duration {
+			break
+		}
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+
+		req := server.Request{
+			ReqID:      reqID.Add(1),
+			DeadlineMs: cfg.DeadlineMs,
+			Seed:       rnd.Uint64(),
+		}
+		req.Class, req.Op = drawClass(&mix, rnd)
+
+		select {
+		case sem <- struct{}{}:
+		default:
+			dropped.Add(1)
+			continue
+		}
+		wg.Add(1)
+		go func(req server.Request) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			t0 := time.Now()
+			resp, err := cl.Do(&req)
+			lat := time.Since(t0)
+			ci := classIndex(req.Class)
+			mu.Lock()
+			defer mu.Unlock()
+			cs := &rep.Classes[ci]
+			cs.Issued++
+			if err != nil {
+				cs.Failed++
+				return
+			}
+			switch resp.Status {
+			case server.StatusOK:
+				cs.OK++
+				cs.Latency.Add(lat)
+				cs.ServerMicros += int64(resp.ServerMicros)
+			case server.StatusRetryAfter:
+				cs.Shed++
+			case server.StatusTimeout:
+				cs.Timeout++
+			default:
+				cs.Errors++
+			}
+		}(req)
+	}
+	wg.Wait()
+
+	rep.Elapsed = time.Since(start)
+	rep.Dropped = dropped.Load()
+	rep.Client = cl.Counters()
+	if secs := rep.Elapsed.Seconds(); secs > 0 {
+		rep.Rate = float64(rep.TotalIssued()) / secs
+	}
+	return rep, nil
+}
+
+// drawClass picks one request class (and operation) by mix weight.
+func drawClass(m *Mix, rnd *xrand.Rand) (byte, byte) {
+	total := m.Complex + m.Short + m.BI + m.Write
+	x := rnd.Float64() * total
+	switch {
+	case x < m.Complex:
+		return server.ClassComplex, byte(1 + rnd.Intn(workload.NumComplexQueries))
+	case x < m.Complex+m.Short:
+		return server.ClassShort, 0
+	case x < m.Complex+m.Short+m.BI:
+		return server.ClassBI, byte(1 + rnd.Intn(bi.NumQueries))
+	default:
+		return server.ClassWrite, 0
+	}
+}

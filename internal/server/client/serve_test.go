@@ -1,0 +1,434 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"ldbcsnb/internal/bench"
+	"ldbcsnb/internal/driver"
+	"ldbcsnb/internal/schema"
+	"ldbcsnb/internal/server"
+	"ldbcsnb/internal/store"
+	"ldbcsnb/internal/workload"
+)
+
+// The dataset and parameter pools are generated once per test binary; each
+// test loads its own store (Shutdown marks the served store closed, so a
+// shared one would poison later tests).
+var (
+	fixOnce  sync.Once
+	fixEnv   *bench.Env
+	fixPools *workload.ParamPools
+)
+
+func fixture(t testing.TB) (*bench.Env, *workload.ParamPools) {
+	t.Helper()
+	fixOnce.Do(func() {
+		fixEnv = bench.NewEnvData(150, 42)
+		fixPools = driver.PreparePools(fixEnv.Full, 42, false)
+	})
+	return fixEnv, fixPools
+}
+
+func newTestStore(t testing.TB, env *bench.Env) *store.Store {
+	t.Helper()
+	st := store.New()
+	schema.RegisterIndexes(st)
+	if err := schema.LoadDimensions(st); err != nil {
+		t.Fatal(err)
+	}
+	if err := schema.LoadParallel(st, env.Bulk, 4); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// startServer boots a server on a loopback port with its own store. The
+// returned shutdown func is idempotent and also registered as a cleanup.
+func startServer(t testing.TB, mut func(*server.Config)) (*server.Server, string, func()) {
+	t.Helper()
+	env, pools := fixture(t)
+	cfg := server.Config{Store: newTestStore(t, env), Pools: pools, Seed: 42}
+	if mut != nil {
+		mut(&cfg)
+	}
+	srv := server.New(cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	var once sync.Once
+	shutdown := func() {
+		once.Do(func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			if err := srv.Shutdown(ctx); err != nil {
+				t.Errorf("shutdown: %v", err)
+			}
+			if err := <-done; err != nil {
+				t.Errorf("serve: %v", err)
+			}
+		})
+	}
+	t.Cleanup(shutdown)
+	return srv, ln.Addr().String(), shutdown
+}
+
+func TestServeRoundTripAllClasses(t *testing.T) {
+	srv, addr, _ := startServer(t, nil)
+	cl := New(Options{Addr: addr, Seed: 1})
+	defer cl.Close()
+
+	cases := []struct {
+		name  string
+		class byte
+		op    byte
+	}{
+		{"ping", server.ClassPing, 0},
+		{"complex-q1", server.ClassComplex, 1},
+		{"complex-q9", server.ClassComplex, 9},
+		{"short-chain", server.ClassShort, 0},
+		{"bi-1", server.ClassBI, 1},
+		{"write", server.ClassWrite, 0},
+	}
+	for i, tc := range cases {
+		req := server.Request{Class: tc.class, Op: tc.op, ReqID: uint64(i + 1), DeadlineMs: 5000, Seed: uint64(i) * 977}
+		resp, err := cl.Do(&req)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if resp.Status != server.StatusOK {
+			t.Fatalf("%s: status %d (%q)", tc.name, resp.Status, resp.Message)
+		}
+		if resp.ReqID != req.ReqID || resp.Class != req.Class || resp.Op != req.Op {
+			t.Fatalf("%s: echo mismatch: %+v", tc.name, resp)
+		}
+	}
+	// Bad query numbers are errors, not crashes, and the conn survives.
+	resp, err := cl.Do(&server.Request{Class: server.ClassComplex, Op: 99, ReqID: 100})
+	if err != nil || resp.Status != server.StatusError {
+		t.Fatalf("out-of-range op: resp %+v err %v", resp, err)
+	}
+	if st := srv.Stats(); st.Served < int64(len(cases)) || st.Errored != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestServeDeadlineExpiresMidQuery(t *testing.T) {
+	// A 1ns deadline is already expired when the server builds the request
+	// context, so the scan is guaranteed to hit cancellation mid-query: it
+	// must unwind cooperatively and answer TIMEOUT, never hang or crash.
+	_, addr, _ := startServer(t, func(c *server.Config) {
+		c.DefaultDeadline = time.Nanosecond
+	})
+	cl := New(Options{Addr: addr, Seed: 2})
+	defer cl.Close()
+	// Ops whose scans make well over cancelEvery read calls at this scale,
+	// so the cooperative cancellation point is guaranteed to be reached.
+	for _, op := range []byte{1, 3, 11, 12} {
+		resp, err := cl.Do(&server.Request{Class: server.ClassComplex, Op: op, ReqID: uint64(op), Seed: 31 * uint64(op)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Status != server.StatusTimeout {
+			t.Fatalf("q%d with expired deadline: status %d, want TIMEOUT", op, resp.Status)
+		}
+	}
+}
+
+// TestOverloadShedsInsteadOfCollapsing is the serving layer's end-to-end
+// acceptance test: an open-loop arrival stream at 2x the interactive
+// class's measured capacity must degrade cleanly — every arrival is
+// answered (OK, RETRY_AFTER or TIMEOUT; never an error or a wedged
+// connection), admitted-request latency stays within the collapse bound
+// (5x the unloaded p99, floored against scheduler jitter), and no request
+// is held past its deadline by more than one admission-queue tick. On a
+// multi-core host the excess arrives concurrently and the shed counter
+// fires; a single-core host serializes CPU-bound handlers in the Go
+// scheduler before the gate can see pressure, so the deterministic
+// shed-count pin lives in internal/server's wire-level overload tests,
+// which saturate the gate directly.
+func TestOverloadShedsInsteadOfCollapsing(t *testing.T) {
+	const (
+		slots    = 2
+		tick     = 50 * time.Millisecond
+		deadline = 100 * time.Millisecond
+	)
+	_, addr, _ := startServer(t, func(c *server.Config) {
+		c.Interactive = server.GateConfig{Slots: slots, Queue: 4, QueueTick: tick}
+		c.DefaultDeadline = deadline
+	})
+	cl := New(Options{Addr: addr, Seed: 3})
+	defer cl.Close()
+
+	// The heavy complex ops (ms-scale at this dataset size): saturating the
+	// gate with them keeps the required arrival rate low enough that a
+	// single test process can actually generate 2x capacity.
+	heavyOps := []byte{1, 3, 11, 12}
+	complexReq := func(i int) *server.Request {
+		return &server.Request{
+			Class:      server.ClassComplex,
+			Op:         heavyOps[i%len(heavyOps)],
+			ReqID:      uint64(i + 1),
+			DeadlineMs: uint32(deadline.Milliseconds()),
+			Seed:       uint64(i) * 131,
+		}
+	}
+
+	// Unloaded baseline: sequential requests, one in flight. Capacity is
+	// calibrated from the server-reported execution time (client latency
+	// would fold in RTT and dial overhead, understating what the slots can
+	// actually absorb and making "2x" a non-overload).
+	var base driver.LatencyStats
+	var serverMicrosSum uint64
+	for i := 0; i < 80; i++ {
+		t0 := time.Now()
+		resp, err := cl.Do(complexReq(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Status != server.StatusOK {
+			t.Fatalf("unloaded request %d: status %d (%q)", i, resp.Status, resp.Message)
+		}
+		base.Add(time.Since(t0))
+		serverMicrosSum += resp.ServerMicros
+	}
+	baseP99 := base.Percentile(99)
+	meanService := float64(serverMicrosSum) / float64(base.Count) / 1e6 // seconds
+	capacity := float64(slots) / meanService                            // requests/second
+
+	// Overload: an open-loop arrival stream at 2x capacity. The schedule
+	// is absolute so slow iterations issue late arrivals back to back
+	// instead of silently lowering the rate; in-flight requests are capped
+	// (as in the real open-loop driver) so the generator itself never
+	// becomes an unbounded queue of dialing goroutines.
+	const n = 2000
+	gap := time.Duration(float64(time.Second) / (2 * capacity))
+	sem := make(chan struct{}, 128)
+	var (
+		mu        sync.Mutex
+		okStats   driver.LatencyStats
+		shed      int64
+		timedOut  int64
+		errored   int64
+		transport int64
+		dropped   int64
+		maxMicros uint64
+	)
+	var wg sync.WaitGroup
+	start := time.Now()
+	next := start
+	for i := 0; i < n; i++ {
+		next = next.Add(gap)
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		select {
+		case sem <- struct{}{}:
+		default:
+			dropped++
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			t0 := time.Now()
+			resp, err := cl.Do(complexReq(1000 + i))
+			lat := time.Since(t0)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if transport == 0 {
+					t.Logf("first transport failure: %v", err)
+				}
+				transport++
+				return
+			}
+			if resp.ServerMicros > maxMicros {
+				maxMicros = resp.ServerMicros
+			}
+			switch resp.Status {
+			case server.StatusOK:
+				okStats.Add(lat)
+			case server.StatusRetryAfter:
+				shed++
+			case server.StatusTimeout:
+				timedOut++
+			default:
+				errored++
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	t.Logf("2x capacity (%.0f req/s offered): %d ok, %d shed, %d timeout, %d generator drops in %v; ok p99 %v (unloaded %v)",
+		2*capacity, okStats.Count, shed, timedOut, dropped, elapsed, okStats.Percentile(99), baseP99)
+
+	if errored > 0 || transport > 0 {
+		t.Fatalf("overload produced %d errors, %d transport failures — shedding must be clean", errored, transport)
+	}
+	if okStats.Count == 0 {
+		t.Fatal("overload admitted nothing — shedding collapsed into denial of service")
+	}
+	// Conservation: every arrival is accounted for — answered or
+	// deliberately dropped at the generator, never lost or wedged.
+	if got := int64(okStats.Count) + shed + timedOut + dropped; got != n {
+		t.Fatalf("accounted for %d of %d arrivals", got, n)
+	}
+
+	// Admitted-latency bound: within 5x of the unloaded p99. The floor
+	// absorbs scheduler jitter when the baseline p99 is sub-millisecond
+	// (128 outstanding CPU-bound requests on a small host queue in the Go
+	// scheduler, invisible to admission); collapse — unbounded queueing —
+	// would blow past it by orders of magnitude, and the deadline bound
+	// below caps it structurally.
+	bound := 5 * baseP99
+	if floor := 50 * time.Millisecond; bound < floor {
+		bound = floor
+	}
+	if got := okStats.Percentile(99); got > bound {
+		t.Fatalf("admitted p99 %v exceeds %v (5x unloaded p99 %v) — latency collapsed under overload", got, bound, baseP99)
+	}
+
+	// Deadline bound: no response — admitted, shed or timed out — was held
+	// past its deadline by more than one admission-queue tick.
+	if limit := uint64((deadline + tick).Microseconds()); maxMicros > limit {
+		t.Fatalf("a request was held %dµs, beyond deadline+tick = %dµs", maxMicros, limit)
+	}
+}
+
+func TestFaultDropTornFramesDoNotWedgeServer(t *testing.T) {
+	srv, addr, _ := startServer(t, nil)
+	cl := New(Options{Addr: addr, Seed: 4, RetryMax: 0,
+		Faults: FaultConfig{DropEvery: 1}})
+	defer cl.Close()
+	_, err := cl.Do(&server.Request{Class: server.ClassShort, ReqID: 1, Seed: 9})
+	if !errors.Is(err, ErrGaveUp) {
+		t.Fatalf("dropped request: err %v, want ErrGaveUp", err)
+	}
+	if c := cl.Counters(); c.FaultsInjected == 0 || c.GaveUp != 1 {
+		t.Fatalf("counters %+v", c)
+	}
+	// The server saw a torn frame and closed the conn; it must still serve.
+	cl2 := New(Options{Addr: addr, Seed: 5})
+	defer cl2.Close()
+	resp, err := cl2.Do(&server.Request{Class: server.ClassShort, ReqID: 2, Seed: 10, DeadlineMs: 5000})
+	if err != nil || resp.Status != server.StatusOK {
+		t.Fatalf("after torn frame: resp %+v err %v", resp, err)
+	}
+	if srv.Stats().BadFrames == 0 {
+		t.Fatal("torn frame not counted")
+	}
+}
+
+func TestFaultGarbageFrameTripsGuardAndRetriesRecover(t *testing.T) {
+	srv, addr, _ := startServer(t, nil)
+	// Every other send claims an absurd frame length; with retries every
+	// request must still complete.
+	cl := New(Options{Addr: addr, Seed: 6, RetryMax: 3, RetryBase: time.Millisecond,
+		Faults: FaultConfig{GarbageEvery: 2}})
+	defer cl.Close()
+	for i := 0; i < 10; i++ {
+		resp, err := cl.Do(&server.Request{Class: server.ClassShort, ReqID: uint64(i + 1), Seed: uint64(i), DeadlineMs: 5000})
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if resp.Status != server.StatusOK {
+			t.Fatalf("request %d: status %d", i, resp.Status)
+		}
+	}
+	c := cl.Counters()
+	if c.FaultsInjected == 0 || c.Retries == 0 {
+		t.Fatalf("counters %+v: garbage schedule never fired", c)
+	}
+	if srv.Stats().BadFrames == 0 {
+		t.Fatal("max-frame guard never tripped")
+	}
+}
+
+func TestFaultStallWithinReadTimeoutSurvives(t *testing.T) {
+	_, addr, _ := startServer(t, nil) // default 2s whole-frame read timeout
+	cl := New(Options{Addr: addr, Seed: 7,
+		Faults: FaultConfig{StallEvery: 1, StallDuration: 50 * time.Millisecond}})
+	defer cl.Close()
+	resp, err := cl.Do(&server.Request{Class: server.ClassShort, ReqID: 1, Seed: 3, DeadlineMs: 5000})
+	if err != nil || resp.Status != server.StatusOK {
+		t.Fatalf("stalled-but-valid frame: resp %+v err %v", resp, err)
+	}
+}
+
+func TestFaultSlowLorisIsCutByReadDeadline(t *testing.T) {
+	srv, addr, _ := startServer(t, func(c *server.Config) {
+		c.ReadTimeout = 80 * time.Millisecond
+	})
+	// 28 frame bytes at 20ms each: the frame would need 560ms, the server
+	// allows 80ms from the first byte — the conn must be cut.
+	cl := New(Options{Addr: addr, Seed: 8, RetryMax: 0,
+		Faults: FaultConfig{SlowLorisEvery: 1, LorisDelay: 20 * time.Millisecond}})
+	defer cl.Close()
+	if _, err := cl.Do(&server.Request{Class: server.ClassShort, ReqID: 1, Seed: 4}); err == nil {
+		t.Fatal("slow-loris request succeeded; read deadline did not cut it")
+	}
+	if srv.Stats().BadFrames == 0 {
+		t.Fatal("loris cut not counted as a bad frame")
+	}
+}
+
+// TestServeSmokeGoroutineLeak drives a short faulty open-loop run and
+// asserts the server winds down to the baseline goroutine count: no
+// leaked conn handlers, gate waiters or query executions. This is the CI
+// serve-smoke gate (run under -race via `make serve-smoke`).
+func TestServeSmokeGoroutineLeak(t *testing.T) {
+	fixture(t) // generation workers out of the baseline
+	before := runtime.NumGoroutine()
+
+	func() {
+		_, addr, shutdown := startServer(t, func(c *server.Config) {
+			c.Interactive = server.GateConfig{Slots: 2, Queue: 4, QueueTick: 10 * time.Millisecond}
+			c.DefaultDeadline = 50 * time.Millisecond
+			c.ReadTimeout = 200 * time.Millisecond
+		})
+		rep, err := RunOpenLoop(LoadConfig{
+			Client: Options{
+				Addr: addr, RetryMax: 2, RetryBase: time.Millisecond, Seed: 9,
+				Faults: FaultConfig{DropEvery: 17, GarbageEvery: 23, StallEvery: 29, StallDuration: 5 * time.Millisecond},
+			},
+			Rate:     400,
+			Duration: time.Second,
+			Seed:     9,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.TotalIssued() == 0 {
+			t.Fatal("open-loop issued nothing")
+		}
+		shutdown()
+	}()
+
+	// The last handlers unwind asynchronously after Shutdown returns their
+	// conns closed; poll with a deadline instead of asserting instantly.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		now := runtime.NumGoroutine()
+		if now <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines %d before, %d after shutdown — leak:\n%s", before, now, buf[:n])
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

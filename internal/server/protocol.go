@@ -1,0 +1,209 @@
+// Package server puts the store behind a fault-tolerant TCP serving layer:
+// a length-prefixed binary protocol dispatching by query number through the
+// workload.Complex and bi.Registry registries onto the lock-free snapshot
+// view path, wrapped in per-class admission control, per-request deadlines
+// with cooperative mid-query cancellation, explicit overload shedding
+// (RETRY_AFTER with a backoff hint, BI lane shed first) and connection
+// hygiene (whole-frame read deadlines, max-frame guard, connection cap,
+// drain-on-shutdown). docs/FORMATS.md documents the wire format;
+// docs/ARCHITECTURE.md the admission/shedding data flow.
+package server
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// ProtocolVersion is the wire format version carried in every frame's
+// first payload byte; a server rejects frames with any other value.
+const ProtocolVersion = 1
+
+// Request classes. Each class is admitted through its own gate (admission
+// control); Ping bypasses admission entirely — it is the liveness and
+// drain probe.
+const (
+	ClassPing byte = iota
+	// ClassComplex runs complex query Op (1..14) via workload.Complex.
+	ClassComplex
+	// ClassShort runs one short-read random walk (S1..S7 chain) seeded
+	// from the curated person pool; Op is unused.
+	ClassShort
+	// ClassBI runs BI query Op (1..8) via bi.Registry.
+	ClassBI
+	// ClassWrite commits one small insert transaction; Op is unused.
+	ClassWrite
+	numClasses
+)
+
+// Response statuses.
+const (
+	// StatusOK: the request ran to completion; Rows carries its output
+	// cardinality.
+	StatusOK byte = iota
+	// StatusRetryAfter: the request was shed before execution (admission
+	// queue full, queue tick elapsed, BI under interactive pressure, or
+	// the server is draining). RetryAfterMs carries the backoff hint; no
+	// work was performed.
+	StatusRetryAfter
+	// StatusTimeout: the request's deadline expired — while queued or
+	// mid-query (the scan unwound cooperatively). Partial work was
+	// discarded; retrying is the client's policy decision, the protocol
+	// treats the deadline as final.
+	StatusTimeout
+	// StatusError: malformed request or execution failure; Message holds
+	// the reason.
+	StatusError
+)
+
+// Frame layout: a 4-byte little-endian payload length followed by the
+// payload. Request payloads are exactly requestLen bytes; response
+// payloads are responseLen bytes plus an optional trailing message.
+const (
+	frameHeaderLen = 4
+	requestLen     = 24
+	responseLen    = 32
+
+	// DefaultMaxFrame bounds a peer's frame length claim. Requests are
+	// tiny and responses carry at most a short message, so anything
+	// larger is garbage or an attack.
+	DefaultMaxFrame = 4096
+)
+
+// Request is one decoded request frame.
+//
+// Wire layout (little-endian):
+//
+//	off 0  u8  version
+//	off 1  u8  class
+//	off 2  u8  op (1-based query number; 0 for ping/short/write)
+//	off 3  u8  flags (reserved, 0)
+//	off 4  u64 reqID (echoed verbatim in the response)
+//	off 12 u32 deadlineMs (0 = server default)
+//	off 16 u64 seed (parameter-binding seed; the server binds parameters
+//	              itself from the curated pools, keeping clients thin)
+type Request struct {
+	Class      byte
+	Op         byte
+	Flags      byte
+	ReqID      uint64
+	DeadlineMs uint32
+	Seed       uint64
+}
+
+// Response is one decoded response frame.
+//
+// Wire layout (little-endian):
+//
+//	off 0  u8  version
+//	off 1  u8  status
+//	off 2  u8  class (echoed)
+//	off 3  u8  op (echoed)
+//	off 4  u64 reqID (echoed)
+//	off 12 u32 retryAfterMs (StatusRetryAfter backoff hint)
+//	off 16 u32 rows (StatusOK output cardinality)
+//	off 20 u64 serverMicros (admission wait + execution, µs)
+//	off 28 u32 message length, followed by that many message bytes
+type Response struct {
+	Status       byte
+	Class        byte
+	Op           byte
+	ReqID        uint64
+	RetryAfterMs uint32
+	Rows         uint32
+	ServerMicros uint64
+	Message      string
+}
+
+// AppendRequest appends r's frame (header + payload) onto dst.
+func AppendRequest(dst []byte, r *Request) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, requestLen)
+	dst = append(dst, ProtocolVersion, r.Class, r.Op, r.Flags)
+	dst = binary.LittleEndian.AppendUint64(dst, r.ReqID)
+	dst = binary.LittleEndian.AppendUint32(dst, r.DeadlineMs)
+	dst = binary.LittleEndian.AppendUint64(dst, r.Seed)
+	return dst
+}
+
+// ParseRequest decodes one request payload.
+func ParseRequest(p []byte) (Request, error) {
+	if len(p) != requestLen {
+		return Request{}, fmt.Errorf("server: request payload %d bytes, want %d", len(p), requestLen)
+	}
+	if p[0] != ProtocolVersion {
+		return Request{}, fmt.Errorf("server: protocol version %d, want %d", p[0], ProtocolVersion)
+	}
+	r := Request{
+		Class:      p[1],
+		Op:         p[2],
+		Flags:      p[3],
+		ReqID:      binary.LittleEndian.Uint64(p[4:]),
+		DeadlineMs: binary.LittleEndian.Uint32(p[12:]),
+		Seed:       binary.LittleEndian.Uint64(p[16:]),
+	}
+	if r.Class >= numClasses {
+		return Request{}, fmt.Errorf("server: unknown request class %d", r.Class)
+	}
+	return r, nil
+}
+
+// AppendResponse appends r's frame (header + payload) onto dst.
+func AppendResponse(dst []byte, r *Response) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(responseLen+len(r.Message)))
+	dst = append(dst, ProtocolVersion, r.Status, r.Class, r.Op)
+	dst = binary.LittleEndian.AppendUint64(dst, r.ReqID)
+	dst = binary.LittleEndian.AppendUint32(dst, r.RetryAfterMs)
+	dst = binary.LittleEndian.AppendUint32(dst, r.Rows)
+	dst = binary.LittleEndian.AppendUint64(dst, r.ServerMicros)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(r.Message)))
+	return append(dst, r.Message...)
+}
+
+// ParseResponse decodes one response payload.
+func ParseResponse(p []byte) (Response, error) {
+	if len(p) < responseLen {
+		return Response{}, fmt.Errorf("server: response payload %d bytes, want >= %d", len(p), responseLen)
+	}
+	if p[0] != ProtocolVersion {
+		return Response{}, fmt.Errorf("server: protocol version %d, want %d", p[0], ProtocolVersion)
+	}
+	r := Response{
+		Status:       p[1],
+		Class:        p[2],
+		Op:           p[3],
+		ReqID:        binary.LittleEndian.Uint64(p[4:]),
+		RetryAfterMs: binary.LittleEndian.Uint32(p[12:]),
+		Rows:         binary.LittleEndian.Uint32(p[16:]),
+		ServerMicros: binary.LittleEndian.Uint64(p[20:]),
+	}
+	msgLen := binary.LittleEndian.Uint32(p[28:])
+	if int(msgLen) != len(p)-responseLen {
+		return Response{}, fmt.Errorf("server: message length %d, have %d trailing bytes", msgLen, len(p)-responseLen)
+	}
+	r.Message = string(p[responseLen:])
+	return r, nil
+}
+
+// ReadFrame reads one length-prefixed payload, reusing buf when it is
+// large enough. A length claim above maxFrame is a protocol violation
+// (garbage or attack) and fails without consuming the payload. Shared by
+// the server's request loop and the client's response reads.
+func ReadFrame(br *bufio.Reader, buf []byte, maxFrame int) ([]byte, error) {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if int(n) > maxFrame {
+		return nil, fmt.Errorf("server: frame length %d exceeds max %d", n, maxFrame)
+	}
+	if int(n) > cap(buf) {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}

@@ -1,0 +1,89 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+)
+
+func TestRequestRoundTrip(t *testing.T) {
+	in := Request{
+		Class:      ClassComplex,
+		Op:         13,
+		Flags:      0x5a,
+		ReqID:      0xdeadbeefcafe,
+		DeadlineMs: 250,
+		Seed:       0x0123456789abcdef,
+	}
+	frame := AppendRequest(nil, &in)
+	if len(frame) != frameHeaderLen+requestLen {
+		t.Fatalf("frame length %d, want %d", len(frame), frameHeaderLen+requestLen)
+	}
+	payload, err := ReadFrame(bufio.NewReader(bytes.NewReader(frame)), nil, DefaultMaxFrame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ParseRequest(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", in, out)
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	in := Response{
+		Status:       StatusRetryAfter,
+		Class:        ClassBI,
+		Op:           7,
+		ReqID:        42,
+		RetryAfterMs: 60,
+		Rows:         9000,
+		ServerMicros: 12345,
+		Message:      "analyst lane shed",
+	}
+	frame := AppendResponse(nil, &in)
+	payload, err := ReadFrame(bufio.NewReader(bytes.NewReader(frame)), nil, DefaultMaxFrame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ParseResponse(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", in, out)
+	}
+}
+
+func TestParseRequestRejectsBadInput(t *testing.T) {
+	if _, err := ParseRequest(make([]byte, requestLen-1)); err == nil {
+		t.Fatal("short payload accepted")
+	}
+	good := AppendRequest(nil, &Request{Class: ClassPing})[frameHeaderLen:]
+	bad := append([]byte(nil), good...)
+	bad[0] = ProtocolVersion + 1
+	if _, err := ParseRequest(bad); err == nil {
+		t.Fatal("wrong protocol version accepted")
+	}
+	bad = append(bad[:0], good...)
+	bad[1] = numClasses
+	if _, err := ParseRequest(bad); err == nil {
+		t.Fatal("out-of-range class accepted")
+	}
+}
+
+func TestReadFrameGuardsOversizedClaims(t *testing.T) {
+	var hdr [frameHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[:], 1<<30)
+	_, err := ReadFrame(bufio.NewReader(bytes.NewReader(hdr[:])), nil, DefaultMaxFrame)
+	if err == nil {
+		t.Fatal("oversized frame claim accepted")
+	}
+	if !strings.Contains(err.Error(), "frame") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+}

@@ -1,0 +1,181 @@
+package server
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"ldbcsnb/internal/store"
+	"ldbcsnb/internal/workload"
+)
+
+func TestGateAdmitsUpToSlots(t *testing.T) {
+	g := newGate(GateConfig{Slots: 2, Queue: 1, QueueTick: 10 * time.Millisecond})
+	ctx := context.Background()
+	if g.acquire(ctx) != admitOK || g.acquire(ctx) != admitOK {
+		t.Fatal("free slots not admitted immediately")
+	}
+	g.release()
+	g.release()
+	if g.admitted.Load() != 2 {
+		t.Fatalf("admitted = %d", g.admitted.Load())
+	}
+}
+
+func TestGateQueueResidencyBoundedByOneTick(t *testing.T) {
+	const tick = 30 * time.Millisecond
+	g := newGate(GateConfig{Slots: 1, Queue: 2, QueueTick: tick})
+	if g.acquire(context.Background()) != admitOK {
+		t.Fatal("first acquire")
+	}
+	// The slot never frees: the queued waiter must be shed after exactly
+	// one tick, not held indefinitely.
+	start := time.Now()
+	if got := g.acquire(context.Background()); got != admitShed {
+		t.Fatalf("queued acquire = %v, want shed", got)
+	}
+	if wait := time.Since(start); wait < tick || wait > 10*tick {
+		t.Fatalf("queue residency %v, want ~%v", wait, tick)
+	}
+	if g.shed.Load() != 1 {
+		t.Fatalf("shed = %d", g.shed.Load())
+	}
+}
+
+func TestGateShedsImmediatelyWhenQueueFull(t *testing.T) {
+	g := newGate(GateConfig{Slots: 1, Queue: 1, QueueTick: time.Second})
+	if g.acquire(context.Background()) != admitOK {
+		t.Fatal("first acquire")
+	}
+	// Park one waiter in the queue (it will wait the long tick).
+	parked := make(chan admitOutcome, 1)
+	go func() { parked <- g.acquire(context.Background()) }()
+	for g.queued.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	// Queue is at capacity: the next arrival is rejected without blocking.
+	start := time.Now()
+	if got := g.acquire(context.Background()); got != admitShed {
+		t.Fatalf("overflow acquire = %v, want shed", got)
+	}
+	if wait := time.Since(start); wait > 100*time.Millisecond {
+		t.Fatalf("overflow shed blocked %v, want immediate", wait)
+	}
+	if !g.pressured() {
+		t.Fatal("gate with a waiter must report pressure")
+	}
+	if hint := g.retryHintMs(); hint < uint32(g.tick.Milliseconds()) {
+		t.Fatalf("retry hint %dms below one tick", hint)
+	}
+	// Freeing the slot admits the parked waiter.
+	g.release()
+	if got := <-parked; got != admitOK {
+		t.Fatalf("parked waiter = %v, want admitted", got)
+	}
+}
+
+func TestGateHonorsContextDeadlineWhileQueued(t *testing.T) {
+	g := newGate(GateConfig{Slots: 1, Queue: 2, QueueTick: time.Second})
+	if g.acquire(context.Background()) != admitOK {
+		t.Fatal("first acquire")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if got := g.acquire(ctx); got != admitTimeout {
+		t.Fatalf("queued acquire = %v, want timeout", got)
+	}
+	if wait := time.Since(start); wait > 500*time.Millisecond {
+		t.Fatalf("deadline honored after %v, want ~20ms", wait)
+	}
+	if g.timedOut.Load() != 1 {
+		t.Fatalf("timedOut = %d", g.timedOut.Load())
+	}
+}
+
+// drainInteractive empties the interactive gate's slot pool and simulates
+// a queued waiter, putting the gate under pressure.
+func drainInteractive(s *Server) (restore func()) {
+	g := s.gates[ClassComplex]
+	n := 0
+	for {
+		select {
+		case <-g.slots:
+			n++
+			continue
+		default:
+		}
+		break
+	}
+	g.queued.Add(1)
+	return func() {
+		g.queued.Add(-1)
+		for i := 0; i < n; i++ {
+			g.slots <- struct{}{}
+		}
+	}
+}
+
+func TestDispatchShedsBIFirstUnderInteractivePressure(t *testing.T) {
+	s := New(Config{})
+	defer s.cancel()
+	restore := drainInteractive(s)
+	defer restore()
+
+	resp := s.dispatch(&Request{Class: ClassBI, Op: 1, ReqID: 7}, workload.NewScratch())
+	if resp.Status != StatusRetryAfter {
+		t.Fatalf("BI under interactive pressure: status %d, want RETRY_AFTER", resp.Status)
+	}
+	if resp.RetryAfterMs == 0 {
+		t.Fatal("shed BI response carries no backoff hint")
+	}
+	if resp.ReqID != 7 {
+		t.Fatalf("reqID %d not echoed", resp.ReqID)
+	}
+	if s.gates[ClassBI].shed.Load() != 1 {
+		t.Fatal("BI shed not counted against the BI gate")
+	}
+}
+
+func TestDispatchAnswersRetryAfterWhileDraining(t *testing.T) {
+	s := New(Config{})
+	defer s.cancel()
+	s.draining.Store(true)
+	for _, class := range []byte{ClassPing, ClassComplex, ClassWrite} {
+		resp := s.dispatch(&Request{Class: class}, workload.NewScratch())
+		if resp.Status != StatusRetryAfter {
+			t.Fatalf("class %d while draining: status %d, want RETRY_AFTER", class, resp.Status)
+		}
+	}
+}
+
+func TestDispatchDeadlineExpiresWhileQueued(t *testing.T) {
+	// The write gate has one slot (held below) and a tick far beyond the
+	// request deadline, so the deadline — not the tick — must end the wait.
+	s := New(Config{Write: GateConfig{Slots: 1, Queue: 2, QueueTick: 5 * time.Second}})
+	defer s.cancel()
+	if s.gates[ClassWrite].acquire(context.Background()) != admitOK {
+		t.Fatal("hold write slot")
+	}
+	defer s.gates[ClassWrite].release()
+
+	start := time.Now()
+	resp := s.dispatch(&Request{Class: ClassWrite, DeadlineMs: 30}, workload.NewScratch())
+	if resp.Status != StatusTimeout {
+		t.Fatalf("queued past deadline: status %d, want TIMEOUT", resp.Status)
+	}
+	if wait := time.Since(start); wait > time.Second {
+		t.Fatalf("timed out after %v, want ~30ms", wait)
+	}
+}
+
+func TestDispatchWriteAfterCloseIsRetryable(t *testing.T) {
+	st := store.New()
+	st.MarkClosed()
+	s := New(Config{Store: st})
+	defer s.cancel()
+	resp := s.dispatch(&Request{Class: ClassWrite, DeadlineMs: 1000}, workload.NewScratch())
+	if resp.Status != StatusRetryAfter {
+		t.Fatalf("write on closed store: status %d (%q), want RETRY_AFTER", resp.Status, resp.Message)
+	}
+}

@@ -432,6 +432,11 @@ func (p *Persistent) Close() error {
 	if !p.closed.CompareAndSwap(false, true) {
 		return nil
 	}
+	// Fence the commit path first: MarkClosed waits for in-flight critical
+	// sections (their lane deposits land before the drain below) and makes
+	// every later Commit fail with ErrStoreClosed instead of racing the
+	// closing lanes.
+	p.Store.MarkClosed()
 	close(p.stop)
 	p.wg.Wait()
 	if gw := p.Store.gwal; gw != nil {

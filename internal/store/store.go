@@ -82,6 +82,11 @@ type Store struct {
 	// one of the two is set, and gwal wins when both are.
 	wal  *walWriter
 	gwal *groupWAL
+
+	// closed is raised by MarkClosed (Persistent.Close does it before the
+	// WAL lanes drain). Commits and checked view acquisition observe it and
+	// return ErrStoreClosed instead of racing the shutdown.
+	closed atomic.Bool
 }
 
 // New returns an empty store. The store is unpublished until New returns,
@@ -130,6 +135,22 @@ func (s *Store) Aborts() int64 { return s.aborts.Load() }
 
 // LastCommit returns the current snapshot watermark.
 func (s *Store) LastCommit() int64 { return s.clock.Load() }
+
+// MarkClosed transitions the store into the closed state: every later
+// Commit and AcquireViewChecked returns ErrStoreClosed. Taking commitMu to
+// flip the flag is the shutdown fence — commits already inside their
+// critical section finish (and reach the WAL lanes) before MarkClosed
+// returns, and commits that arrive after it observe the flag before
+// touching a lane. Persistent.Close calls this before draining the lanes;
+// servers over an in-memory store call it directly. Idempotent.
+func (s *Store) MarkClosed() {
+	s.commitMu.Lock()
+	s.closed.Store(true)
+	s.commitMu.Unlock()
+}
+
+// Closed reports whether MarkClosed (or Persistent.Close) has run.
+func (s *Store) Closed() bool { return s.closed.Load() }
 
 // Begin starts a read-write transaction at the current snapshot.
 func (s *Store) Begin() *Txn {

@@ -17,6 +17,15 @@ var ErrConflict = errors.New("store: write-write conflict")
 // ErrExists is returned when creating a node whose ID is already taken.
 var ErrExists = errors.New("store: node already exists")
 
+// ErrStoreClosed is returned by Commit and AcquireViewChecked once the
+// store has been closed (Persistent.Close, or MarkClosed on an in-memory
+// store). It replaces the pre-close race where a commit could deposit into
+// a draining WAL lane and be silently dropped in non-SyncCommit modes: the
+// closed flag is raised under commitMu before the lanes shut down, so
+// every commit either fully precedes Close (its record reaches the lanes
+// before they drain) or observes the flag and fails with this sentinel.
+var ErrStoreClosed = errors.New("store: closed")
+
 // pendingNode is a buffered node creation.
 type pendingNode struct {
 	id    ids.ID
@@ -412,6 +421,14 @@ func (tx *Txn) Commit() error {
 // commit timestamp (0 when validation failed).
 func (tx *Txn) commitLocked() (int64, error) {
 	s := tx.s
+
+	// Closed stores fail before validation: a deposit past this point would
+	// race the draining WAL lanes (MarkClosed flips the flag under commitMu,
+	// so the read here is ordered against the shutdown fence).
+	if s.closed.Load() {
+		s.aborts.Add(1)
+		return 0, ErrStoreClosed
+	}
 
 	// Validation.
 	for id := range tx.newNodes {

@@ -73,6 +73,12 @@ type SnapshotView struct {
 	// byKind is per-view (not per-era): refreshes clone the map and append
 	// to the touched kinds' lists.
 	byKind map[ids.Kind][]ids.ID
+
+	// cancel, when non-nil, makes Out/In/Prop poll a request context and
+	// unwind past-deadline scans (cancel.go). Only views derived with
+	// WithCancel carry one; the shared cached view never does, keeping the
+	// common read path at a single nil check.
+	cancel *cancelHook
 }
 
 // viewBase is the compacted, era-shared bulk of one or more snapshot views:
@@ -203,6 +209,9 @@ func (v *SnapshotView) appendEdges(dst []Edge, ord int32, t EdgeType, in bool) [
 //
 //snb:noalloc
 func (v *SnapshotView) Out(id ids.ID, t EdgeType) []Edge {
+	if v.cancel != nil {
+		v.cancel.tick()
+	}
 	o, ok := v.Ord(id)
 	if !ok {
 		return nil
@@ -214,6 +223,9 @@ func (v *SnapshotView) Out(id ids.ID, t EdgeType) []Edge {
 //
 //snb:noalloc
 func (v *SnapshotView) In(id ids.ID, t EdgeType) []Edge {
+	if v.cancel != nil {
+		v.cancel.tick()
+	}
 	o, ok := v.Ord(id)
 	if !ok {
 		return nil
@@ -277,6 +289,9 @@ func (v *SnapshotView) propsAt(ord int32) Props {
 //
 //snb:noalloc
 func (v *SnapshotView) Prop(id ids.ID, key PropKey) Value {
+	if v.cancel != nil {
+		v.cancel.tick()
+	}
 	o, ok := v.Ord(id)
 	if !ok {
 		return Value{}
@@ -397,6 +412,21 @@ func (s *Store) AcquireView() (*SnapshotView, ViewEvent) {
 	}
 	s.resetDeltas(ts)
 	return nv, ViewRebuilt
+}
+
+// AcquireViewChecked is AcquireView with a liveness check: once the store
+// is closed (MarkClosed / Persistent.Close) it returns ErrStoreClosed
+// instead of a view. Serving layers use it so requests racing a shutdown
+// get a clean sentinel rather than a snapshot of a store whose durability
+// pipeline is already gone. The check is advisory for reads — an already
+// acquired view stays valid forever — so a Close landing between the check
+// and the query is harmless.
+func (s *Store) AcquireViewChecked() (*SnapshotView, ViewEvent, error) {
+	if s.closed.Load() {
+		return nil, ViewHit, ErrStoreClosed
+	}
+	v, ev := s.AcquireView()
+	return v, ev, nil
 }
 
 // ViewAt builds a fresh, uncached view frozen at an explicit timestamp.

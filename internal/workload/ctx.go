@@ -1,0 +1,37 @@
+package workload
+
+import (
+	"context"
+
+	"ldbcsnb/internal/ids"
+	"ldbcsnb/internal/store"
+	"ldbcsnb/internal/xrand"
+)
+
+// Context-aware run hooks for the serving layer: the same monomorphized
+// view-path queries as RunView, executed over a cancellable view derived
+// with store.SnapshotView.WithCancel so a request whose deadline expires
+// mid-scan unwinds cooperatively instead of running to completion. The
+// hooks return store.ErrQueryCanceled in that case (converted from the
+// cooperative unwind by store.CatchCanceled); in-process callers that own
+// their deadlines keep using RunView directly and pay nothing.
+
+// RunViewCtx executes the complex query on the view path under ctx:
+// cancellation or deadline expiry aborts the scan at the next cooperative
+// check and returns store.ErrQueryCanceled.
+func (cs *ComplexSpec) RunViewCtx(ctx context.Context, v *store.SnapshotView, sc *Scratch, p ComplexParams) (res ComplexResult, err error) {
+	defer store.CatchCanceled(&err)
+	res = cs.RunView(v.WithCancel(ctx), sc, p)
+	return res, err
+}
+
+// RunShortReadChainCtx is RunShortReadChain on a cancellable view: the
+// walk aborts with store.ErrQueryCanceled at the next cooperative check
+// once ctx is done (the partial walk's stats are discarded — a canceled
+// request reports no work).
+func RunShortReadChainCtx(ctx context.Context, v *store.SnapshotView, mix ShortReadMix, rnd *xrand.Rand, persons, messages []ids.ID, timer StepTimer) (stats ShortReadStats, err error) {
+	cv := v.WithCancel(ctx)
+	defer store.CatchCanceled(&err)
+	stats = RunShortReadChain(cv, mix, rnd, persons, messages, timer)
+	return stats, err
+}

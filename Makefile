@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race lint bench bench-bi bench-recovery bench-mem bench-write bench-serve bench-smoke serve-smoke docs-check
+.PHONY: check fmt vet build test race lint bench bench-bi bench-recovery bench-mem bench-write bench-serve bench-query bench-smoke serve-smoke docs-check
 
 check: fmt vet build test lint
 
@@ -127,14 +127,29 @@ bench-serve:
 serve-smoke:
 	$(GO) test -race ./internal/server/... -run 'TestServeSmokeGoroutineLeak' -count=1
 
+# Declarative-vs-hand-written comparison for the pattern-query layer
+# (docs/QUERY.md): registry specs Q1/Q2/Q8 run through the generic
+# plan interpreter against the specialised workload implementations they
+# mirror, both on the warm snapshot-view path, emitted as
+# BENCH_query.json. The acceptance bar is decl <= 2x hand per query;
+# compute the ratio within one run — the absolute numbers drift with the
+# host.
+bench-query:
+	$(GO) test ./internal/bench/ -run xxx -bench 'BenchmarkQueryDeclVsHand' -benchtime 500ms -benchmem > $(BENCH_TMP)
+	$(GO) run ./cmd/benchjson -out BENCH_query.json \
+		-note "declarative pattern-query layer vs the hand-written Q1/Q2/Q8 it mirrors, both on the warm snapshot-view path; the bar is decl <= 2x hand per query within one run (Q1 decl is faster because the hand path also computes org enrichment the declarative form omits); regenerate with \`make bench-query\`" \
+		< $(BENCH_TMP)
+	@rm -f $(BENCH_TMP)
+
 # One short iteration of every query benchmark on every path (Interactive
-# txn/view plus the BI serial/parallel sweep, the recovery comparison and
-# the memory-footprint sweep at its first two scales): dispatch-layer
+# txn/view plus the BI serial/parallel sweep, the recovery comparison,
+# the memory-footprint sweep at its first two scales and the
+# declarative-vs-hand query-layer comparison): dispatch-layer
 # regressions (a query losing a path, a signature drift) fail fast here
 # without paying for a full measurement run. SNB_SMOKE_FULL additionally
 # runs the 1000-person recovered-store workload-equivalence sweep, proving
 # the compact checkpoint format at a scale where the dictionary and varint
 # sections carry real weight.
 bench-smoke:
-	$(GO) test ./internal/bench/ -run xxx -bench 'BenchmarkViewVsTxn|BenchmarkBISerialVsParallel|BenchmarkRecovery|BenchmarkMemory/sf=(250|1000)p|BenchmarkWrite/sync=commit/writers=2$$' -benchtime 1x -benchmem
+	$(GO) test ./internal/bench/ -run xxx -bench 'BenchmarkViewVsTxn|BenchmarkBISerialVsParallel|BenchmarkRecovery|BenchmarkMemory/sf=(250|1000)p|BenchmarkWrite/sync=commit/writers=2$$|BenchmarkQueryDeclVsHand' -benchtime 1x -benchmem
 	SNB_SMOKE_FULL=1 $(GO) test ./internal/bench/ -run 'TestRecoveredStoreServesWorkload' -count=1

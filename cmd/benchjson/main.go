@@ -117,7 +117,7 @@ func main() {
 		}
 		rec := Record{Name: m[1]}
 		rec.Query = rec.Name
-		for _, family := range []string{"ViewVsTxn", "BISerialVsParallel/"} {
+		for _, family := range []string{"ViewVsTxn", "BISerialVsParallel/", "QueryDeclVsHand/"} {
 			rec.Query = strings.TrimPrefix(rec.Query, family)
 		}
 		if q, path, ok := strings.Cut(rec.Query, "/"); ok {

@@ -87,9 +87,11 @@ import (
 	"ldbcsnb/internal/bench"
 	"ldbcsnb/internal/datagen"
 	"ldbcsnb/internal/driver"
+	"ldbcsnb/internal/query"
 	"ldbcsnb/internal/schema"
 	"ldbcsnb/internal/server/client"
 	"ldbcsnb/internal/store"
+	"ldbcsnb/internal/xrand"
 )
 
 // runConfig is the dataset-generation fingerprint snb-run stores next to a
@@ -196,6 +198,10 @@ func main() {
 		"serve mode: max retries per request after shed or transport failure")
 	serveInflight := flag.Int("serve-inflight", 0,
 		"serve mode: max outstanding requests; arrivals beyond it are dropped (0 = 256)")
+	queryText := flag.String("query", "",
+		"query mode: compile and run one declarative pattern query (docs/QUERY.md) against the "+
+			"loaded dataset, print the plan and result rows, and exit; $-parameters are bound "+
+			"from the curated pools using -seed, and -readpath picks the execution path")
 	flag.Parse()
 
 	if *serveAddr != "" {
@@ -284,6 +290,16 @@ func main() {
 	if *compactThreshold >= 0 {
 		env.Store.SetViewCompactThreshold(*compactThreshold)
 		fmt.Printf("view compaction threshold: %d overlay entries\n", *compactThreshold)
+	}
+
+	if *queryText != "" {
+		code := runQueryMode(env, *queryText, *readPath, *seed, *uniform)
+		if persist != nil {
+			if err := persist.Close(); err != nil {
+				log.Fatalf("close: %v", err)
+			}
+		}
+		os.Exit(code)
 	}
 
 	// Graceful shutdown: SIGINT/SIGTERM cancel the run's context; the
@@ -390,6 +406,46 @@ func main() {
 	if rep.Errors > 0 {
 		os.Exit(1)
 	}
+}
+
+// runQueryMode compiles one declarative pattern query with cardinality
+// hints from the current snapshot view, runs it on the selected read path,
+// and prints the plan, the result rows and the execution timing. Returns
+// the process exit code.
+func runQueryMode(env *bench.Env, text, readPath string, seed uint64, uniform bool) int {
+	q, err := query.Parse(text)
+	if err != nil {
+		log.Printf("parse: %v", err)
+		return 1
+	}
+	v := env.Store.CurrentView()
+	plan, err := query.CompileOpts(q, query.Opts{Card: v.NumOfKind})
+	if err != nil {
+		log.Printf("plan: %v", err)
+		return 1
+	}
+	fmt.Printf("\nquery: %s\nplan:\n%s\n", q, plan)
+
+	pools := driver.PreparePools(env.Full, seed, uniform)
+	params := query.StandardParams(pools, xrand.New(seed, 0x9e3779b9))
+	sc := query.NewScratch()
+	var res *query.Result
+	start := time.Now()
+	if readPath == driver.ReadPathTxn {
+		env.Store.View(func(tx *store.Txn) {
+			res, err = query.Run(tx, sc, plan, params)
+		})
+	} else {
+		res, err = query.Run(v, sc, plan, params)
+	}
+	elapsed := time.Since(start)
+	if err != nil {
+		log.Printf("execute: %v", err)
+		return 1
+	}
+	fmt.Print(res)
+	fmt.Printf("\n%d row(s) in %v (%s path)\n", len(res.Rows), elapsed.Round(time.Microsecond), readPath)
+	return 0
 }
 
 // runServeMode drives a remote snb-serve instance with the open-loop

@@ -6,7 +6,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"sort"
 	"time"
 
@@ -16,8 +18,13 @@ import (
 
 func main() {
 	log.SetFlags(0)
+	run(datagen.Config{Seed: 11, Persons: 250, Workers: 2}, os.Stdout)
+}
 
-	base := datagen.Config{Seed: 11, Persons: 250, Workers: 2}
+// run generates the network twice (uniform and event-driven) from base and
+// writes the volume chart and event table to w; split from main so the
+// example is exercised by the test suite at a smaller scale.
+func run(base datagen.Config, w io.Writer) {
 	uniform := datagen.Generate(base)
 	withEvents := base
 	withEvents.Events = true
@@ -49,19 +56,19 @@ func main() {
 			maxV = v
 		}
 	}
-	fmt.Println("30-day-bucket post volume (u = uniform, # = event-driven):")
+	fmt.Fprintln(w, "30-day-bucket post volume (u = uniform, # = event-driven):")
 	for i := 0; i < nMonths; i++ {
 		t := time.UnixMilli(datagen.SimStart + int64(i)*month).UTC()
 		nS := sb[i] * 40 / maxV
 		nU := ub[i] * 40 / maxV
-		fmt.Printf("%3d %s  %5d |%s\n", i+1, t.Format("2006-01-02"), sb[i], bar(nS, '#'))
-		fmt.Printf("               %5d |%s\n", ub[i], bar(nU, 'u'))
+		fmt.Fprintf(w, "%3d %s  %5d |%s\n", i+1, t.Format("2006-01-02"), sb[i], bar(nS, '#'))
+		fmt.Fprintf(w, "               %5d |%s\n", ub[i], bar(nU, 'u'))
 	}
 
 	// Largest events and their observed spikes.
 	events := append([]datagen.Event(nil), spiky.Events...)
 	sort.Slice(events, func(i, j int) bool { return events[i].Magnitude > events[j].Magnitude })
-	fmt.Println("\ntop events (topic, time, observed posts about topic within decay window):")
+	fmt.Fprintln(w, "\ntop events (topic, time, observed posts about topic within decay window):")
 	for i, e := range events {
 		if i == 5 {
 			break
@@ -74,7 +81,7 @@ func main() {
 				hits++
 			}
 		}
-		fmt.Printf("  %-14s %s  magnitude %4.1f  posts in window: %d\n",
+		fmt.Fprintf(w, "  %-14s %s  magnitude %4.1f  posts in window: %d\n",
 			dict.Tags[e.Tag].Name,
 			time.UnixMilli(e.Time).UTC().Format("2006-01-02"),
 			e.Magnitude, hits)

@@ -1,0 +1,33 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ldbcsnb/internal/datagen"
+)
+
+// TestRunSmoke exercises the example end to end at a reduced scale so
+// drift against the datagen API breaks CI instead of rotting silently
+// (the example is not imported by anything else).
+func TestRunSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	run(datagen.Config{Seed: 11, Persons: 60, Workers: 2}, &buf)
+	out := buf.String()
+
+	for _, want := range []string{
+		"30-day-bucket post volume",
+		"top events (topic, time, observed posts about topic within decay window):",
+		"magnitude",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// The event-driven chart renders one '#' bar per month bucket; an
+	// empty chart means generation produced no posts at all.
+	if !strings.Contains(out, "|#") {
+		t.Errorf("no non-empty event-driven bucket bar in output:\n%s", out)
+	}
+}

@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"testing"
+
+	"ldbcsnb/internal/query"
+	"ldbcsnb/internal/store"
+	"ldbcsnb/internal/workload"
+)
+
+// BenchmarkQueryDeclVsHand compares the declarative pattern-query layer
+// against the hand-written query implementations it mirrors (Q1/Q2/Q8),
+// both on the frozen snapshot-view path with warm scratches. The
+// declarative side pays for generic plan interpretation (term loads,
+// epoch-stamped dedup, the order-by sink) where the hand-written side is
+// specialised Go; the acceptance bar is decl <= 2x hand per query.
+//
+// `make bench-query` converts the output into BENCH_query.json via
+// cmd/benchjson so the ratio is tracked across PRs.
+func BenchmarkQueryDeclVsHand(b *testing.B) {
+	env := testEnv(b)
+	p := benchPerson(b, env)
+	name := benchCommonName(env)
+	maxDate := int64(1) << 62
+	v := env.Store.CurrentView()
+	person := store.Int64(int64(uint64(p)))
+
+	cases := []struct {
+		name   string
+		params query.Params
+		hand   func(sc *workload.Scratch)
+	}{
+		{"Q1", query.Params{"person": person, "name": store.String(name)},
+			func(sc *workload.Scratch) { workload.Q1(v, sc, p, name) }},
+		{"Q2", query.Params{"person": person, "maxDate": store.Int64(maxDate)},
+			func(sc *workload.Scratch) { workload.Q2(v, sc, p, maxDate) }},
+		{"Q8", query.Params{"person": person},
+			func(sc *workload.Scratch) { workload.Q8(v, sc, p) }},
+	}
+	for _, tc := range cases {
+		spec := query.Lookup(tc.name)
+		if spec == nil {
+			b.Fatalf("no registry spec %s", tc.name)
+		}
+		b.Run(tc.name+"/decl", func(b *testing.B) {
+			sc := query.NewScratch()
+			if _, err := spec.RunView(v, sc, tc.params); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := spec.RunView(v, sc, tc.params); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(tc.name+"/hand", func(b *testing.B) {
+			sc := workload.NewScratch()
+			tc.hand(sc)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tc.hand(sc)
+			}
+		})
+	}
+}

@@ -1,0 +1,1100 @@
+package query
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"ldbcsnb/internal/ids"
+	"ldbcsnb/internal/store"
+	"ldbcsnb/internal/workload"
+)
+
+// MaxResultRows bounds materialized results (rows of an unlimited query,
+// groups of an aggregation) so an ad-hoc cross product cannot exhaust the
+// process. Top-k queries are bounded by their limit instead.
+const MaxResultRows = 1 << 20
+
+// Params carries the $parameter bindings of one execution.
+type Params map[string]store.Value
+
+// Result is one executed query's materialized result. Rows never alias
+// store or scratch memory; they are safe to retain. Rows are always in the
+// canonical order (order-by keys, then every column ascending).
+type Result struct {
+	Cols []string
+	Rows [][]store.Value
+}
+
+// String renders the result as a compact table (header + one row per line,
+// tab-separated), mainly for snb-run -query output.
+func (res *Result) String() string {
+	var sb strings.Builder
+	sb.WriteString(strings.Join(res.Cols, "\t"))
+	sb.WriteByte('\n')
+	for _, row := range res.Rows {
+		for i, v := range row {
+			if i > 0 {
+				sb.WriteByte('\t')
+			}
+			switch {
+			case v.IsInt():
+				fmt.Fprintf(&sb, "%d", v.Int())
+			case v.IsStr():
+				fmt.Fprintf(&sb, "%q", v.Str())
+			default:
+				sb.WriteString("-")
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Scratch is the reusable per-goroutine execution state of the query
+// layer, composed over workload.Scratch (same ownership and aliasing
+// rules: one goroutine, sequential reuse across views is the intended
+// pattern). Per-operator deduplication state is epoch-stamped, so resets
+// between prefixes and runs are O(1) and the hot structures stay warm
+// across queries; buffers only grow.
+type Scratch struct {
+	W *workload.Scratch
+
+	epoch  uint64 // monotonic prefix-epoch counter; never resets
+	states []opState
+	spare  []store.Value // projection buffer, cloned only when a row is kept
+	keyBuf []byte        // group-key encoding buffer
+
+	row   []int64       // variable bindings, one slot per variable
+	pv    []store.Value // parameter values by parameter index
+	pint  []int64       // integer content of parameters used as endpoints
+	ff    []fusedFilter // runtime filters of the fused tail loop
+	iback []int64       // int-sink row arena
+	iheap []int32       // int-sink heap of arena slots
+}
+
+// NewScratch returns an empty query scratch with its own workload scratch.
+func NewScratch() *Scratch { return WrapScratch(workload.NewScratch()) }
+
+// WrapScratch composes a query scratch over an existing workload scratch
+// (e.g. a server connection's), sharing its era discipline.
+func WrapScratch(w *workload.Scratch) *Scratch { return &Scratch{W: w} }
+
+// opState is the pooled state of one plan position: dedup set, BFS queue
+// and the check-edge stamp buffer. Ops form a linear pipeline, so a
+// position can never re-enter itself recursively and one state per
+// position is safe.
+type opState struct {
+	dedup  dedupSet
+	queue  []ids.ID
+	stamps []int64
+}
+
+// dedupSet deduplicates the values an operator emits per input prefix: an
+// open-addressed hash table keyed by node ID with epoch-stamped slots.
+// beginPrefix bumps the scratch-global epoch and stale slots simply never
+// match, so there is no per-prefix clearing cost and no state survives
+// across eras, views or runs. Keying on IDs (not view ordinals) makes the
+// set identical on both read paths and era-agnostic, and a multiply-shift
+// probe is several times cheaper than a map access on the hot expand path.
+type dedupSet struct {
+	slots []dedupSlot
+	shift uint
+	n     int // slots claimed in the current epoch (growth trigger)
+	epoch uint64
+
+	over      []overEntry // extra stamps for parallel edges to one node
+	overEpoch uint64
+}
+
+type dedupSlot struct {
+	key   uint64
+	epoch uint64
+	stamp int64
+}
+
+type overEntry struct {
+	id    ids.ID
+	stamp int64
+}
+
+const (
+	dedupMinSlots = 256
+	dedupHashMul  = 0x9e3779b97f4a7c15
+)
+
+func (d *dedupSet) beginPrefix(sc *Scratch) {
+	sc.epoch++
+	d.epoch = sc.epoch
+	d.n = 0
+	if d.slots == nil {
+		d.slots = make([]dedupSlot, dedupMinSlots)
+		d.shift = 64 - 8
+	}
+}
+
+// find probes for key: the slot holding it in the current epoch (claimed
+// true), or the first stale slot of its chain (claimed false).
+func (d *dedupSet) find(key uint64) (int, bool) {
+	i := int((key * dedupHashMul) >> d.shift)
+	mask := len(d.slots) - 1
+	for {
+		s := &d.slots[i]
+		if s.epoch != d.epoch {
+			return i, false
+		}
+		if s.key == key {
+			return i, true
+		}
+		i = (i + 1) & mask
+	}
+}
+
+func (d *dedupSet) claim(i int, key uint64, stamp int64) {
+	d.slots[i] = dedupSlot{key: key, epoch: d.epoch, stamp: stamp}
+	d.n++
+	if d.n*2 >= len(d.slots) {
+		d.grow()
+	}
+}
+
+// grow doubles the table and re-seats the current epoch's entries; stale
+// slots are dropped (they were already unreachable).
+func (d *dedupSet) grow() {
+	old := d.slots
+	d.slots = make([]dedupSlot, 2*len(old))
+	d.shift--
+	for i := range old {
+		if old[i].epoch != d.epoch {
+			continue
+		}
+		j, _ := d.find(old[i].key)
+		d.slots[j] = old[i]
+	}
+}
+
+// tryMark reports whether id is new in the current prefix.
+func (d *dedupSet) tryMark(id ids.ID) bool {
+	i, found := d.find(uint64(id))
+	if found {
+		return false
+	}
+	d.claim(i, uint64(id), 0)
+	return true
+}
+
+// tryMarkStamp reports whether (id, stamp) is new in the current prefix.
+// The first stamp per id is stored inline; parallel edges spill into a
+// small per-prefix overflow list.
+func (d *dedupSet) tryMarkStamp(id ids.ID, stamp int64) bool {
+	i, found := d.find(uint64(id))
+	if !found {
+		d.claim(i, uint64(id), stamp)
+		return true
+	}
+	if d.slots[i].stamp == stamp {
+		return false
+	}
+	if d.overEpoch != d.epoch {
+		d.over = d.over[:0]
+		d.overEpoch = d.epoch
+	}
+	for _, e := range d.over {
+		if e.id == id && e.stamp == stamp {
+			return false
+		}
+	}
+	d.over = append(d.over, overEntry{id: id, stamp: stamp})
+	return true
+}
+
+// execCtx is the per-run state of one execution, generic over the reader.
+type execCtx[R store.Reader] struct {
+	r    R
+	p    *Plan
+	q    *Query
+	sc   *Scratch
+	row  []int64       // one slot per variable (scratch-backed)
+	pv   []store.Value // parameter values by parameter index
+	pint []int64       // integer content of parameters used as endpoints
+	ff   []fusedFilter // runtime form of p.fuseFilters (params folded in)
+	snk  sink
+}
+
+// fusedFilter is one trailing filter of the fused tail loop with its
+// parameters bound: a bare int64 comparison against either another row
+// slot or a constant. Non-integer parameters constant-fold (an integer
+// never equals a string) into pass/drop.
+type fusedFilter struct {
+	mode byte // ffCmp, ffPass or ffDrop
+	op   CmpOp
+	lv   int   // row slot of the left side
+	rv   int   // row slot of the right side, -1 = constant
+	rc   int64 // constant right side (rv < 0)
+}
+
+const (
+	ffCmp byte = iota
+	ffPass
+	ffDrop
+)
+
+// intCmp evaluates one comparison over bare int64s.
+func intCmp(op CmpOp, a, b int64) bool {
+	switch op {
+	case CmpEq:
+		return a == b
+	case CmpNe:
+		return a != b
+	case CmpLt:
+		return a < b
+	case CmpLe:
+		return a <= b
+	case CmpGt:
+		return a > b
+	default: // CmpGe
+		return a >= b
+	}
+}
+
+// mirrorCmp flips a comparison for operand exchange (a < b == b > a).
+func mirrorCmp(op CmpOp) CmpOp {
+	switch op {
+	case CmpLt:
+		return CmpGt
+	case CmpLe:
+		return CmpGe
+	case CmpGt:
+		return CmpLt
+	case CmpGe:
+		return CmpLe
+	default: // Eq, Ne are symmetric
+		return op
+	}
+}
+
+// bindFusedFilter lowers one fused filter to its runtime form. At least
+// one side is a variable (constant-only filters are settled before any op
+// runs); variables always hold int64s, so a non-integer parameter on the
+// other side makes equality constantly false and ordering vacuous.
+func bindFusedFilter(q *Query, pv []store.Value, fi int) fusedFilter {
+	f := &q.Filters[fi]
+	lhs, rhs, op := f.Lhs, f.Rhs, f.Op
+	if lhs.Kind != ExprVar {
+		lhs, rhs, op = rhs, lhs, mirrorCmp(op)
+	}
+	ff := fusedFilter{op: op, lv: lhs.Var, rv: -1}
+	switch rhs.Kind {
+	case ExprVar:
+		ff.rv = rhs.Var
+	case ExprInt:
+		ff.rc = rhs.Int
+	default: // ExprParam
+		v := pv[rhs.Param]
+		if !v.IsInt() {
+			if op == CmpNe {
+				ff.mode = ffPass
+			} else {
+				ff.mode = ffDrop
+			}
+			return ff
+		}
+		ff.rc = v.Int()
+	}
+	return ff
+}
+
+// Run executes a compiled plan against either reader instantiation.
+// Results are identical between *store.Txn and *store.SnapshotView at the
+// same snapshot timestamp (the differential suite pins this). On a view
+// derived via WithCancel, cancellation propagates through the reader's
+// poll hook; use RunViewCtx to get it mapped onto an error.
+func Run[R store.Reader](r R, sc *Scratch, p *Plan, params Params) (*Result, error) {
+	sc.W.Begin(r)
+	q := p.Q
+	var ec execCtx[R]
+	ec.r, ec.p, ec.q, ec.sc = r, p, q, sc
+
+	if cap(sc.pv) < len(q.Params) {
+		sc.pv = make([]store.Value, len(q.Params))
+		sc.pint = make([]int64, len(q.Params))
+	}
+	ec.pv = sc.pv[:len(q.Params)]
+	ec.pint = sc.pint[:len(q.Params)]
+	for i, name := range q.Params {
+		v, ok := params[name]
+		if !ok {
+			return nil, fmt.Errorf("query: missing parameter $%s", name)
+		}
+		ec.pv[i] = v
+	}
+	for i := range q.Atoms {
+		a := &q.Atoms[i]
+		if a.Kind != AtomEdge {
+			continue
+		}
+		for _, t := range [2]Term{a.Src, a.Dst} {
+			if t.Kind == TermParam {
+				if !ec.pv[t.Param].IsInt() {
+					return nil, fmt.Errorf("query: parameter $%s is used as a node and must be an integer ID", q.Params[t.Param])
+				}
+				ec.pint[t.Param] = ec.pv[t.Param].Int()
+			}
+		}
+	}
+
+	if cap(sc.row) < len(q.Vars) {
+		sc.row = make([]int64, len(q.Vars))
+	}
+	ec.row = sc.row[:len(q.Vars)]
+	if len(sc.states) < len(p.ops) {
+		sc.states = append(sc.states, make([]opState, len(p.ops)-len(sc.states))...)
+	}
+	if cap(sc.spare) < len(q.Returns) {
+		sc.spare = make([]store.Value, len(q.Returns))
+	}
+	if p.fuseAt >= 0 {
+		sc.ff = sc.ff[:0]
+		for _, fi := range p.fuseFilters {
+			sc.ff = append(sc.ff, bindFusedFilter(q, ec.pv, fi))
+		}
+		ec.ff = sc.ff
+	}
+	ec.snk.init(p, sc)
+
+	if err := ec.exec(0); err != nil {
+		return nil, err
+	}
+	res := ec.snk.finalize()
+	sc.iback = ec.snk.iback[:0]
+	sc.iheap = ec.snk.iheap[:0]
+	return res, nil
+}
+
+// RunViewCtx executes on the lock-free view path with cooperative
+// cancellation: the reader polls ctx through the store's WithCancel hook
+// and an expired deadline surfaces as store.ErrQueryCanceled.
+func RunViewCtx(ctx context.Context, v *store.SnapshotView, sc *Scratch, p *Plan, params Params) (res *Result, err error) {
+	defer store.CatchCanceled(&err)
+	res, err = Run(v.WithCancel(ctx), sc, p, params)
+	return res, err
+}
+
+func (ec *execCtx[R]) termVal(t Term) int64 {
+	switch t.Kind {
+	case TermVar:
+		return ec.row[t.Var]
+	case TermParam:
+		return ec.pint[t.Param]
+	default:
+		return t.Int
+	}
+}
+
+func (ec *execCtx[R]) evalExpr(e Expr) store.Value {
+	switch e.Kind {
+	case ExprVar:
+		return store.Int64(ec.row[e.Var])
+	case ExprProp:
+		return ec.r.Prop(ids.ID(uint64(ec.row[e.Var])), e.Prop)
+	case ExprParam:
+		return ec.pv[e.Param]
+	case ExprInt:
+		return store.Int64(e.Int)
+	default:
+		return store.String(e.Str)
+	}
+}
+
+// exec runs the pipeline from op i for the current row prefix.
+func (ec *execCtx[R]) exec(i int) error {
+	if i == len(ec.p.ops) {
+		if ec.snk.intMode {
+			ec.snk.addInt(ec.row)
+			return nil
+		}
+		return ec.emit()
+	}
+	op := ec.p.ops[i]
+	switch op.kind {
+	case opScan:
+		return ec.execScan(i, op)
+	case opExpand:
+		if i == ec.p.fuseAt {
+			return ec.execFused(i, op)
+		}
+		return ec.execExpand(i, op)
+	case opCheckEdge:
+		return ec.execCheckEdge(i, op)
+	case opBFS:
+		return ec.execBFS(i, op)
+	case opCheckKind:
+		a := &ec.q.Atoms[op.atom]
+		if ids.ID(uint64(ec.row[a.Var])).Kind() == a.NodeKind {
+			return ec.exec(i + 1)
+		}
+		return nil
+	default: // opFilter
+		f := &ec.q.Filters[op.filter]
+		if filterHolds(f.Op, ec.evalExpr(f.Lhs), ec.evalExpr(f.Rhs)) {
+			return ec.exec(i + 1)
+		}
+		return nil
+	}
+}
+
+func (ec *execCtx[R]) execScan(i int, op planOp) error {
+	lo, hi := op.scanKind, op.scanKind
+	if op.scanKind == 0 {
+		lo, hi = ids.KindPerson, ids.KindPhoto
+	}
+	for k := lo; k <= hi; k++ {
+		for _, id := range ec.r.NodesOfKind(k) {
+			ec.row[op.scanVar] = int64(uint64(id))
+			if err := ec.exec(i + 1); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (ec *execCtx[R]) execExpand(i int, op planOp) error {
+	a := &ec.q.Atoms[op.atom]
+	st := &ec.sc.states[i]
+	st.dedup.beginPrefix(ec.sc)
+	var from int64
+	var toVar int
+	if op.out {
+		from, toVar = ec.termVal(a.Src), a.Dst.Var
+	} else {
+		from, toVar = ec.termVal(a.Dst), a.Src.Var
+	}
+	var edges []store.Edge
+	if op.out {
+		edges = ec.r.Out(ids.ID(uint64(from)), a.Edge)
+	} else {
+		edges = ec.r.In(ids.ID(uint64(from)), a.Edge)
+	}
+	for _, e := range edges {
+		if a.Stamp >= 0 {
+			if !st.dedup.tryMarkStamp(e.To, e.Stamp) {
+				continue
+			}
+			ec.row[a.Stamp] = e.Stamp
+		} else if !st.dedup.tryMark(e.To) {
+			continue
+		}
+		ec.row[toVar] = int64(uint64(e.To))
+		if err := ec.exec(i + 1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// execFused is the fused tail loop: the plan's final binding expand, its
+// trailing integer filters and the int-sink top-k push in one pass, with
+// no per-candidate recursion or value boxing. The heap rejection runs
+// BEFORE deduplication: the acceptance threshold only tightens over a
+// run, so a duplicate of a rejected candidate is rejected by the same
+// compare and needs no dedup entry — on a saturated heap most candidates
+// touch nothing but the filter slots and the heap root.
+func (ec *execCtx[R]) execFused(i int, op planOp) error {
+	a := &ec.q.Atoms[op.atom]
+	st := &ec.sc.states[i]
+	st.dedup.beginPrefix(ec.sc)
+	var from int64
+	var toVar int
+	if op.out {
+		from, toVar = ec.termVal(a.Src), a.Dst.Var
+	} else {
+		from, toVar = ec.termVal(a.Dst), a.Src.Var
+	}
+	var edges []store.Edge
+	if op.out {
+		edges = ec.r.Out(ids.ID(uint64(from)), a.Edge)
+	} else {
+		edges = ec.r.In(ids.ID(uint64(from)), a.Edge)
+	}
+	row := ec.row
+outer:
+	for _, e := range edges {
+		row[toVar] = int64(uint64(e.To))
+		if a.Stamp >= 0 {
+			row[a.Stamp] = e.Stamp
+		}
+		for _, f := range ec.ff {
+			switch f.mode {
+			case ffPass:
+				continue
+			case ffDrop:
+				continue outer
+			}
+			rhs := f.rc
+			if f.rv >= 0 {
+				rhs = row[f.rv]
+			}
+			if !intCmp(f.op, row[f.lv], rhs) {
+				continue outer
+			}
+		}
+		if ec.snk.wouldRejectInt(row) {
+			continue
+		}
+		if a.Stamp >= 0 {
+			if !st.dedup.tryMarkStamp(e.To, e.Stamp) {
+				continue
+			}
+		} else if !st.dedup.tryMark(e.To) {
+			continue
+		}
+		ec.snk.addInt(row)
+	}
+	return nil
+}
+
+func (ec *execCtx[R]) execCheckEdge(i int, op planOp) error {
+	a := &ec.q.Atoms[op.atom]
+	src := ids.ID(uint64(ec.termVal(a.Src)))
+	dst := ec.termVal(a.Dst)
+	edges := ec.r.Out(src, a.Edge)
+	if a.Stamp < 0 {
+		for _, e := range edges {
+			if int64(uint64(e.To)) == dst {
+				return ec.exec(i + 1)
+			}
+		}
+		return nil
+	}
+	st := &ec.sc.states[i]
+	st.stamps = st.stamps[:0]
+	for _, e := range edges {
+		if int64(uint64(e.To)) != dst {
+			continue
+		}
+		dup := false
+		for _, s := range st.stamps {
+			if s == e.Stamp {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		st.stamps = append(st.stamps, e.Stamp)
+		ec.row[a.Stamp] = e.Stamp
+		if err := ec.exec(i + 1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// execBFS evaluates a variable-length atom: layered BFS from the bound
+// endpoint; a node's discovery depth is its minimal hop distance. In bind
+// mode every node at depth in [min, max] binds the free endpoint; in check
+// mode the search stops when the (bound) target is discovered, which is
+// satisfied only if that minimal depth lies in the range.
+func (ec *execCtx[R]) execBFS(i int, op planOp) error {
+	a := &ec.q.Atoms[op.atom]
+	st := &ec.sc.states[i]
+	st.dedup.beginPrefix(ec.sc)
+
+	var from, target int64
+	var toVar int
+	if op.out {
+		from = ec.termVal(a.Src)
+		if op.check {
+			target = ec.termVal(a.Dst)
+		} else {
+			toVar = a.Dst.Var
+		}
+	} else {
+		from = ec.termVal(a.Dst)
+		if op.check {
+			target = ec.termVal(a.Src)
+		} else {
+			toVar = a.Src.Var
+		}
+	}
+
+	queue := st.queue[:0]
+	start := ids.ID(uint64(from))
+	if st.dedup.tryMark(start) {
+		queue = append(queue, start)
+	}
+	lo, depth := 0, 0
+	var err error
+loop:
+	for depth < a.MaxHops && lo < len(queue) {
+		hi := len(queue)
+		depth++
+		for ; lo < hi; lo++ {
+			n := queue[lo]
+			var edges []store.Edge
+			if op.out {
+				edges = ec.r.Out(n, a.Edge)
+			} else {
+				edges = ec.r.In(n, a.Edge)
+			}
+			for _, e := range edges {
+				if !st.dedup.tryMark(e.To) {
+					continue
+				}
+				queue = append(queue, e.To)
+				if op.check {
+					if int64(uint64(e.To)) == target {
+						if depth >= a.MinHops {
+							if a.Stamp >= 0 {
+								ec.row[a.Stamp] = int64(depth)
+							}
+							err = ec.exec(i + 1)
+						}
+						break loop
+					}
+					continue
+				}
+				if depth < a.MinHops {
+					continue
+				}
+				ec.row[toVar] = int64(uint64(e.To))
+				if a.Stamp >= 0 {
+					ec.row[a.Stamp] = int64(depth)
+				}
+				if err = ec.exec(i + 1); err != nil {
+					break loop
+				}
+			}
+		}
+	}
+	st.queue = queue
+	return err
+}
+
+// emit projects the current full assignment into the sink.
+func (ec *execCtx[R]) emit() error {
+	q := ec.q
+	spare := ec.sc.spare[:len(q.Returns)]
+	for i := range q.Returns {
+		it := &q.Returns[i]
+		if it.Agg != AggNone {
+			if it.Star {
+				spare[i] = store.Value{}
+			} else {
+				spare[i] = ec.evalExpr(it.Expr)
+			}
+			continue
+		}
+		spare[i] = ec.evalExpr(it.Expr)
+	}
+	return ec.snk.add(q, spare)
+}
+
+// filterHolds evaluates one comparison. Equality is structural (interned
+// strings make equal content equal bits); ordering requires both sides to
+// be present and of the same kind, and orders strings by content, not
+// symbol.
+func filterHolds(op CmpOp, a, b store.Value) bool {
+	switch op {
+	case CmpEq:
+		return a == b
+	case CmpNe:
+		return a != b
+	}
+	var c int
+	switch {
+	case a.IsInt() && b.IsInt():
+		switch {
+		case a.Int() < b.Int():
+			c = -1
+		case a.Int() > b.Int():
+			c = 1
+		}
+	case a.IsStr() && b.IsStr():
+		c = strings.Compare(a.Str(), b.Str())
+	default:
+		return false
+	}
+	switch op {
+	case CmpLt:
+		return c < 0
+	case CmpLe:
+		return c <= 0
+	case CmpGt:
+		return c > 0
+	default: // CmpGe
+		return c >= 0
+	}
+}
+
+// compareVal is the canonical total order over values: absent < integers <
+// strings; integers numerically, strings by content (symbols are interning
+// order, not content order).
+func compareVal(a, b store.Value) int {
+	ra, rb := valRank(a), valRank(b)
+	if ra != rb {
+		if ra < rb {
+			return -1
+		}
+		return 1
+	}
+	switch ra {
+	case 1:
+		switch {
+		case a.Int() < b.Int():
+			return -1
+		case a.Int() > b.Int():
+			return 1
+		}
+		return 0
+	case 2:
+		if a.Sym() == b.Sym() {
+			return 0
+		}
+		return strings.Compare(a.Str(), b.Str())
+	default:
+		return 0
+	}
+}
+
+func valRank(v store.Value) int {
+	switch {
+	case v.IsInt():
+		return 1
+	case v.IsStr():
+		return 2
+	default:
+		return 0
+	}
+}
+
+// compareRows is the canonical row order: order-by keys first, then every
+// column ascending, so any two distinct rows compare unequal and results
+// are deterministic regardless of enumeration order.
+func compareRows(keys []sortKey, a, b []store.Value) int {
+	for _, k := range keys {
+		if c := compareVal(a[k.col], b[k.col]); c != 0 {
+			if k.desc {
+				return -c
+			}
+			return c
+		}
+	}
+	for i := range a {
+		if c := compareVal(a[i], b[i]); c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+// sink accumulates projected rows: a bounded worst-at-root heap for
+// order+limit queries (over int64 columns in a scratch-backed arena when
+// the plan's int fast path applies), plain materialization otherwise, or
+// grouped accumulators when aggregating.
+type sink struct {
+	q      *Query
+	agg    bool
+	limit  int
+	cols   []string // result column names (shared with the plan)
+	rows   [][]store.Value
+	groups map[string]*aggGroup
+	kb     []byte // group-key encoding buffer
+
+	// Int fast path (Plan.intSink): result rows are nc int64 columns in
+	// iback; iheap orders arena slots, worst at the root.
+	intMode bool
+	icols   []int
+	nc      int
+	iback   []int64
+	iheap   []int32
+
+	// keys is the plan's compact (column, direction) order-by form; the
+	// comparison loops use it instead of Q.Orders to avoid copying the
+	// full OrderKey per iteration.
+	keys []sortKey
+}
+
+type aggGroup struct {
+	keys []store.Value
+	accs []int64
+}
+
+func (s *sink) init(p *Plan, sc *Scratch) {
+	q := p.Q
+	s.q = q
+	s.agg = q.HasAggregates()
+	s.limit = q.Limit
+	s.rows = nil
+	s.groups = nil
+	s.intMode = false
+	s.cols = p.cols
+	s.keys = p.keys
+	if s.agg {
+		s.groups = make(map[string]*aggGroup)
+		return
+	}
+	if p.intSink {
+		s.intMode = true
+		s.icols = p.icols
+		s.nc = len(q.Returns)
+		s.iback = sc.iback[:0]
+		s.iheap = sc.iheap[:0]
+	}
+}
+
+// cmpSlots is the canonical row order between two arena slots.
+func (s *sink) cmpSlots(x, y int32) int {
+	ox, oy := int(x)*s.nc, int(y)*s.nc
+	for _, k := range s.keys {
+		a, b := s.iback[ox+k.col], s.iback[oy+k.col]
+		if a != b {
+			if (a < b) != k.desc {
+				return -1
+			}
+			return 1
+		}
+	}
+	for j := 0; j < s.nc; j++ {
+		a, b := s.iback[ox+j], s.iback[oy+j]
+		if a != b {
+			if a < b {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
+// cmpSlotRow compares a stored arena slot against an unprojected candidate
+// (variable bindings indirected through icols).
+func (s *sink) cmpSlotRow(slot int32, row []int64) int {
+	off := int(slot) * s.nc
+	for _, k := range s.keys {
+		a, b := s.iback[off+k.col], row[s.icols[k.col]]
+		if a != b {
+			if (a < b) != k.desc {
+				return -1
+			}
+			return 1
+		}
+	}
+	for j := 0; j < s.nc; j++ {
+		a, b := s.iback[off+j], row[s.icols[j]]
+		if a != b {
+			if a < b {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
+// wouldRejectInt reports a saturated heap whose worst row is no worse than
+// the candidate — the candidate cannot enter the result.
+func (s *sink) wouldRejectInt(row []int64) bool {
+	return len(s.iheap) >= s.limit && s.cmpSlotRow(s.iheap[0], row) <= 0
+}
+
+// addInt pushes one candidate into the int top-k heap.
+func (s *sink) addInt(row []int64) {
+	if len(s.iheap) < s.limit {
+		slot := int32(len(s.iheap))
+		for _, c := range s.icols {
+			s.iback = append(s.iback, row[c])
+		}
+		s.iheap = append(s.iheap, slot)
+		i := len(s.iheap) - 1
+		for i > 0 {
+			parent := (i - 1) / 2
+			if s.cmpSlots(s.iheap[i], s.iheap[parent]) <= 0 {
+				break
+			}
+			s.iheap[i], s.iheap[parent] = s.iheap[parent], s.iheap[i]
+			i = parent
+		}
+		return
+	}
+	if s.cmpSlotRow(s.iheap[0], row) <= 0 {
+		return
+	}
+	off := int(s.iheap[0]) * s.nc
+	for j, c := range s.icols {
+		s.iback[off+j] = row[c]
+	}
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < len(s.iheap) && s.cmpSlots(s.iheap[l], s.iheap[largest]) > 0 {
+			largest = l
+		}
+		if r < len(s.iheap) && s.cmpSlots(s.iheap[r], s.iheap[largest]) > 0 {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		s.iheap[i], s.iheap[largest] = s.iheap[largest], s.iheap[i]
+		i = largest
+	}
+}
+
+func (s *sink) add(q *Query, row []store.Value) error {
+	if s.agg {
+		return s.addGroup(q, row)
+	}
+	if s.limit > 0 {
+		s.pushTopK(q, row)
+		return nil
+	}
+	if len(s.rows) >= MaxResultRows {
+		return fmt.Errorf("query: result exceeds %d rows (add a limit)", MaxResultRows)
+	}
+	s.rows = append(s.rows, append([]store.Value(nil), row...))
+	return nil
+}
+
+// pushTopK keeps the limit best rows under the canonical order in a
+// max-heap (worst row at the root). Once the heap is full, a replacement
+// copies into the evicted row's backing array, so a saturated heap
+// allocates nothing per candidate.
+func (s *sink) pushTopK(q *Query, row []store.Value) {
+	if len(s.rows) < s.limit {
+		s.rows = append(s.rows, append([]store.Value(nil), row...))
+		// Sift up.
+		i := len(s.rows) - 1
+		for i > 0 {
+			parent := (i - 1) / 2
+			if compareRows(s.keys, s.rows[i], s.rows[parent]) <= 0 {
+				break
+			}
+			s.rows[i], s.rows[parent] = s.rows[parent], s.rows[i]
+			i = parent
+		}
+		return
+	}
+	if compareRows(s.keys, row, s.rows[0]) >= 0 {
+		return
+	}
+	s.rows[0] = append(s.rows[0][:0], row...)
+	// Sift down.
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < len(s.rows) && compareRows(s.keys, s.rows[l], s.rows[largest]) > 0 {
+			largest = l
+		}
+		if r < len(s.rows) && compareRows(s.keys, s.rows[r], s.rows[largest]) > 0 {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		s.rows[i], s.rows[largest] = s.rows[largest], s.rows[i]
+		i = largest
+	}
+}
+
+func (s *sink) addGroup(q *Query, row []store.Value) error {
+	// Encode the group key: the plain (non-aggregate) return columns.
+	// Symbols are stable within a process, so equal strings encode equal.
+	buf := s.keyEnc(q, row)
+	g, ok := s.groups[string(buf)]
+	if !ok {
+		if len(s.groups) >= MaxResultRows {
+			return fmt.Errorf("query: aggregation exceeds %d groups", MaxResultRows)
+		}
+		g = &aggGroup{
+			keys: append([]store.Value(nil), row...),
+			accs: make([]int64, len(q.Returns)),
+		}
+		s.groups[string(buf)] = g
+	}
+	for i := range q.Returns {
+		it := &q.Returns[i]
+		switch it.Agg {
+		case AggCount:
+			if it.Star || !row[i].IsZero() {
+				g.accs[i]++
+			}
+		case AggSum:
+			g.accs[i] += row[i].Int()
+		}
+	}
+	return nil
+}
+
+func (s *sink) keyEnc(q *Query, row []store.Value) []byte {
+	buf := s.kb[:0]
+	for i := range q.Returns {
+		if q.Returns[i].Agg != AggNone {
+			continue
+		}
+		v := row[i]
+		switch {
+		case v.IsInt():
+			buf = append(buf, 'i')
+			u := uint64(v.Int())
+			for b := 0; b < 8; b++ {
+				buf = append(buf, byte(u>>(8*b)))
+			}
+		case v.IsStr():
+			buf = append(buf, 's')
+			u := uint64(v.Sym())
+			for b := 0; b < 8; b++ {
+				buf = append(buf, byte(u>>(8*b)))
+			}
+		default:
+			buf = append(buf, 'n')
+		}
+	}
+	s.kb = buf
+	return buf
+}
+
+func (s *sink) finalize() *Result {
+	q := s.q
+	res := &Result{Cols: s.cols}
+	if s.intMode {
+		sort.Slice(s.iheap, func(i, j int) bool { return s.cmpSlots(s.iheap[i], s.iheap[j]) < 0 })
+		back := make([]store.Value, len(s.iheap)*s.nc)
+		res.Rows = make([][]store.Value, len(s.iheap))
+		for i, slot := range s.iheap {
+			off := int(slot) * s.nc
+			r := back[i*s.nc : (i+1)*s.nc : (i+1)*s.nc]
+			for j := 0; j < s.nc; j++ {
+				r[j] = store.Int64(s.iback[off+j])
+			}
+			res.Rows[i] = r
+		}
+		return res
+	}
+	if s.agg {
+		rows := make([][]store.Value, 0, len(s.groups))
+		for _, g := range s.groups {
+			row := make([]store.Value, len(q.Returns))
+			for i := range q.Returns {
+				if q.Returns[i].Agg == AggNone {
+					row[i] = g.keys[i]
+				} else {
+					row[i] = store.Int64(g.accs[i])
+				}
+			}
+			rows = append(rows, row)
+		}
+		s.rows = rows
+	}
+	sort.Slice(s.rows, func(i, j int) bool { return compareRows(s.keys, s.rows[i], s.rows[j]) < 0 })
+	if q.Limit > 0 && len(s.rows) > q.Limit {
+		s.rows = s.rows[:q.Limit]
+	}
+	res.Rows = s.rows
+	return res
+}

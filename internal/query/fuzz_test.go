@@ -1,0 +1,49 @@
+package query
+
+import "testing"
+
+// FuzzParse pins the parser's safety and the canonical-print fixpoint: for
+// any input, Parse never panics; when it accepts, the canonical form
+// reparses to the same canonical form, the planner accepts the result, and
+// both parses compile to the identical plan. The seed corpus lives in
+// testdata/fuzz/FuzzParse and is replayed by every plain `go test` run
+// (and therefore by make check in CI); open-ended fuzzing is opt-in via
+// `go test -fuzz=FuzzParse ./internal/query/`.
+func FuzzParse(f *testing.F) {
+	for _, src := range roundTripQueries {
+		f.Add(src)
+	}
+	for _, src := range diffCorpus {
+		f.Add(src)
+	}
+	f.Add(`match`)
+	f.Add(`match ?p : Person return ?p limit 99999999999999999999`)
+	f.Add(`match ?p -knows*1..-> ?q return ?p`)
+	f.Add("match ?p : Person where ?p.firstName = \"a\\\"b\" return ?p")
+	f.Add("not a query at all \x00\xff")
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return
+		}
+		s1 := q.String()
+		q2, err := Parse(s1)
+		if err != nil {
+			t.Fatalf("canonical form %q of accepted input %q does not reparse: %v", s1, src, err)
+		}
+		if s2 := q2.String(); s1 != s2 {
+			t.Fatalf("canonical print is not a fixpoint:\n input: %q\n first: %q\n second: %q", src, s1, s2)
+		}
+		p1, err := Compile(q)
+		if err != nil {
+			t.Fatalf("accepted query %q does not plan: %v", s1, err)
+		}
+		p2, err := Compile(q2)
+		if err != nil {
+			t.Fatalf("reparsed query %q does not plan: %v", s1, err)
+		}
+		if p1.String() != p2.String() {
+			t.Fatalf("plans diverge across reparse of %q:\n%svs\n%s", s1, p1, p2)
+		}
+	})
+}

@@ -1,0 +1,600 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseError reports a syntax or validation error with its byte offset in
+// the query text.
+type ParseError struct {
+	Off int
+	Msg string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("query: parse error at offset %d: %s", e.Off, e.Msg)
+}
+
+type tokKind uint8
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tVar   // ?name
+	tParam // $name
+	tInt
+	tStr
+	tComma
+	tColon
+	tDot
+	tDotDot
+	tAt
+	tLParen
+	tRParen
+	tStar
+	tDash
+	tArrow // ->
+	tCmp   // payload in token.cmp
+)
+
+type token struct {
+	kind tokKind
+	off  int
+	text string // ident/var/param name, string literal value
+	num  int64
+	cmp  CmpOp
+}
+
+// lex tokenizes the whole source up front. It never panics on arbitrary
+// input; every reject path is a *ParseError.
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == ',':
+			toks = append(toks, token{kind: tComma, off: i})
+			i++
+		case c == ':':
+			toks = append(toks, token{kind: tColon, off: i})
+			i++
+		case c == '@':
+			toks = append(toks, token{kind: tAt, off: i})
+			i++
+		case c == '(':
+			toks = append(toks, token{kind: tLParen, off: i})
+			i++
+		case c == ')':
+			toks = append(toks, token{kind: tRParen, off: i})
+			i++
+		case c == '*':
+			toks = append(toks, token{kind: tStar, off: i})
+			i++
+		case c == '.':
+			if i+1 < len(src) && src[i+1] == '.' {
+				toks = append(toks, token{kind: tDotDot, off: i})
+				i += 2
+			} else {
+				toks = append(toks, token{kind: tDot, off: i})
+				i++
+			}
+		case c == '-':
+			if i+1 < len(src) && src[i+1] == '>' {
+				toks = append(toks, token{kind: tArrow, off: i})
+				i += 2
+			} else {
+				toks = append(toks, token{kind: tDash, off: i})
+				i++
+			}
+		case c == '=':
+			toks = append(toks, token{kind: tCmp, off: i, cmp: CmpEq})
+			i++
+		case c == '!':
+			if i+1 < len(src) && src[i+1] == '=' {
+				toks = append(toks, token{kind: tCmp, off: i, cmp: CmpNe})
+				i += 2
+			} else {
+				return nil, &ParseError{Off: i, Msg: "expected != after !"}
+			}
+		case c == '<':
+			if i+1 < len(src) && src[i+1] == '=' {
+				toks = append(toks, token{kind: tCmp, off: i, cmp: CmpLe})
+				i += 2
+			} else {
+				toks = append(toks, token{kind: tCmp, off: i, cmp: CmpLt})
+				i++
+			}
+		case c == '>':
+			if i+1 < len(src) && src[i+1] == '=' {
+				toks = append(toks, token{kind: tCmp, off: i, cmp: CmpGe})
+				i += 2
+			} else {
+				toks = append(toks, token{kind: tCmp, off: i, cmp: CmpGt})
+				i++
+			}
+		case c == '?' || c == '$':
+			start := i
+			i++
+			j := i
+			for j < len(src) && isIdentChar(src[j], j > i) {
+				j++
+			}
+			if j == i {
+				return nil, &ParseError{Off: start, Msg: fmt.Sprintf("expected name after %c", c)}
+			}
+			k := tVar
+			if c == '$' {
+				k = tParam
+			}
+			toks = append(toks, token{kind: k, off: start, text: src[i:j]})
+			i = j
+		case c >= '0' && c <= '9':
+			start := i
+			j := i
+			for j < len(src) && src[j] >= '0' && src[j] <= '9' {
+				j++
+			}
+			n, err := strconv.ParseInt(src[start:j], 10, 64)
+			if err != nil {
+				return nil, &ParseError{Off: start, Msg: "integer out of range"}
+			}
+			toks = append(toks, token{kind: tInt, off: start, num: n})
+			i = j
+		case c == '"':
+			start := i
+			i++
+			var sb strings.Builder
+			for {
+				if i >= len(src) {
+					return nil, &ParseError{Off: start, Msg: "unterminated string"}
+				}
+				b := src[i]
+				if b == '"' {
+					i++
+					break
+				}
+				if b == '\n' || b == '\r' {
+					return nil, &ParseError{Off: start, Msg: "newline in string"}
+				}
+				if b == '\\' {
+					if i+1 >= len(src) || (src[i+1] != '"' && src[i+1] != '\\') {
+						return nil, &ParseError{Off: i, Msg: `unknown escape (only \" and \\)`}
+					}
+					sb.WriteByte(src[i+1])
+					i += 2
+					continue
+				}
+				sb.WriteByte(b)
+				i++
+			}
+			toks = append(toks, token{kind: tStr, off: start, text: sb.String()})
+		case isIdentChar(c, false):
+			start := i
+			j := i
+			for j < len(src) && isIdentChar(src[j], true) {
+				j++
+			}
+			toks = append(toks, token{kind: tIdent, off: start, text: src[start:j]})
+			i = j
+		default:
+			return nil, &ParseError{Off: i, Msg: fmt.Sprintf("unexpected byte %q", c)}
+		}
+	}
+	toks = append(toks, token{kind: tEOF, off: len(src)})
+	return toks, nil
+}
+
+func isIdentChar(c byte, notFirst bool) bool {
+	if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' {
+		return true
+	}
+	return notFirst && c >= '0' && c <= '9'
+}
+
+type parser struct {
+	toks   []token
+	pos    int
+	q      *Query
+	varIdx map[string]int
+	parIdx map[string]int
+}
+
+// Parse parses one pattern query. The returned AST is fully validated:
+// names resolve against the schema, every variable is bound by a pattern,
+// order-by keys resolve to return items, and all size limits hold.
+func Parse(src string) (*Query, error) {
+	if len(src) > MaxQueryLen {
+		return nil, &ParseError{Off: MaxQueryLen, Msg: fmt.Sprintf("query longer than %d bytes", MaxQueryLen)}
+	}
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, q: &Query{}, varIdx: map[string]int{}, parIdx: map[string]int{}}
+	if err := p.parseQuery(); err != nil {
+		return nil, err
+	}
+	return p.q, nil
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.advance(); return t }
+
+func (p *parser) advance() {
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+}
+
+// keyword reports whether the current token is the given keyword
+// (case-insensitive, as all keywords are).
+func (p *parser) keyword(kw string) bool {
+	t := p.cur()
+	return t.kind == tIdent && strings.EqualFold(t.text, kw)
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.keyword(kw) {
+		return p.errf("expected %q", kw)
+	}
+	p.advance()
+	return nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &ParseError{Off: p.cur().off, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) parseQuery() error {
+	if err := p.expectKeyword("match"); err != nil {
+		return err
+	}
+	for {
+		if len(p.q.Atoms) >= MaxAtoms {
+			return p.errf("more than %d patterns", MaxAtoms)
+		}
+		if err := p.parseAtom(); err != nil {
+			return err
+		}
+		if p.cur().kind != tComma {
+			break
+		}
+		p.advance()
+	}
+	if p.keyword("where") {
+		p.advance()
+		for {
+			if len(p.q.Filters) >= MaxFilters {
+				return p.errf("more than %d filters", MaxFilters)
+			}
+			if err := p.parseFilter(); err != nil {
+				return err
+			}
+			if p.cur().kind != tComma {
+				break
+			}
+			p.advance()
+		}
+	}
+	if err := p.expectKeyword("return"); err != nil {
+		return err
+	}
+	for {
+		if len(p.q.Returns) >= MaxReturnItems {
+			return p.errf("more than %d return items", MaxReturnItems)
+		}
+		it, err := p.parseReturnItem()
+		if err != nil {
+			return err
+		}
+		p.q.Returns = append(p.q.Returns, it)
+		if p.cur().kind != tComma {
+			break
+		}
+		p.advance()
+	}
+	if p.keyword("order") {
+		p.advance()
+		if err := p.expectKeyword("by"); err != nil {
+			return err
+		}
+		for {
+			if len(p.q.Orders) >= MaxReturnItems {
+				return p.errf("more than %d order keys", MaxReturnItems)
+			}
+			if err := p.parseOrderKey(); err != nil {
+				return err
+			}
+			if p.cur().kind != tComma {
+				break
+			}
+			p.advance()
+		}
+	}
+	if p.keyword("limit") {
+		p.advance()
+		t := p.cur()
+		if t.kind != tInt {
+			return p.errf("expected integer after limit")
+		}
+		if t.num < 1 || t.num > MaxLimit {
+			return p.errf("limit must be in [1, %d]", MaxLimit)
+		}
+		p.q.Limit = int(t.num)
+		p.advance()
+	}
+	if p.cur().kind != tEOF {
+		return p.errf("unexpected trailing input")
+	}
+	return nil
+}
+
+// nodeVar resolves (or declares) a node variable.
+func (p *parser) nodeVar(name string) (int, error) {
+	if v, ok := p.varIdx[name]; ok {
+		if p.q.Vars[v].Kind != VarNode {
+			return 0, p.errf("variable ?%s is a stamp/distance variable, not a node", name)
+		}
+		return v, nil
+	}
+	if len(p.q.Vars) >= MaxVars {
+		return 0, p.errf("more than %d variables", MaxVars)
+	}
+	v := len(p.q.Vars)
+	p.q.Vars = append(p.q.Vars, Var{Name: name, Kind: VarNode})
+	p.varIdx[name] = v
+	return v, nil
+}
+
+// scalarVar declares a fresh stamp/distance variable; reuse is an error
+// (stamp equality joins are out of the language).
+func (p *parser) scalarVar(name string) (int, error) {
+	if _, ok := p.varIdx[name]; ok {
+		return 0, p.errf("stamp variable ?%s already bound", name)
+	}
+	if len(p.q.Vars) >= MaxVars {
+		return 0, p.errf("more than %d variables", MaxVars)
+	}
+	v := len(p.q.Vars)
+	p.q.Vars = append(p.q.Vars, Var{Name: name, Kind: VarScalar})
+	p.varIdx[name] = v
+	return v, nil
+}
+
+func (p *parser) param(name string) int {
+	if i, ok := p.parIdx[name]; ok {
+		return i
+	}
+	i := len(p.q.Params)
+	p.q.Params = append(p.q.Params, name)
+	p.parIdx[name] = i
+	return i
+}
+
+func (p *parser) parseTerm() (Term, error) {
+	t := p.next()
+	switch t.kind {
+	case tVar:
+		v, err := p.nodeVar(t.text)
+		if err != nil {
+			return Term{}, err
+		}
+		return Term{Kind: TermVar, Var: v}, nil
+	case tParam:
+		return Term{Kind: TermParam, Param: p.param(t.text)}, nil
+	case tInt:
+		return Term{Kind: TermInt, Int: t.num}, nil
+	default:
+		return Term{}, &ParseError{Off: t.off, Msg: "expected ?var, $param or integer"}
+	}
+}
+
+func (p *parser) parseAtom() error {
+	// `?x : Kind` constraint.
+	if p.cur().kind == tVar && p.toks[p.pos+1].kind == tColon {
+		v, err := p.nodeVar(p.cur().text)
+		if err != nil {
+			return err
+		}
+		p.advance()
+		p.advance()
+		t := p.next()
+		if t.kind != tIdent {
+			return &ParseError{Off: t.off, Msg: "expected kind name after :"}
+		}
+		k, ok := kindByName[t.text]
+		if !ok {
+			return &ParseError{Off: t.off, Msg: fmt.Sprintf("unknown kind %q", t.text)}
+		}
+		p.q.Atoms = append(p.q.Atoms, Atom{Kind: AtomKindConstraint, Var: v, NodeKind: k})
+		return nil
+	}
+	src, err := p.parseTerm()
+	if err != nil {
+		return err
+	}
+	if p.cur().kind != tDash {
+		return p.errf("expected -edge-> after pattern source")
+	}
+	p.advance()
+	et := p.next()
+	if et.kind != tIdent {
+		return &ParseError{Off: et.off, Msg: "expected edge type name"}
+	}
+	edge, ok := edgeByName[et.text]
+	if !ok {
+		return &ParseError{Off: et.off, Msg: fmt.Sprintf("unknown edge type %q", et.text)}
+	}
+	minHops, maxHops := 1, 1
+	if p.cur().kind == tStar {
+		p.advance()
+		lo := p.next()
+		if lo.kind != tInt {
+			return &ParseError{Off: lo.off, Msg: "expected hop lower bound after *"}
+		}
+		if p.cur().kind != tDotDot {
+			return p.errf("expected .. in hop range")
+		}
+		p.advance()
+		hi := p.next()
+		if hi.kind != tInt {
+			return &ParseError{Off: hi.off, Msg: "expected hop upper bound after .."}
+		}
+		minHops, maxHops = int(lo.num), int(hi.num)
+		if minHops < 1 || maxHops > MaxHops || minHops > maxHops {
+			return &ParseError{Off: lo.off, Msg: fmt.Sprintf("hop range must satisfy 1 <= lo <= hi <= %d", MaxHops)}
+		}
+	}
+	if p.cur().kind != tArrow {
+		return p.errf("expected ->")
+	}
+	p.advance()
+	dst, err := p.parseTerm()
+	if err != nil {
+		return err
+	}
+	stamp := -1
+	if p.cur().kind == tAt {
+		p.advance()
+		t := p.next()
+		if t.kind != tVar {
+			return &ParseError{Off: t.off, Msg: "expected ?var after @"}
+		}
+		stamp, err = p.scalarVar(t.text)
+		if err != nil {
+			return err
+		}
+	}
+	p.q.Atoms = append(p.q.Atoms, Atom{
+		Kind: AtomEdge, Src: src, Dst: dst, Edge: edge,
+		Stamp: stamp, MinHops: minHops, MaxHops: maxHops,
+	})
+	return nil
+}
+
+// parseExpr parses a filter/return scalar expression. Variables must
+// already be declared by a pattern (filters and projections never bind).
+func (p *parser) parseExpr() (Expr, error) {
+	t := p.next()
+	switch t.kind {
+	case tVar:
+		v, ok := p.varIdx[t.text]
+		if !ok {
+			return Expr{}, &ParseError{Off: t.off, Msg: fmt.Sprintf("variable ?%s is not bound by any pattern", t.text)}
+		}
+		if p.cur().kind == tDot {
+			p.advance()
+			pt := p.next()
+			if pt.kind != tIdent {
+				return Expr{}, &ParseError{Off: pt.off, Msg: "expected property name after ."}
+			}
+			key, ok := propByName[pt.text]
+			if !ok {
+				return Expr{}, &ParseError{Off: pt.off, Msg: fmt.Sprintf("unknown property %q", pt.text)}
+			}
+			if p.q.Vars[v].Kind != VarNode {
+				return Expr{}, &ParseError{Off: t.off, Msg: fmt.Sprintf("?%s is not a node variable", t.text)}
+			}
+			return Expr{Kind: ExprProp, Var: v, Prop: key}, nil
+		}
+		return Expr{Kind: ExprVar, Var: v}, nil
+	case tParam:
+		return Expr{Kind: ExprParam, Param: p.param(t.text)}, nil
+	case tInt:
+		return Expr{Kind: ExprInt, Int: t.num}, nil
+	case tDash:
+		n := p.next()
+		if n.kind != tInt {
+			return Expr{}, &ParseError{Off: n.off, Msg: "expected integer after -"}
+		}
+		return Expr{Kind: ExprInt, Int: -n.num}, nil
+	case tStr:
+		return Expr{Kind: ExprStr, Str: t.text}, nil
+	default:
+		return Expr{}, &ParseError{Off: t.off, Msg: "expected expression"}
+	}
+}
+
+func (p *parser) parseFilter() error {
+	lhs, err := p.parseExpr()
+	if err != nil {
+		return err
+	}
+	t := p.next()
+	if t.kind != tCmp {
+		return &ParseError{Off: t.off, Msg: "expected comparison operator"}
+	}
+	rhs, err := p.parseExpr()
+	if err != nil {
+		return err
+	}
+	p.q.Filters = append(p.q.Filters, Filter{Lhs: lhs, Op: t.cmp, Rhs: rhs})
+	return nil
+}
+
+func (p *parser) parseReturnItem() (ReturnItem, error) {
+	if p.keyword("count") || p.keyword("sum") {
+		agg := AggCount
+		if p.keyword("sum") {
+			agg = AggSum
+		}
+		p.advance()
+		if p.cur().kind != tLParen {
+			return ReturnItem{}, p.errf("expected ( after aggregate")
+		}
+		p.advance()
+		if agg == AggCount && p.cur().kind == tStar {
+			p.advance()
+			if p.cur().kind != tRParen {
+				return ReturnItem{}, p.errf("expected ) after count(*")
+			}
+			p.advance()
+			return ReturnItem{Agg: AggCount, Star: true}, nil
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return ReturnItem{}, err
+		}
+		if p.cur().kind != tRParen {
+			return ReturnItem{}, p.errf("expected ) after aggregate expression")
+		}
+		p.advance()
+		return ReturnItem{Agg: agg, Expr: e}, nil
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return ReturnItem{}, err
+	}
+	return ReturnItem{Expr: e}, nil
+}
+
+func (p *parser) parseOrderKey() error {
+	it, err := p.parseReturnItem()
+	if err != nil {
+		return err
+	}
+	desc := false
+	if p.keyword("asc") {
+		p.advance()
+	} else if p.keyword("desc") {
+		desc = true
+		p.advance()
+	}
+	col := -1
+	for i := range p.q.Returns {
+		if p.q.Returns[i] == it {
+			col = i
+			break
+		}
+	}
+	if col < 0 {
+		return p.errf("order key %s does not match any return item", printItem(p.q, it))
+	}
+	p.q.Orders = append(p.q.Orders, OrderKey{Item: it, Desc: desc, Col: col})
+	return nil
+}

@@ -1,0 +1,158 @@
+package query
+
+import (
+	"testing"
+
+	"ldbcsnb/internal/ids"
+)
+
+// planCorpus gathers every query text the test files know about, so the
+// planner properties range over the widest available sample.
+func planCorpus() []string {
+	texts := append([]string(nil), roundTripQueries...)
+	texts = append(texts, diffCorpus...)
+	for i := range Registry {
+		texts = append(texts, Registry[i].Text)
+	}
+	return texts
+}
+
+// TestPlannerDeterminism pins the //snb:deterministic contract of
+// CompileOpts: repeated compilations of the same text — from fresh parses,
+// with and without cardinality hints — yield byte-identical plan strings.
+func TestPlannerDeterminism(t *testing.T) {
+	card := func(k ids.Kind) int { return 1000 - int(k)*7 } // arbitrary but fixed
+	for _, text := range planCorpus() {
+		var plain, hinted string
+		for i := 0; i < 20; i++ {
+			q, err := Parse(text)
+			if err != nil {
+				t.Fatalf("Parse(%q): %v", text, err)
+			}
+			p, err := Compile(q)
+			if err != nil {
+				t.Fatalf("Compile(%q): %v", text, err)
+			}
+			h, err := CompileOpts(q, Opts{Card: card})
+			if err != nil {
+				t.Fatalf("CompileOpts(%q): %v", text, err)
+			}
+			if i == 0 {
+				plain, hinted = p.String(), h.String()
+				continue
+			}
+			if got := p.String(); got != plain {
+				t.Fatalf("plan for %q drifted on run %d:\n%svs\n%s", text, i, got, plain)
+			}
+			if got := h.String(); got != hinted {
+				t.Fatalf("hinted plan for %q drifted on run %d:\n%svs\n%s", text, i, got, hinted)
+			}
+		}
+	}
+}
+
+// TestPlanBindsBeforeUse walks every compiled plan op-by-op, tracking the
+// set of bound variables, and asserts the structural soundness invariants:
+// every op reads only bound variables, every filter runs only once its
+// variables are bound, every variable is bound exactly once, and every
+// atom and filter is consumed exactly once.
+func TestPlanBindsBeforeUse(t *testing.T) {
+	for _, text := range planCorpus() {
+		q, err := Parse(text)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", text, err)
+		}
+		p, err := Compile(q)
+		if err != nil {
+			t.Fatalf("Compile(%q): %v", text, err)
+		}
+		bound := make([]bool, len(q.Vars))
+		usedAtom := make([]bool, len(q.Atoms))
+		usedFilter := make([]bool, len(q.Filters))
+		termOK := func(tm Term) bool { return tm.Kind != TermVar || bound[tm.Var] }
+		bindVar := func(v int) {
+			if bound[v] {
+				t.Fatalf("%q: variable ?%s bound twice", text, q.Vars[v].Name)
+			}
+			bound[v] = true
+		}
+		consumeAtom := func(i int) {
+			if usedAtom[i] {
+				t.Fatalf("%q: atom %d consumed twice", text, i)
+			}
+			usedAtom[i] = true
+		}
+		for _, op := range p.ops {
+			switch op.kind {
+			case opScan:
+				bindVar(op.scanVar)
+			case opExpand, opBFS:
+				a := &q.Atoms[op.atom]
+				consumeAtom(op.atom)
+				if op.kind == opBFS && op.check {
+					if !termOK(a.Src) || !termOK(a.Dst) {
+						t.Fatalf("%q: bfs-check with unbound endpoint", text)
+					}
+				} else if op.out {
+					if !termOK(a.Src) {
+						t.Fatalf("%q: expand-out from unbound source", text)
+					}
+					bindVar(a.Dst.Var)
+				} else {
+					if !termOK(a.Dst) {
+						t.Fatalf("%q: expand-in from unbound destination", text)
+					}
+					bindVar(a.Src.Var)
+				}
+				if a.Stamp >= 0 {
+					bindVar(a.Stamp)
+				}
+			case opCheckEdge:
+				a := &q.Atoms[op.atom]
+				consumeAtom(op.atom)
+				if !termOK(a.Src) || !termOK(a.Dst) {
+					t.Fatalf("%q: edge check with unbound endpoint", text)
+				}
+				if a.Stamp >= 0 {
+					bindVar(a.Stamp)
+				}
+			case opCheckKind:
+				a := &q.Atoms[op.atom]
+				consumeAtom(op.atom)
+				if !bound[a.Var] {
+					t.Fatalf("%q: kind check on unbound variable", text)
+				}
+			case opFilter:
+				if usedFilter[op.filter] {
+					t.Fatalf("%q: filter %d placed twice", text, op.filter)
+				}
+				usedFilter[op.filter] = true
+				f := &q.Filters[op.filter]
+				for _, v := range exprVars(f.Lhs, exprVars(f.Rhs, nil)) {
+					if !bound[v] {
+						t.Fatalf("%q: filter uses unbound variable ?%s", text, q.Vars[v].Name)
+					}
+				}
+			}
+		}
+		for v := range bound {
+			if !bound[v] {
+				t.Fatalf("%q: variable ?%s never bound by the plan", text, q.Vars[v].Name)
+			}
+		}
+		for i := range usedAtom {
+			if !usedAtom[i] && q.Atoms[i].Kind == AtomEdge {
+				t.Fatalf("%q: edge atom %d never consumed", text, i)
+			}
+			// Kind atoms may be consumed by a kind-rooted scan instead of an
+			// explicit check op; those do not appear in p.ops, so only edge
+			// atoms are asserted here. The differential suite covers kind
+			// semantics end to end.
+		}
+		for i := range usedFilter {
+			if !usedFilter[i] {
+				t.Fatalf("%q: filter %d never placed", text, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the query in canonical form: one line, lowercase
+// keywords, single spaces, explicit asc/desc on every order key. Parsing
+// the canonical form yields an AST that prints identically (the fuzz
+// target pins parse -> print -> parse as a fixpoint).
+func (q *Query) String() string {
+	var sb strings.Builder
+	sb.WriteString("match ")
+	for i := range q.Atoms {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		printAtom(&sb, q, &q.Atoms[i])
+	}
+	if len(q.Filters) > 0 {
+		sb.WriteString(" where ")
+		for i := range q.Filters {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			f := &q.Filters[i]
+			printExpr(&sb, q, f.Lhs)
+			sb.WriteByte(' ')
+			sb.WriteString(f.Op.String())
+			sb.WriteByte(' ')
+			printExpr(&sb, q, f.Rhs)
+		}
+	}
+	sb.WriteString(" return ")
+	for i := range q.Returns {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(printItem(q, q.Returns[i]))
+	}
+	if len(q.Orders) > 0 {
+		sb.WriteString(" order by ")
+		for i := range q.Orders {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(printItem(q, q.Orders[i].Item))
+			if q.Orders[i].Desc {
+				sb.WriteString(" desc")
+			} else {
+				sb.WriteString(" asc")
+			}
+		}
+	}
+	if q.Limit > 0 {
+		fmt.Fprintf(&sb, " limit %d", q.Limit)
+	}
+	return sb.String()
+}
+
+func printAtom(sb *strings.Builder, q *Query, a *Atom) {
+	if a.Kind == AtomKindConstraint {
+		sb.WriteByte('?')
+		sb.WriteString(q.Vars[a.Var].Name)
+		sb.WriteString(" : ")
+		sb.WriteString(a.NodeKind.String())
+		return
+	}
+	printTerm(sb, q, a.Src)
+	sb.WriteString(" -")
+	sb.WriteString(a.Edge.String())
+	if a.VarLen() {
+		fmt.Fprintf(sb, "*%d..%d", a.MinHops, a.MaxHops)
+	}
+	sb.WriteString("-> ")
+	printTerm(sb, q, a.Dst)
+	if a.Stamp >= 0 {
+		sb.WriteString(" @ ?")
+		sb.WriteString(q.Vars[a.Stamp].Name)
+	}
+}
+
+func printTerm(sb *strings.Builder, q *Query, t Term) {
+	switch t.Kind {
+	case TermVar:
+		sb.WriteByte('?')
+		sb.WriteString(q.Vars[t.Var].Name)
+	case TermParam:
+		sb.WriteByte('$')
+		sb.WriteString(q.Params[t.Param])
+	default:
+		fmt.Fprintf(sb, "%d", t.Int)
+	}
+}
+
+func printExpr(sb *strings.Builder, q *Query, e Expr) {
+	switch e.Kind {
+	case ExprVar:
+		sb.WriteByte('?')
+		sb.WriteString(q.Vars[e.Var].Name)
+	case ExprProp:
+		sb.WriteByte('?')
+		sb.WriteString(q.Vars[e.Var].Name)
+		sb.WriteByte('.')
+		sb.WriteString(e.Prop.String())
+	case ExprParam:
+		sb.WriteByte('$')
+		sb.WriteString(q.Params[e.Param])
+	case ExprInt:
+		fmt.Fprintf(sb, "%d", e.Int)
+	default:
+		sb.WriteByte('"')
+		for i := 0; i < len(e.Str); i++ {
+			b := e.Str[i]
+			if b == '"' || b == '\\' {
+				sb.WriteByte('\\')
+			}
+			sb.WriteByte(b)
+		}
+		sb.WriteByte('"')
+	}
+}
+
+func printItem(q *Query, it ReturnItem) string {
+	var sb strings.Builder
+	switch {
+	case it.Agg == AggCount && it.Star:
+		sb.WriteString("count(*)")
+	case it.Agg == AggCount:
+		sb.WriteString("count(")
+		printExpr(&sb, q, it.Expr)
+		sb.WriteByte(')')
+	case it.Agg == AggSum:
+		sb.WriteString("sum(")
+		printExpr(&sb, q, it.Expr)
+		sb.WriteByte(')')
+	default:
+		printExpr(&sb, q, it.Expr)
+	}
+	return sb.String()
+}

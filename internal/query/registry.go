@@ -1,0 +1,147 @@
+package query
+
+import (
+	"fmt"
+
+	"ldbcsnb/internal/ids"
+	"ldbcsnb/internal/store"
+	"ldbcsnb/internal/workload"
+	"ldbcsnb/internal/xrand"
+)
+
+// Spec describes one named declarative query, mirroring the
+// workload.ComplexSpec conventions: a display name, a Bind drawing
+// concrete parameters from the curated pools, and the two monomorphized
+// run entry points so both read paths execute the same compiled plan.
+type Spec struct {
+	Name string
+	// Text is the canonical query text; the compiled plan is built from it
+	// once at package init.
+	Text string
+	// Bind draws one parameter binding from the curated pools.
+	Bind func(pools *workload.ParamPools, rnd *xrand.Rand) Params
+
+	plan *Plan
+}
+
+// Plan returns the compiled plan.
+func (s *Spec) Plan() *Plan { return s.plan }
+
+// The two concrete instantiations of the generic executor, shared by every
+// spec (the plan, not the code, differs per query).
+var (
+	runTxn  = Run[*store.Txn]
+	runView = Run[*store.SnapshotView]
+)
+
+// RunTxn executes the query on the MVCC path.
+func (s *Spec) RunTxn(tx *store.Txn, sc *Scratch, p Params) (*Result, error) {
+	return runTxn(tx, sc, s.plan, p)
+}
+
+// RunView executes the query on the lock-free view path.
+func (s *Spec) RunView(v *store.SnapshotView, sc *Scratch, p Params) (*Result, error) {
+	return runView(v, sc, s.plan, p)
+}
+
+// mustPlan parses and compiles a registry query; the registry texts are
+// pinned by tests, so a failure here is a programming error.
+func mustPlan(text string) *Plan {
+	q, err := Parse(text)
+	if err != nil {
+		panic(fmt.Sprintf("query: bad registry query: %v", err))
+	}
+	p, err := Compile(q)
+	if err != nil {
+		panic(fmt.Sprintf("query: bad registry plan: %v", err))
+	}
+	return p
+}
+
+func pickID(pool []ids.ID, rnd *xrand.Rand) ids.ID {
+	if len(pool) == 0 {
+		return 0
+	}
+	return pool[rnd.Intn(len(pool))]
+}
+
+// Registry holds the declaratively expressed Interactive queries. Q1, Q2
+// and Q8 are the ISSUE-10 set: their result rows are pinned against the
+// hand-written implementations by the differential suite (projected onto
+// the declarative columns — Q1's university/company enrichment is
+// presentation-layer and stays in the hand-written row type).
+var Registry = []Spec{
+	{
+		Name: "Q1",
+		Text: "match $person -knows*1..3-> ?f @ ?dist where ?f.firstName = $name " +
+			"return ?f, ?dist, ?f.lastName order by ?dist asc, ?f.lastName asc, ?f asc limit 20",
+		Bind: func(pools *workload.ParamPools, rnd *xrand.Rand) Params {
+			name := ""
+			if len(pools.FirstNames) > 0 {
+				name = pools.FirstNames[rnd.Intn(len(pools.FirstNames))]
+			}
+			return Params{
+				"person": store.Int64(int64(uint64(pickID(pools.Persons, rnd)))),
+				"name":   store.String(name),
+			}
+		},
+	},
+	{
+		Name: "Q2",
+		Text: "match $person -knows-> ?f, ?m -hasCreator-> ?f @ ?d where ?d <= $maxDate " +
+			"return ?m, ?f, ?d order by ?d desc, ?m asc limit 20",
+		Bind: func(pools *workload.ParamPools, rnd *xrand.Rand) Params {
+			return Params{
+				"person":  store.Int64(int64(uint64(pickID(pools.Persons, rnd)))),
+				"maxDate": store.Int64(pools.MaxDate),
+			}
+		},
+	},
+	{
+		Name: "Q8",
+		Text: "match ?m -hasCreator-> $person, ?c -replyOf-> ?m @ ?d, ?c -hasCreator-> ?r " +
+			"return ?c, ?r, ?d order by ?d desc, ?c asc limit 20",
+		Bind: func(pools *workload.ParamPools, rnd *xrand.Rand) Params {
+			return Params{
+				"person": store.Int64(int64(uint64(pickID(pools.Persons, rnd)))),
+			}
+		},
+	},
+}
+
+func init() {
+	for i := range Registry {
+		Registry[i].plan = mustPlan(Registry[i].Text)
+	}
+}
+
+// Lookup returns the registry spec with the given name, or nil.
+func Lookup(name string) *Spec {
+	for i := range Registry {
+		if Registry[i].Name == name {
+			return &Registry[i]
+		}
+	}
+	return nil
+}
+
+// StandardParams binds the standard ad-hoc parameter namespace from the
+// curated pools: $person (a curated start person), $name (a first name),
+// $maxDate / $startDate / $windowMillis (the curated query window),
+// $tag and $tagClass. Ad-hoc queries served over the wire or via
+// snb-run -query draw their parameters from here, seeded per request.
+func StandardParams(pools *workload.ParamPools, rnd *xrand.Rand) Params {
+	name := ""
+	if len(pools.FirstNames) > 0 {
+		name = pools.FirstNames[rnd.Intn(len(pools.FirstNames))]
+	}
+	return Params{
+		"person":       store.Int64(int64(uint64(pickID(pools.Persons, rnd)))),
+		"name":         store.String(name),
+		"maxDate":      store.Int64(pools.MaxDate),
+		"startDate":    store.Int64(pools.StartDate),
+		"windowMillis": store.Int64(pools.WindowMillis),
+		"tag":          store.Int64(int64(uint64(pickID(pools.Tags, rnd)))),
+		"tagClass":     store.Int64(int64(uint64(pickID(pools.TagClasses, rnd)))),
+	}
+}

@@ -11,6 +11,7 @@ import (
 
 	"ldbcsnb/internal/bench"
 	"ldbcsnb/internal/driver"
+	"ldbcsnb/internal/query"
 	"ldbcsnb/internal/schema"
 	"ldbcsnb/internal/server"
 	"ldbcsnb/internal/store"
@@ -117,6 +118,44 @@ func TestServeRoundTripAllClasses(t *testing.T) {
 		t.Fatalf("out-of-range op: resp %+v err %v", resp, err)
 	}
 	if st := srv.Stats(); st.Served < int64(len(cases)) || st.Errored != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestServeDeclarativeQuery(t *testing.T) {
+	srv, addr, _ := startServer(t, nil)
+	cl := New(Options{Addr: addr, Seed: 3})
+	defer cl.Close()
+
+	// A param-free aggregate must count every person in the fixture.
+	resp, err := cl.Do(&server.Request{Class: server.ClassQuery, ReqID: 1, DeadlineMs: 5000, Query: `match ?p : Person return count(*)`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != server.StatusOK || resp.Rows != 1 {
+		t.Fatalf("count query: status %d rows %d (%q)", resp.Status, resp.Rows, resp.Message)
+	}
+	// The standard registry texts bind their parameters server-side from
+	// the curated pools using the request seed.
+	for i, spec := range query.Registry {
+		resp, err := cl.Do(&server.Request{Class: server.ClassQuery, ReqID: uint64(10 + i), DeadlineMs: 5000, Seed: uint64(i) * 131, Query: spec.Text})
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		if resp.Status != server.StatusOK {
+			t.Fatalf("%s: status %d (%q)", spec.Name, resp.Status, resp.Message)
+		}
+	}
+	// Malformed text is an error response, not a dead connection.
+	resp, err = cl.Do(&server.Request{Class: server.ClassQuery, ReqID: 99, Query: `match nonsense`})
+	if err != nil || resp.Status != server.StatusError {
+		t.Fatalf("bad query: resp %+v err %v", resp, err)
+	}
+	resp, err = cl.Do(&server.Request{Class: server.ClassPing, ReqID: 100})
+	if err != nil || resp.Status != server.StatusOK {
+		t.Fatalf("ping after bad query: resp %+v err %v", resp, err)
+	}
+	if st := srv.Stats(); st.Errored != 1 {
 		t.Fatalf("stats %+v", st)
 	}
 }

@@ -34,6 +34,13 @@ const (
 	ClassBI
 	// ClassWrite commits one small insert transaction; Op is unused.
 	ClassWrite
+	// ClassQuery runs one declarative pattern query (internal/query). The
+	// request frame carries the UTF-8 query text after the fixed header;
+	// parameters are bound server-side from the curated pools using the
+	// request seed, exactly like the named-query classes. Op is unused.
+	// QUERY rides the BI admission gate: ad-hoc scans are analytical work
+	// and must never crowd out the interactive lane.
+	ClassQuery
 	numClasses
 )
 
@@ -83,6 +90,9 @@ const (
 //	off 12 u32 deadlineMs (0 = server default)
 //	off 16 u64 seed (parameter-binding seed; the server binds parameters
 //	              itself from the curated pools, keeping clients thin)
+//	off 24     query text (ClassQuery only: the remaining payload bytes are
+//	              the UTF-8 pattern-query source; every other class requires
+//	              an exactly 24-byte payload)
 type Request struct {
 	Class      byte
 	Op         byte
@@ -90,6 +100,10 @@ type Request struct {
 	ReqID      uint64
 	DeadlineMs uint32
 	Seed       uint64
+	// Query is the declarative query text (ClassQuery frames only). Its
+	// length is bounded by the frame cap on the wire and by the language's
+	// own MaxQueryLen at parse time.
+	Query string
 }
 
 // Response is one decoded response frame.
@@ -116,20 +130,31 @@ type Response struct {
 	Message      string
 }
 
-// AppendRequest appends r's frame (header + payload) onto dst.
+// AppendRequest appends r's frame (header + payload) onto dst. ClassQuery
+// frames carry r.Query after the fixed header; Query is ignored for every
+// other class.
 func AppendRequest(dst []byte, r *Request) []byte {
-	dst = binary.LittleEndian.AppendUint32(dst, requestLen)
+	n := requestLen
+	if r.Class == ClassQuery {
+		n += len(r.Query)
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(n))
 	dst = append(dst, ProtocolVersion, r.Class, r.Op, r.Flags)
 	dst = binary.LittleEndian.AppendUint64(dst, r.ReqID)
 	dst = binary.LittleEndian.AppendUint32(dst, r.DeadlineMs)
 	dst = binary.LittleEndian.AppendUint64(dst, r.Seed)
+	if r.Class == ClassQuery {
+		dst = append(dst, r.Query...)
+	}
 	return dst
 }
 
-// ParseRequest decodes one request payload.
+// ParseRequest decodes one request payload. Only ClassQuery may carry
+// trailing bytes (the query text); any other class with a payload that is
+// not exactly the fixed header is malformed.
 func ParseRequest(p []byte) (Request, error) {
-	if len(p) != requestLen {
-		return Request{}, fmt.Errorf("server: request payload %d bytes, want %d", len(p), requestLen)
+	if len(p) < requestLen {
+		return Request{}, fmt.Errorf("server: request payload %d bytes, want >= %d", len(p), requestLen)
 	}
 	if p[0] != ProtocolVersion {
 		return Request{}, fmt.Errorf("server: protocol version %d, want %d", p[0], ProtocolVersion)
@@ -144,6 +169,11 @@ func ParseRequest(p []byte) (Request, error) {
 	}
 	if r.Class >= numClasses {
 		return Request{}, fmt.Errorf("server: unknown request class %d", r.Class)
+	}
+	if r.Class == ClassQuery {
+		r.Query = string(p[requestLen:])
+	} else if len(p) != requestLen {
+		return Request{}, fmt.Errorf("server: request payload %d bytes, want %d for class %d", len(p), requestLen, r.Class)
 	}
 	return r, nil
 }

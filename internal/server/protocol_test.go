@@ -59,6 +59,38 @@ func TestResponseRoundTrip(t *testing.T) {
 	}
 }
 
+func TestQueryRequestRoundTrip(t *testing.T) {
+	in := Request{
+		Class:      ClassQuery,
+		ReqID:      77,
+		DeadlineMs: 1000,
+		Seed:       31337,
+		Query:      `match ?p : Person return count(*)`,
+	}
+	frame := AppendRequest(nil, &in)
+	if len(frame) != frameHeaderLen+requestLen+len(in.Query) {
+		t.Fatalf("frame length %d, want %d", len(frame), frameHeaderLen+requestLen+len(in.Query))
+	}
+	payload, err := ReadFrame(bufio.NewReader(bytes.NewReader(frame)), nil, DefaultMaxFrame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ParseRequest(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", in, out)
+	}
+	// An empty query text is a valid frame shape; rejecting the empty
+	// program is the parser's job, not the protocol's.
+	empty := Request{Class: ClassQuery, ReqID: 78}
+	got, err := ParseRequest(AppendRequest(nil, &empty)[frameHeaderLen:])
+	if err != nil || got != empty {
+		t.Fatalf("empty query round trip: %+v, %v", got, err)
+	}
+}
+
 func TestParseRequestRejectsBadInput(t *testing.T) {
 	if _, err := ParseRequest(make([]byte, requestLen-1)); err == nil {
 		t.Fatal("short payload accepted")
@@ -73,6 +105,12 @@ func TestParseRequestRejectsBadInput(t *testing.T) {
 	bad[1] = numClasses
 	if _, err := ParseRequest(bad); err == nil {
 		t.Fatal("out-of-range class accepted")
+	}
+	// Trailing bytes are the query text for ClassQuery and garbage for
+	// every other class.
+	bad = append(append(bad[:0], good...), "trailing"...)
+	if _, err := ParseRequest(bad); err == nil {
+		t.Fatal("non-query class with trailing bytes accepted")
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 
 	"ldbcsnb/internal/bi"
 	"ldbcsnb/internal/ids"
+	"ldbcsnb/internal/query"
 	"ldbcsnb/internal/store"
 	"ldbcsnb/internal/workload"
 	"ldbcsnb/internal/xrand"
@@ -114,6 +115,13 @@ type Server struct {
 
 	writeSeq atomic.Uint64
 
+	// Compiled-plan cache for ClassQuery, keyed by query text. Plans are
+	// compiled without cardinality hints so one plan serves every view
+	// epoch; the cache is wiped wholesale when it fills (ad-hoc texts are
+	// few and repetitive in practice — clients resend the same strings).
+	planMu    sync.Mutex
+	planCache map[string]*query.Plan
+
 	accepted, rejected atomic.Int64
 	served, errored    atomic.Int64
 	badFrames          atomic.Int64
@@ -134,6 +142,8 @@ func New(cfg Config) *Server {
 	s.gates[ClassShort] = s.gates[ClassComplex] // one interactive gate
 	s.gates[ClassBI] = newGate(cfg.BI)
 	s.gates[ClassWrite] = newGate(cfg.Write)
+	s.gates[ClassQuery] = s.gates[ClassBI] // ad-hoc queries ride the BI lane
+	s.planCache = make(map[string]*query.Plan)
 	return s
 }
 
@@ -286,6 +296,7 @@ func (s *Server) handleConn(c net.Conn) {
 	br := bufio.NewReaderSize(c, 4096)
 	var frameBuf, respBuf []byte
 	sc := workload.NewScratch()
+	qsc := query.WrapScratch(sc) // shares the era discipline with sc
 	for {
 		if s.baseCtx.Err() != nil {
 			return
@@ -313,7 +324,7 @@ func (s *Server) handleConn(c net.Conn) {
 			s.writeResponse(c, &respBuf, &resp)
 			return
 		}
-		resp := s.dispatch(&req, sc)
+		resp := s.dispatch(&req, sc, qsc)
 		s.served.Add(1)
 		if !s.writeResponse(c, &respBuf, &resp) {
 			return
@@ -334,7 +345,7 @@ func (s *Server) writeResponse(c net.Conn, buf *[]byte, resp *Response) bool {
 // execution, producing its response. ServerMicros covers everything from
 // arrival: admission wait included, so clients can separate server time
 // from network time.
-func (s *Server) dispatch(req *Request, sc *workload.Scratch) Response {
+func (s *Server) dispatch(req *Request, sc *workload.Scratch, qsc *query.Scratch) Response {
 	start := time.Now()
 	resp := Response{Class: req.Class, Op: req.Op, ReqID: req.ReqID}
 	finish := func() Response {
@@ -359,12 +370,13 @@ func (s *Server) dispatch(req *Request, sc *workload.Scratch) Response {
 
 	g := s.gates[req.Class]
 
-	// Overload policy: BI is shed first. The interactive gate queueing at
-	// all means the store is saturated with latency-sensitive work; an
-	// arriving BI scan would hold its slot for orders of magnitude longer
-	// than a point read, so it is rejected outright with a hint instead of
-	// competing.
-	if req.Class == ClassBI && s.gates[ClassComplex].pressured() {
+	// Overload policy: BI is shed first — and ad-hoc declarative queries
+	// with it, since they share the BI lane. The interactive gate queueing
+	// at all means the store is saturated with latency-sensitive work; an
+	// arriving analytical scan would hold its slot for orders of magnitude
+	// longer than a point read, so it is rejected outright with a hint
+	// instead of competing.
+	if (req.Class == ClassBI || req.Class == ClassQuery) && s.gates[ClassComplex].pressured() {
 		g.shed.Add(1)
 		resp.Status = StatusRetryAfter
 		resp.RetryAfterMs = s.gates[ClassComplex].retryHintMs()
@@ -395,7 +407,7 @@ func (s *Server) dispatch(req *Request, sc *workload.Scratch) Response {
 	s.inflight.Add(1)
 	defer s.inflight.Add(-1)
 
-	rows, err := s.runQuery(ctx, req, sc)
+	rows, err := s.runQuery(ctx, req, sc, qsc)
 	switch {
 	case err == nil:
 		resp.Status = StatusOK
@@ -415,9 +427,34 @@ func (s *Server) dispatch(req *Request, sc *workload.Scratch) Response {
 	return finish()
 }
 
+// planFor returns the cached compiled plan for one query text, compiling
+// and caching it on first sight. Plans are pure functions of the text
+// (deterministic planner, no cardinality hints), so cached entries never
+// go stale.
+func (s *Server) planFor(text string) (*query.Plan, error) {
+	s.planMu.Lock()
+	defer s.planMu.Unlock()
+	if p, ok := s.planCache[text]; ok {
+		return p, nil
+	}
+	q, err := query.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	p, err := query.Compile(q)
+	if err != nil {
+		return nil, err
+	}
+	if len(s.planCache) >= 256 {
+		s.planCache = make(map[string]*query.Plan)
+	}
+	s.planCache[text] = p
+	return p, nil
+}
+
 // runQuery executes one admitted request on the view path (reads) or the
 // MVCC commit path (writes).
-func (s *Server) runQuery(ctx context.Context, req *Request, sc *workload.Scratch) (uint32, error) {
+func (s *Server) runQuery(ctx context.Context, req *Request, sc *workload.Scratch, qsc *query.Scratch) (uint32, error) {
 	rnd := xrand.New(s.cfg.Seed, xrand.PurposeShortRead, req.Seed)
 	switch req.Class {
 	case ClassComplex:
@@ -470,6 +507,22 @@ func (s *Server) runQuery(ctx context.Context, req *Request, sc *workload.Scratc
 			return 0, err
 		}
 		return uint32(res.Rows), nil
+
+	case ClassQuery:
+		plan, err := s.planFor(req.Query)
+		if err != nil {
+			return 0, err
+		}
+		v, _, err := s.cfg.Store.AcquireViewChecked()
+		if err != nil {
+			return 0, err
+		}
+		params := query.StandardParams(s.cfg.Pools, rnd)
+		res, err := query.RunViewCtx(ctx, v, qsc, plan, params)
+		if err != nil {
+			return 0, err
+		}
+		return uint32(len(res.Rows)), nil
 
 	case ClassWrite:
 		// One small insert transaction per request; commits past a store

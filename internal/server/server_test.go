@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"ldbcsnb/internal/query"
 	"ldbcsnb/internal/store"
 	"ldbcsnb/internal/workload"
 )
@@ -122,7 +123,7 @@ func TestDispatchShedsBIFirstUnderInteractivePressure(t *testing.T) {
 	restore := drainInteractive(s)
 	defer restore()
 
-	resp := s.dispatch(&Request{Class: ClassBI, Op: 1, ReqID: 7}, workload.NewScratch())
+	resp := s.dispatch(&Request{Class: ClassBI, Op: 1, ReqID: 7}, workload.NewScratch(), query.NewScratch())
 	if resp.Status != StatusRetryAfter {
 		t.Fatalf("BI under interactive pressure: status %d, want RETRY_AFTER", resp.Status)
 	}
@@ -142,7 +143,7 @@ func TestDispatchAnswersRetryAfterWhileDraining(t *testing.T) {
 	defer s.cancel()
 	s.draining.Store(true)
 	for _, class := range []byte{ClassPing, ClassComplex, ClassWrite} {
-		resp := s.dispatch(&Request{Class: class}, workload.NewScratch())
+		resp := s.dispatch(&Request{Class: class}, workload.NewScratch(), query.NewScratch())
 		if resp.Status != StatusRetryAfter {
 			t.Fatalf("class %d while draining: status %d, want RETRY_AFTER", class, resp.Status)
 		}
@@ -160,7 +161,7 @@ func TestDispatchDeadlineExpiresWhileQueued(t *testing.T) {
 	defer s.gates[ClassWrite].release()
 
 	start := time.Now()
-	resp := s.dispatch(&Request{Class: ClassWrite, DeadlineMs: 30}, workload.NewScratch())
+	resp := s.dispatch(&Request{Class: ClassWrite, DeadlineMs: 30}, workload.NewScratch(), query.NewScratch())
 	if resp.Status != StatusTimeout {
 		t.Fatalf("queued past deadline: status %d, want TIMEOUT", resp.Status)
 	}
@@ -174,7 +175,7 @@ func TestDispatchWriteAfterCloseIsRetryable(t *testing.T) {
 	st.MarkClosed()
 	s := New(Config{Store: st})
 	defer s.cancel()
-	resp := s.dispatch(&Request{Class: ClassWrite, DeadlineMs: 1000}, workload.NewScratch())
+	resp := s.dispatch(&Request{Class: ClassWrite, DeadlineMs: 1000}, workload.NewScratch(), query.NewScratch())
 	if resp.Status != StatusRetryAfter {
 		t.Fatalf("write on closed store: status %d (%q), want RETRY_AFTER", resp.Status, resp.Message)
 	}

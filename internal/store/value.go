@@ -155,6 +155,12 @@ func symValue(y intern.Sym) Value { return Value{bits: int64(y), k: kindString} 
 // IsZero reports whether the value is absent.
 func (v Value) IsZero() bool { return v.k == kindNone }
 
+// IsInt reports whether the value holds an integer.
+func (v Value) IsInt() bool { return v.k == kindInt }
+
+// IsStr reports whether the value holds a string.
+func (v Value) IsStr() bool { return v.k == kindString }
+
 // Int returns the integer content (0 for non-integer values).
 func (v Value) Int() int64 {
 	if v.k != kindInt {
